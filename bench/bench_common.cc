@@ -1,0 +1,133 @@
+#include "bench/bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/registry.h"
+#include "core/iim_imputer.h"
+#include "datasets/specs.h"
+#include "eval/report.h"
+
+namespace iim::bench {
+
+core::IimOptions DefaultIimOptions(size_t k) {
+  core::IimOptions opt;
+  opt.k = k;
+  opt.adaptive = true;
+  opt.max_ell = 100;
+  opt.step_h = 2;
+  // Validate against every complete tuple (the paper's Algorithm 3):
+  // sampling validators makes the per-tuple l* selection noisy because
+  // each tuple is judged by only ~k * sample / n validators.
+  opt.validation_sample = 0;
+  // A real ridge penalty: local designs over few neighbors are collinear,
+  // and near-OLS coefficients extrapolate badly.
+  opt.alpha = 1.0;
+  return opt;
+}
+
+eval::Method IimMethod(const core::IimOptions& options,
+                       const std::string& label) {
+  return eval::Method{label, [options]() {
+                        return std::unique_ptr<baselines::Imputer>(
+                            std::make_unique<core::IimImputer>(options));
+                      }};
+}
+
+std::vector<eval::Method> BaselineMethods(
+    const std::vector<std::string>& names, size_t k) {
+  std::vector<eval::Method> methods;
+  for (const std::string& name : names) {
+    methods.push_back(eval::Method{name, [name, k]() {
+      baselines::BaselineOptions opt;
+      opt.k = k;
+      Result<std::unique_ptr<baselines::Imputer>> made =
+          baselines::MakeBaseline(name, opt);
+      if (!made.ok()) {
+        std::fprintf(stderr, "unknown baseline %s\n", name.c_str());
+        std::exit(1);
+      }
+      return std::move(made).value();
+    }});
+  }
+  return methods;
+}
+
+std::vector<eval::Method> MethodSuite(const std::vector<std::string>& names,
+                                      const core::IimOptions& iim_options) {
+  std::vector<eval::Method> methods;
+  methods.push_back(IimMethod(iim_options));
+  for (eval::Method& m : BaselineMethods(names, iim_options.k)) {
+    methods.push_back(std::move(m));
+  }
+  return methods;
+}
+
+data::Table LoadDataset(const std::string& name, size_t n_override,
+                        uint64_t seed) {
+  std::optional<datasets::DatasetSpec> spec = datasets::SpecByName(name);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    std::exit(1);
+  }
+  if (n_override > 0) spec->n = n_override;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(*spec, seed);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "generate(%s): %s\n", name.c_str(),
+                 gen.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(gen).value().table;
+}
+
+double RmsOf(const eval::ExperimentResult& result, const std::string& name) {
+  for (const auto& m : result.methods) {
+    if (m.name == name) return m.rms;
+  }
+  return std::nan("");
+}
+
+void PrintSweep(const std::string& x_name,
+                const std::vector<std::string>& method_names,
+                const std::vector<SweepPoint>& points) {
+  std::vector<std::string> headers = {x_name};
+  for (const auto& m : method_names) headers.push_back(m);
+
+  eval::TablePrinter rms_table(headers);
+  eval::TablePrinter time_table(headers);
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> rms_row = {p.label};
+    std::vector<std::string> time_row = {p.label};
+    for (const auto& name : method_names) {
+      double rms = std::nan("");
+      double secs = std::nan("");
+      for (const auto& m : p.result.methods) {
+        if (m.name == name) {
+          rms = m.rms;
+          secs = m.impute_seconds;
+        }
+      }
+      rms_row.push_back(eval::FormatMetric(rms, 3));
+      time_row.push_back(std::isnan(secs) ? "-" : eval::FormatSeconds(secs));
+    }
+    rms_table.AddRow(rms_row);
+    time_table.AddRow(time_row);
+  }
+  std::printf("(a) Imputation RMS error\n%s", rms_table.ToString().c_str());
+  std::printf("(b) Imputation time cost\n%s", time_table.ToString().c_str());
+}
+
+void ShapeCheck(const std::string& claim, bool held) {
+  std::printf("SHAPE CHECK: %s ... %s\n", claim.c_str(),
+              held ? "OK" : "DEVIATES");
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================\n");
+}
+
+}  // namespace iim::bench

@@ -1,0 +1,68 @@
+// Shared plumbing for the experiment benches (bench_table*, bench_fig*):
+// method construction, dataset generation with optional down-scaling, and
+// paper-style printing.
+//
+// Every bench prints (1) the configuration it ran, (2) the series/rows the
+// corresponding paper table or figure reports, and (3) a SHAPE CHECK line
+// summarizing whether the paper's qualitative claim held on this run.
+
+#ifndef IIM_BENCH_BENCH_COMMON_H_
+#define IIM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iim_options.h"
+#include "data/table.h"
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+
+namespace iim::bench {
+
+// Default IIM configuration for the comparison benches: adaptive learning
+// with bounded candidate l and sampled validation so the large relations
+// (CA 20k, SN 100k) stay tractable. The caps are far above the optimal l
+// observed in Figure 11 (tens), so they do not bind the accuracy.
+core::IimOptions DefaultIimOptions(size_t k = 5);
+
+// A Method entry for IIM with the given options.
+eval::Method IimMethod(const core::IimOptions& options,
+                       const std::string& label = "IIM");
+
+// Method entries for the named baselines (Table II names).
+std::vector<eval::Method> BaselineMethods(
+    const std::vector<std::string>& names, size_t k = 5);
+
+// IIM + the listed baselines.
+std::vector<eval::Method> MethodSuite(const std::vector<std::string>& names,
+                                      const core::IimOptions& iim_options);
+
+// Generates the named dataset (Table IV), optionally overriding n.
+// Exits the process with a message on failure (benches are CLI tools).
+data::Table LoadDataset(const std::string& name, size_t n_override = 0,
+                        uint64_t seed = 7);
+
+// The RMS of `name` in `result` (NaN if absent/failed).
+double RmsOf(const eval::ExperimentResult& result, const std::string& name);
+
+// One x-axis point of a figure sweep.
+struct SweepPoint {
+  std::string label;  // x value as printed on the figure axis
+  eval::ExperimentResult result;
+};
+
+// Prints the two panels of the paper's figures: RMS error and imputation
+// time cost (both per method, one row per x value).
+void PrintSweep(const std::string& x_name,
+                const std::vector<std::string>& method_names,
+                const std::vector<SweepPoint>& points);
+
+// Prints "SHAPE CHECK: <claim> ... OK|DEVIATES".
+void ShapeCheck(const std::string& claim, bool held);
+
+// Prints the standard bench header.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace iim::bench
+
+#endif  // IIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// Figure 11: imputation RMS under a fixed number of learning neighbors l
+// (same l for every tuple, Algorithm 1) versus adaptive per-tuple
+// selection (Algorithm 3), over ASF and CA.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/report.h"
+
+namespace {
+
+// RMS of IIM under the given learning configuration.
+double RunIim(const iim::data::Table& dataset, size_t incomplete,
+              const iim::core::IimOptions& options, uint64_t seed) {
+  iim::eval::ExperimentConfig config;
+  config.inject.tuple_count = incomplete;
+  config.seed = seed;
+  auto res = iim::eval::RunComparison(
+      dataset, config, {iim::bench::IimMethod(options)});
+  if (!res.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 res.status().ToString().c_str());
+    std::exit(1);
+  }
+  return iim::bench::RmsOf(res.value(), "IIM");
+}
+
+void RunPanel(const std::string& dataset_name, size_t n_override,
+              size_t incomplete, uint64_t seed) {
+  iim::data::Table dataset =
+      iim::bench::LoadDataset(dataset_name, n_override);
+  const std::vector<size_t> ells = {1,   10,  20,  50,  100,
+                                    200, 300, 500, 700, 1000};
+
+  iim::eval::TablePrinter table({"l", "Fixed-l RMS", "Adaptive RMS"});
+  iim::core::IimOptions adaptive;
+  adaptive.k = 5;
+  adaptive.adaptive = true;
+  adaptive.max_ell = 1000;
+  adaptive.step_h = 5;
+  adaptive.validation_k = 10;  // more judges per tuple: quieter selection
+  double adaptive_rms = RunIim(dataset, incomplete, adaptive, seed);
+
+  std::vector<double> fixed_rms;
+  for (size_t ell : ells) {
+    iim::core::IimOptions fixed;
+    fixed.k = 5;
+    fixed.ell = ell;
+    double rms = RunIim(dataset, incomplete, fixed, seed);
+    fixed_rms.push_back(rms);
+    table.AddRow({std::to_string(ell), iim::eval::FormatMetric(rms, 3),
+                  iim::eval::FormatMetric(adaptive_rms, 3)});
+  }
+  std::printf("(%s)\n%s", dataset_name.c_str(), table.ToString().c_str());
+  std::vector<double> sorted = fixed_rms;
+  std::sort(sorted.begin(), sorted.end());
+  double best_fixed = sorted.front();
+  double worst_fixed = sorted.back();
+  double median_fixed = sorted[sorted.size() / 2];
+  // The paper's claim: a user must pick ONE l without ground truth, and
+  // adaptive beats that. Compare against the median fixed choice and stay
+  // near the oracle-best fixed l.
+  iim::bench::ShapeCheck(
+      dataset_name + ": adaptive beats the median fixed l",
+      adaptive_rms < median_fixed);
+  iim::bench::ShapeCheck(
+      dataset_name + ": adaptive within 30% of the oracle-best fixed l",
+      adaptive_rms <= best_fixed * 1.30 + 1e-12);
+  iim::bench::ShapeCheck(
+      dataset_name + ": choosing l matters (worst fixed >> best fixed)",
+      worst_fixed > best_fixed * 1.10);
+}
+
+}  // namespace
+
+int main() {
+  iim::bench::PrintHeader(
+      "Figure 11: fixed l vs adaptive learning (ASF, CA)",
+      "Zhang et al., ICDE 2019, Figure 11");
+  RunPanel("ASF", 0, 100, 1001);
+  // CA down-sampled to 5k complete tuples so the l = 1000 fixed point
+  // stays affordable; the U-shape and the adaptive line are unaffected.
+  RunPanel("CA", 5000, 300, 1002);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 13: the stepping tradeoff — varying h changes how many candidate
+// l values adaptive learning evaluates. Small h: better RMS, more time.
+// The straightforward and incremental schemes must produce *identical*
+// imputations (the paper uses this as the correctness check).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/iim_imputer.h"
+#include "eval/report.h"
+
+namespace {
+
+struct SteppingRun {
+  double rms = 0.0;
+  double determination_seconds = 0.0;
+};
+
+SteppingRun RunOnce(const iim::data::Table& dataset, size_t h,
+                    bool incremental) {
+  iim::core::IimOptions opt;
+  opt.k = 5;
+  opt.adaptive = true;
+  opt.max_ell = 500;
+  opt.step_h = h;
+  opt.incremental = incremental;
+
+  iim::eval::ExperimentConfig config;
+  config.inject.tuple_count = 100;
+  config.seed = 1101;
+  auto res = iim::eval::RunComparison(dataset, config,
+                                      {iim::bench::IimMethod(opt)});
+  if (!res.ok()) {
+    std::fprintf(stderr, "h=%zu: %s\n", h,
+                 res.status().ToString().c_str());
+    std::exit(1);
+  }
+  SteppingRun out;
+  out.rms = iim::bench::RmsOf(res.value(), "IIM");
+  // fit_seconds aggregates the learning (determination) phases across the
+  // per-attribute groups of the run.
+  out.determination_seconds = res.value().methods[0].fit_seconds;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  iim::bench::PrintHeader(
+      "Figure 13: stepping h tradeoff (ASF, 100 tuples, max l = 500)",
+      "Zhang et al., ICDE 2019, Figure 13");
+  iim::data::Table dataset = iim::bench::LoadDataset("ASF");
+  const std::vector<size_t> hs = {1, 5, 10, 20, 60, 100, 200, 500};
+
+  iim::eval::TablePrinter table({"h", "RMS (straightforward)",
+                                 "RMS (incremental)", "Time straightf.",
+                                 "Time increm."});
+  bool identical_rms = true;
+  double rms_h1 = 0.0, rms_hmax = 0.0;
+  double time_h1 = 0.0, time_hmax = 0.0;
+  bool incremental_faster_at_h1 = false;
+
+  for (size_t h : hs) {
+    SteppingRun straightforward = RunOnce(dataset, h, false);
+    SteppingRun incremental = RunOnce(dataset, h, true);
+    if (std::fabs(straightforward.rms - incremental.rms) > 1e-9) {
+      identical_rms = false;
+    }
+    if (h == 1) {
+      rms_h1 = incremental.rms;
+      time_h1 = incremental.determination_seconds;
+      incremental_faster_at_h1 = incremental.determination_seconds <
+                                 straightforward.determination_seconds;
+    }
+    rms_hmax = incremental.rms;
+    time_hmax = incremental.determination_seconds;
+    table.AddRow(
+        {std::to_string(h), iim::eval::FormatMetric(straightforward.rms, 3),
+         iim::eval::FormatMetric(incremental.rms, 3),
+         iim::eval::FormatSeconds(straightforward.determination_seconds),
+         iim::eval::FormatSeconds(incremental.determination_seconds)});
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  iim::bench::ShapeCheck(
+      "straightforward and incremental produce identical RMS",
+      identical_rms);
+  iim::bench::ShapeCheck("small h costs more determination time",
+                         time_h1 > time_hmax);
+  iim::bench::ShapeCheck("small h imputes at least as well as huge h",
+                         rms_h1 <= rms_hmax * 1.05 + 1e-12);
+  iim::bench::ShapeCheck("incremental faster than straightforward at h=1",
+                         incremental_faster_at_h1);
+  return 0;
+}

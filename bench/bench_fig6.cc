@@ -1,0 +1,54 @@
+// Figure 6: RMS error and imputation time vs. the number of complete
+// tuples n = |r|, over ASF with 100 incomplete tuples.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  iim::bench::PrintHeader(
+      "Figure 6: varying #complete tuples n (ASF, 100 tuples)",
+      "Zhang et al., ICDE 2019, Figure 6");
+
+  const std::vector<std::string> figure_methods = {
+      "kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"};
+  const std::vector<std::string> baselines = {
+      "kNN", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"};
+
+  iim::data::Table dataset = iim::bench::LoadDataset("ASF");
+  const std::vector<size_t> sizes = {150, 300, 450,  600,  750,
+                                     900, 1000, 1200, 1300, 1400};
+  std::vector<iim::bench::SweepPoint> points;
+  for (size_t n : sizes) {
+    iim::eval::ExperimentConfig config;
+    config.inject.tuple_count = 100;
+    config.complete_tuples = n;
+    config.seed = 501;
+    auto res = iim::eval::RunComparison(
+        dataset, config,
+        iim::bench::MethodSuite(baselines, iim::bench::DefaultIimOptions()));
+    if (!res.ok()) {
+      std::fprintf(stderr, "n=%zu: %s\n", n,
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    points.push_back({std::to_string(n), std::move(res).value()});
+  }
+
+  iim::bench::PrintSweep("n", figure_methods, points);
+  // More complete tuples help the neighbor-based methods (Figure 6a).
+  double knn_first = iim::bench::RmsOf(points.front().result, "kNN");
+  double knn_last = iim::bench::RmsOf(points.back().result, "kNN");
+  iim::bench::ShapeCheck("kNN improves with more complete tuples",
+                         knn_last < knn_first);
+  double iim_first = iim::bench::RmsOf(points.front().result, "IIM");
+  double iim_last = iim::bench::RmsOf(points.back().result, "IIM");
+  iim::bench::ShapeCheck("IIM improves with more complete tuples",
+                         iim_last < iim_first);
+  iim::bench::ShapeCheck(
+      "IIM best at full n",
+      iim_last <= knn_last &&
+          iim_last <= iim::bench::RmsOf(points.back().result, "GLR"));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: RMS error and imputation time vs. the number of complete
+// tuples n = |r|, over CA with 1k incomplete tuples.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  iim::bench::PrintHeader(
+      "Figure 7: varying #complete tuples n (CA, 1k tuples)",
+      "Zhang et al., ICDE 2019, Figure 7");
+
+  const std::vector<std::string> figure_methods = {
+      "kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"};
+  const std::vector<std::string> baselines = {
+      "kNN", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"};
+
+  iim::data::Table dataset = iim::bench::LoadDataset("CA");
+  const std::vector<size_t> sizes = {2000, 6000, 10000, 14000, 19000};
+  std::vector<iim::bench::SweepPoint> points;
+  for (size_t n : sizes) {
+    iim::eval::ExperimentConfig config;
+    config.inject.tuple_count = 1000;
+    config.complete_tuples = n;
+    config.seed = 601;
+    auto res = iim::eval::RunComparison(
+        dataset, config,
+        iim::bench::MethodSuite(baselines, iim::bench::DefaultIimOptions()));
+    if (!res.ok()) {
+      std::fprintf(stderr, "n=%zu: %s\n", n,
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    points.push_back({std::to_string(n), std::move(res).value()});
+  }
+
+  iim::bench::PrintSweep("n", figure_methods, points);
+  double iim_first = iim::bench::RmsOf(points.front().result, "IIM");
+  double iim_last = iim::bench::RmsOf(points.back().result, "IIM");
+  iim::bench::ShapeCheck("IIM does not degrade with more complete tuples",
+                         iim_last <= iim_first * 1.05 + 1e-12);
+  bool iim_leads = true;
+  for (const auto& p : points) {
+    if (iim::bench::RmsOf(p.result, "IIM") >
+        iim::bench::RmsOf(p.result, "kNN")) {
+      iim_leads = false;
+    }
+  }
+  iim::bench::ShapeCheck("IIM below kNN at every n (CA)", iim_leads);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 9: RMS error and imputation time vs. the number of imputation
+// neighbors k (kNN, IIM, kNNE) over ASF with 100 incomplete tuples.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  iim::bench::PrintHeader(
+      "Figure 9: varying #imputation neighbors k (ASF, 100 tuples)",
+      "Zhang et al., ICDE 2019, Figure 9");
+
+  const std::vector<std::string> figure_methods = {"kNN", "IIM", "kNNE"};
+  iim::data::Table dataset = iim::bench::LoadDataset("ASF");
+  const std::vector<size_t> ks = {1, 2, 3, 5, 10, 20, 50, 100};
+
+  std::vector<iim::bench::SweepPoint> points;
+  for (size_t k : ks) {
+    iim::eval::ExperimentConfig config;
+    config.inject.tuple_count = 100;
+    config.seed = 801;
+    auto res = iim::eval::RunComparison(
+        dataset, config,
+        iim::bench::MethodSuite({"kNN", "kNNE"},
+                                iim::bench::DefaultIimOptions(k)));
+    if (!res.ok()) {
+      std::fprintf(stderr, "k=%zu: %s\n", k,
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    points.push_back({std::to_string(k), std::move(res).value()});
+  }
+
+  iim::bench::PrintSweep("k", figure_methods, points);
+
+  // U-shape in k for the tuple-model methods: the best k is interior, and
+  // k = 100 is worse than the best (irrelevant tuples distract).
+  auto series = [&](const std::string& name) {
+    std::vector<double> out;
+    for (const auto& p : points) {
+      out.push_back(iim::bench::RmsOf(p.result, name));
+    }
+    return out;
+  };
+  std::vector<double> knn = series("kNN");
+  double knn_best = *std::min_element(knn.begin(), knn.end());
+  iim::bench::ShapeCheck(
+      "moderate k preferred: kNN at k=100 worse than its best k",
+      knn.back() > knn_best * 1.05);
+  std::vector<double> iim_series = series("IIM");
+  bool iim_dominates = true;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (iim_series[i] > knn[i] + 1e-12) iim_dominates = false;
+  }
+  iim::bench::ShapeCheck("IIM at or below kNN for every k", iim_dominates);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) for the kernels behind Table III and
+// the imputation fast paths:
+//   - from-scratch ridge fit over l rows vs incremental update + solve
+//     (the Proposition 3 claim: constant vs linear in l);
+//   - kd-tree vs brute-force neighbor queries;
+//   - candidate combination (Formulas 10-12);
+//   - one full IIM ImputeOne call.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/iim_imputer.h"
+#include "datasets/generator.h"
+#include "neighbors/kdtree.h"
+#include "regress/incremental_ridge.h"
+#include "regress/ridge.h"
+
+namespace {
+
+constexpr size_t kFeatures = 8;
+
+iim::linalg::Matrix RandomDesign(size_t rows, iim::Rng* rng) {
+  iim::linalg::Matrix x(rows, kFeatures);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < kFeatures; ++j) x(i, j) = rng->Uniform(-3, 3);
+  }
+  return x;
+}
+
+// Table III, "from scratch": building U, V costs m^2 * l.
+void BM_RidgeFromScratch(benchmark::State& state) {
+  size_t ell = static_cast<size_t>(state.range(0));
+  iim::Rng rng(1);
+  iim::linalg::Matrix x = RandomDesign(ell, &rng);
+  iim::linalg::Vector y(ell);
+  for (double& v : y) v = rng.Uniform(-5, 5);
+  for (auto _ : state) {
+    auto fit = iim::regress::FitRidge(x, y);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(static_cast<int64_t>(ell));
+}
+BENCHMARK(BM_RidgeFromScratch)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+// Table III, "incremental": folding in h = 16 new rows + solve is O(m^2 h
+// + m^3), independent of the l rows already absorbed.
+void BM_RidgeIncrementalStep(benchmark::State& state) {
+  size_t ell = static_cast<size_t>(state.range(0));
+  const size_t h = 16;
+  iim::Rng rng(2);
+  iim::linalg::Matrix base = RandomDesign(ell, &rng);
+  iim::linalg::Matrix extra = RandomDesign(h, &rng);
+  iim::linalg::Vector y_base(ell), y_extra(h);
+  for (double& v : y_base) v = rng.Uniform(-5, 5);
+  for (double& v : y_extra) v = rng.Uniform(-5, 5);
+
+  iim::regress::IncrementalRidge warm(kFeatures);
+  warm.AddRows(base, y_base);
+  for (auto _ : state) {
+    iim::regress::IncrementalRidge step = warm;  // U, V snapshot
+    step.AddRows(extra, y_extra);
+    auto fit = step.Solve();
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(static_cast<int64_t>(ell));
+}
+BENCHMARK(BM_RidgeIncrementalStep)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::o1);
+
+void BM_NeighborQuery(benchmark::State& state, bool use_kdtree) {
+  size_t n = static_cast<size_t>(state.range(0));
+  iim::datasets::DatasetSpec spec;
+  spec.name = "bench";
+  spec.n = n;
+  spec.m = 4;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  auto gen = iim::datasets::Generate(spec, 3);
+  if (!gen.ok()) state.SkipWithError("generate failed");
+  const iim::data::Table& t = gen.value().table;
+  std::vector<int> cols = {0, 1, 2};
+  std::unique_ptr<iim::neighbors::NeighborIndex> index;
+  if (use_kdtree) {
+    index = std::make_unique<iim::neighbors::KdTreeIndex>(&t, cols);
+  } else {
+    index = std::make_unique<iim::neighbors::BruteForceIndex>(&t, cols);
+  }
+  iim::neighbors::QueryOptions qopt;
+  qopt.k = 10;
+  size_t probe = 0;
+  for (auto _ : state) {
+    auto result = index->Query(t.Row(probe % n), qopt);
+    benchmark::DoNotOptimize(result);
+    ++probe;
+  }
+}
+void BM_BruteForceQuery(benchmark::State& state) {
+  BM_NeighborQuery(state, false);
+}
+void BM_KdTreeQuery(benchmark::State& state) {
+  BM_NeighborQuery(state, true);
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_KdTreeQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CombineCandidates(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  iim::Rng rng(4);
+  std::vector<double> candidates(k);
+  for (double& c : candidates) c = rng.Uniform(0, 10);
+  for (auto _ : state) {
+    auto v = iim::core::CombineCandidates(candidates);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CombineCandidates)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_IimImputeOne(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  iim::datasets::DatasetSpec spec;
+  spec.name = "bench";
+  spec.n = n;
+  spec.m = 5;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  auto gen = iim::datasets::Generate(spec, 5);
+  if (!gen.ok()) state.SkipWithError("generate failed");
+  const iim::data::Table& t = gen.value().table;
+
+  iim::core::IimOptions opt;
+  opt.k = 5;
+  opt.ell = 20;
+  iim::core::IimImputer iim(opt);
+  if (!iim.Fit(t, 4, {0, 1, 2, 3}).ok()) {
+    state.SkipWithError("fit failed");
+  }
+  size_t probe = 0;
+  for (auto _ : state) {
+    auto v = iim.ImputeOne(t.Row(probe % n));
+    benchmark::DoNotOptimize(v);
+    ++probe;
+  }
+}
+BENCHMARK(BM_IimImputeOne)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

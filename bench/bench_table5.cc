@@ -1,0 +1,93 @@
+// Table V: imputation RMS error of IIM vs. the 12 baselines over the seven
+// ground-truth datasets, with the measured sparsity (R^2_S) and
+// heterogeneity (R^2_H) of each dataset. Protocol: 5% of tuples lose one
+// value on a random attribute.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench/bench_common.h"
+#include "eval/report.h"
+
+namespace {
+
+using iim::bench::DefaultIimOptions;
+using iim::bench::LoadDataset;
+using iim::bench::MethodSuite;
+using iim::bench::RmsOf;
+
+struct DatasetRun {
+  std::string name;
+  size_t n_override;  // 0 = Table IV size
+};
+
+}  // namespace
+
+int main() {
+  iim::bench::PrintHeader("Table V: imputation RMS over datasets",
+                          "Zhang et al., ICDE 2019, Table V");
+
+  // SN is run at 20k (paper: 100k) to bound bench wall-clock; the method
+  // ranking is unaffected (see Figure 6/7 for the n-sensitivity).
+  const std::vector<DatasetRun> runs = {
+      {"ASF", 0}, {"CA", 0},    {"CCPP", 0}, {"CCS", 0},
+      {"DA", 0},  {"PHASE", 0}, {"SN", 20000}};
+
+  std::vector<std::string> baseline_names =
+      iim::baselines::AllBaselineNames();
+  std::vector<std::string> headers = {"Dataset", "R2_S", "R2_H", "IIM"};
+  for (const auto& n : baseline_names) headers.push_back(n);
+  iim::eval::TablePrinter table(headers);
+
+  bool iim_always_best_or_close = true;
+  bool glr_beats_knn_on_ca = false;
+
+  for (const DatasetRun& run : runs) {
+    iim::data::Table dataset = LoadDataset(run.name, run.n_override);
+    iim::eval::ExperimentConfig config;
+    config.inject.tuple_fraction = 0.05;
+    config.seed = 101;
+
+    std::vector<iim::eval::Method> methods;
+    for (auto& m : MethodSuite(baseline_names, DefaultIimOptions())) {
+      methods.push_back(std::move(m));
+    }
+    auto res = iim::eval::RunComparison(dataset, config, methods);
+    if (!res.ok()) {
+      std::fprintf(stderr, "%s: %s\n", run.name.c_str(),
+                   res.status().ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::string> row = {
+        run.name, iim::eval::FormatMetric(res.value().r2_sparsity, 2),
+        iim::eval::FormatMetric(res.value().r2_heterogeneity, 2)};
+    double iim = RmsOf(res.value(), "IIM");
+    row.push_back(iim::eval::FormatMetric(iim, 3));
+    double best_other = 1e300;
+    for (const auto& name : baseline_names) {
+      double rms = RmsOf(res.value(), name);
+      row.push_back(iim::eval::FormatMetric(rms, 3));
+      if (std::isfinite(rms)) best_other = std::min(best_other, rms);
+    }
+    table.AddRow(row);
+
+    if (!(iim <= best_other * 1.15 + 1e-12)) {
+      iim_always_best_or_close = false;
+    }
+    if (run.name == "CA") {
+      glr_beats_knn_on_ca =
+          RmsOf(res.value(), "GLR") < RmsOf(res.value(), "kNN");
+    }
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  iim::bench::ShapeCheck(
+      "IIM shows the lowest (or within 15% of lowest) RMS on every dataset",
+      iim_always_best_or_close);
+  iim::bench::ShapeCheck(
+      "CA (sparse, homogeneous): GLR beats kNN, as in Table V",
+      glr_beats_knn_on_ca);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table VI: imputation RMS per incomplete attribute Ax over ASF with 100
+// incomplete tuples — methods behave differently depending on the
+// attribute's sparsity/heterogeneity profile.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench/bench_common.h"
+#include "eval/report.h"
+
+int main() {
+  iim::bench::PrintHeader(
+      "Table VI: RMS per incomplete attribute (ASF, 100 tuples)",
+      "Zhang et al., ICDE 2019, Table VI");
+
+  iim::data::Table dataset = iim::bench::LoadDataset("ASF");
+  std::vector<std::string> baseline_names =
+      iim::baselines::AllBaselineNames();
+
+  std::vector<std::string> headers = {"Ax", "R2_S", "R2_H", "IIM"};
+  for (const auto& n : baseline_names) headers.push_back(n);
+  iim::eval::TablePrinter table(headers);
+
+  size_t iim_wins = 0, attrs = dataset.NumCols();
+  for (size_t attr = 0; attr < attrs; ++attr) {
+    iim::eval::ExperimentConfig config;
+    config.inject.tuple_count = 100;
+    config.inject.fixed_attr = static_cast<int>(attr);
+    config.seed = 201 + attr;
+
+    auto res = iim::eval::RunComparison(
+        dataset, config,
+        iim::bench::MethodSuite(baseline_names,
+                                iim::bench::DefaultIimOptions()));
+    if (!res.ok()) {
+      std::fprintf(stderr, "A%zu: %s\n", attr + 1,
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row = {
+        "A" + std::to_string(attr + 1),
+        iim::eval::FormatMetric(res.value().r2_sparsity, 2),
+        iim::eval::FormatMetric(res.value().r2_heterogeneity, 2)};
+    double iim = iim::bench::RmsOf(res.value(), "IIM");
+    row.push_back(iim::eval::FormatMetric(iim, 3));
+    double best_other = 1e300;
+    for (const auto& name : baseline_names) {
+      double rms = iim::bench::RmsOf(res.value(), name);
+      row.push_back(iim::eval::FormatMetric(rms, 3));
+      if (std::isfinite(rms)) best_other = std::min(best_other, rms);
+    }
+    if (iim <= best_other * 1.15 + 1e-12) ++iim_wins;
+    table.AddRow(row);
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  iim::bench::ShapeCheck(
+      "IIM best (or within 15%) on most attributes despite their different "
+      "sparsity/heterogeneity profiles",
+      iim_wins >= attrs - 1);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Imputation as a preprocessing step for classification (the Table VII
+// application): a medical-records-like dataset (MAM stand-in) carries
+// real missing values with no ground truth. We compare the downstream
+// 5-fold cross-validated F1 of a kNN classifier when (a) classifying with
+// the missing values left in place, (b) discarding incomplete records,
+// and (c) imputing with IIM / kNN / Mean first.
+//
+//   ./examples/classification_pipeline
+
+#include <cstdio>
+
+#include "apps/cross_validation.h"
+#include "baselines/registry.h"
+#include "core/iim_imputer.h"
+#include "datasets/specs.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace {
+
+double F1Of(const iim::data::Table& dataset) {
+  iim::apps::CvOptions cv;
+  cv.folds = 5;
+  cv.knn_k = 5;
+  return iim::apps::CrossValidatedF1(dataset, cv).value_or(0.0);
+}
+
+}  // namespace
+
+int main() {
+  auto spec = iim::datasets::Mam();
+  auto gen = iim::datasets::Generate(spec, /*seed=*/99);
+  if (!gen.ok()) return 1;
+  const iim::data::Table& records = gen.value().table;
+  const iim::data::MissingMask& mask = gen.value().mask;
+
+  std::printf("Patient records: %zu tuples x %zu attributes, 2 classes\n",
+              records.NumRows(), records.NumCols());
+  std::printf("Real missing cells (no ground truth): %zu\n\n",
+              mask.CountMissing());
+
+  iim::eval::TablePrinter table({"Pipeline", "5-fold macro-F1"});
+
+  // (a) Classify with NaNs in place (the classifier skips missing dims).
+  table.AddRow({"no imputation (NaNs kept)",
+                iim::eval::FormatMetric(F1Of(records), 3)});
+
+  // (b) Discard incomplete records entirely.
+  iim::data::Table complete_only = records.TakeRows(mask.CompleteRows());
+  table.AddRow({"discard incomplete tuples",
+                iim::eval::FormatMetric(F1Of(complete_only), 3)});
+
+  // (c) Impute first, then classify.
+  iim::data::Table r = records.TakeRows(mask.CompleteRows());
+  auto run_with = [&](const std::string& label,
+                      std::unique_ptr<iim::baselines::Imputer> imputer) {
+    iim::data::Table imputed = records;
+    auto res = iim::eval::ImputeAll(r, records, mask, imputer.get(),
+                                    /*num_features=*/0, &imputed);
+    if (!res.ok()) {
+      table.AddRow({label, "-"});
+      return;
+    }
+    table.AddRow({label, iim::eval::FormatMetric(F1Of(imputed), 3)});
+  };
+
+  iim::core::IimOptions iim_opt;
+  iim_opt.k = 5;
+  iim_opt.adaptive = true;
+  iim_opt.max_ell = 80;
+  iim_opt.step_h = 2;
+  iim_opt.alpha = 1.0;
+  run_with("impute with IIM (adaptive)",
+           std::make_unique<iim::core::IimImputer>(iim_opt));
+
+  iim::baselines::BaselineOptions base_opt;
+  base_opt.k = 5;
+  run_with("impute with kNN",
+           std::move(iim::baselines::MakeBaseline("kNN", base_opt).value()));
+  run_with("impute with Mean",
+           std::move(iim::baselines::MakeBaseline("Mean", base_opt).value()));
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nImputing recovers the signal the classifier loses when\n"
+              "attributes are missing; better imputations -> better F1.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "apps/cross_validation.h"
+
+#include "apps/knn_classifier.h"
+#include "common/rng.h"
+#include "data/transforms.h"
+#include "eval/metrics.h"
+
+namespace iim::apps {
+
+Result<double> CrossValidatedF1(const data::Table& dataset,
+                                const CvOptions& options) {
+  if (!dataset.HasLabels()) {
+    return Status::InvalidArgument("CrossValidatedF1: unlabeled dataset");
+  }
+  if (options.folds < 2) {
+    return Status::InvalidArgument("CrossValidatedF1: need >= 2 folds");
+  }
+  Rng rng(options.seed);
+  std::vector<std::vector<size_t>> folds =
+      data::KFoldSplit(dataset, options.folds, &rng);
+
+  std::vector<int> predicted, truth;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+    }
+    data::Table train = dataset.TakeRows(train_rows);
+    KnnClassifier classifier(options.knn_k);
+    RETURN_IF_ERROR(classifier.Fit(train));
+    for (size_t row : folds[f]) {
+      ASSIGN_OR_RETURN(int label, classifier.Classify(dataset.Row(row)));
+      predicted.push_back(label);
+      truth.push_back(dataset.Label(row));
+    }
+  }
+  return eval::MacroF1(predicted, truth);
+}
+
+}  // namespace iim::apps

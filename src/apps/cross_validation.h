@@ -1,0 +1,27 @@
+// Stratified k-fold cross-validated classification (Table VII protocol:
+// 5-fold, missing values present in both training and testing folds).
+
+#ifndef IIM_APPS_CROSS_VALIDATION_H_
+#define IIM_APPS_CROSS_VALIDATION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace iim::apps {
+
+struct CvOptions {
+  size_t folds = 5;
+  size_t knn_k = 5;
+  uint64_t seed = 17;
+};
+
+// Macro-F1 of the kNN classifier under stratified k-fold CV on `dataset`
+// (which must be labeled; attribute NaNs are tolerated).
+Result<double> CrossValidatedF1(const data::Table& dataset,
+                                const CvOptions& options = {});
+
+}  // namespace iim::apps
+
+#endif  // IIM_APPS_CROSS_VALIDATION_H_

@@ -1,0 +1,65 @@
+#include "apps/knn_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace iim::apps {
+
+double NanAwareDistance(const data::RowView& a, const data::RowView& b) {
+  double acc = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    double d = a[i] - b[i];
+    acc += d * d;
+    ++used;
+  }
+  if (used == 0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(acc / static_cast<double>(used));
+}
+
+Status KnnClassifier::Fit(const data::Table& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("KnnClassifier: empty training set");
+  }
+  if (!train.HasLabels()) {
+    return Status::InvalidArgument("KnnClassifier: training set unlabeled");
+  }
+  if (k_ == 0) {
+    return Status::InvalidArgument("KnnClassifier: k must be positive");
+  }
+  train_ = &train;
+  return Status::OK();
+}
+
+Result<int> KnnClassifier::Classify(const data::RowView& tuple) const {
+  if (train_ == nullptr) {
+    return Status::FailedPrecondition("KnnClassifier: not fitted");
+  }
+  // Partial-select the k nearest (distance, row) pairs.
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(train_->NumRows());
+  for (size_t i = 0; i < train_->NumRows(); ++i) {
+    dist.emplace_back(NanAwareDistance(tuple, train_->Row(i)), i);
+  }
+  size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::map<int, size_t> votes;
+  for (size_t i = 0; i < k; ++i) {
+    ++votes[train_->Label(dist[i].second)];
+  }
+  int best_label = votes.begin()->first;
+  size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace iim::apps

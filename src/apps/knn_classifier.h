@@ -1,0 +1,38 @@
+// kNN classifier (the Weka "ibk" stand-in of Table VII): majority vote of
+// the k nearest labeled tuples. Distances skip NaN coordinates (normalized
+// by the number of observed dimensions) so the classifier still runs on
+// data with missing values — the "Missing" (no-imputation) column.
+
+#ifndef IIM_APPS_KNN_CLASSIFIER_H_
+#define IIM_APPS_KNN_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace iim::apps {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(size_t k = 5) : k_(k) {}
+
+  // `train` must carry labels. The table must outlive the classifier.
+  Status Fit(const data::Table& train);
+
+  // Majority label among the k nearest training tuples (ties broken by
+  // smaller label id).
+  Result<int> Classify(const data::RowView& tuple) const;
+
+ private:
+  size_t k_;
+  const data::Table* train_ = nullptr;
+};
+
+// NaN-tolerant distance: sqrt(mean over observed-in-both dims of squared
+// differences); infinity when no dimension is observed in both.
+double NanAwareDistance(const data::RowView& a, const data::RowView& b);
+
+}  // namespace iim::apps
+
+#endif  // IIM_APPS_KNN_CLASSIFIER_H_

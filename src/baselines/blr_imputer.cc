@@ -1,0 +1,27 @@
+#include "baselines/blr_imputer.h"
+
+namespace iim::baselines {
+
+Status BlrImputer::FitImpl() {
+  size_t n = table().NumRows(), p = features().size();
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table().Row(i);
+    for (size_t j = 0; j < p; ++j) {
+      x(i, j) = row[static_cast<size_t>(features()[j])];
+    }
+    y[i] = row[static_cast<size_t>(target())];
+  }
+  ASSIGN_OR_RETURN(draw_,
+                   regress::DrawBayesianLinearModel(x, y, &rng_, alpha_));
+  return Status::OK();
+}
+
+Result<double> BlrImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  double mean = draw_.model.Predict(FeatureVector(tuple));
+  return mean + rng_.Gaussian(0.0, draw_.sigma);
+}
+
+}  // namespace iim::baselines

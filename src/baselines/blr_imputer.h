@@ -1,0 +1,34 @@
+// BLR: Bayesian linear regression imputation following mice.norm — draw
+// (beta*, sigma*) from the posterior once per fit, impute with
+// (1, t_x[F]) beta* + N(0, sigma*^2).
+
+#ifndef IIM_BASELINES_BLR_IMPUTER_H_
+#define IIM_BASELINES_BLR_IMPUTER_H_
+
+#include "baselines/imputer.h"
+#include "common/rng.h"
+#include "regress/bayesian_lr.h"
+
+namespace iim::baselines {
+
+class BlrImputer final : public ImputerBase {
+ public:
+  explicit BlrImputer(const BaselineOptions& options)
+      : alpha_(options.alpha), rng_(options.seed) {}
+
+  std::string Name() const override { return "BLR"; }
+  // Draws imputation noise: not thread-safe, like the R original.
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  double alpha_;
+  mutable Rng rng_;
+  regress::BayesianDraw draw_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_BLR_IMPUTER_H_

@@ -1,0 +1,41 @@
+// ERACER (Mayfield et al.): relational regression combining the attribute
+// model g and the tuple model h — the target is regressed on the tuple's
+// own F values *and* the mean target value of its k nearest neighbors.
+// The published system iterates belief updates over a sensor graph; on a
+// single static relation one converged pass (fit on complete tuples whose
+// neighbor aggregates are exact) is the faithful reduction.
+
+#ifndef IIM_BASELINES_ERACER_IMPUTER_H_
+#define IIM_BASELINES_ERACER_IMPUTER_H_
+
+#include <memory>
+
+#include "baselines/imputer.h"
+#include "neighbors/kdtree.h"
+#include "regress/linear_model.h"
+
+namespace iim::baselines {
+
+class EracerImputer final : public ImputerBase {
+ public:
+  explicit EracerImputer(const BaselineOptions& options)
+      : k_(options.k), alpha_(options.alpha) {}
+
+  std::string Name() const override { return "ERACER"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  double NeighborAverage(const data::RowView& tuple, size_t exclude) const;
+
+  size_t k_;
+  double alpha_;
+  std::unique_ptr<neighbors::NeighborIndex> index_;
+  regress::LinearModel model_;  // over [F..., neighbor_avg]
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_ERACER_IMPUTER_H_

@@ -1,0 +1,29 @@
+#include "baselines/glr_imputer.h"
+
+#include "regress/ridge.h"
+
+namespace iim::baselines {
+
+Status GlrImputer::FitImpl() {
+  size_t n = table().NumRows(), p = features().size();
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table().Row(i);
+    for (size_t j = 0; j < p; ++j) {
+      x(i, j) = row[static_cast<size_t>(features()[j])];
+    }
+    y[i] = row[static_cast<size_t>(target())];
+  }
+  regress::RidgeOptions ropt;
+  ropt.alpha = alpha_;
+  ASSIGN_OR_RETURN(model_, regress::FitRidge(x, y, ropt));
+  return Status::OK();
+}
+
+Result<double> GlrImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  return model_.Predict(FeatureVector(tuple));
+}
+
+}  // namespace iim::baselines

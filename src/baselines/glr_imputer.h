@@ -1,0 +1,33 @@
+// GLR (Little): global linear regression from F to Ax learned once over
+// all complete tuples (Formulas 3-4); ridge-regularized per Formula 5.
+
+#ifndef IIM_BASELINES_GLR_IMPUTER_H_
+#define IIM_BASELINES_GLR_IMPUTER_H_
+
+#include "baselines/imputer.h"
+#include "regress/linear_model.h"
+
+namespace iim::baselines {
+
+class GlrImputer final : public ImputerBase {
+ public:
+  explicit GlrImputer(const BaselineOptions& options)
+      : alpha_(options.alpha) {}
+
+  std::string Name() const override { return "GLR"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+  // The fitted global parameter phi_r (for tests and Proposition 2 checks).
+  const regress::LinearModel& model() const { return model_; }
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  double alpha_;
+  regress::LinearModel model_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_GLR_IMPUTER_H_

@@ -1,0 +1,55 @@
+#include "baselines/gmm_imputer.h"
+
+#include "linalg/cholesky.h"
+
+namespace iim::baselines {
+
+Status GmmImputer::FitImpl() {
+  if (components_ == 0) {
+    return Status::InvalidArgument("GMM: components must be positive");
+  }
+  cluster::GmmOptions gopt;
+  gopt.components = components_;
+  Rng rng(seed_);
+  return mixture_.Fit(table().ToMatrix(), gopt, &rng);
+}
+
+Result<double> GmmImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  std::vector<double> xf = FeatureVector(tuple);
+  ASSIGN_OR_RETURN(std::vector<double> resp,
+                   mixture_.Responsibilities(xf, features()));
+
+  size_t tgt = static_cast<size_t>(target());
+  double value = 0.0;
+  for (size_t c = 0; c < mixture_.NumComponents(); ++c) {
+    const cluster::GaussianComponent& g = mixture_.component(c);
+    if (!conditional_mean_) {
+      // Paper baseline: posterior-weighted cluster average of Ax.
+      value += resp[c] * g.mean[tgt];
+      continue;
+    }
+    // Conditional mean of the target given the observed F coordinates.
+    size_t q = features().size();
+    linalg::Matrix s_ff(q, q);
+    linalg::Vector delta(q), s_tf(q);
+    for (size_t i = 0; i < q; ++i) {
+      size_t fi = static_cast<size_t>(features()[i]);
+      delta[i] = xf[i] - g.mean[fi];
+      s_tf[i] = g.covariance(tgt, fi);
+      for (size_t j = 0; j < q; ++j) {
+        s_ff(i, j) = g.covariance(fi, static_cast<size_t>(features()[j]));
+      }
+    }
+    linalg::Vector w;
+    Status st = linalg::CholeskySolve(s_ff, delta, &w);
+    double cond = g.mean[tgt];
+    if (st.ok()) {
+      for (size_t i = 0; i < q; ++i) cond += s_tf[i] * w[i];
+    }
+    value += resp[c] * cond;
+  }
+  return value;
+}
+
+}  // namespace iim::baselines

@@ -1,0 +1,53 @@
+#include "baselines/ifc_imputer.h"
+
+#include <cmath>
+
+namespace iim::baselines {
+
+Status IfcImputer::FitImpl() {
+  if (clusters_ == 0) {
+    return Status::InvalidArgument("IFC: clusters must be positive");
+  }
+  cluster::FuzzyCMeansOptions fopt;
+  fopt.c = clusters_;
+  fopt.fuzzifier = fuzzifier_;
+  Rng rng(seed_);
+  ASSIGN_OR_RETURN(cluster::FuzzyCMeansResult result,
+                   cluster::FuzzyCMeans(table().ToMatrix(), fopt, &rng));
+  centers_ = std::move(result.centers);
+  return Status::OK();
+}
+
+Result<double> IfcImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  size_t c = centers_.rows();
+  // Memberships against centers projected onto the complete attributes F.
+  std::vector<double> dist2(c, 0.0);
+  for (size_t j = 0; j < c; ++j) {
+    for (int f : features()) {
+      double d = tuple[static_cast<size_t>(f)] -
+                 centers_(j, static_cast<size_t>(f));
+      dist2[j] += d * d;
+    }
+  }
+  // A tuple on a centroid gets that centroid's value outright.
+  for (size_t j = 0; j < c; ++j) {
+    if (dist2[j] == 0.0) {
+      return centers_(j, static_cast<size_t>(target()));
+    }
+  }
+  double exponent = 1.0 / (fuzzifier_ - 1.0);
+  double weight_sum = 0.0, value = 0.0;
+  for (size_t j = 0; j < c; ++j) {
+    double denom = 0.0;
+    for (size_t l = 0; l < c; ++l) {
+      denom += std::pow(dist2[j] / dist2[l], exponent);
+    }
+    double u = 1.0 / denom;
+    weight_sum += u;
+    value += u * centers_(j, static_cast<size_t>(target()));
+  }
+  return value / weight_sum;
+}
+
+}  // namespace iim::baselines

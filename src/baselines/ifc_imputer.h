@@ -1,0 +1,34 @@
+// IFC (Nikfalazar et al.): fuzzy-clustering imputation. Fit fuzzy c-means
+// over the complete relation; impute with the membership-weighted average
+// of cluster centroid values, memberships computed on the complete
+// attributes F.
+
+#ifndef IIM_BASELINES_IFC_IMPUTER_H_
+#define IIM_BASELINES_IFC_IMPUTER_H_
+
+#include "baselines/imputer.h"
+#include "cluster/fuzzy_cmeans.h"
+
+namespace iim::baselines {
+
+class IfcImputer final : public ImputerBase {
+ public:
+  explicit IfcImputer(const BaselineOptions& options)
+      : clusters_(options.clusters), seed_(options.seed) {}
+
+  std::string Name() const override { return "IFC"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t clusters_;
+  uint64_t seed_;
+  double fuzzifier_ = 2.0;
+  linalg::Matrix centers_;  // clusters x m (all attributes)
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_IFC_IMPUTER_H_

@@ -1,0 +1,33 @@
+// ILLS (Cai et al.): local least squares over tuples. The incomplete
+// tuple's F vector is expressed as a linear combination of its k nearest
+// neighbors' F vectors; the same combination applied to the neighbors'
+// target values yields the imputation (a learned tuple model h).
+
+#ifndef IIM_BASELINES_ILLS_IMPUTER_H_
+#define IIM_BASELINES_ILLS_IMPUTER_H_
+
+#include <memory>
+
+#include "baselines/imputer.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::baselines {
+
+class IllsImputer final : public ImputerBase {
+ public:
+  explicit IllsImputer(const BaselineOptions& options) : k_(options.k) {}
+
+  std::string Name() const override { return "ILLS"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t k_;
+  std::unique_ptr<neighbors::NeighborIndex> index_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_ILLS_IMPUTER_H_

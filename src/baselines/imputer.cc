@@ -1,0 +1,62 @@
+#include "baselines/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iim::baselines {
+
+Status ImputerBase::Fit(const data::Table& complete, int target,
+                        const std::vector<int>& features) {
+  fitted_ = false;
+  if (complete.empty()) {
+    return Status::InvalidArgument(Name() + ": empty relation");
+  }
+  if (target < 0 || static_cast<size_t>(target) >= complete.NumCols()) {
+    return Status::InvalidArgument(Name() + ": target out of range");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument(Name() + ": no complete attributes");
+  }
+  for (int f : features) {
+    if (f < 0 || static_cast<size_t>(f) >= complete.NumCols()) {
+      return Status::InvalidArgument(Name() + ": feature out of range");
+    }
+    if (f == target) {
+      return Status::InvalidArgument(Name() +
+                                     ": target cannot be a feature");
+    }
+  }
+  // The fitted columns must be NaN-free.
+  for (size_t i = 0; i < complete.NumRows(); ++i) {
+    if (complete.IsNaN(i, static_cast<size_t>(target))) {
+      return Status::InvalidArgument(Name() + ": NaN in target column");
+    }
+    for (int f : features) {
+      if (complete.IsNaN(i, static_cast<size_t>(f))) {
+        return Status::InvalidArgument(Name() + ": NaN in feature column");
+      }
+    }
+  }
+  table_ = &complete;
+  target_ = target;
+  features_ = features;
+  RETURN_IF_ERROR(FitImpl());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status ImputerBase::CheckReady(const data::RowView& tuple) const {
+  if (!fitted_) return Status::FailedPrecondition(Name() + ": not fitted");
+  if (tuple.size() != table_->NumCols()) {
+    return Status::InvalidArgument(Name() + ": tuple arity mismatch");
+  }
+  for (int f : features_) {
+    if (std::isnan(tuple[static_cast<size_t>(f)])) {
+      return Status::InvalidArgument(Name() +
+                                     ": NaN in complete attribute of tuple");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace iim::baselines

@@ -1,0 +1,87 @@
+// Imputer: the interface every imputation method implements (the thirteen
+// baselines of Table II plus IIM itself in core/).
+//
+// Protocol (matching Section VI-A2 of the paper): the method is fitted on
+// the relation r of complete tuples for one incomplete attribute Ax and a
+// set of complete attributes F; it then imputes incomplete tuples one by
+// one from their F values. Methods that model the joint distribution (SVD,
+// GMM, IFC) fit on all of r's attributes and condition on F at impute time.
+
+#ifndef IIM_BASELINES_IMPUTER_H_
+#define IIM_BASELINES_IMPUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace iim::baselines {
+
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  // Method name as used in the paper's tables ("kNN", "GLR", ...).
+  virtual std::string Name() const = 0;
+
+  // Learns whatever the method needs from the complete relation. `target`
+  // is the incomplete attribute Ax; `features` are the complete attributes
+  // F (column indices into `complete`). The relation must outlive the
+  // imputer: implementations keep a pointer plus indexes into it.
+  virtual Status Fit(const data::Table& complete, int target,
+                     const std::vector<int>& features) = 0;
+
+  // Imputes t_x[Ax] for a tuple whose `features` values are present.
+  // `tuple` must have the arity of the fitted table (the target cell value
+  // is ignored and may be NaN).
+  virtual Result<double> ImputeOne(const data::RowView& tuple) const = 0;
+};
+
+// Knobs shared across baseline constructors; each method reads the subset
+// it understands (defaults follow the paper's setup where stated).
+struct BaselineOptions {
+  size_t k = 5;               // imputation neighbors (kNN, kNNE, LOESS, ...)
+  double alpha = 1e-6;        // ridge stabilizer for regression methods
+  size_t clusters = 3;        // IFC / GMM components
+  size_t svd_rank = 0;        // 0 = choose by 90% spectral energy
+  size_t pmm_donors = 5;      // PMM donor pool (mice default)
+  int gbdt_rounds = 60;       // XGB stand-in boosting rounds
+  int gbdt_depth = 4;
+  double gbdt_learning_rate = 0.1;
+  uint64_t seed = 7;          // for methods with randomness (BLR, PMM, ...)
+};
+
+// Common bookkeeping shared by the concrete imputers.
+class ImputerBase : public Imputer {
+ public:
+  Status Fit(const data::Table& complete, int target,
+             const std::vector<int>& features) override;
+
+ protected:
+  // Validates arguments, stores the fit context, then calls FitImpl.
+  virtual Status FitImpl() = 0;
+
+  bool fitted() const { return fitted_; }
+  const data::Table& table() const { return *table_; }
+  int target() const { return target_; }
+  const std::vector<int>& features() const { return features_; }
+
+  // Gathers the F coordinates of a tuple.
+  std::vector<double> FeatureVector(const data::RowView& tuple) const {
+    return tuple.Gather(features_);
+  }
+
+  Status CheckReady(const data::RowView& tuple) const;
+
+ private:
+  const data::Table* table_ = nullptr;
+  int target_ = -1;
+  std::vector<int> features_;
+  bool fitted_ = false;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_IMPUTER_H_

@@ -1,0 +1,32 @@
+// kNN imputation (Altman; Batista & Monard): find the k nearest complete
+// tuples on F (Formula 1) and impute with the arithmetic mean of their
+// target values (Formula 2).
+
+#ifndef IIM_BASELINES_KNN_IMPUTER_H_
+#define IIM_BASELINES_KNN_IMPUTER_H_
+
+#include <memory>
+
+#include "baselines/imputer.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::baselines {
+
+class KnnImputer final : public ImputerBase {
+ public:
+  explicit KnnImputer(const BaselineOptions& options) : k_(options.k) {}
+
+  std::string Name() const override { return "kNN"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t k_;
+  std::unique_ptr<neighbors::NeighborIndex> index_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_KNN_IMPUTER_H_

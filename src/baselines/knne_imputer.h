@@ -1,0 +1,33 @@
+// kNNE (Domeniconi & Yan): nearest-neighbor ensemble. Runs kNN on several
+// feature subsets (each leave-one-out subset of F, plus F itself) and
+// averages the per-subset imputations.
+
+#ifndef IIM_BASELINES_KNNE_IMPUTER_H_
+#define IIM_BASELINES_KNNE_IMPUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/imputer.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::baselines {
+
+class KnneImputer final : public ImputerBase {
+ public:
+  explicit KnneImputer(const BaselineOptions& options) : k_(options.k) {}
+
+  std::string Name() const override { return "kNNE"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t k_;
+  std::vector<std::unique_ptr<neighbors::NeighborIndex>> indexes_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_KNNE_IMPUTER_H_

@@ -1,0 +1,33 @@
+// LOESS (Cleveland & Loader): local regression — fit one tricube-weighted
+// linear model over NN(t_x, F, k) per incomplete tuple, at impute time.
+
+#ifndef IIM_BASELINES_LOESS_IMPUTER_H_
+#define IIM_BASELINES_LOESS_IMPUTER_H_
+
+#include <memory>
+
+#include "baselines/imputer.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::baselines {
+
+class LoessImputer final : public ImputerBase {
+ public:
+  explicit LoessImputer(const BaselineOptions& options)
+      : k_(options.k), alpha_(options.alpha) {}
+
+  std::string Name() const override { return "LOESS"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t k_;
+  double alpha_;
+  std::unique_ptr<neighbors::NeighborIndex> index_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_LOESS_IMPUTER_H_

@@ -1,0 +1,19 @@
+#include "baselines/mean_imputer.h"
+
+namespace iim::baselines {
+
+Status MeanImputer::FitImpl() {
+  double sum = 0.0;
+  for (size_t i = 0; i < table().NumRows(); ++i) {
+    sum += table().At(i, static_cast<size_t>(target()));
+  }
+  mean_ = sum / static_cast<double>(table().NumRows());
+  return Status::OK();
+}
+
+Result<double> MeanImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  return mean_;
+}
+
+}  // namespace iim::baselines

@@ -1,0 +1,25 @@
+// Mean (Farhangfar et al.): impute with the global average of the target
+// attribute — the degenerate "all tuples are my neighbors" tuple model.
+
+#ifndef IIM_BASELINES_MEAN_IMPUTER_H_
+#define IIM_BASELINES_MEAN_IMPUTER_H_
+
+#include "baselines/imputer.h"
+
+namespace iim::baselines {
+
+class MeanImputer final : public ImputerBase {
+ public:
+  std::string Name() const override { return "Mean"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  double mean_ = 0.0;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_MEAN_IMPUTER_H_

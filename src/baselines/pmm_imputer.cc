@@ -1,0 +1,67 @@
+#include "baselines/pmm_imputer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iim::baselines {
+
+Status PmmImputer::FitImpl() {
+  if (donors_ == 0) {
+    return Status::InvalidArgument("PMM: donors must be positive");
+  }
+  size_t n = table().NumRows(), p = features().size();
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table().Row(i);
+    for (size_t j = 0; j < p; ++j) {
+      x(i, j) = row[static_cast<size_t>(features()[j])];
+    }
+    y[i] = row[static_cast<size_t>(target())];
+  }
+  ASSIGN_OR_RETURN(draw_,
+                   regress::DrawBayesianLinearModel(x, y, &rng_, alpha_));
+  predictions_.clear();
+  predictions_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    predictions_.emplace_back(draw_.mean.Predict(x.Row(i)), y[i]);
+  }
+  std::sort(predictions_.begin(), predictions_.end());
+  return Status::OK();
+}
+
+Result<double> PmmImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  // mice's type-1 matching: the incomplete tuple is predicted with the
+  // posterior *draw*, donors with the posterior *mean*.
+  double target_pred = draw_.model.Predict(FeatureVector(tuple));
+
+  // Expand around the insertion point to collect the closest donors.
+  auto it = std::lower_bound(
+      predictions_.begin(), predictions_.end(),
+      std::make_pair(target_pred, -std::numeric_limits<double>::infinity()));
+  size_t hi = static_cast<size_t>(it - predictions_.begin());
+  size_t lo = hi;  // donors are predictions_[lo, hi)
+  size_t want = std::min(donors_, predictions_.size());
+  while (hi - lo < want) {
+    bool can_left = lo > 0;
+    bool can_right = hi < predictions_.size();
+    if (!can_left && !can_right) break;
+    double dl = can_left
+                    ? std::fabs(predictions_[lo - 1].first - target_pred)
+                    : std::numeric_limits<double>::infinity();
+    double dr = can_right
+                    ? std::fabs(predictions_[hi].first - target_pred)
+                    : std::numeric_limits<double>::infinity();
+    if (dl <= dr) {
+      --lo;
+    } else {
+      ++hi;
+    }
+  }
+  size_t pick = lo + static_cast<size_t>(rng_.UniformInt(
+                         0, static_cast<int64_t>(hi - lo - 1)));
+  return predictions_[pick].second;
+}
+
+}  // namespace iim::baselines

@@ -1,0 +1,43 @@
+// PMM (Landerman et al.; mice.pmm): predictive mean matching. Predict
+// t_x[Ax] with a posterior-drawn linear model, find the `donors` complete
+// tuples whose (posterior-mean) predictions are closest, and return one
+// donor's *observed* value at random.
+
+#ifndef IIM_BASELINES_PMM_IMPUTER_H_
+#define IIM_BASELINES_PMM_IMPUTER_H_
+
+#include <vector>
+
+#include "baselines/imputer.h"
+#include "common/rng.h"
+#include "regress/bayesian_lr.h"
+
+namespace iim::baselines {
+
+class PmmImputer final : public ImputerBase {
+ public:
+  explicit PmmImputer(const BaselineOptions& options)
+      : alpha_(options.alpha),
+        donors_(options.pmm_donors),
+        rng_(options.seed) {}
+
+  std::string Name() const override { return "PMM"; }
+  // Picks a random donor: not thread-safe, like the R original.
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  double alpha_;
+  size_t donors_;
+  mutable Rng rng_;
+  regress::BayesianDraw draw_;
+  // (prediction via posterior-mean model, observed target), sorted by
+  // prediction for binary-search donor lookup.
+  std::vector<std::pair<double, double>> predictions_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_PMM_IMPUTER_H_

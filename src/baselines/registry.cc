@@ -1,0 +1,59 @@
+#include "baselines/registry.h"
+
+#include "baselines/blr_imputer.h"
+#include "baselines/eracer_imputer.h"
+#include "baselines/glr_imputer.h"
+#include "baselines/gmm_imputer.h"
+#include "baselines/ifc_imputer.h"
+#include "baselines/ills_imputer.h"
+#include "baselines/knn_imputer.h"
+#include "baselines/knne_imputer.h"
+#include "baselines/loess_imputer.h"
+#include "baselines/mean_imputer.h"
+#include "baselines/pmm_imputer.h"
+#include "baselines/svd_imputer.h"
+#include "baselines/xgb_imputer.h"
+
+namespace iim::baselines {
+
+std::vector<std::string> AllBaselineNames() {
+  return {"Mean", "kNN",   "kNNE", "IFC",    "GMM", "SVD", "ILLS",
+          "GLR",  "LOESS", "BLR",  "ERACER", "PMM", "XGB"};
+}
+
+Result<std::unique_ptr<Imputer>> MakeBaseline(const std::string& name,
+                                              const BaselineOptions& opt) {
+  std::unique_ptr<Imputer> imputer;
+  if (name == "Mean") {
+    imputer = std::make_unique<MeanImputer>();
+  } else if (name == "kNN") {
+    imputer = std::make_unique<KnnImputer>(opt);
+  } else if (name == "kNNE") {
+    imputer = std::make_unique<KnneImputer>(opt);
+  } else if (name == "IFC") {
+    imputer = std::make_unique<IfcImputer>(opt);
+  } else if (name == "GMM") {
+    imputer = std::make_unique<GmmImputer>(opt);
+  } else if (name == "SVD") {
+    imputer = std::make_unique<SvdImputer>(opt);
+  } else if (name == "ILLS") {
+    imputer = std::make_unique<IllsImputer>(opt);
+  } else if (name == "GLR") {
+    imputer = std::make_unique<GlrImputer>(opt);
+  } else if (name == "LOESS") {
+    imputer = std::make_unique<LoessImputer>(opt);
+  } else if (name == "BLR") {
+    imputer = std::make_unique<BlrImputer>(opt);
+  } else if (name == "ERACER") {
+    imputer = std::make_unique<EracerImputer>(opt);
+  } else if (name == "PMM") {
+    imputer = std::make_unique<PmmImputer>(opt);
+  } else if (name == "XGB") {
+    imputer = std::make_unique<XgbImputer>(opt);
+  } else {
+    return Status::NotFound("unknown imputer: " + name);
+  }
+  return imputer;
+}
+
+}  // namespace iim::baselines

@@ -1,0 +1,25 @@
+// Factory for imputers by paper name ("Mean", "kNN", ..., "IIM").
+
+#ifndef IIM_BASELINES_REGISTRY_H_
+#define IIM_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/imputer.h"
+#include "common/result.h"
+
+namespace iim::baselines {
+
+// All baseline names in the column order of Table V (excludes IIM, which
+// lives in core/ and is added by the bench harness).
+std::vector<std::string> AllBaselineNames();
+
+// Creates a baseline by name; NotFound for unknown names.
+Result<std::unique_ptr<Imputer>> MakeBaseline(
+    const std::string& name, const BaselineOptions& options = {});
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_REGISTRY_H_

@@ -1,0 +1,73 @@
+#include "baselines/svd_imputer.h"
+
+#include "linalg/cholesky.h"
+
+namespace iim::baselines {
+
+Status SvdImputer::FitImpl() {
+  if (table().NumCols() < 3) {
+    // With only one complete attribute there is no eigen-pattern structure
+    // to exploit; the paper likewise reports SVD as n/a on 2-column data.
+    return Status::NotSupported("SVD: needs at least 3 attributes");
+  }
+  RETURN_IF_ERROR(scaler_.Fit(table()));
+  data::Table standardized = table();
+  RETURN_IF_ERROR(scaler_.Transform(&standardized));
+
+  linalg::Svd svd;
+  RETURN_IF_ERROR(linalg::ThinSvd(standardized.ToMatrix(), &svd));
+
+  size_t r = rank_;
+  if (r == 0) {
+    // Smallest rank covering 90% of the spectral energy.
+    double total = 0.0;
+    for (double s : svd.singular) total += s * s;
+    double acc = 0.0;
+    for (r = 0; r < svd.singular.size(); ++r) {
+      acc += svd.singular[r] * svd.singular[r];
+      if (acc >= 0.9 * total) {
+        ++r;
+        break;
+      }
+    }
+  }
+  r = std::min(r, svd.singular.size());
+  effective_rank_ = std::max<size_t>(1, r);
+
+  v_ = linalg::Matrix(table().NumCols(), effective_rank_);
+  for (size_t i = 0; i < v_.rows(); ++i) {
+    for (size_t j = 0; j < effective_rank_; ++j) v_(i, j) = svd.v(i, j);
+  }
+  return Status::OK();
+}
+
+Result<double> SvdImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  size_t q = features().size(), r = effective_rank_;
+  // Least squares fit of the observed coordinates on the eigen-patterns:
+  // min_c || V_obs c - z_obs ||^2 with a small ridge for rank safety.
+  linalg::Matrix vtv(r, r);
+  linalg::Vector vtz(r, 0.0);
+  for (size_t i = 0; i < q; ++i) {
+    size_t fi = static_cast<size_t>(features()[i]);
+    double z = scaler_.TransformCell(tuple[fi], fi);
+    for (size_t a = 0; a < r; ++a) {
+      vtz[a] += v_(fi, a) * z;
+      for (size_t b = a; b < r; ++b) {
+        vtv(a, b) += v_(fi, a) * v_(fi, b);
+      }
+    }
+  }
+  for (size_t a = 0; a < r; ++a)
+    for (size_t b = 0; b < a; ++b) vtv(a, b) = vtv(b, a);
+  vtv.AddScaledIdentity(1e-9);
+  linalg::Vector coef;
+  RETURN_IF_ERROR(linalg::CholeskySolve(vtv, vtz, &coef));
+
+  size_t tgt = static_cast<size_t>(target());
+  double z_hat = 0.0;
+  for (size_t a = 0; a < r; ++a) z_hat += v_(tgt, a) * coef[a];
+  return scaler_.InverseTransformCell(z_hat, tgt);
+}
+
+}  // namespace iim::baselines

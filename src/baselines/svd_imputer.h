@@ -1,0 +1,37 @@
+// SVD imputation (Troyanskaya et al.): express an incomplete tuple as a
+// linear combination of the top-r right singular vectors ("eigen-patterns")
+// of the standardized complete relation, fitted on the observed attributes
+// by least squares, and read the missing attribute off the combination.
+
+#ifndef IIM_BASELINES_SVD_IMPUTER_H_
+#define IIM_BASELINES_SVD_IMPUTER_H_
+
+#include "baselines/imputer.h"
+#include "data/transforms.h"
+#include "linalg/svd.h"
+
+namespace iim::baselines {
+
+class SvdImputer final : public ImputerBase {
+ public:
+  explicit SvdImputer(const BaselineOptions& options)
+      : rank_(options.svd_rank) {}
+
+  std::string Name() const override { return "SVD"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+  size_t effective_rank() const { return effective_rank_; }
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  size_t rank_;  // 0 = pick smallest rank covering 90% spectral energy
+  size_t effective_rank_ = 0;
+  data::StandardScaler scaler_;
+  linalg::Matrix v_;  // m x r right singular vectors
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_SVD_IMPUTER_H_

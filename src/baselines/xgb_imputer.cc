@@ -1,0 +1,25 @@
+#include "baselines/xgb_imputer.h"
+
+namespace iim::baselines {
+
+Status XgbImputer::FitImpl() {
+  size_t n = table().NumRows(), p = features().size();
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table().Row(i);
+    for (size_t j = 0; j < p; ++j) {
+      x(i, j) = row[static_cast<size_t>(features()[j])];
+    }
+    y[i] = row[static_cast<size_t>(target())];
+  }
+  Rng rng(seed_);
+  return model_.Fit(x, y, gbdt_options_, &rng);
+}
+
+Result<double> XgbImputer::ImputeOne(const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  return model_.Predict(FeatureVector(tuple));
+}
+
+}  // namespace iim::baselines

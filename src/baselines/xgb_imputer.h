@@ -1,0 +1,36 @@
+// XGB: tree-boosting imputation (Chen & Guestrin's XGBoost family),
+// implemented with the library's hand-rolled gradient-boosted CART trees.
+
+#ifndef IIM_BASELINES_XGB_IMPUTER_H_
+#define IIM_BASELINES_XGB_IMPUTER_H_
+
+#include "baselines/imputer.h"
+#include "common/rng.h"
+#include "regress/gbdt.h"
+
+namespace iim::baselines {
+
+class XgbImputer final : public ImputerBase {
+ public:
+  explicit XgbImputer(const BaselineOptions& options) : seed_(options.seed) {
+    gbdt_options_.rounds = options.gbdt_rounds;
+    gbdt_options_.learning_rate = options.gbdt_learning_rate;
+    gbdt_options_.tree.max_depth = options.gbdt_depth;
+    gbdt_options_.subsample = 0.8;
+  }
+
+  std::string Name() const override { return "XGB"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  uint64_t seed_;
+  regress::GbdtOptions gbdt_options_;
+  regress::Gbdt model_;
+};
+
+}  // namespace iim::baselines
+
+#endif  // IIM_BASELINES_XGB_IMPUTER_H_

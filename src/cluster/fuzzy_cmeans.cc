@@ -1,0 +1,99 @@
+#include "cluster/fuzzy_cmeans.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+
+namespace iim::cluster {
+
+namespace {
+
+double SquaredDist(const double* a, const double* b, size_t p) {
+  double acc = 0.0;
+  for (size_t i = 0; i < p; ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<FuzzyCMeansResult> FuzzyCMeans(const linalg::Matrix& points,
+                                      const FuzzyCMeansOptions& options,
+                                      Rng* rng) {
+  size_t n = points.rows(), p = points.cols();
+  if (n == 0) return Status::InvalidArgument("FuzzyCMeans: no points");
+  if (options.fuzzifier <= 1.0) {
+    return Status::InvalidArgument("FuzzyCMeans: fuzzifier must be > 1");
+  }
+  size_t c = std::min(options.c, n);
+
+  // Initialize centers with a quick k-means pass for stability.
+  KMeansOptions kopt;
+  kopt.k = c;
+  kopt.max_iters = 10;
+  ASSIGN_OR_RETURN(KMeansResult init, KMeans(points, kopt, rng));
+
+  FuzzyCMeansResult result;
+  result.centers = std::move(init.centers);
+  result.memberships = linalg::Matrix(n, c);
+
+  double exponent = 2.0 / (options.fuzzifier - 1.0);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Membership update: u_ic = 1 / sum_j (d_ic / d_ij)^{2/(m-1)}.
+    for (size_t i = 0; i < n; ++i) {
+      // A point sitting exactly on a center gets a crisp membership.
+      int exact = -1;
+      for (size_t j = 0; j < c; ++j) {
+        if (SquaredDist(points.RowPtr(i), result.centers.RowPtr(j), p) ==
+            0.0) {
+          exact = static_cast<int>(j);
+          break;
+        }
+      }
+      if (exact >= 0) {
+        for (size_t j = 0; j < c; ++j) result.memberships(i, j) = 0.0;
+        result.memberships(i, static_cast<size_t>(exact)) = 1.0;
+        continue;
+      }
+      for (size_t j = 0; j < c; ++j) {
+        double dij =
+            SquaredDist(points.RowPtr(i), result.centers.RowPtr(j), p);
+        double denom = 0.0;
+        for (size_t l = 0; l < c; ++l) {
+          double dil =
+              SquaredDist(points.RowPtr(i), result.centers.RowPtr(l), p);
+          denom += std::pow(dij / dil, exponent * 0.5);
+        }
+        result.memberships(i, j) = 1.0 / denom;
+      }
+    }
+    // Center update: v_j = sum_i u_ij^m x_i / sum_i u_ij^m.
+    linalg::Matrix next(c, p);
+    std::vector<double> denom(c, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = points.RowPtr(i);
+      for (size_t j = 0; j < c; ++j) {
+        double um = std::pow(result.memberships(i, j), options.fuzzifier);
+        denom[j] += um;
+        for (size_t d = 0; d < p; ++d) next(j, d) += um * row[d];
+      }
+    }
+    double shift = 0.0;
+    for (size_t j = 0; j < c; ++j) {
+      if (denom[j] > 0.0) {
+        for (size_t d = 0; d < p; ++d) next(j, d) /= denom[j];
+      } else {
+        next.SetRow(j, result.centers.Row(j));
+      }
+      shift += SquaredDist(next.RowPtr(j), result.centers.RowPtr(j), p);
+    }
+    result.centers = std::move(next);
+    if (std::sqrt(shift) < options.tol) break;
+  }
+  return result;
+}
+
+}  // namespace iim::cluster

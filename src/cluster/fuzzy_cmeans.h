@@ -1,0 +1,36 @@
+// Fuzzy c-means (Bezdek): soft cluster memberships.
+//
+// Backbone of the IFC imputer (Nikfalazar et al.), which fills missing
+// cells with membership-weighted centroid values and iterates.
+
+#ifndef IIM_CLUSTER_FUZZY_CMEANS_H_
+#define IIM_CLUSTER_FUZZY_CMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace iim::cluster {
+
+struct FuzzyCMeansOptions {
+  size_t c = 3;           // number of clusters
+  double fuzzifier = 2.0; // m > 1; larger = softer memberships
+  int max_iters = 100;
+  double tol = 1e-5;
+};
+
+struct FuzzyCMeansResult {
+  linalg::Matrix centers;      // c x p
+  linalg::Matrix memberships;  // n x c, rows sum to 1
+  int iterations = 0;
+};
+
+Result<FuzzyCMeansResult> FuzzyCMeans(const linalg::Matrix& points,
+                                      const FuzzyCMeansOptions& options,
+                                      Rng* rng);
+
+}  // namespace iim::cluster
+
+#endif  // IIM_CLUSTER_FUZZY_CMEANS_H_

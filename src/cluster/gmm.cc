@@ -1,0 +1,199 @@
+#include "cluster/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "linalg/cholesky.h"
+
+namespace iim::cluster {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454836;
+
+std::vector<double> GatherDims(const linalg::Vector& v,
+                               const std::vector<int>& dims) {
+  std::vector<double> out;
+  out.reserve(dims.size());
+  for (int d : dims) out.push_back(v[static_cast<size_t>(d)]);
+  return out;
+}
+
+linalg::Matrix GatherCov(const linalg::Matrix& cov,
+                         const std::vector<int>& dims) {
+  linalg::Matrix out(dims.size(), dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    for (size_t j = 0; j < dims.size(); ++j) {
+      out(i, j) = cov(static_cast<size_t>(dims[i]),
+                      static_cast<size_t>(dims[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<double> MvnLogPdf(const std::vector<double>& x,
+                         const linalg::Vector& mean,
+                         const linalg::Matrix& cov) {
+  size_t d = x.size();
+  if (mean.size() != d || cov.rows() != d || cov.cols() != d) {
+    return Status::InvalidArgument("MvnLogPdf: dimension mismatch");
+  }
+  linalg::Matrix l;
+  linalg::Matrix work = cov;
+  Status st = linalg::CholeskyFactor(work, &l);
+  if (!st.ok()) {
+    work.AddScaledIdentity(1e-6);
+    RETURN_IF_ERROR(linalg::CholeskyFactor(work, &l));
+  }
+  double logdet = 0.0;
+  for (size_t i = 0; i < d; ++i) logdet += std::log(l(i, i));
+  logdet *= 2.0;
+  // Solve L w = (x - mean); the quadratic form is |w|^2.
+  linalg::Vector w(d);
+  for (size_t i = 0; i < d; ++i) {
+    double sum = x[i] - mean[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * w[k];
+    w[i] = sum / l(i, i);
+  }
+  double quad = 0.0;
+  for (double v : w) quad += v * v;
+  return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + quad);
+}
+
+Status GaussianMixture::Fit(const linalg::Matrix& points,
+                            const GmmOptions& options, Rng* rng) {
+  size_t n = points.rows(), p = points.cols();
+  if (n == 0) return Status::InvalidArgument("GaussianMixture: no points");
+  size_t k = std::min(options.components, n);
+
+  // Initialize from k-means.
+  KMeansOptions kopt;
+  kopt.k = k;
+  kopt.max_iters = 20;
+  ASSIGN_OR_RETURN(KMeansResult init, KMeans(points, kopt, rng));
+
+  components_.assign(k, GaussianComponent{});
+  std::vector<size_t> counts(k, 0);
+  for (int a : init.assignments) ++counts[static_cast<size_t>(a)];
+  for (size_t c = 0; c < k; ++c) {
+    components_[c].weight =
+        std::max(1e-8, static_cast<double>(counts[c]) / n);
+    components_[c].mean = init.centers.Row(c);
+    components_[c].covariance = linalg::Matrix(p, p);
+  }
+  // Initial covariances: per-cluster scatter (+ ridge).
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(init.assignments[i]);
+    const double* row = points.RowPtr(i);
+    for (size_t a = 0; a < p; ++a) {
+      for (size_t b = 0; b < p; ++b) {
+        components_[c].covariance(a, b) +=
+            (row[a] - components_[c].mean[a]) *
+            (row[b] - components_[c].mean[b]);
+      }
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    double denom = std::max<double>(1.0, static_cast<double>(counts[c]));
+    components_[c].covariance.ScaleInPlace(1.0 / denom);
+    components_[c].covariance.AddScaledIdentity(options.cov_ridge);
+  }
+
+  linalg::Matrix resp(n, k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    iterations_ = iter + 1;
+    // E-step with log-sum-exp.
+    double ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> x = points.Row(i);
+      double maxlog = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        ASSIGN_OR_RETURN(double lp, MvnLogPdf(x, components_[c].mean,
+                                              components_[c].covariance));
+        logp[c] = std::log(components_[c].weight) + lp;
+        maxlog = std::max(maxlog, logp[c]);
+      }
+      double sum = 0.0;
+      for (size_t c = 0; c < k; ++c) sum += std::exp(logp[c] - maxlog);
+      ll += maxlog + std::log(sum);
+      for (size_t c = 0; c < k; ++c) {
+        resp(i, c) = std::exp(logp[c] - maxlog) / sum;
+      }
+    }
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double nc = 0.0;
+      linalg::Vector mean(p, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        double r = resp(i, c);
+        nc += r;
+        const double* row = points.RowPtr(i);
+        for (size_t a = 0; a < p; ++a) mean[a] += r * row[a];
+      }
+      nc = std::max(nc, 1e-10);
+      for (double& v : mean) v /= nc;
+      linalg::Matrix cov(p, p);
+      for (size_t i = 0; i < n; ++i) {
+        double r = resp(i, c);
+        if (r < 1e-12) continue;
+        const double* row = points.RowPtr(i);
+        for (size_t a = 0; a < p; ++a) {
+          for (size_t b = a; b < p; ++b) {
+            cov(a, b) += r * (row[a] - mean[a]) * (row[b] - mean[b]);
+          }
+        }
+      }
+      cov.ScaleInPlace(1.0 / nc);
+      for (size_t a = 0; a < p; ++a)
+        for (size_t b = 0; b < a; ++b) cov(a, b) = cov(b, a);
+      cov.AddScaledIdentity(options.cov_ridge);
+      components_[c].weight = nc / static_cast<double>(n);
+      components_[c].mean = std::move(mean);
+      components_[c].covariance = std::move(cov);
+    }
+    final_log_likelihood_ = ll;
+    if (std::fabs(ll - prev_ll) / static_cast<double>(n) < options.tol) break;
+    prev_ll = ll;
+  }
+  return Status::OK();
+}
+
+Result<double> GaussianMixture::LogComponentDensity(
+    const std::vector<double>& x, size_t comp,
+    const std::vector<int>& dims) const {
+  if (comp >= components_.size()) {
+    return Status::OutOfRange("LogComponentDensity: bad component");
+  }
+  const GaussianComponent& g = components_[comp];
+  if (dims.empty()) return MvnLogPdf(x, g.mean, g.covariance);
+  return MvnLogPdf(x, GatherDims(g.mean, dims), GatherCov(g.covariance,
+                                                          dims));
+}
+
+Result<std::vector<double>> GaussianMixture::Responsibilities(
+    const std::vector<double>& x, const std::vector<int>& dims) const {
+  size_t k = components_.size();
+  if (k == 0) {
+    return Status::FailedPrecondition("GaussianMixture: not fitted");
+  }
+  std::vector<double> logp(k);
+  double maxlog = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < k; ++c) {
+    ASSIGN_OR_RETURN(double lp, LogComponentDensity(x, c, dims));
+    logp[c] = std::log(std::max(components_[c].weight, 1e-300)) + lp;
+    maxlog = std::max(maxlog, logp[c]);
+  }
+  double sum = 0.0;
+  for (size_t c = 0; c < k; ++c) sum += std::exp(logp[c] - maxlog);
+  std::vector<double> out(k);
+  for (size_t c = 0; c < k; ++c) out[c] = std::exp(logp[c] - maxlog) / sum;
+  return out;
+}
+
+}  // namespace iim::cluster

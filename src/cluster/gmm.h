@@ -1,0 +1,67 @@
+// Gaussian mixture model fitted with EM (full covariances).
+//
+// Used by the GMM imputer (Yan et al.): a missing attribute is imputed by
+// the posterior-weighted conditional means E[Am | F] of the components.
+
+#ifndef IIM_CLUSTER_GMM_H_
+#define IIM_CLUSTER_GMM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace iim::cluster {
+
+struct GmmOptions {
+  size_t components = 3;
+  int max_iters = 100;
+  double tol = 1e-5;          // stop when mean log-likelihood improves less
+  double cov_ridge = 1e-6;    // added to covariance diagonals
+};
+
+struct GaussianComponent {
+  double weight = 0.0;
+  linalg::Vector mean;
+  linalg::Matrix covariance;
+};
+
+class GaussianMixture {
+ public:
+  Status Fit(const linalg::Matrix& points, const GmmOptions& options,
+             Rng* rng);
+
+  size_t NumComponents() const { return components_.size(); }
+  const GaussianComponent& component(size_t i) const {
+    return components_[i];
+  }
+
+  // log N(x; mean, cov) restricted to dimension subset `dims`
+  // (dims indexes into the fitted space). Empty dims = all dimensions.
+  Result<double> LogComponentDensity(const std::vector<double>& x,
+                                     size_t comp,
+                                     const std::vector<int>& dims) const;
+
+  // Posterior component responsibilities for an observation restricted to
+  // `dims` (values aligned with dims). Empty dims = full vector.
+  Result<std::vector<double>> Responsibilities(
+      const std::vector<double>& x, const std::vector<int>& dims) const;
+
+  double final_log_likelihood() const { return final_log_likelihood_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  std::vector<GaussianComponent> components_;
+  double final_log_likelihood_ = 0.0;
+  int iterations_ = 0;
+};
+
+// log N(x; mean, cov) for a dense Gaussian (helper shared with imputers).
+Result<double> MvnLogPdf(const std::vector<double>& x,
+                         const linalg::Vector& mean,
+                         const linalg::Matrix& cov);
+
+}  // namespace iim::cluster
+
+#endif  // IIM_CLUSTER_GMM_H_

@@ -1,0 +1,121 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace iim::cluster {
+
+namespace {
+
+double SquaredDist(const double* a, const double* b, size_t p) {
+  double acc = 0.0;
+  for (size_t i = 0; i < p; ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++: first center uniform, each next center drawn proportionally to
+// squared distance from the nearest chosen center.
+linalg::Matrix SeedCenters(const linalg::Matrix& points, size_t k, Rng* rng) {
+  size_t n = points.rows(), p = points.cols();
+  linalg::Matrix centers(k, p);
+  size_t first = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+  centers.SetRow(0, points.Row(first));
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(
+          dist2[i], SquaredDist(points.RowPtr(i), centers.RowPtr(c - 1), p));
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    size_t chosen = 0;
+    if (total > 0.0) {
+      chosen = rng->Categorical(dist2);
+    } else {
+      chosen = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+    }
+    centers.SetRow(c, points.Row(chosen));
+  }
+  return centers;
+}
+
+}  // namespace
+
+int NearestCenter(const linalg::Matrix& centers, const double* x) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    double d = SquaredDist(centers.RowPtr(c), x, centers.cols());
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> KMeans(const linalg::Matrix& points,
+                            const KMeansOptions& options, Rng* rng) {
+  size_t n = points.rows(), p = points.cols();
+  if (n == 0) return Status::InvalidArgument("KMeans: no points");
+  size_t k = std::min(options.k, n);
+  if (k == 0) return Status::InvalidArgument("KMeans: k must be positive");
+
+  KMeansResult result;
+  result.centers = SeedCenters(points, k, rng);
+  result.assignments.assign(n, -1);
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int c = NearestCenter(result.centers, points.RowPtr(i));
+      if (c != result.assignments[i]) {
+        result.assignments[i] = c;
+        changed = true;
+      }
+    }
+    // Update step.
+    linalg::Matrix next(k, p);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(result.assignments[i]);
+      ++counts[c];
+      const double* row = points.RowPtr(i);
+      for (size_t j = 0; j < p; ++j) next(c, j) += row[j];
+    }
+    double shift = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+        next.SetRow(c, points.Row(pick));
+      } else {
+        for (size_t j = 0; j < p; ++j) {
+          next(c, j) /= static_cast<double>(counts[c]);
+        }
+      }
+      shift += SquaredDist(next.RowPtr(c), result.centers.RowPtr(c), p);
+    }
+    result.centers = std::move(next);
+    if (!changed || std::sqrt(shift) < options.tol) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(result.assignments[i]);
+    result.inertia += SquaredDist(points.RowPtr(i), result.centers.RowPtr(c),
+                                  p);
+  }
+  return result;
+}
+
+}  // namespace iim::cluster

@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Serves two roles: the clustering application of Table VII (Weka kmeans
+// stand-in) and the initializer for fuzzy c-means / GMM.
+
+#ifndef IIM_CLUSTER_KMEANS_H_
+#define IIM_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace iim::cluster {
+
+struct KMeansOptions {
+  size_t k = 2;
+  int max_iters = 100;
+  double tol = 1e-6;  // stop when centers move less than this (L2)
+};
+
+struct KMeansResult {
+  linalg::Matrix centers;           // k x p
+  std::vector<int> assignments;     // n, cluster id per point
+  double inertia = 0.0;             // sum of squared distances to centers
+  int iterations = 0;
+};
+
+Result<KMeansResult> KMeans(const linalg::Matrix& points,
+                            const KMeansOptions& options, Rng* rng);
+
+// Index of the nearest center to `x` (plain Euclidean).
+int NearestCenter(const linalg::Matrix& centers, const double* x);
+
+}  // namespace iim::cluster
+
+#endif  // IIM_CLUSTER_KMEANS_H_

@@ -1,0 +1,65 @@
+// Result<T>: a value or an error Status (a minimal StatusOr).
+
+#ifndef IIM_COMMON_RESULT_H_
+#define IIM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace iim {
+
+// Holds either a T or an error Status. Accessing value() on an error result
+// is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // matching absl::StatusOr ergonomics.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "ok Status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace iim
+
+// Evaluates an expression producing Result<T>; on error propagates the
+// status, otherwise assigns the value to `lhs`.
+#define ASSIGN_OR_RETURN(lhs, expr)                \
+  ASSIGN_OR_RETURN_IMPL_(                          \
+      IIM_RESULT_CONCAT_(_result_, __LINE__), lhs, expr)
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define IIM_RESULT_CONCAT_(a, b) IIM_RESULT_CONCAT_IMPL_(a, b)
+#define IIM_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // IIM_COMMON_RESULT_H_

@@ -1,0 +1,104 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or a Result<T>, see common/result.h), and callers either handle
+// the error or propagate it with RETURN_IF_ERROR.
+
+#ifndef IIM_COMMON_STATUS_H_
+#define IIM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace iim {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kNotSupported = 6,
+  kIoError = 7,
+};
+
+// Value-semantic status object. Ok statuses carry no message and are cheap
+// to copy; error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kIoError: return "IoError";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace iim
+
+// Propagates an error status from an expression to the caller.
+#define RETURN_IF_ERROR(expr)                    \
+  do {                                           \
+    ::iim::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // IIM_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Small string helpers used by CSV parsing and table reporting.
+
+#ifndef IIM_COMMON_STRING_UTIL_H_
+#define IIM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iim {
+
+// Splits on `delim`; keeps empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Fixed precision double formatting ("3.1416" for (pi, 4)).
+std::string FormatDouble(double value, int precision = 4);
+
+// Left-pads or right-pads `s` with spaces to `width`.
+std::string PadLeft(std::string s, size_t width);
+std::string PadRight(std::string s, size_t width);
+
+// Parses a double; returns false on malformed or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace iim
+
+#endif  // IIM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,112 @@
+#include "core/iim_imputer.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace iim::core {
+
+Status IimImputer::FitImpl() {
+  if (options_.k == 0) {
+    return Status::InvalidArgument("IIM: k must be positive");
+  }
+  index_ = neighbors::MakeIndex(&table(), features());
+  Stopwatch timer;
+  if (options_.adaptive) {
+    ASSIGN_OR_RETURN(models_,
+                     IndividualModels::LearnAdaptive(
+                         table(), target(), features(), *index_, options_,
+                         &adaptive_stats_));
+  } else {
+    ASSIGN_OR_RETURN(models_, IndividualModels::Learn(table(), target(),
+                                                      features(), *index_,
+                                                      options_));
+  }
+  learning_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<double>> IimImputer::Candidates(
+    const data::RowView& tuple) const {
+  RETURN_IF_ERROR(CheckReady(tuple));
+  neighbors::QueryOptions qopt;
+  qopt.k = options_.k;
+  std::vector<neighbors::Neighbor> nbrs = index_->Query(tuple, qopt);
+  if (nbrs.empty()) return Status::Internal("IIM: no imputation neighbors");
+  std::vector<double> x = FeatureVector(tuple);
+  std::vector<double> candidates;
+  candidates.reserve(nbrs.size());
+  for (const auto& nb : nbrs) {
+    // Formula 9: t_x^j[Am] = (1, t_x[F]) phi_j.
+    candidates.push_back(models_.model(nb.index).Predict(x));
+  }
+  return candidates;
+}
+
+Result<double> IimImputer::ImputeOne(const data::RowView& tuple) const {
+  ASSIGN_OR_RETURN(std::vector<double> candidates, Candidates(tuple));
+  return CombineCandidates(candidates, options_.uniform_weights);
+}
+
+Result<ImputationDistribution> IimImputer::ImputeDistribution(
+    const data::RowView& tuple) const {
+  ASSIGN_OR_RETURN(std::vector<double> candidates, Candidates(tuple));
+  size_t k = candidates.size();
+  std::vector<double> weights(k, 1.0);
+  if (!options_.uniform_weights && k > 1) {
+    // Formula 11-12 weights; when all candidates agree the distances are
+    // all zero and the distribution collapses to uniform (same value).
+    std::vector<double> c(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        c[i] += std::fabs(candidates[i] - candidates[j]);
+      }
+    }
+    double max_c = 0.0;
+    for (double v : c) max_c = std::max(max_c, v);
+    if (max_c >= 1e-12) {
+      for (size_t i = 0; i < k; ++i) {
+        weights[i] = 1.0 / std::max(c[i], 1e-12);
+      }
+    }
+  }
+  return ImputationDistribution::Make(std::move(candidates),
+                                      std::move(weights));
+}
+
+Result<double> CombineCandidates(const std::vector<double>& candidates,
+                                 bool uniform) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("CombineCandidates: no candidates");
+  }
+  size_t k = candidates.size();
+  if (uniform || k == 1) {
+    double sum = 0.0;
+    for (double c : candidates) sum += c;
+    return sum / static_cast<double>(k);
+  }
+  // Formula 11: c_xi = sum_j |t_x^i - t_x^j|.
+  std::vector<double> c(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      c[i] += std::fabs(candidates[i] - candidates[j]);
+    }
+  }
+  // If every candidate agrees (all c_xi == 0), the aggregation is that
+  // common value; guard tiny distances for numerical safety.
+  double max_c = 0.0;
+  for (double v : c) max_c = std::max(max_c, v);
+  if (max_c < 1e-12) return candidates[0];
+
+  // Formula 12: w_xi proportional to c_xi^{-1}.
+  double denom = 0.0;
+  for (double v : c) denom += 1.0 / std::max(v, 1e-12);
+  double value = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double w = (1.0 / std::max(c[i], 1e-12)) / denom;
+    value += w * candidates[i];
+  }
+  return value;
+}
+
+}  // namespace iim::core

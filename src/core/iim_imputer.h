@@ -1,0 +1,65 @@
+// IIM: Imputation via Individual Models (the paper's contribution).
+//
+// Fit()      — learning phase: individual models for every complete tuple
+//              (Algorithm 1, or Algorithm 3 when options.adaptive).
+// ImputeOne()— imputation phase (Algorithm 2): find the k imputation
+//              neighbors of t_x, collect the candidates suggested by their
+//              individual models (Formula 9), and aggregate them with the
+//              mutual-vote weights of Formulas 10-12.
+
+#ifndef IIM_CORE_IIM_IMPUTER_H_
+#define IIM_CORE_IIM_IMPUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/imputer.h"
+#include "core/iim_options.h"
+#include "core/imputation_distribution.h"
+#include "core/individual_models.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::core {
+
+class IimImputer final : public baselines::ImputerBase {
+ public:
+  explicit IimImputer(const IimOptions& options = {}) : options_(options) {}
+
+  std::string Name() const override { return "IIM"; }
+  Result<double> ImputeOne(const data::RowView& tuple) const override;
+
+  // Candidates t_x^j[Am] suggested by the k imputation neighbors' models
+  // (exposed for tests and the quickstart walk-through).
+  Result<std::vector<double>> Candidates(const data::RowView& tuple) const;
+
+  // Multiple-imputation variant (the paper's Section VII future work):
+  // the full candidate distribution with the Formula 11-12 weights.
+  // Its Mean() equals ImputeOne()'s value (up to uniform_weights).
+  Result<ImputationDistribution> ImputeDistribution(
+      const data::RowView& tuple) const;
+
+  const IndividualModels& models() const { return models_; }
+  const AdaptiveStats& adaptive_stats() const { return adaptive_stats_; }
+  // Wall-clock seconds spent in the learning phase of the last Fit.
+  double learning_seconds() const { return learning_seconds_; }
+
+ protected:
+  Status FitImpl() override;
+
+ private:
+  IimOptions options_;
+  std::unique_ptr<neighbors::NeighborIndex> index_;
+  IndividualModels models_;
+  AdaptiveStats adaptive_stats_;
+  double learning_seconds_ = 0.0;
+};
+
+// Formulas 10-12: aggregate candidates by letting them vote for each other
+// (candidates close to the others get larger weights). `uniform` switches
+// to the plain average of Proposition 1. Empty input is an error.
+Result<double> CombineCandidates(const std::vector<double>& candidates,
+                                 bool uniform = false);
+
+}  // namespace iim::core
+
+#endif  // IIM_CORE_IIM_IMPUTER_H_

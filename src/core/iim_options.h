@@ -1,0 +1,51 @@
+// Configuration of IIM's learning and imputation phases.
+
+#ifndef IIM_CORE_IIM_OPTIONS_H_
+#define IIM_CORE_IIM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iim::core {
+
+struct IimOptions {
+  // --- Imputation phase (Algorithm 2) ---
+  // Number of imputation neighbors k whose individual models produce
+  // candidates.
+  size_t k = 5;
+  // Proposition-1 ablation: aggregate candidates with uniform weights
+  // 1/|Tx| instead of the mutual-vote weights of Formulas 11-12.
+  bool uniform_weights = false;
+
+  // --- Learning phase (Algorithms 1 and 3) ---
+  // Fixed number of learning neighbors l (used when adaptive == false).
+  // The paper's Propositions: l = 1 reduces IIM to kNN (+uniform weights),
+  // l = n reduces it to GLR.
+  size_t ell = 10;
+  // Adaptive per-tuple selection of l by validation (Algorithm 3).
+  bool adaptive = false;
+  // Stepping h (Section V-A2): candidate l values are 1, 1+h, 1+2h, ...
+  size_t step_h = 1;
+  // Cap on candidate l values (0 = n). Bounds adaptive learning cost on
+  // large relations; Figure 11 shows the optimum sits far below n.
+  size_t max_ell = 0;
+  // Incremental U/V maintenance (Proposition 3). false recomputes each
+  // candidate model from scratch — only useful to reproduce the
+  // straightforward-vs-incremental comparison of Figures 12-13.
+  bool incremental = true;
+  // Adaptive validation set: 0 = every complete tuple (the paper's
+  // Algorithm 3); otherwise a uniform sample of this size.
+  size_t validation_sample = 0;
+  // How many nearest neighbors each validator judges (Algorithm 3 Line 4).
+  // 0 = use k. Raising it above k reduces selection noise (more judges per
+  // tuple) at proportional determination cost.
+  size_t validation_k = 0;
+  uint64_t seed = 7;  // for validation sampling only
+
+  // Ridge regularization alpha of Formula 5.
+  double alpha = 1e-6;
+};
+
+}  // namespace iim::core
+
+#endif  // IIM_CORE_IIM_OPTIONS_H_

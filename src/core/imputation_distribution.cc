@@ -1,0 +1,82 @@
+#include "core/imputation_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace iim::core {
+
+Result<ImputationDistribution> ImputationDistribution::Make(
+    std::vector<double> candidates, std::vector<double> weights) {
+  if (candidates.empty() || candidates.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "ImputationDistribution: candidates/weights size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "ImputationDistribution: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "ImputationDistribution: weights sum to zero");
+  }
+  for (double& w : weights) w /= total;
+
+  // Keep candidates sorted (weights aligned) so quantiles are a scan.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a] < candidates[b];
+  });
+  std::vector<double> sorted_c(candidates.size()), sorted_w(weights.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_c[i] = candidates[order[i]];
+    sorted_w[i] = weights[order[i]];
+  }
+  return ImputationDistribution(std::move(sorted_c), std::move(sorted_w));
+}
+
+double ImputationDistribution::Mean() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    acc += weights_[i] * candidates_[i];
+  }
+  return acc;
+}
+
+double ImputationDistribution::Variance() const {
+  double mean = Mean();
+  double acc = 0.0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    acc += weights_[i] * (candidates_[i] - mean) * (candidates_[i] - mean);
+  }
+  return acc;
+}
+
+double ImputationDistribution::StdDev() const {
+  return std::sqrt(Variance());
+}
+
+double ImputationDistribution::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  double cum = 0.0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    cum += weights_[i];
+    if (cum >= q - 1e-12) return candidates_[i];
+  }
+  return candidates_.back();
+}
+
+double ImputationDistribution::MassWithin(double lo, double hi) const {
+  double mass = 0.0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i] >= lo && candidates_[i] <= hi) mass += weights_[i];
+  }
+  return mass;
+}
+
+}  // namespace iim::core

@@ -1,0 +1,57 @@
+// Multiple-imputation support — the paper's Section VII future work:
+// "answer queries directly over multiple imputation candidates suggested
+// by different individual models, rather than determining exactly one
+// imputation."
+//
+// ImputationDistribution carries the k candidates produced by the
+// imputation neighbors' individual models together with their mutual-vote
+// weights (Formulas 11-12), so downstream consumers can propagate
+// imputation uncertainty instead of a point estimate.
+
+#ifndef IIM_CORE_IMPUTATION_DISTRIBUTION_H_
+#define IIM_CORE_IMPUTATION_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace iim::core {
+
+class ImputationDistribution {
+ public:
+  // Candidates and weights must be the same nonempty size; weights are
+  // normalized internally (they need not sum to 1 on input).
+  static Result<ImputationDistribution> Make(std::vector<double> candidates,
+                                             std::vector<double> weights);
+
+  size_t size() const { return candidates_.size(); }
+  const std::vector<double>& candidates() const { return candidates_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Weighted mean — identical to the single imputation of Formula 10.
+  double Mean() const;
+  // Weighted variance around Mean(); 0 when all candidates agree.
+  double Variance() const;
+  double StdDev() const;
+
+  // Weighted q-quantile (0 <= q <= 1) of the candidate distribution:
+  // the smallest candidate whose cumulative weight reaches q.
+  double Quantile(double q) const;
+
+  // Probability mass of candidates inside [lo, hi] — the paper's
+  // "queries over imputation candidates": e.g. the confidence that the
+  // missing value lies in a predicate's range.
+  double MassWithin(double lo, double hi) const;
+
+ private:
+  ImputationDistribution(std::vector<double> candidates,
+                         std::vector<double> weights)
+      : candidates_(std::move(candidates)), weights_(std::move(weights)) {}
+
+  std::vector<double> candidates_;
+  std::vector<double> weights_;  // normalized, aligned with candidates_
+};
+
+}  // namespace iim::core
+
+#endif  // IIM_CORE_IMPUTATION_DISTRIBUTION_H_

@@ -1,0 +1,232 @@
+#include "core/individual_models.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "regress/incremental_ridge.h"
+#include "regress/ridge.h"
+
+namespace iim::core {
+
+namespace {
+
+// Learning-neighbor order for tuple i: the tuple itself first (distance 0,
+// as in Example 2 where T_1 = {t1, t2, t3, t4}), then the next `need - 1`
+// tuples by ascending (distance, index). Bounding the query by `need`
+// keeps the learning phase O(n * query(need)) instead of O(n^2 log n).
+std::vector<size_t> LearningOrder(const neighbors::NeighborIndex& index,
+                                  const data::Table& r, size_t i,
+                                  size_t need) {
+  std::vector<size_t> order;
+  order.reserve(need);
+  order.push_back(i);
+  if (need > 1) {
+    neighbors::QueryOptions qopt;
+    qopt.k = need - 1;
+    qopt.exclude = i;
+    for (const auto& nb : index.Query(r.Row(i), qopt)) {
+      order.push_back(nb.index);
+    }
+  }
+  return order;
+}
+
+// Fits the model over the first `ell` tuples of `order` (from scratch).
+Result<regress::LinearModel> FitOverPrefix(
+    const data::Table& r, int target, const std::vector<int>& features,
+    const std::vector<size_t>& order, size_t ell, double alpha) {
+  size_t q = features.size();
+  if (ell == 1) {
+    // Single-neighbor rule (Section III-A2): a constant model predicting
+    // the tuple's own value.
+    return regress::LinearModel::Constant(
+        r.At(order[0], static_cast<size_t>(target)), q);
+  }
+  linalg::Matrix x(ell, q);
+  linalg::Vector y(ell);
+  for (size_t row = 0; row < ell; ++row) {
+    data::RowView t = r.Row(order[row]);
+    for (size_t j = 0; j < q; ++j) {
+      x(row, j) = t[static_cast<size_t>(features[j])];
+    }
+    y[row] = t[static_cast<size_t>(target)];
+  }
+  regress::RidgeOptions ropt;
+  ropt.alpha = alpha;
+  return regress::FitRidge(x, y, ropt);
+}
+
+}  // namespace
+
+std::vector<size_t> CandidateEllValues(size_t n, size_t step_h,
+                                       size_t max_ell) {
+  if (step_h == 0) step_h = 1;
+  size_t cap = (max_ell == 0) ? n : std::min(max_ell, n);
+  std::vector<size_t> ells;
+  for (size_t ell = 1; ell <= cap; ell += step_h) ells.push_back(ell);
+  return ells;
+}
+
+Result<IndividualModels> IndividualModels::Learn(
+    const data::Table& r, int target, const std::vector<int>& features,
+    const neighbors::NeighborIndex& index, const IimOptions& options) {
+  if (r.empty()) return Status::InvalidArgument("Learn: empty relation");
+  size_t n = r.NumRows();
+  size_t ell = std::clamp<size_t>(options.ell, 1, n);
+
+  IndividualModels phi;
+  phi.models_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> order = LearningOrder(index, r, i, ell);
+    ASSIGN_OR_RETURN(
+        regress::LinearModel model,
+        FitOverPrefix(r, target, features, order, ell, options.alpha));
+    phi.models_.push_back(std::move(model));
+  }
+  return phi;
+}
+
+Result<IndividualModels> IndividualModels::LearnAdaptive(
+    const data::Table& r, int target, const std::vector<int>& features,
+    const neighbors::NeighborIndex& index, const IimOptions& options,
+    AdaptiveStats* stats) {
+  if (r.empty()) {
+    return Status::InvalidArgument("LearnAdaptive: empty relation");
+  }
+  size_t n = r.NumRows();
+  size_t q = features.size();
+  std::vector<size_t> ells =
+      CandidateEllValues(n, options.step_h, options.max_ell);
+
+  // Validation tuples (all of r by default, or a sample).
+  std::vector<size_t> validators(n);
+  for (size_t i = 0; i < n; ++i) validators[i] = i;
+  if (options.validation_sample > 0 && options.validation_sample < n) {
+    Rng rng(options.seed);
+    validators =
+        rng.SampleWithoutReplacement(n, options.validation_sample);
+  }
+
+  // Reverse-neighbor lists: validated_by[i] holds the validation tuples t_j
+  // that would use t_i's model (t_i in NN(t_j, F, k), self excluded as in
+  // Example 4). The fan-out is capped: with very large imputation k the
+  // validation cost grows as n * |L| * k while the selection quality
+  // plateaus, so k > 10 judges add cost but no signal.
+  constexpr size_t kMaxValidationK = 10;
+  std::vector<std::vector<size_t>> validated_by(n);
+  neighbors::QueryOptions vopt;
+  size_t vk = options.validation_k > 0 ? options.validation_k : options.k;
+  vopt.k = std::clamp<size_t>(vk, 1, kMaxValidationK);
+  for (size_t j : validators) {
+    vopt.exclude = j;
+    for (const auto& nb : index.Query(r.Row(j), vopt)) {
+      validated_by[nb.index].push_back(j);
+    }
+  }
+
+  // Pre-gather validator feature vectors and truths.
+  std::vector<std::vector<double>> vfeat(n);
+  std::vector<double> vtruth(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    vfeat[j] = r.Row(j).Gather(features);
+    vtruth[j] = r.At(j, static_cast<size_t>(target));
+  }
+
+  IndividualModels phi;
+  phi.models_.resize(n);
+  if (stats != nullptr) {
+    stats->chosen_ell.assign(n, 0);
+    stats->candidate_ells = ells;
+    stats->total_cost = 0.0;
+  }
+
+  // Tuples nobody validates fall back to the globally best l (by summed
+  // cost over validated tuples), accumulated as we go.
+  std::vector<double> global_cost(ells.size(), 0.0);
+  std::vector<size_t> orphan;
+
+  Stopwatch determination_timer;
+  double determination_seconds = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> order = LearningOrder(index, r, i, ells.back());
+    const std::vector<size_t>& judges = validated_by[i];
+
+    determination_timer.Restart();
+    regress::IncrementalRidge accum(q);
+    size_t consumed = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_ell = ells.front();
+    regress::LinearModel best_model;
+
+    for (size_t e = 0; e < ells.size(); ++e) {
+      size_t ell = ells[e];
+      regress::LinearModel model;
+      if (options.incremental) {
+        // Proposition 3: fold in only the h new neighbors.
+        while (consumed < ell) {
+          data::RowView t = r.Row(order[consumed]);
+          accum.AddRow(t.Gather(features),
+                       t[static_cast<size_t>(target)]);
+          ++consumed;
+        }
+        if (ell == 1) {
+          model = regress::LinearModel::Constant(
+              r.At(order[0], static_cast<size_t>(target)), q);
+        } else {
+          ASSIGN_OR_RETURN(model, accum.Solve(options.alpha));
+        }
+      } else {
+        // Straightforward variant (Figures 12-13 baseline): rebuild the
+        // design from scratch for every candidate l.
+        ASSIGN_OR_RETURN(model, FitOverPrefix(r, target, features, order,
+                                              ell, options.alpha));
+      }
+
+      double cost = 0.0;
+      for (size_t j : judges) {
+        double err = vtruth[j] - model.Predict(vfeat[j]);
+        cost += err * err;
+      }
+      global_cost[e] += cost;
+      if (!judges.empty() && cost < best_cost) {
+        best_cost = cost;
+        best_ell = ell;
+        best_model = model;
+      }
+    }
+
+    determination_seconds += determination_timer.ElapsedSeconds();
+
+    if (judges.empty()) {
+      orphan.push_back(i);
+    } else {
+      phi.models_[i] = std::move(best_model);
+      if (stats != nullptr) {
+        stats->chosen_ell[i] = best_ell;
+        stats->total_cost += best_cost;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->determination_seconds = determination_seconds;
+  }
+
+  if (!orphan.empty()) {
+    size_t best_e = static_cast<size_t>(
+        std::min_element(global_cost.begin(), global_cost.end()) -
+        global_cost.begin());
+    size_t fallback_ell = ells[best_e];
+    for (size_t i : orphan) {
+      std::vector<size_t> order = LearningOrder(index, r, i, fallback_ell);
+      ASSIGN_OR_RETURN(phi.models_[i],
+                       FitOverPrefix(r, target, features, order,
+                                     fallback_ell, options.alpha));
+      if (stats != nullptr) stats->chosen_ell[i] = fallback_ell;
+    }
+  }
+  return phi;
+}
+
+}  // namespace iim::core

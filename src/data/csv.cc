@@ -1,0 +1,147 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace iim::data {
+
+namespace {
+
+bool IsMissingToken(std::string_view token) {
+  return token.empty() || token == "?" || token == "NA" || token == "na" ||
+         token == "nan" || token == "NaN" || token == "NULL";
+}
+
+}  // namespace
+
+Result<CsvReadResult> ParseCsv(const std::string& content,
+                               const CsvOptions& options) {
+  std::istringstream in(content);
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::vector<std::pair<size_t, int>> missing_cells;
+  int label_col = -1;
+  size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(std::string(trimmed),
+                                            options.delimiter);
+    if (header.empty()) {
+      if (options.has_header) {
+        for (auto& f : fields) header.emplace_back(Trim(f));
+        if (!options.label_column.empty()) {
+          for (size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == options.label_column) {
+              label_col = static_cast<int>(i);
+            }
+          }
+          if (label_col < 0) {
+            return Status::InvalidArgument("label column not in header: " +
+                                           options.label_column);
+          }
+        }
+        continue;
+      }
+      // Headerless: synthesize A1..Am from the first data row's arity.
+      header = Schema::Default(fields.size()).names();
+    }
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": expected " +
+          std::to_string(header.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<double> row;
+    row.reserve(header.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::string_view token = Trim(fields[i]);
+      if (static_cast<int>(i) == label_col) {
+        double lv = 0;
+        if (!ParseDouble(token, &lv)) {
+          return Status::InvalidArgument(
+              "CSV line " + std::to_string(line_no) + ": bad label");
+        }
+        labels.push_back(static_cast<int>(lv));
+        continue;
+      }
+      if (IsMissingToken(token)) {
+        missing_cells.emplace_back(
+            rows.size(), static_cast<int>(row.size()));
+        row.push_back(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        double v = 0;
+        if (!ParseDouble(token, &v)) {
+          return Status::InvalidArgument(
+              "CSV line " + std::to_string(line_no) + ": bad number '" +
+              std::string(token) + "'");
+        }
+        row.push_back(v);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> attr_names;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (static_cast<int>(i) != label_col) attr_names.push_back(header[i]);
+  }
+  CsvReadResult result;
+  result.table = Table(Schema(std::move(attr_names)));
+  for (auto& row : rows) {
+    RETURN_IF_ERROR(result.table.AppendRow(row));
+  }
+  if (label_col >= 0) result.table.SetLabels(std::move(labels));
+  result.mask = MissingMask(result.table.NumRows(), result.table.NumCols());
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (auto& [r, c] : missing_cells) result.mask.Mark(r, c, kNan);
+  return result;
+}
+
+Result<CsvReadResult> ReadCsv(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const char d = options.delimiter;
+  if (options.has_header) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      if (j > 0) out << d;
+      out << table.schema().name(j);
+    }
+    if (table.HasLabels()) out << d << "label";
+    out << '\n';
+  }
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      if (j > 0) out << d;
+      double v = table.At(i, j);
+      if (std::isnan(v)) {
+        // empty field == missing
+      } else {
+        out << FormatDouble(v, 6);
+      }
+    }
+    if (table.HasLabels()) out << d << table.Label(i);
+    out << '\n';
+  }
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace iim::data

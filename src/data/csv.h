@@ -1,0 +1,42 @@
+// CSV import/export for numeric relations.
+//
+// Empty fields, "?", "NA" and "nan" parse as missing (NaN in the table,
+// marked in the returned mask with unknown truth).
+
+#ifndef IIM_DATA_CSV_H_
+#define IIM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/missing_mask.h"
+#include "data/table.h"
+
+namespace iim::data {
+
+struct CsvReadResult {
+  Table table;
+  MissingMask mask;
+};
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  // When set, the named column is read as an integer class label instead of
+  // an attribute.
+  std::string label_column;
+};
+
+Result<CsvReadResult> ReadCsv(const std::string& path,
+                              const CsvOptions& options = {});
+
+// Parses CSV from an in-memory string (used by tests).
+Result<CsvReadResult> ParseCsv(const std::string& content,
+                               const CsvOptions& options = {});
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_CSV_H_

@@ -1,0 +1,35 @@
+#include "data/missing_mask.h"
+
+namespace iim::data {
+
+void MissingMask::Mark(size_t row, int col, double truth) {
+  unsigned char& bit = bits_[row * num_cols_ + static_cast<size_t>(col)];
+  if (bit != 0) return;
+  bit = 1;
+  cells_.push_back(MissingCell{row, col, truth});
+}
+
+bool MissingMask::RowHasMissing(size_t row) const {
+  for (size_t c = 0; c < num_cols_; ++c) {
+    if (bits_[row * num_cols_ + c] != 0) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> MissingMask::IncompleteRows() const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (RowHasMissing(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<size_t> MissingMask::CompleteRows() const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (!RowHasMissing(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace iim::data

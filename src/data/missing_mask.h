@@ -1,0 +1,58 @@
+// MissingMask: which (tuple, attribute) cells are missing, plus the ground
+// truth that was removed (when the mask was produced by injection, so the
+// evaluation can score imputations against the original values).
+
+#ifndef IIM_DATA_MISSING_MASK_H_
+#define IIM_DATA_MISSING_MASK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iim::data {
+
+struct MissingCell {
+  size_t row;
+  int col;
+  // Original value removed by the injector; NaN when the missingness is
+  // "real" (no ground truth available).
+  double truth;
+};
+
+class MissingMask {
+ public:
+  MissingMask() = default;
+  MissingMask(size_t num_rows, size_t num_cols)
+      : num_rows_(num_rows),
+        num_cols_(num_cols),
+        bits_(num_rows * num_cols, 0) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+
+  bool IsMissing(size_t row, int col) const {
+    return bits_[row * num_cols_ + static_cast<size_t>(col)] != 0;
+  }
+  // Marks (row, col) missing. `truth` records the removed value (NaN if
+  // unknown). Marking an already-missing cell is a no-op.
+  void Mark(size_t row, int col, double truth);
+
+  size_t CountMissing() const { return cells_.size(); }
+  const std::vector<MissingCell>& cells() const { return cells_; }
+
+  // True if tuple `row` has at least one missing attribute.
+  bool RowHasMissing(size_t row) const;
+  // Rows with >= 1 missing cell, ascending.
+  std::vector<size_t> IncompleteRows() const;
+  // Rows with no missing cells, ascending.
+  std::vector<size_t> CompleteRows() const;
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_cols_ = 0;
+  std::vector<unsigned char> bits_;
+  std::vector<MissingCell> cells_;
+};
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_MISSING_MASK_H_

@@ -1,0 +1,30 @@
+#include "data/schema.h"
+
+namespace iim::data {
+
+Schema Schema::Default(size_t num_attributes) {
+  std::vector<std::string> names;
+  names.reserve(num_attributes);
+  for (size_t i = 1; i <= num_attributes; ++i) {
+    names.push_back("A" + std::to_string(i));
+  }
+  return Schema(std::move(names));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Schema::AllExcept(int excluded) const {
+  std::vector<int> out;
+  out.reserve(names_.size() > 0 ? names_.size() - 1 : 0);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (static_cast<int>(i) != excluded) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace iim::data

@@ -1,0 +1,38 @@
+// Relation schema R = {A1, ..., Am}: named numeric attributes.
+
+#ifndef IIM_DATA_SCHEMA_H_
+#define IIM_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace iim::data {
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  // "A1".."Am", matching the paper's notation.
+  static Schema Default(size_t num_attributes);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Index of attribute `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // All attribute indices except `excluded` — the complete attributes F
+  // relative to an incomplete attribute Ax.
+  std::vector<int> AllExcept(int excluded) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_SCHEMA_H_

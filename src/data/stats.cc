@@ -1,0 +1,48 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace iim::data {
+
+ColumnStats ComputeColumnStats(const Table& table, size_t col) {
+  ColumnStats s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    double v = table.At(i, col);
+    if (std::isnan(v)) continue;
+    ++s.count;
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  if (s.count == 0) {
+    s.min = s.max = 0.0;
+    return s;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double acc = 0.0;
+    for (size_t i = 0; i < table.NumRows(); ++i) {
+      double v = table.At(i, col);
+      if (std::isnan(v)) continue;
+      acc += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(acc / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+std::vector<ColumnStats> ComputeTableStats(const Table& table) {
+  std::vector<ColumnStats> out;
+  out.reserve(table.NumCols());
+  for (size_t j = 0; j < table.NumCols(); ++j) {
+    out.push_back(ComputeColumnStats(table, j));
+  }
+  return out;
+}
+
+}  // namespace iim::data

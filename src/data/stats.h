@@ -1,0 +1,28 @@
+// Per-column summary statistics (NaN-aware).
+
+#ifndef IIM_DATA_STATS_H_
+#define IIM_DATA_STATS_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace iim::data {
+
+struct ColumnStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator); 0 if count < 2
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;  // non-missing cells
+};
+
+// Stats over non-NaN cells of one column.
+ColumnStats ComputeColumnStats(const Table& table, size_t col);
+
+// Stats for every column.
+std::vector<ColumnStats> ComputeTableStats(const Table& table);
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_STATS_H_

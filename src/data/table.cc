@@ -1,0 +1,84 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace iim::data {
+
+std::vector<double> RowView::Gather(const std::vector<int>& cols) const {
+  std::vector<double> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(data_[static_cast<size_t>(c)]);
+  return out;
+}
+
+Status Table::AppendRow(const std::vector<double>& values) {
+  if (values.size() != NumCols()) {
+    return Status::InvalidArgument("AppendRow: arity mismatch");
+  }
+  cells_.insert(cells_.end(), values.begin(), values.end());
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<double> Table::Column(size_t col) const {
+  std::vector<double> out(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) out[i] = At(i, col);
+  return out;
+}
+
+Table Table::TakeRows(const std::vector<size_t>& rows) const {
+  Table out(schema_, rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = cells_.data() + rows[i] * NumCols();
+    std::copy(src, src + NumCols(),
+              out.cells_.data() + i * NumCols());
+  }
+  if (HasLabels()) {
+    std::vector<int> labels(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) labels[i] = labels_[rows[i]];
+    out.SetLabels(std::move(labels));
+  }
+  return out;
+}
+
+Table Table::TakeCols(const std::vector<int>& cols) const {
+  std::vector<std::string> names;
+  names.reserve(cols.size());
+  for (int c : cols) names.push_back(schema_.name(static_cast<size_t>(c)));
+  Table out(Schema(std::move(names)), num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      out.Set(i, j, At(i, static_cast<size_t>(cols[j])));
+    }
+  }
+  out.labels_ = labels_;
+  return out;
+}
+
+linalg::Matrix Table::ToMatrix() const {
+  linalg::Matrix m(num_rows_, NumCols());
+  for (size_t i = 0; i < num_rows_; ++i) {
+    std::copy(cells_.data() + i * NumCols(),
+              cells_.data() + (i + 1) * NumCols(), m.RowPtr(i));
+  }
+  return m;
+}
+
+Result<Table> Table::FromMatrix(const linalg::Matrix& m, Schema schema) {
+  if (schema.size() != m.cols()) {
+    return Status::InvalidArgument("FromMatrix: schema arity mismatch");
+  }
+  Table out(std::move(schema), m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    std::copy(m.RowPtr(i), m.RowPtr(i) + m.cols(),
+              out.cells_.data() + i * out.NumCols());
+  }
+  return out;
+}
+
+bool Table::IsComplete() const {
+  return std::none_of(cells_.begin(), cells_.end(),
+                      [](double v) { return std::isnan(v); });
+}
+
+}  // namespace iim::data

@@ -1,0 +1,101 @@
+// Table: the relation r of n tuples over m numeric attributes.
+//
+// Row-major storage (neighbor search and per-tuple regression walk rows).
+// Missing cells are stored as NaN; bookkeeping about *which* cells are
+// missing lives in data::MissingMask so complete tables stay NaN-free.
+// Classification datasets carry an optional integer label per tuple,
+// kept outside the attribute matrix.
+
+#ifndef IIM_DATA_TABLE_H_
+#define IIM_DATA_TABLE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "linalg/matrix.h"
+
+namespace iim::data {
+
+// Non-owning view of one tuple's attribute values.
+class RowView {
+ public:
+  RowView() : data_(nullptr), size_(0) {}
+  RowView(const double* data, size_t size) : data_(data), size_(size) {}
+
+  size_t size() const { return size_; }
+  double operator[](size_t i) const { return data_[i]; }
+  const double* data() const { return data_; }
+
+  std::vector<double> ToVector() const {
+    return std::vector<double>(data_, data_ + size_);
+  }
+
+  // Values at the given column subset, in order.
+  std::vector<double> Gather(const std::vector<int>& cols) const;
+
+ private:
+  const double* data_;
+  size_t size_;
+};
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, size_t num_rows)
+      : schema_(std::move(schema)),
+        num_rows_(num_rows),
+        cells_(num_rows * schema_.size(), 0.0) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return num_rows_; }
+  size_t NumCols() const { return schema_.size(); }
+  bool empty() const { return num_rows_ == 0; }
+
+  double At(size_t row, size_t col) const {
+    return cells_[row * NumCols() + col];
+  }
+  void Set(size_t row, size_t col, double value) {
+    cells_[row * NumCols() + col] = value;
+  }
+  bool IsNaN(size_t row, size_t col) const { return std::isnan(At(row, col)); }
+
+  RowView Row(size_t row) const {
+    return RowView(cells_.data() + row * NumCols(), NumCols());
+  }
+
+  Status AppendRow(const std::vector<double>& values);
+  std::vector<double> Column(size_t col) const;
+
+  // Label support for classification datasets (empty if unlabeled).
+  bool HasLabels() const { return !labels_.empty(); }
+  int Label(size_t row) const { return labels_[row]; }
+  void SetLabels(std::vector<int> labels) { labels_ = std::move(labels); }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // New table containing the given rows (labels carried along).
+  Table TakeRows(const std::vector<size_t>& rows) const;
+  // New table containing only the given columns; labels carried along.
+  Table TakeCols(const std::vector<int>& cols) const;
+
+  // Dense copy of the cell matrix (for SVD imputation).
+  linalg::Matrix ToMatrix() const;
+  static Result<Table> FromMatrix(const linalg::Matrix& m, Schema schema);
+
+  // True iff no cell is NaN.
+  bool IsComplete() const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<double> cells_;
+  std::vector<int> labels_;
+};
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_TABLE_H_

@@ -1,0 +1,90 @@
+#include "data/transforms.h"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace iim::data {
+
+std::vector<size_t> ShuffledIndices(size_t n, Rng* rng) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  return idx;
+}
+
+Table SampleRows(const Table& table, size_t count, Rng* rng) {
+  count = std::min(count, table.NumRows());
+  return table.TakeRows(rng->SampleWithoutReplacement(table.NumRows(), count));
+}
+
+std::vector<std::vector<size_t>> KFoldSplit(const Table& table, size_t k,
+                                            Rng* rng) {
+  std::vector<std::vector<size_t>> folds(k);
+  if (table.HasLabels()) {
+    // Stratified: deal each class's rows round-robin into folds.
+    std::map<int, std::vector<size_t>> by_class;
+    for (size_t i = 0; i < table.NumRows(); ++i) {
+      by_class[table.Label(i)].push_back(i);
+    }
+    size_t next = 0;
+    for (auto& [label, rows] : by_class) {
+      rng->Shuffle(&rows);
+      for (size_t r : rows) {
+        folds[next % k].push_back(r);
+        ++next;
+      }
+    }
+  } else {
+    std::vector<size_t> idx = ShuffledIndices(table.NumRows(), rng);
+    for (size_t i = 0; i < idx.size(); ++i) folds[i % k].push_back(idx[i]);
+  }
+  return folds;
+}
+
+Status StandardScaler::Fit(const Table& table) {
+  if (table.empty()) return Status::InvalidArgument("Fit: empty table");
+  stats_ = ComputeTableStats(table);
+  for (auto& s : stats_) {
+    if (s.stddev <= 0.0) s.stddev = 1.0;
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::Transform(Table* table) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (table->NumCols() != stats_.size()) {
+    return Status::InvalidArgument("Transform: arity mismatch");
+  }
+  for (size_t i = 0; i < table->NumRows(); ++i) {
+    for (size_t j = 0; j < table->NumCols(); ++j) {
+      double v = table->At(i, j);
+      if (!std::isnan(v)) table->Set(i, j, TransformCell(v, j));
+    }
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::InverseTransform(Table* table) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (table->NumCols() != stats_.size()) {
+    return Status::InvalidArgument("InverseTransform: arity mismatch");
+  }
+  for (size_t i = 0; i < table->NumRows(); ++i) {
+    for (size_t j = 0; j < table->NumCols(); ++j) {
+      double v = table->At(i, j);
+      if (!std::isnan(v)) table->Set(i, j, InverseTransformCell(v, j));
+    }
+  }
+  return Status::OK();
+}
+
+double StandardScaler::TransformCell(double v, size_t col) const {
+  return (v - stats_[col].mean) / stats_[col].stddev;
+}
+
+double StandardScaler::InverseTransformCell(double v, size_t col) const {
+  return v * stats_[col].stddev + stats_[col].mean;
+}
+
+}  // namespace iim::data

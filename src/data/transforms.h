@@ -1,0 +1,48 @@
+// Row sampling, splits, and feature scaling.
+
+#ifndef IIM_DATA_TRANSFORMS_H_
+#define IIM_DATA_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/stats.h"
+#include "data/table.h"
+
+namespace iim::data {
+
+// Random permutation of row indices.
+std::vector<size_t> ShuffledIndices(size_t n, Rng* rng);
+
+// Random sample of `count` distinct rows as a new table.
+Table SampleRows(const Table& table, size_t count, Rng* rng);
+
+// k disjoint folds of row indices for cross-validation. When the table has
+// labels the folds are stratified per class.
+std::vector<std::vector<size_t>> KFoldSplit(const Table& table, size_t k,
+                                            Rng* rng);
+
+// Z-score standardization fitted on non-missing cells.
+class StandardScaler {
+ public:
+  // Learns per-column mean/std (constant columns get std 1 to stay
+  // invertible).
+  Status Fit(const Table& table);
+  // In-place (v - mean) / std; NaNs pass through.
+  Status Transform(Table* table) const;
+  Status InverseTransform(Table* table) const;
+
+  double TransformCell(double v, size_t col) const;
+  double InverseTransformCell(double v, size_t col) const;
+
+  bool fitted() const { return !stats_.empty(); }
+  const std::vector<ColumnStats>& stats() const { return stats_; }
+
+ private:
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace iim::data
+
+#endif  // IIM_DATA_TRANSFORMS_H_

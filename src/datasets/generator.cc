@@ -1,0 +1,127 @@
+#include "datasets/generator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace iim::datasets {
+
+namespace {
+
+struct Regime {
+  double weight = 1.0;
+  std::vector<double> center;      // exogenous box center
+  std::vector<double> halfwidth;   // exogenous box half-widths
+  // Affine map per endogenous attribute: intercept + slopes (exogenous).
+  std::vector<std::vector<double>> coeffs;
+};
+
+}  // namespace
+
+Result<GeneratedDataset> Generate(const DatasetSpec& spec, uint64_t seed) {
+  if (spec.n == 0 || spec.m == 0) {
+    return Status::InvalidArgument("Generate: empty dataset spec");
+  }
+  if (spec.exogenous == 0 || spec.exogenous > spec.m) {
+    return Status::InvalidArgument("Generate: exogenous out of range");
+  }
+  if (spec.regimes == 0) {
+    return Status::InvalidArgument("Generate: need at least one regime");
+  }
+
+  Rng rng(seed);
+  size_t b = spec.exogenous;
+  size_t e = spec.m - b;
+  size_t informative = spec.informative_exogenous == 0
+                           ? b
+                           : std::min(spec.informative_exogenous, b);
+
+  // Global affine map shared by all regimes, perturbed per regime by
+  // `divergence`. Slopes in [-2, 2]: strong enough that sparse neighbor
+  // gaps translate into real value gaps.
+  std::vector<std::vector<double>> global_coeffs(e);
+  for (size_t j = 0; j < e; ++j) {
+    global_coeffs[j].resize(b + 1);
+    global_coeffs[j][0] = rng.Uniform(-3.0, 3.0);
+    for (size_t d = 0; d < b; ++d) {
+      global_coeffs[j][d + 1] =
+          d < informative ? rng.Uniform(-2.0, 2.0) : 0.0;
+    }
+  }
+
+  std::vector<Regime> regimes(spec.regimes);
+  for (auto& reg : regimes) {
+    reg.weight = rng.Uniform(0.5, 1.5);
+    reg.center.resize(b);
+    reg.halfwidth.resize(b);
+    for (size_t d = 0; d < b; ++d) {
+      reg.center[d] = rng.Uniform(0.0, spec.center_spread);
+      reg.halfwidth[d] = spec.box_halfwidth * rng.Uniform(0.6, 1.4);
+    }
+    reg.coeffs.resize(e);
+    for (size_t j = 0; j < e; ++j) {
+      reg.coeffs[j].resize(b + 1);
+      // Blend between the global map and a fresh random map.
+      reg.coeffs[j][0] = global_coeffs[j][0] +
+                         spec.divergence * rng.Uniform(-4.0, 4.0);
+      for (size_t d = 0; d < b; ++d) {
+        reg.coeffs[j][d + 1] =
+            d < informative ? global_coeffs[j][d + 1] +
+                                  spec.divergence * rng.Uniform(-2.5, 2.5)
+                            : 0.0;
+      }
+    }
+  }
+
+  std::vector<double> weights;
+  weights.reserve(regimes.size());
+  for (const auto& reg : regimes) weights.push_back(reg.weight);
+
+  GeneratedDataset out;
+  out.table = data::Table(data::Schema::Default(spec.m), spec.n);
+  out.regime_of_row.resize(spec.n);
+  std::vector<int> labels;
+  if (spec.num_classes > 0) labels.resize(spec.n);
+
+  for (size_t i = 0; i < spec.n; ++i) {
+    size_t c = rng.Categorical(weights);
+    const Regime& reg = regimes[c];
+    out.regime_of_row[i] = static_cast<int>(c);
+    if (spec.num_classes > 0) {
+      labels[i] = static_cast<int>(c % spec.num_classes);
+    }
+    std::vector<double> base(b);
+    for (size_t d = 0; d < b; ++d) {
+      base[d] = reg.center[d] +
+                rng.Uniform(-reg.halfwidth[d], reg.halfwidth[d]);
+    }
+    for (size_t d = 0; d < b; ++d) {
+      out.table.Set(i, d, spec.value_scale * base[d]);
+    }
+    for (size_t j = 0; j < e; ++j) {
+      double v = reg.coeffs[j][0];
+      for (size_t d = 0; d < b; ++d) v += reg.coeffs[j][d + 1] * base[d];
+      v += rng.Gaussian(0.0, spec.noise);
+      out.table.Set(i, b + j, spec.value_scale * v);
+    }
+  }
+  if (spec.num_classes > 0) out.table.SetLabels(std::move(labels));
+
+  out.mask = data::MissingMask(spec.n, spec.m);
+  if (spec.missing_rate > 0.0) {
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    for (size_t i = 0; i < spec.n; ++i) {
+      // At most one missing attribute per tuple keeps at least some
+      // complete attributes available, mirroring the paper's protocol.
+      if (!rng.Bernoulli(spec.missing_rate * static_cast<double>(spec.m))) {
+        continue;
+      }
+      int col = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(spec.m - 1)));
+      out.mask.Mark(i, col, kNan);
+      out.table.Set(i, static_cast<size_t>(col), kNan);
+    }
+  }
+  return out;
+}
+
+}  // namespace iim::datasets

@@ -1,0 +1,19 @@
+#include "datasets/paper_example.h"
+
+namespace iim::datasets {
+
+data::Table Figure1Relation() {
+  data::Table t(data::Schema::Default(2));
+  // Values from Figure 1 of the paper.
+  (void)t.AppendRow({0.0, 5.8});   // t1
+  (void)t.AppendRow({0.8, 4.6});   // t2
+  (void)t.AppendRow({1.9, 3.8});   // t3
+  (void)t.AppendRow({2.9, 3.2});   // t4
+  (void)t.AppendRow({6.8, 3.0});   // t5
+  (void)t.AppendRow({7.5, 4.1});   // t6
+  (void)t.AppendRow({8.2, 4.8});   // t7
+  (void)t.AppendRow({9.0, 5.5});   // t8
+  return t;
+}
+
+}  // namespace iim::datasets

@@ -1,0 +1,23 @@
+// The running example of the paper (Figure 1 / Examples 1-6): eight
+// complete check-in tuples t1..t8 over (A1, A2) and the incomplete tuple
+// tx with tx[A1] = 5 and tx[A2] missing (ground truth 1.8). Used by golden
+// tests and the quickstart example.
+
+#ifndef IIM_DATASETS_PAPER_EXAMPLE_H_
+#define IIM_DATASETS_PAPER_EXAMPLE_H_
+
+#include "data/table.h"
+
+namespace iim::datasets {
+
+// t1..t8 of Figure 1.
+data::Table Figure1Relation();
+
+// tx[A1] = 5.
+inline constexpr double kFigure1QueryA1 = 5.0;
+// Ground truth of tx[A2].
+inline constexpr double kFigure1TruthA2 = 1.8;
+
+}  // namespace iim::datasets
+
+#endif  // IIM_DATASETS_PAPER_EXAMPLE_H_

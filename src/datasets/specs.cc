@@ -1,0 +1,162 @@
+#include "datasets/specs.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace iim::datasets {
+
+DatasetSpec Asf() {
+  DatasetSpec s;
+  s.name = "ASF";
+  s.n = 1500;
+  s.m = 6;
+  s.regimes = 4;
+  s.exogenous = 2;
+  s.divergence = 0.9;   // "no clear global regression"
+  s.noise = 0.12;       // low noise but wide spacing: local models beat
+  s.box_halfwidth = 3.0;  // value-copying (the Figure 1 geometry)
+  s.center_spread = 6.0;
+  s.value_scale = 4.0;
+  return s;
+}
+
+DatasetSpec Ccs() {
+  DatasetSpec s;
+  s.name = "CCS";
+  s.n = 1000;
+  s.m = 6;
+  s.regimes = 5;
+  s.exogenous = 2;
+  s.divergence = 0.55;
+  s.noise = 0.3;
+  s.box_halfwidth = 3.0;
+  s.center_spread = 8.0;
+  s.value_scale = 3.0;
+  return s;
+}
+
+DatasetSpec Ccpp() {
+  DatasetSpec s;
+  s.name = "CCPP";
+  s.n = 10000;
+  s.m = 5;
+  s.regimes = 2;
+  s.exogenous = 2;
+  s.divergence = 0.12;  // nearly one global model
+  s.noise = 0.35;
+  s.box_halfwidth = 3.0;
+  s.center_spread = 6.0;
+  s.value_scale = 2.0;
+  return s;
+}
+
+DatasetSpec Sn() {
+  DatasetSpec s;
+  s.name = "SN";
+  s.n = 100000;
+  s.m = 2;
+  s.regimes = 12;       // piecewise "streets": global R^2 collapses
+  s.exogenous = 1;
+  s.divergence = 1.0;
+  s.noise = 0.05;
+  s.box_halfwidth = 1.0;
+  s.center_spread = 20.0;
+  s.value_scale = 1.0;
+  return s;
+}
+
+DatasetSpec Phase() {
+  DatasetSpec s;
+  s.name = "PHASE";
+  s.n = 10000;
+  s.m = 4;
+  s.regimes = 1;        // a clear global regression (three-phase power)
+  s.exogenous = 1;
+  s.divergence = 0.0;
+  s.noise = 0.3;
+  s.box_halfwidth = 5.0;
+  s.center_spread = 4.0;
+  s.value_scale = 2.0;
+  return s;
+}
+
+DatasetSpec Ca() {
+  DatasetSpec s;
+  s.name = "CA";
+  s.n = 20000;
+  s.m = 9;
+  s.regimes = 2;
+  s.exogenous = 5;      // high-dimensional support: serious sparsity
+  s.informative_exogenous = 2;  // 3 pure-noise dims starve kNN of signal
+  s.divergence = 0.06;  // but a good global model (R^2_H ~ 0.9)
+  s.noise = 0.2;
+  s.box_halfwidth = 4.0;
+  s.center_spread = 5.0;
+  s.value_scale = 0.5;
+  return s;
+}
+
+DatasetSpec Da() {
+  DatasetSpec s;
+  s.name = "DA";
+  s.n = 7000;
+  s.m = 6;
+  s.regimes = 6;
+  s.exogenous = 2;
+  s.divergence = 0.5;
+  s.noise = 0.35;
+  s.box_halfwidth = 3.5;
+  s.center_spread = 9.0;
+  s.value_scale = 5.0;
+  return s;
+}
+
+DatasetSpec Mam() {
+  DatasetSpec s;
+  s.name = "MAM";
+  s.n = 1000;
+  s.m = 5;
+  s.regimes = 4;
+  s.exogenous = 2;
+  s.divergence = 0.6;
+  s.noise = 1.4;          // classes overlap: F1 lands near the paper's ~0.82
+  s.box_halfwidth = 2.5;
+  s.center_spread = 4.0;
+  s.value_scale = 1.0;
+  s.num_classes = 2;
+  s.missing_rate = 0.03;  // ~3% of tuples lose one value ("real" missing)
+  return s;
+}
+
+DatasetSpec Hep() {
+  DatasetSpec s;
+  s.name = "HEP";
+  s.n = 200;
+  s.m = 19;
+  s.regimes = 4;
+  s.exogenous = 6;
+  s.divergence = 0.5;
+  s.noise = 1.6;          // same overlap treatment as MAM
+  s.box_halfwidth = 2.5;
+  s.center_spread = 3.0;
+  s.value_scale = 1.0;
+  s.num_classes = 2;
+  s.missing_rate = 0.02;
+  return s;
+}
+
+std::vector<DatasetSpec> AllSpecs() {
+  return {Asf(), Ccs(), Ccpp(), Sn(), Phase(), Ca(), Da(), Mam(), Hep()};
+}
+
+std::optional<DatasetSpec> SpecByName(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const DatasetSpec& spec : AllSpecs()) {
+    if (spec.name == upper) return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iim::datasets

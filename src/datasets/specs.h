@@ -1,0 +1,34 @@
+// The nine evaluation datasets of Table IV, as generator specs tuned to
+// the paper-reported properties (shape, sparsity R^2_S, heterogeneity
+// R^2_H, labels, embedded missingness). See DESIGN.md section 4.
+
+#ifndef IIM_DATASETS_SPECS_H_
+#define IIM_DATASETS_SPECS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasets/generator.h"
+
+namespace iim::datasets {
+
+DatasetSpec Asf();    // UCI Airfoil Self-Noise: heterogeneous, 1.5k x 6
+DatasetSpec Ccs();    // UCI Concrete Strength: moderate, 1k x 6
+DatasetSpec Ccpp();   // UCI Power Plant: near-global regression, 10k x 5
+DatasetSpec Sn();     // UCI 2-attribute, 100k: extreme heterogeneity
+DatasetSpec Phase();  // Siemens three-phase power: clean global, 10k x 4
+DatasetSpec Ca();     // KEEL California: sparse high-dim, 20k x 9
+DatasetSpec Da();     // KEEL: moderate, 7k x 6
+DatasetSpec Mam();    // KEEL Mammographic: labeled + real missing, 1k x 5
+DatasetSpec Hep();    // KEEL Hepatitis: labeled + real missing, 200 x 19
+
+// All nine, in the order of Table IV.
+std::vector<DatasetSpec> AllSpecs();
+
+// Lookup by (case-insensitive) name.
+std::optional<DatasetSpec> SpecByName(const std::string& name);
+
+}  // namespace iim::datasets
+
+#endif  // IIM_DATASETS_SPECS_H_

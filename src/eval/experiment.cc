@@ -1,0 +1,135 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/stats.h"
+#include "data/transforms.h"
+
+namespace iim::eval {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// F = the first `num_features` attributes excluding the target (all of
+// them when num_features == 0), matching the |F| sweeps of Figures 4-5.
+std::vector<int> FeatureColumns(size_t num_cols, int target,
+                                size_t num_features) {
+  std::vector<int> features;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (static_cast<int>(c) == target) continue;
+    features.push_back(static_cast<int>(c));
+    if (num_features > 0 && features.size() == num_features) break;
+  }
+  return features;
+}
+
+}  // namespace
+
+Result<MethodResult> ImputeAll(const data::Table& r,
+                               const data::Table& working,
+                               const data::MissingMask& mask,
+                               baselines::Imputer* imputer,
+                               size_t num_features,
+                               data::Table* imputed_out) {
+  MethodResult result;
+  result.name = imputer->Name();
+
+  // Group missing cells by incomplete attribute Ax; one fit per group.
+  std::map<int, std::vector<const data::MissingCell*>> by_attr;
+  for (const auto& cell : mask.cells()) {
+    by_attr[cell.col].push_back(&cell);
+  }
+
+  for (const auto& [target, cells] : by_attr) {
+    std::vector<int> features =
+        FeatureColumns(working.NumCols(), target, num_features);
+    Stopwatch fit_timer;
+    Status fit = imputer->Fit(r, target, features);
+    result.fit_seconds += fit_timer.ElapsedSeconds();
+    if (!fit.ok()) {
+      result.failed += cells.size();
+      continue;
+    }
+    for (const auto* cell : cells) {
+      Stopwatch impute_timer;
+      Result<double> value = imputer->ImputeOne(working.Row(cell->row));
+      result.impute_seconds += impute_timer.ElapsedSeconds();
+      if (!value.ok()) {
+        ++result.failed;
+        continue;
+      }
+      ++result.imputed;
+      result.cells.push_back(ScoredCell{cell->truth, value.value(),
+                                        cell->col});
+      if (imputed_out != nullptr) {
+        imputed_out->Set(cell->row, static_cast<size_t>(cell->col),
+                         value.value());
+      }
+    }
+  }
+
+  if (result.cells.empty()) {
+    result.rms = kNan;
+  } else {
+    ASSIGN_OR_RETURN(result.rms, RmsError(result.cells));
+  }
+  return result;
+}
+
+Result<ExperimentResult> RunComparison(const data::Table& original,
+                                       const ExperimentConfig& config,
+                                       const std::vector<Method>& methods) {
+  data::Table working = original;
+  data::MissingMask mask(working.NumRows(), working.NumCols());
+  Rng rng(config.seed);
+  RETURN_IF_ERROR(InjectMissing(&working, &mask, config.inject, &rng));
+
+  std::vector<size_t> complete_rows = mask.CompleteRows();
+  if (config.complete_tuples > 0 &&
+      config.complete_tuples < complete_rows.size()) {
+    rng.Shuffle(&complete_rows);
+    complete_rows.resize(config.complete_tuples);
+    std::sort(complete_rows.begin(), complete_rows.end());
+  }
+  data::Table r = working.TakeRows(complete_rows);
+  if (r.empty()) {
+    return Status::FailedPrecondition("RunComparison: no complete tuples");
+  }
+
+  ExperimentResult out;
+  out.incomplete_tuples = mask.IncompleteRows().size();
+  out.complete_tuples = r.NumRows();
+
+  for (const Method& method : methods) {
+    std::unique_ptr<baselines::Imputer> imputer = method.make();
+    ASSIGN_OR_RETURN(MethodResult mres,
+                     ImputeAll(r, working, mask, imputer.get(),
+                               config.num_features, nullptr));
+    mres.name = method.name;
+    out.methods.push_back(std::move(mres));
+  }
+
+  // Dataset-property measures from the kNN / GLR reference runs.
+  std::vector<double> col_means;
+  for (const auto& stats : data::ComputeTableStats(r)) {
+    col_means.push_back(stats.mean);
+  }
+  out.r2_sparsity = kNan;
+  out.r2_heterogeneity = kNan;
+  for (const MethodResult& mres : out.methods) {
+    if (mres.cells.empty()) continue;
+    Result<double> r2 = RSquaredPooled(mres.cells, col_means);
+    if (!r2.ok()) continue;
+    if (mres.name == "kNN") out.r2_sparsity = r2.value();
+    if (mres.name == "GLR") out.r2_heterogeneity = r2.value();
+  }
+  return out;
+}
+
+}  // namespace iim::eval

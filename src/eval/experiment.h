@@ -1,0 +1,81 @@
+// Experiment runner implementing the paper's evaluation protocol
+// (Section VI): inject missing values into a copy of a complete dataset,
+// treat the untouched tuples as the relation r, fit each method per
+// incomplete attribute, impute every removed cell, and score RMS error
+// and wall-clock costs.
+
+#ifndef IIM_EVAL_EXPERIMENT_H_
+#define IIM_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/imputer.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "eval/injector.h"
+#include "eval/metrics.h"
+
+namespace iim::eval {
+
+// A named imputer factory; a fresh imputer is created per incomplete
+// attribute group.
+struct Method {
+  std::string name;
+  std::function<std::unique_ptr<baselines::Imputer>()> make;
+};
+
+struct ExperimentConfig {
+  InjectOptions inject;
+  uint64_t seed = 42;
+  // Number of complete attributes |F| to use (0 = all of R \ {Ax}); when
+  // smaller, the lowest-index attributes excluding Ax are used, matching
+  // the protocol of Figures 4-5.
+  size_t num_features = 0;
+  // When > 0, r is down-sampled to this many complete tuples (Figures 6-7).
+  size_t complete_tuples = 0;
+};
+
+struct MethodResult {
+  std::string name;
+  // NaN when the method could not impute anything (e.g. SVD on 2 columns).
+  double rms = 0.0;
+  double fit_seconds = 0.0;      // total learning/offline time
+  double impute_seconds = 0.0;   // total online imputation time
+  size_t imputed = 0;            // successfully imputed cells
+  size_t failed = 0;             // cells the method errored on
+  std::vector<ScoredCell> cells; // per-cell truth vs. imputation
+};
+
+struct ExperimentResult {
+  std::vector<MethodResult> methods;
+  // Sparsity / heterogeneity measured on this run (R^2 of kNN / GLR
+  // predictions, Section VI-A2); NaN if the reference method wasn't run.
+  double r2_sparsity = 0.0;
+  double r2_heterogeneity = 0.0;
+  size_t incomplete_tuples = 0;
+  size_t complete_tuples = 0;
+};
+
+// Runs all methods on one injected copy of `original` (which must be
+// complete on its attribute columns).
+Result<ExperimentResult> RunComparison(const data::Table& original,
+                                       const ExperimentConfig& config,
+                                       const std::vector<Method>& methods);
+
+// Fits `imputer` and imputes the cells of `mask`, writing values back into
+// `working` (which holds NaNs at missing cells) and returning scored cells.
+// Exposed for the application benches (Table VII) that need the imputed
+// table itself.
+Result<MethodResult> ImputeAll(const data::Table& r,
+                               const data::Table& working,
+                               const data::MissingMask& mask,
+                               baselines::Imputer* imputer,
+                               size_t num_features,
+                               data::Table* imputed_out);
+
+}  // namespace iim::eval
+
+#endif  // IIM_EVAL_EXPERIMENT_H_

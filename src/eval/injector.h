@@ -1,0 +1,36 @@
+// Missing-value injection (Section VI-A2): remove values from randomly
+// selected tuples (recording the truth) so imputations can be scored.
+
+#ifndef IIM_EVAL_INJECTOR_H_
+#define IIM_EVAL_INJECTOR_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/missing_mask.h"
+#include "data/table.h"
+
+namespace iim::eval {
+
+struct InjectOptions {
+  // Fraction of tuples to make incomplete (the paper's default protocol is
+  // 5% with one missing value on a random attribute each).
+  double tuple_fraction = 0.05;
+  // When > 0, overrides tuple_fraction with an absolute count.
+  size_t tuple_count = 0;
+  // When >= 0, every incomplete tuple loses this attribute (Table VI);
+  // otherwise each loses one uniformly random attribute.
+  int fixed_attr = -1;
+  // Incomplete tuples are injected in clusters of this size: a random seed
+  // tuple plus its (size-1) nearest neighbors all become incomplete
+  // (Figure 8). 1 = independent random tuples.
+  size_t cluster_size = 1;
+};
+
+// Marks cells missing in `mask` and overwrites them with NaN in `table`.
+// Tuples already incomplete are skipped when choosing victims.
+Status InjectMissing(data::Table* table, data::MissingMask* mask,
+                     const InjectOptions& options, Rng* rng);
+
+}  // namespace iim::eval
+
+#endif  // IIM_EVAL_INJECTOR_H_

@@ -1,0 +1,100 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace iim::eval {
+
+Result<double> RmsError(const std::vector<ScoredCell>& cells) {
+  if (cells.empty()) return Status::InvalidArgument("RmsError: no cells");
+  double acc = 0.0;
+  for (const auto& c : cells) {
+    double d = c.truth - c.imputed;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(cells.size()));
+}
+
+Result<double> RSquared(const std::vector<ScoredCell>& cells,
+                        double target_mean) {
+  if (cells.empty()) return Status::InvalidArgument("RSquared: no cells");
+  double sse = 0.0, sst = 0.0;
+  for (const auto& c : cells) {
+    sse += (c.truth - c.imputed) * (c.truth - c.imputed);
+    sst += (c.truth - target_mean) * (c.truth - target_mean);
+  }
+  if (sst <= 0.0) {
+    return Status::FailedPrecondition("RSquared: zero truth variance");
+  }
+  return 1.0 - sse / sst;
+}
+
+Result<double> RSquaredPooled(const std::vector<ScoredCell>& cells,
+                              const std::vector<double>& col_means) {
+  if (cells.empty()) {
+    return Status::InvalidArgument("RSquaredPooled: no cells");
+  }
+  double sse = 0.0, sst = 0.0;
+  for (const auto& c : cells) {
+    if (c.col < 0 || static_cast<size_t>(c.col) >= col_means.size()) {
+      return Status::InvalidArgument("RSquaredPooled: col out of range");
+    }
+    sse += (c.truth - c.imputed) * (c.truth - c.imputed);
+    double d = c.truth - col_means[static_cast<size_t>(c.col)];
+    sst += d * d;
+  }
+  if (sst <= 0.0) {
+    return Status::FailedPrecondition("RSquaredPooled: zero truth variance");
+  }
+  return 1.0 - sse / sst;
+}
+
+Result<double> Purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth) {
+  if (predicted.empty() || predicted.size() != truth.size()) {
+    return Status::InvalidArgument("Purity: size mismatch");
+  }
+  // cluster id -> (label -> count)
+  std::map<int, std::map<int, size_t>> counts;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++counts[predicted[i]][truth[i]];
+  }
+  size_t agree = 0;
+  for (const auto& [cluster, labels] : counts) {
+    size_t best = 0;
+    for (const auto& [label, count] : labels) best = std::max(best, count);
+    agree += best;
+  }
+  return static_cast<double>(agree) / static_cast<double>(predicted.size());
+}
+
+Result<double> MacroF1(const std::vector<int>& predicted,
+                       const std::vector<int>& truth) {
+  if (predicted.empty() || predicted.size() != truth.size()) {
+    return Status::InvalidArgument("MacroF1: size mismatch");
+  }
+  std::set<int> labels(truth.begin(), truth.end());
+  double f1_sum = 0.0;
+  for (int label : labels) {
+    size_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      bool p = predicted[i] == label;
+      bool t = truth[i] == label;
+      if (p && t) ++tp;
+      if (p && !t) ++fp;
+      if (!p && t) ++fn;
+    }
+    double precision =
+        tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+    double recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+    double f1 = (precision + recall == 0.0)
+                    ? 0.0
+                    : 2.0 * precision * recall / (precision + recall);
+    f1_sum += f1;
+  }
+  return f1_sum / static_cast<double>(labels.size());
+}
+
+}  // namespace iim::eval

@@ -1,0 +1,50 @@
+// Evaluation criteria of Section VI-A2: RMS imputation error, the
+// coefficient-of-determination measures R^2_S (sparsity, via kNN
+// predictions) and R^2_H (heterogeneity, via GLR predictions), clustering
+// purity, and classification F1.
+
+#ifndef IIM_EVAL_METRICS_H_
+#define IIM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace iim::eval {
+
+// One scored imputation: the removed ground truth vs. the imputed value,
+// plus which attribute the cell belongs to (experiments mix attributes).
+struct ScoredCell {
+  double truth;
+  double imputed;
+  int col = 0;
+};
+
+// RMS error: sqrt( sum (truth - imputed)^2 / N ).
+Result<double> RmsError(const std::vector<ScoredCell>& cells);
+
+// Coefficient of determination 1 - SSE/SST, SST against the given mean of
+// the target attribute over the complete relation. Lower R^2 from kNN
+// predictions = more sparsity; lower R^2 from GLR predictions = more
+// heterogeneity.
+Result<double> RSquared(const std::vector<ScoredCell>& cells,
+                        double target_mean);
+
+// Pooled R^2 over cells spanning several attributes: SST measures each
+// truth against the mean of its own attribute (col_means indexed by
+// ScoredCell::col).
+Result<double> RSquaredPooled(const std::vector<ScoredCell>& cells,
+                              const std::vector<double>& col_means);
+
+// Clustering purity: for each predicted cluster take the count of its most
+// common truth label; sum and divide by n.
+Result<double> Purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth);
+
+// Macro-averaged F1 over the label set present in `truth`.
+Result<double> MacroF1(const std::vector<int>& predicted,
+                       const std::vector<int>& truth);
+
+}  // namespace iim::eval
+
+#endif  // IIM_EVAL_METRICS_H_

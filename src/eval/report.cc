@@ -1,0 +1,58 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace iim::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      out += (j == 0 ? "| " : " | ");
+      out += PadRight(row[j], widths[j]);
+    }
+    out += " |\n";
+  };
+  std::string rule = "+";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+  out += rule;
+  emit_row(headers_);
+  out += rule;
+  for (const auto& row : rows_) emit_row(row);
+  out += rule;
+  return out;
+}
+
+std::string FormatMetric(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  return FormatDouble(value, precision);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (std::isnan(seconds)) return "-";
+  int precision = seconds < 0.01 ? 5 : (seconds < 1.0 ? 4 : 2);
+  return FormatDouble(seconds, precision) + "s";
+}
+
+}  // namespace iim::eval

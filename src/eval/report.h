@@ -1,0 +1,32 @@
+// Fixed-width console tables for the bench harness output.
+
+#ifndef IIM_EVAL_REPORT_H_
+#define IIM_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace iim::eval {
+
+// Collects rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "3.142" / "-" for NaN; used for RMS and time columns.
+std::string FormatMetric(double value, int precision = 3);
+
+// Seconds with adaptive precision ("0.0013s", "12.3s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace iim::eval
+
+#endif  // IIM_EVAL_REPORT_H_

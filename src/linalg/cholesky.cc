@@ -1,0 +1,82 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace iim::linalg {
+
+Status CholeskyFactor(const Matrix& a, Matrix* l) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix not square");
+  }
+  size_t n = a.rows();
+  *l = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "Cholesky: matrix not positive definite");
+        }
+        (*l)(i, i) = std::sqrt(sum);
+      } else {
+        (*l)(i, j) = sum / (*l)(j, j);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Solves L y = b then L^T x = y.
+void BackSubstitute(const Matrix& l, const Vector& b, Vector* x) {
+  size_t n = l.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * (*x)[k];
+    (*x)[ii] = sum / l(ii, ii);
+  }
+}
+
+}  // namespace
+
+Status CholeskySolve(const Matrix& a, const Vector& b, Vector* x) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolve: size mismatch");
+  }
+  Matrix l;
+  RETURN_IF_ERROR(CholeskyFactor(a, &l));
+  BackSubstitute(l, b, x);
+  return Status::OK();
+}
+
+Status CholeskySolveMatrix(const Matrix& a, const Matrix& b, Matrix* x) {
+  if (b.rows() != a.rows()) {
+    return Status::InvalidArgument("CholeskySolveMatrix: size mismatch");
+  }
+  Matrix l;
+  RETURN_IF_ERROR(CholeskyFactor(a, &l));
+  *x = Matrix(b.rows(), b.cols());
+  Vector col(b.rows()), sol;
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    BackSubstitute(l, col, &sol);
+    for (size_t i = 0; i < b.rows(); ++i) (*x)(i, j) = sol[i];
+  }
+  return Status::OK();
+}
+
+Status CholeskyInverse(const Matrix& a, Matrix* inv) {
+  return CholeskySolveMatrix(a, Matrix::Identity(a.rows()), inv);
+}
+
+}  // namespace iim::linalg

@@ -1,0 +1,29 @@
+// Cholesky factorization and SPD linear solve.
+//
+// Used for ridge normal equations (X^T X + alpha*I) phi = X^T y, which are
+// symmetric positive definite whenever alpha > 0.
+
+#ifndef IIM_LINALG_CHOLESKY_H_
+#define IIM_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace iim::linalg {
+
+// Factors SPD matrix A = L * L^T (L lower triangular). Fails with
+// FailedPrecondition if A is not (numerically) positive definite.
+Status CholeskyFactor(const Matrix& a, Matrix* l);
+
+// Solves A x = b for SPD A via Cholesky. x is resized to b.size().
+Status CholeskySolve(const Matrix& a, const Vector& b, Vector* x);
+
+// Solves A X = B column-by-column (B and X are m x p).
+Status CholeskySolveMatrix(const Matrix& a, const Matrix& b, Matrix* x);
+
+// Inverse of an SPD matrix via Cholesky.
+Status CholeskyInverse(const Matrix& a, Matrix* inv);
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_CHOLESKY_H_

@@ -1,0 +1,75 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace iim::linalg {
+
+Status JacobiEigen(const Matrix& input, EigenDecomposition* out,
+                   int max_sweeps, double tol) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigen: matrix not square");
+  }
+  size_t n = input.rows();
+  Matrix a = input;
+  // Symmetrize defensively: callers build covariance matrices whose halves
+  // can differ in the last bit.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i + 1; j < n; ++j)
+      a(j, i) = a(i, j) = 0.5 * (a(i, j) + a(j, i));
+
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (std::sqrt(off) < tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) < tol * 1e-3) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Vector diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  out->values.resize(n);
+  out->vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out->values[j] = diag[order[j]];
+    for (size_t i = 0; i < n; ++i) out->vectors(i, j) = v(i, order[j]);
+  }
+  return Status::OK();
+}
+
+}  // namespace iim::linalg

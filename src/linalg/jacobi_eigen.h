@@ -1,0 +1,28 @@
+// Symmetric eigen-decomposition via the cyclic Jacobi rotation method.
+//
+// Attribute counts are small (m <= ~20), where Jacobi is simple, accurate,
+// and fast enough. Used by the thin SVD and by GMM covariance checks.
+
+#ifndef IIM_LINALG_JACOBI_EIGEN_H_
+#define IIM_LINALG_JACOBI_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace iim::linalg {
+
+struct EigenDecomposition {
+  // Eigenvalues in descending order.
+  Vector values;
+  // Column j of `vectors` is the eigenvector for values[j].
+  Matrix vectors;
+};
+
+// Decomposes a symmetric matrix. Fails on non-square input; symmetry is
+// assumed (the strictly-lower triangle is ignored in favor of the upper).
+Status JacobiEigen(const Matrix& a, EigenDecomposition* out,
+                   int max_sweeps = 64, double tol = 1e-12);
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,88 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace iim::linalg {
+
+namespace {
+
+constexpr double kPivotEps = 1e-12;
+
+// In-place LU with partial pivoting. Returns false if singular.
+// perm_sign (optional) receives +1/-1 for the permutation parity.
+bool Factor(Matrix* a, std::vector<size_t>* perm, int* perm_sign) {
+  size_t n = a->rows();
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), 0);
+  if (perm_sign != nullptr) *perm_sign = 1;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs((*a)(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs((*a)(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kPivotEps) return false;
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j)
+        std::swap((*a)(col, j), (*a)(pivot, j));
+      std::swap((*perm)[col], (*perm)[pivot]);
+      if (perm_sign != nullptr) *perm_sign = -*perm_sign;
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = (*a)(r, col) / (*a)(col, col);
+      (*a)(r, col) = f;
+      for (size_t j = col + 1; j < n; ++j)
+        (*a)(r, j) -= f * (*a)(col, j);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LuSolve(const Matrix& a, const Vector& b, Vector* x) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LuSolve: matrix not square");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LuSolve: size mismatch");
+  }
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  if (!Factor(&lu, &perm, nullptr)) {
+    return Status::FailedPrecondition("LuSolve: singular matrix");
+  }
+  size_t n = a.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (size_t k = 0; k < i; ++k) sum -= lu(i, k) * y[k];
+    y[i] = sum;
+  }
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lu(ii, k) * (*x)[k];
+    (*x)[ii] = sum / lu(ii, ii);
+  }
+  return Status::OK();
+}
+
+double Determinant(const Matrix& a) {
+  if (a.rows() != a.cols() || a.empty()) return 0.0;
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  int sign = 1;
+  if (!Factor(&lu, &perm, &sign)) return 0.0;
+  double det = sign;
+  for (size_t i = 0; i < a.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+}  // namespace iim::linalg

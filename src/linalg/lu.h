@@ -1,0 +1,23 @@
+// LU factorization with partial pivoting; general (non-SPD) linear solve.
+//
+// Fallback solver for normal equations with alpha == 0 (pure OLS), where
+// X^T X can be singular or indefinite to machine precision.
+
+#ifndef IIM_LINALG_LU_H_
+#define IIM_LINALG_LU_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace iim::linalg {
+
+// Solves A x = b with Gaussian elimination + partial pivoting.
+// Returns FailedPrecondition for (numerically) singular A.
+Status LuSolve(const Matrix& a, const Vector& b, Vector* x);
+
+// Determinant via LU (0.0 for singular).
+double Determinant(const Matrix& a);
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_LU_H_

@@ -1,0 +1,136 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace iim::linalg {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].size() == m.cols_);
+    std::copy(rows[i].begin(), rows[i].end(), m.RowPtr(i));
+  }
+  return m;
+}
+
+Vector Matrix::Row(size_t i) const {
+  assert(i < rows_);
+  return Vector(RowPtr(i), RowPtr(i) + cols_);
+}
+
+Vector Matrix::Col(size_t j) const {
+  assert(j < cols_);
+  Vector v(rows_);
+  for (size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::SetRow(size_t i, const Vector& v) {
+  assert(i < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowPtr(i));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = row[i];
+      if (a == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) out(i, j) += a * row[j];
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i)
+    for (size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::AddScaledIdentity(double s) {
+  assert(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += s;
+  return *this;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j > 0) out += ", ";
+      out += FormatDouble((*this)(i, j), precision);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace iim::linalg

@@ -1,0 +1,83 @@
+// Dense row-major matrix of doubles.
+//
+// Dimensions in this library are tiny (m <= ~20 attributes), so the
+// implementation favors clarity over blocking/vectorization tricks; the
+// hot loops are still written cache-friendly (row-major inner loops).
+
+#ifndef IIM_LINALG_MATRIX_H_
+#define IIM_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iim::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  static Matrix Identity(size_t n);
+  // Builds from nested initializer-style data; all rows must be equal length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  // Raw pointer to row i (cols() contiguous doubles).
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  Vector Row(size_t i) const;
+  Vector Col(size_t j) const;
+  void SetRow(size_t i, const Vector& v);
+
+  Matrix Transposed() const;
+
+  // this * other.
+  Matrix Multiply(const Matrix& other) const;
+  // this * v.
+  Vector MultiplyVec(const Vector& v) const;
+  // this^T * this, exploiting symmetry of the result.
+  Matrix Gram() const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& ScaleInPlace(double s);
+  // this += s * I. Matrix must be square.
+  Matrix& AddScaledIdentity(double s);
+
+  // max_ij |a_ij - b_ij|; matrices must be the same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_MATRIX_H_

@@ -1,0 +1,59 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/jacobi_eigen.h"
+
+namespace iim::linalg {
+
+Status ThinSvd(const Matrix& a, Svd* out, size_t rank, double tol) {
+  if (a.empty()) return Status::InvalidArgument("ThinSvd: empty matrix");
+  size_t m = a.cols();
+  if (rank == 0 || rank > m) rank = m;
+
+  EigenDecomposition eig;
+  RETURN_IF_ERROR(JacobiEigen(a.Gram(), &eig));
+
+  // Count usable components: positive eigenvalues above tolerance.
+  size_t r = 0;
+  while (r < rank && eig.values[r] > tol * tol) ++r;
+  if (r == 0) {
+    return Status::FailedPrecondition("ThinSvd: matrix is numerically zero");
+  }
+
+  out->singular.resize(r);
+  out->v = Matrix(m, r);
+  for (size_t j = 0; j < r; ++j) {
+    out->singular[j] = std::sqrt(std::max(eig.values[j], 0.0));
+    for (size_t i = 0; i < m; ++i) out->v(i, j) = eig.vectors(i, j);
+  }
+
+  // U = A V S^{-1}.
+  out->u = Matrix(a.rows(), r);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    for (size_t j = 0; j < r; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < m; ++k) acc += row[k] * out->v(k, j);
+      out->u(i, j) = acc / out->singular[j];
+    }
+  }
+  return Status::OK();
+}
+
+Matrix LowRankReconstruct(const Svd& svd, size_t rank) {
+  rank = std::min(rank, svd.singular.size());
+  Matrix out(svd.u.rows(), svd.v.rows());
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t k = 0; k < rank; ++k) {
+      double scale = svd.u(i, k) * svd.singular[k];
+      for (size_t j = 0; j < out.cols(); ++j) {
+        out(i, j) += scale * svd.v(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iim::linalg

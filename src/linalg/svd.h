@@ -1,0 +1,31 @@
+// Thin singular value decomposition A = U S V^T for tall matrices.
+//
+// Computed from the eigen-decomposition of A^T A (cols is the small
+// attribute dimension in this library). Used by the SVD imputation
+// baseline (Troyanskaya et al.) for low-rank reconstruction.
+
+#ifndef IIM_LINALG_SVD_H_
+#define IIM_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace iim::linalg {
+
+struct Svd {
+  Matrix u;          // n x r
+  Vector singular;   // r values, descending
+  Matrix v;          // m x r (columns are right singular vectors)
+};
+
+// Thin SVD keeping at most `rank` components (rank <= cols). rank == 0
+// keeps all cols. Singular values below `tol` are dropped.
+Status ThinSvd(const Matrix& a, Svd* out, size_t rank = 0,
+               double tol = 1e-10);
+
+// Rank-r reconstruction U_r S_r V_r^T.
+Matrix LowRankReconstruct(const Svd& svd, size_t rank);
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_SVD_H_

@@ -1,0 +1,83 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iim::linalg {
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double Distance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& v, double s) {
+  Vector out(v);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+void Axpy(double s, const Vector& b, Vector* a) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+double Sum(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double Mean(const Vector& v) {
+  return v.empty() ? 0.0 : Sum(v) / static_cast<double>(v.size());
+}
+
+double Variance(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  double mu = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const Vector& v) { return std::sqrt(Variance(v)); }
+
+double Min(const Vector& v) {
+  assert(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const Vector& v) {
+  assert(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace iim::linalg

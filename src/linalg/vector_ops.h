@@ -1,0 +1,29 @@
+// Free functions on Vector (std::vector<double>).
+
+#ifndef IIM_LINALG_VECTOR_OPS_H_
+#define IIM_LINALG_VECTOR_OPS_H_
+
+#include "linalg/matrix.h"
+
+namespace iim::linalg {
+
+double Dot(const Vector& a, const Vector& b);
+double Norm2(const Vector& v);
+// Euclidean distance ||a - b||.
+double Distance(const Vector& a, const Vector& b);
+Vector Add(const Vector& a, const Vector& b);
+Vector Sub(const Vector& a, const Vector& b);
+Vector Scale(const Vector& v, double s);
+// a += s * b.
+void Axpy(double s, const Vector& b, Vector* a);
+double Sum(const Vector& v);
+double Mean(const Vector& v);
+// Sample variance (divides by n-1; returns 0 for n < 2).
+double Variance(const Vector& v);
+double StdDev(const Vector& v);
+double Min(const Vector& v);
+double Max(const Vector& v);
+
+}  // namespace iim::linalg
+
+#endif  // IIM_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,40 @@
+#include "neighbors/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace iim::neighbors {
+
+double NormalizedEuclidean(const data::RowView& a, const data::RowView& b,
+                           const std::vector<int>& cols) {
+  assert(!cols.empty());
+  double acc = 0.0;
+  for (int c : cols) {
+    double d = a[static_cast<size_t>(c)] - b[static_cast<size_t>(c)];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(cols.size()));
+}
+
+double NormalizedEuclidean(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  assert(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double Euclidean(const data::RowView& a, const data::RowView& b,
+                 const std::vector<int>& cols) {
+  double acc = 0.0;
+  for (int c : cols) {
+    double d = a[static_cast<size_t>(c)] - b[static_cast<size_t>(c)];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace iim::neighbors

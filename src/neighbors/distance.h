@@ -1,0 +1,29 @@
+// Tuple distances on a subset of attributes.
+//
+// The paper (Formula 1) uses Euclidean distance on the complete attributes
+// F normalized by |F|:  d_{x,i} = sqrt( sum_{A in F} (t_x[A]-t_i[A])^2 / |F| ).
+
+#ifndef IIM_NEIGHBORS_DISTANCE_H_
+#define IIM_NEIGHBORS_DISTANCE_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace iim::neighbors {
+
+// Formula 1. Attributes listed in `cols`; both rows must be non-NaN there.
+double NormalizedEuclidean(const data::RowView& a, const data::RowView& b,
+                           const std::vector<int>& cols);
+
+// Same on pre-gathered coordinate vectors (a.size() == b.size()).
+double NormalizedEuclidean(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+// Plain (unnormalized) Euclidean on `cols`.
+double Euclidean(const data::RowView& a, const data::RowView& b,
+                 const std::vector<int>& cols);
+
+}  // namespace iim::neighbors
+
+#endif  // IIM_NEIGHBORS_DISTANCE_H_

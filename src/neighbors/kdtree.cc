@@ -1,0 +1,154 @@
+#include "neighbors/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neighbors/distance.h"
+
+namespace iim::neighbors {
+
+namespace {
+
+// Orders by (distance, index); the heap uses the inverse so its top is the
+// current worst neighbor. Matching BruteForceIndex tie-breaking keeps the
+// two indexes bit-for-bit interchangeable.
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+KdTreeIndex::KdTreeIndex(const data::Table* table, std::vector<int> cols)
+    : table_(table), cols_(std::move(cols)) {
+  // Points are stored unscaled and leaf distances are computed with the
+  // exact NormalizedEuclidean used by BruteForceIndex, so the two indexes
+  // produce bitwise-identical results (including distance ties).
+  points_.reserve(table_->NumRows());
+  for (size_t i = 0; i < table_->NumRows(); ++i) {
+    points_.push_back(table_->Row(i).Gather(cols_));
+  }
+  order_.resize(points_.size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!points_.empty()) root_ = Build(0, points_.size(), 0);
+}
+
+int KdTreeIndex::Build(size_t begin, size_t end, int depth) {
+  Node node;
+  if (end - begin <= kLeafSize) {
+    node.begin = begin;
+    node.end = end;
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+  // Split on the axis with the largest spread in this range.
+  size_t dims = cols_.size();
+  int best_axis = depth % static_cast<int>(dims);
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double lo = points_[order_[begin]][d], hi = lo;
+    for (size_t i = begin + 1; i < end; ++i) {
+      double v = points_[order_[i]][d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = static_cast<int>(d);
+    }
+  }
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<long>(begin),
+                   order_.begin() + static_cast<long>(mid),
+                   order_.begin() + static_cast<long>(end),
+                   [this, best_axis](size_t a, size_t b) {
+                     return points_[a][static_cast<size_t>(best_axis)] <
+                            points_[b][static_cast<size_t>(best_axis)];
+                   });
+  node.axis = best_axis;
+  node.split = points_[order_[mid]][static_cast<size_t>(best_axis)];
+  nodes_.push_back(node);
+  int id = static_cast<int>(nodes_.size() - 1);
+  int left = Build(begin, mid, depth + 1);
+  int right = Build(mid, end, depth + 1);
+  nodes_[static_cast<size_t>(id)].left = left;
+  nodes_[static_cast<size_t>(id)].right = right;
+  return id;
+}
+
+void KdTreeIndex::Search(int node_id, const std::vector<double>& q,
+                         const QueryOptions& options,
+                         std::vector<Neighbor>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.IsLeaf()) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      size_t row = order_[i];
+      if (row == options.exclude) continue;
+      Neighbor cand{row, NormalizedEuclidean(q, points_[row])};
+      if (heap->size() < options.k) {
+        heap->push_back(cand);
+        std::push_heap(heap->begin(), heap->end(), NeighborLess);
+      } else if (NeighborLess(cand, heap->front())) {
+        std::pop_heap(heap->begin(), heap->end(), NeighborLess);
+        heap->back() = cand;
+        std::push_heap(heap->begin(), heap->end(), NeighborLess);
+      }
+    }
+    return;
+  }
+  double delta = q[static_cast<size_t>(node.axis)] - node.split;
+  int near = delta <= 0.0 ? node.left : node.right;
+  int far = delta <= 0.0 ? node.right : node.left;
+  Search(near, q, options, heap);
+  // The normalized distance from q to the splitting plane is
+  // |delta| / sqrt(|F|). Visit the far side unless the plane is strictly
+  // farther than the current worst neighbor; equality keeps ties exact.
+  if (heap->size() < options.k) {
+    Search(far, q, options, heap);
+  } else {
+    double worst = heap->front().distance;
+    // Conservative slack: squaring `worst` can round below the true
+    // worst^2, which on exact distance ties would prune a subtree holding
+    // an equidistant smaller-index neighbor. The relative epsilon makes
+    // the bound err toward visiting.
+    double bound = worst * worst * static_cast<double>(cols_.size());
+    if (delta * delta <= bound + bound * 1e-12) {
+      Search(far, q, options, heap);
+    }
+  }
+}
+
+std::vector<Neighbor> KdTreeIndex::Query(const data::RowView& query,
+                                         const QueryOptions& options) const {
+  std::vector<Neighbor> heap;
+  if (root_ < 0 || options.k == 0) return heap;
+  heap.reserve(options.k);
+  std::vector<double> q = query.Gather(cols_);
+  Search(root_, q, options, &heap);
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
+}
+
+std::vector<Neighbor> KdTreeIndex::QueryAll(const data::RowView& query,
+                                            size_t exclude) const {
+  std::vector<double> q = query.Gather(cols_);
+  std::vector<Neighbor> out;
+  out.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i == exclude) continue;
+    out.push_back(Neighbor{i, NormalizedEuclidean(q, points_[i])});
+  }
+  std::sort(out.begin(), out.end(), NeighborLess);
+  return out;
+}
+
+std::unique_ptr<NeighborIndex> MakeIndex(const data::Table* table,
+                                         std::vector<int> cols,
+                                         size_t kdtree_threshold) {
+  if (table->NumRows() >= kdtree_threshold) {
+    return std::make_unique<KdTreeIndex>(table, std::move(cols));
+  }
+  return std::make_unique<BruteForceIndex>(table, std::move(cols));
+}
+
+}  // namespace iim::neighbors

@@ -1,0 +1,62 @@
+// KD-tree accelerated exact nearest-neighbor index.
+//
+// Same contract as BruteForceIndex; used for the large-n scalability
+// experiments (SN with 100k tuples). Distances match Formula 1 exactly,
+// so swapping indexes never changes results, only speed.
+
+#ifndef IIM_NEIGHBORS_KDTREE_H_
+#define IIM_NEIGHBORS_KDTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "neighbors/knn.h"
+
+namespace iim::neighbors {
+
+class KdTreeIndex final : public NeighborIndex {
+ public:
+  KdTreeIndex(const data::Table* table, std::vector<int> cols);
+
+  std::vector<Neighbor> Query(const data::RowView& query,
+                              const QueryOptions& options) const override;
+  // Falls back to a full scan: a sorted list of *all* points cannot beat
+  // O(n log n) anyway.
+  std::vector<Neighbor> QueryAll(const data::RowView& query,
+                                 size_t exclude) const override;
+  size_t size() const override { return points_.size(); }
+
+ private:
+  struct Node {
+    int axis = -1;          // split dimension (index into cols_)
+    double split = 0.0;     // split coordinate
+    size_t begin = 0;       // leaf: range into order_
+    size_t end = 0;
+    int left = -1;          // children as indices into nodes_
+    int right = -1;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  static constexpr size_t kLeafSize = 16;
+
+  int Build(size_t begin, size_t end, int depth);
+  void Search(int node_id, const std::vector<double>& q,
+              const QueryOptions& options,
+              std::vector<Neighbor>* heap) const;
+
+  const data::Table* table_;
+  std::vector<int> cols_;
+  std::vector<std::vector<double>> points_;  // projected coordinates
+  std::vector<size_t> order_;                // row ids, permuted by Build
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+// Picks KdTree for large tables, brute force otherwise.
+std::unique_ptr<NeighborIndex> MakeIndex(const data::Table* table,
+                                         std::vector<int> cols,
+                                         size_t kdtree_threshold = 4096);
+
+}  // namespace iim::neighbors
+
+#endif  // IIM_NEIGHBORS_KDTREE_H_

@@ -1,0 +1,42 @@
+#include "neighbors/knn.h"
+
+#include <algorithm>
+
+#include "neighbors/distance.h"
+
+namespace iim::neighbors {
+
+namespace {
+
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+BruteForceIndex::BruteForceIndex(const data::Table* table,
+                                 std::vector<int> cols)
+    : table_(table), cols_(std::move(cols)) {}
+
+std::vector<Neighbor> BruteForceIndex::Query(
+    const data::RowView& query, const QueryOptions& options) const {
+  std::vector<Neighbor> all = QueryAll(query, options.exclude);
+  if (all.size() > options.k) all.resize(options.k);
+  return all;
+}
+
+std::vector<Neighbor> BruteForceIndex::QueryAll(const data::RowView& query,
+                                                size_t exclude) const {
+  std::vector<Neighbor> out;
+  out.reserve(table_->NumRows());
+  for (size_t i = 0; i < table_->NumRows(); ++i) {
+    if (i == exclude) continue;
+    out.push_back(
+        Neighbor{i, NormalizedEuclidean(query, table_->Row(i), cols_)});
+  }
+  std::sort(out.begin(), out.end(), NeighborLess);
+  return out;
+}
+
+}  // namespace iim::neighbors

@@ -1,0 +1,70 @@
+// Nearest-neighbor search over a relation on an attribute subset F.
+//
+// NeighborIndex is the NN(t, F, l) primitive shared by IIM, kNN, kNNE,
+// LOESS, ILLS and PMM. The default implementation is an exact brute-force
+// scan (distances are cheap: |F| <= ~20); neighbors/kdtree.h provides a
+// tree-accelerated drop-in for large n.
+
+#ifndef IIM_NEIGHBORS_KNN_H_
+#define IIM_NEIGHBORS_KNN_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace iim::neighbors {
+
+struct Neighbor {
+  size_t index;     // row in the indexed table
+  double distance;  // Formula 1 distance
+};
+
+// Search options: `exclude` removes one row from consideration (used when a
+// validation tuple queries its own relation); `k` caps the result size.
+struct QueryOptions {
+  size_t k = 1;
+  // Row index to exclude, or kNoExclusion.
+  size_t exclude = kNoExclusion;
+  static constexpr size_t kNoExclusion = static_cast<size_t>(-1);
+};
+
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  // k nearest rows to `query`, ascending by (distance, index). Returns fewer
+  // than k results when the indexed table is small.
+  virtual std::vector<Neighbor> Query(const data::RowView& query,
+                                      const QueryOptions& options) const = 0;
+
+  // All rows sorted ascending by (distance, index) — the full neighbor
+  // order used by adaptive learning (every prefix is an NN(t, F, l) set).
+  virtual std::vector<Neighbor> QueryAll(const data::RowView& query,
+                                         size_t exclude) const = 0;
+
+  virtual size_t size() const = 0;
+};
+
+// Exact brute-force index.
+class BruteForceIndex final : public NeighborIndex {
+ public:
+  // Indexes `table` on attribute subset `cols` (kept by value). The table
+  // must outlive the index.
+  BruteForceIndex(const data::Table* table, std::vector<int> cols);
+
+  std::vector<Neighbor> Query(const data::RowView& query,
+                              const QueryOptions& options) const override;
+  std::vector<Neighbor> QueryAll(const data::RowView& query,
+                                 size_t exclude) const override;
+  size_t size() const override { return table_->NumRows(); }
+
+  const std::vector<int>& cols() const { return cols_; }
+
+ private:
+  const data::Table* table_;
+  std::vector<int> cols_;
+};
+
+}  // namespace iim::neighbors
+
+#endif  // IIM_NEIGHBORS_KNN_H_

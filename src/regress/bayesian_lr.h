@@ -1,0 +1,29 @@
+// Bayesian linear regression posterior draw, following the mice.norm
+// scheme (van Buuren): sigma^2 drawn from the scaled inverse-chi-square
+// posterior, beta drawn from N(beta_hat, sigma^2 (X^T X + alpha E)^{-1}).
+// Used by the BLR imputer and by PMM's model perturbation.
+
+#ifndef IIM_REGRESS_BAYESIAN_LR_H_
+#define IIM_REGRESS_BAYESIAN_LR_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "regress/linear_model.h"
+
+namespace iim::regress {
+
+struct BayesianDraw {
+  LinearModel model;     // drawn beta (intercept first)
+  LinearModel mean;      // posterior mean beta_hat (the ridge solution)
+  double sigma = 0.0;    // drawn residual stddev
+};
+
+// x: n x p (no ones column), y: n. Requires n >= 1.
+Result<BayesianDraw> DrawBayesianLinearModel(const linalg::Matrix& x,
+                                             const linalg::Vector& y,
+                                             Rng* rng, double alpha = 1e-6);
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_BAYESIAN_LR_H_

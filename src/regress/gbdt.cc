@@ -1,0 +1,51 @@
+#include "regress/gbdt.h"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.h"
+
+namespace iim::regress {
+
+Status Gbdt::Fit(const linalg::Matrix& x, const linalg::Vector& y,
+                 const GbdtOptions& options, Rng* rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("Gbdt: bad dimensions");
+  }
+  if (options.subsample <= 0.0 || options.subsample > 1.0) {
+    return Status::InvalidArgument("Gbdt: subsample must be in (0, 1]");
+  }
+  trees_.clear();
+  learning_rate_ = options.learning_rate;
+  base_ = linalg::Mean(y);
+
+  size_t n = x.rows();
+  linalg::Vector pred(n, base_);
+  linalg::Vector residual(n);
+  for (int round = 0; round < options.rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+
+    std::vector<size_t> sample;
+    if (options.subsample < 1.0) {
+      size_t count = std::max<size_t>(
+          1, static_cast<size_t>(options.subsample * static_cast<double>(n)));
+      sample = rng->SampleWithoutReplacement(n, count);
+    }
+    RegressionTree tree;
+    RETURN_IF_ERROR(tree.Fit(x, residual, options.tree, sample));
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += learning_rate_ * tree.Predict(x.RowPtr(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double Gbdt::Predict(const std::vector<double>& x) const {
+  double acc = base_;
+  for (const RegressionTree& tree : trees_) {
+    acc += learning_rate_ * tree.Predict(x);
+  }
+  return acc;
+}
+
+}  // namespace iim::regress

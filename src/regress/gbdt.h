@@ -1,0 +1,42 @@
+// Gradient-boosted regression trees with squared loss — the stand-in for
+// the paper's XGB baseline (Chen & Guestrin). Each round fits a CART tree
+// to the current residuals and adds it with shrinkage; optional row
+// subsampling (stochastic gradient boosting).
+
+#ifndef IIM_REGRESS_GBDT_H_
+#define IIM_REGRESS_GBDT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "regress/tree.h"
+
+namespace iim::regress {
+
+struct GbdtOptions {
+  int rounds = 50;
+  double learning_rate = 0.1;
+  double subsample = 1.0;  // fraction of rows per round, (0, 1]
+  TreeOptions tree;
+};
+
+class Gbdt {
+ public:
+  Status Fit(const linalg::Matrix& x, const linalg::Vector& y,
+             const GbdtOptions& options, Rng* rng);
+
+  double Predict(const std::vector<double>& x) const;
+
+  size_t NumTrees() const { return trees_.size(); }
+
+ private:
+  double base_ = 0.0;  // F_0: global mean
+  double learning_rate_ = 0.1;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_GBDT_H_

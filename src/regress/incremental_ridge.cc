@@ -1,0 +1,49 @@
+#include "regress/incremental_ridge.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+
+namespace iim::regress {
+
+IncrementalRidge::IncrementalRidge(size_t p)
+    : p_(p), u_(p + 1, p + 1), v_(p + 1, 0.0) {}
+
+void IncrementalRidge::AddRow(const std::vector<double>& x, double y) {
+  // Rank-1 update with the augmented row (1, x).
+  u_(0, 0) += 1.0;
+  v_[0] += y;
+  for (size_t i = 0; i < p_; ++i) {
+    u_(0, i + 1) += x[i];
+    u_(i + 1, 0) += x[i];
+    v_[i + 1] += x[i] * y;
+    for (size_t j = 0; j < p_; ++j) u_(i + 1, j + 1) += x[i] * x[j];
+  }
+  ++num_rows_;
+}
+
+void IncrementalRidge::AddRows(const linalg::Matrix& x,
+                               const linalg::Vector& y) {
+  for (size_t r = 0; r < x.rows(); ++r) {
+    AddRow(x.Row(r), y[r]);
+  }
+}
+
+Result<LinearModel> IncrementalRidge::Solve(double alpha) const {
+  if (num_rows_ == 0) {
+    return Status::FailedPrecondition("IncrementalRidge: no training rows");
+  }
+  linalg::Matrix a = u_;
+  a.AddScaledIdentity(alpha);
+  LinearModel model;
+  Status st = linalg::CholeskySolve(a, v_, &model.phi);
+  if (st.ok()) return model;
+  st = linalg::LuSolve(a, v_, &model.phi);
+  if (st.ok()) return model;
+  a.AddScaledIdentity(1e-8 + 1e-8 * std::fabs(a(0, 0)));
+  RETURN_IF_ERROR(linalg::CholeskySolve(a, v_, &model.phi));
+  return model;
+}
+
+}  // namespace iim::regress

@@ -1,0 +1,43 @@
+// Incremental ridge learning (Section V-B, Proposition 3).
+//
+// Maintains U = X^T X and V = X^T Y so that growing the training set from
+// the l nearest neighbors to the (l+h) nearest neighbors costs O(m^2 h)
+// instead of O(m^2 (l+h)) — constant in l. Solving for phi remains O(m^3).
+
+#ifndef IIM_REGRESS_INCREMENTAL_RIDGE_H_
+#define IIM_REGRESS_INCREMENTAL_RIDGE_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "regress/linear_model.h"
+
+namespace iim::regress {
+
+class IncrementalRidge {
+ public:
+  // p = number of features (the ones column is implicit).
+  explicit IncrementalRidge(size_t p);
+
+  // Folds one training row into U, V (Formulas 20-21 with h = 1).
+  void AddRow(const std::vector<double>& x, double y);
+  // Batch variant (Formulas 20-21 with h = rows).
+  void AddRows(const linalg::Matrix& x, const linalg::Vector& y);
+
+  // phi = (U + alpha E)^{-1} V (Formula 19). Fails if no rows were added.
+  Result<LinearModel> Solve(double alpha = 1e-6) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return p_; }
+  const linalg::Matrix& U() const { return u_; }
+  const linalg::Vector& V() const { return v_; }
+
+ private:
+  size_t p_;
+  size_t num_rows_ = 0;
+  linalg::Matrix u_;   // (p+1) x (p+1)
+  linalg::Vector v_;   // (p+1)
+};
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_INCREMENTAL_RIDGE_H_

@@ -1,0 +1,41 @@
+// LinearModel: the parameter vector phi of Formula 3.
+//
+// phi[0] is the constant term phi[C]; phi[1..p] are the attribute
+// coefficients, so a prediction is (1, x) . phi.
+
+#ifndef IIM_REGRESS_LINEAR_MODEL_H_
+#define IIM_REGRESS_LINEAR_MODEL_H_
+
+#include <cassert>
+#include <vector>
+
+namespace iim::regress {
+
+struct LinearModel {
+  // Coefficients, size p + 1 (intercept first).
+  std::vector<double> phi;
+
+  size_t num_features() const { return phi.empty() ? 0 : phi.size() - 1; }
+
+  // (1, x) . phi  — Formula 4 / Formula 9.
+  double Predict(const std::vector<double>& x) const {
+    assert(x.size() + 1 == phi.size());
+    double acc = phi[0];
+    for (size_t i = 0; i < x.size(); ++i) acc += phi[i + 1] * x[i];
+    return acc;
+  }
+
+  // A "constant" model that always predicts `value` over p features — the
+  // paper's single-neighbor rule (Section III-A2):
+  // phi[C] = t_i[Am], all attribute coefficients zero.
+  static LinearModel Constant(double value, size_t p) {
+    LinearModel m;
+    m.phi.assign(p + 1, 0.0);
+    m.phi[0] = value;
+    return m;
+  }
+};
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_LINEAR_MODEL_H_

@@ -1,0 +1,36 @@
+#include "regress/loess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "regress/ridge.h"
+
+namespace iim::regress {
+
+Result<double> LoessPredict(const linalg::Matrix& x, const linalg::Vector& y,
+                            const linalg::Vector& distances,
+                            const std::vector<double>& query,
+                            const LoessOptions& options) {
+  if (x.rows() == 0 || x.rows() != y.size() ||
+      distances.size() != y.size()) {
+    return Status::InvalidArgument("LoessPredict: bad dimensions");
+  }
+  double dmax = *std::max_element(distances.begin(), distances.end());
+  linalg::Vector weights(y.size(), 1.0);
+  if (dmax > 0.0) {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      double u = std::min(distances[i] / dmax, 1.0);
+      double t = 1.0 - u * u * u;
+      // Keep a small floor so the farthest neighbor still contributes and
+      // the weighted design never collapses to a single point.
+      weights[i] = std::max(t * t * t, 1e-6);
+    }
+  }
+  RidgeOptions ropt;
+  ropt.alpha = options.alpha;
+  ASSIGN_OR_RETURN(LinearModel model,
+                   FitRidgeWeighted(x, y, weights, ropt));
+  return model.Predict(query);
+}
+
+}  // namespace iim::regress

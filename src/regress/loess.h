@@ -1,0 +1,29 @@
+// LOESS-style local regression (Cleveland & Loader): fit a tricube-weighted
+// linear model over a query point's nearest neighbors and evaluate it at the
+// query. The paper's LOESS baseline learns this "same local regression"
+// over NN(t_x, F, k).
+
+#ifndef IIM_REGRESS_LOESS_H_
+#define IIM_REGRESS_LOESS_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace iim::regress {
+
+struct LoessOptions {
+  double alpha = 1e-6;  // ridge stabilizer inside the weighted fit
+};
+
+// x: neighbor features (n x p), y: neighbor targets, distances: neighbor
+// distances to the query (size n), query: p coordinates. Tricube kernel
+// w_i = (1 - (d_i / d_max)^3)^3; if all weights degenerate (d_max == 0)
+// the fit falls back to uniform weights.
+Result<double> LoessPredict(const linalg::Matrix& x, const linalg::Vector& y,
+                            const linalg::Vector& distances,
+                            const std::vector<double>& query,
+                            const LoessOptions& options = {});
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_LOESS_H_

@@ -1,0 +1,163 @@
+#include "regress/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace iim::regress {
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  size_t left_count = 0;
+};
+
+// Best single-feature split of y[indices[begin..end)] by exhaustive scan of
+// sorted feature values. Gain is SSE(parent) - SSE(left) - SSE(right),
+// computed from running sums.
+SplitResult FindBestSplit(const linalg::Matrix& x, const linalg::Vector& y,
+                          const std::vector<size_t>& indices, size_t begin,
+                          size_t end, const TreeOptions& options,
+                          std::vector<size_t>* scratch) {
+  SplitResult best;
+  size_t n = end - begin;
+  double total_sum = 0.0, total_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    double v = y[indices[i]];
+    total_sum += v;
+    total_sq += v * v;
+  }
+  double parent_sse = total_sq - total_sum * total_sum / n;
+
+  for (size_t f = 0; f < x.cols(); ++f) {
+    scratch->assign(indices.begin() + static_cast<long>(begin),
+                    indices.begin() + static_cast<long>(end));
+    std::sort(scratch->begin(), scratch->end(),
+              [&x, f](size_t a, size_t b) { return x(a, f) < x(b, f); });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      double v = y[(*scratch)[i]];
+      left_sum += v;
+      left_sq += v * v;
+      double xv = x((*scratch)[i], f);
+      double xn = x((*scratch)[i + 1], f);
+      if (xv == xn) continue;  // can't split between equal values
+      size_t left_count = i + 1;
+      size_t right_count = n - left_count;
+      if (left_count < options.min_samples_leaf ||
+          right_count < options.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double right_sq = total_sq - left_sq;
+      double sse = (left_sq - left_sum * left_sum / left_count) +
+                   (right_sq - right_sum * right_sum / right_count);
+      double gain = parent_sse - sse;
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (xv + xn);
+        best.gain = gain;
+        best.left_count = left_count;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Status RegressionTree::Fit(const linalg::Matrix& x, const linalg::Vector& y,
+                           const TreeOptions& options,
+                           const std::vector<size_t>& sample) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("RegressionTree: bad dimensions");
+  }
+  nodes_.clear();
+  std::vector<size_t> indices = sample;
+  if (indices.empty()) {
+    indices.resize(x.rows());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  root_ = BuildNode(x, y, &indices, 0, indices.size(), 0, options);
+  return Status::OK();
+}
+
+int RegressionTree::BuildNode(const linalg::Matrix& x,
+                              const linalg::Vector& y,
+                              std::vector<size_t>* indices, size_t begin,
+                              size_t end, int depth,
+                              const TreeOptions& options) {
+  size_t n = end - begin;
+  double mean = 0.0;
+  for (size_t i = begin; i < end; ++i) mean += y[(*indices)[i]];
+  mean /= static_cast<double>(n);
+
+  Node node;
+  node.value = mean;
+  if (depth >= options.max_depth || n < 2 * options.min_samples_leaf) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  std::vector<size_t> scratch;
+  SplitResult split =
+      FindBestSplit(x, y, *indices, begin, end, options, &scratch);
+  if (split.feature < 0 || split.gain < options.min_split_gain) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  auto mid_iter = std::partition(
+      indices->begin() + static_cast<long>(begin),
+      indices->begin() + static_cast<long>(end),
+      [&x, &split](size_t i) {
+        return x(i, static_cast<size_t>(split.feature)) <= split.threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_iter - indices->begin());
+  // Degenerate partitions can't happen (FindBestSplit enforced both sides
+  // non-empty), but guard against pathological float comparisons.
+  if (mid == begin || mid == end) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+  nodes_.push_back(node);
+  int id = static_cast<int>(nodes_.size() - 1);
+  int left = BuildNode(x, y, indices, begin, mid, depth + 1, options);
+  int right = BuildNode(x, y, indices, mid, end, depth + 1, options);
+  nodes_[static_cast<size_t>(id)].left = left;
+  nodes_[static_cast<size_t>(id)].right = right;
+  return id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& x) const {
+  return Predict(x.data());
+}
+
+double RegressionTree::Predict(const double* x) const {
+  if (root_ < 0) return 0.0;
+  const Node* node = &nodes_[static_cast<size_t>(root_)];
+  while (!node->IsLeaf()) {
+    int next = x[node->feature] <= node->threshold ? node->left : node->right;
+    node = &nodes_[static_cast<size_t>(next)];
+  }
+  return node->value;
+}
+
+int RegressionTree::Depth() const {
+  if (root_ < 0) return 0;
+  std::function<int(int)> depth_of = [&](int id) -> int {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    if (n.IsLeaf()) return 1;
+    return 1 + std::max(depth_of(n.left), depth_of(n.right));
+  };
+  return depth_of(root_);
+}
+
+}  // namespace iim::regress

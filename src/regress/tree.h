@@ -1,0 +1,56 @@
+// CART regression tree: greedy variance-reduction splits, mean leaves.
+// Building block of the gradient-boosting imputer (the paper's XGB
+// baseline is "a set of classification and regression trees" ensembled).
+
+#ifndef IIM_REGRESS_TREE_H_
+#define IIM_REGRESS_TREE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace iim::regress {
+
+struct TreeOptions {
+  int max_depth = 4;
+  size_t min_samples_leaf = 4;
+  // A split must reduce total squared error by at least this much.
+  double min_split_gain = 1e-9;
+};
+
+class RegressionTree {
+ public:
+  // Fits on x (n x p) and y (n). `sample` optionally restricts training to
+  // a subset of row indices (used by boosting subsampling); empty = all.
+  Status Fit(const linalg::Matrix& x, const linalg::Vector& y,
+             const TreeOptions& options = {},
+             const std::vector<size_t>& sample = {});
+
+  double Predict(const std::vector<double>& x) const;
+  double Predict(const double* x) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  int Depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaves
+    double threshold = 0.0; // go left iff x[feature] <= threshold
+    double value = 0.0;     // leaf prediction
+    int left = -1;
+    int right = -1;
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  int BuildNode(const linalg::Matrix& x, const linalg::Vector& y,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                int depth, const TreeOptions& options);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace iim::regress
+
+#endif  // IIM_REGRESS_TREE_H_

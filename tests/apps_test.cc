@@ -1,0 +1,112 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "apps/cross_validation.h"
+#include "apps/knn_classifier.h"
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "datasets/specs.h"
+
+namespace iim::apps {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+data::Table SeparableBlobs(size_t per_class, uint64_t seed) {
+  Rng rng(seed);
+  data::Table t(data::Schema::Default(2), per_class * 2);
+  std::vector<int> labels(per_class * 2);
+  for (size_t i = 0; i < per_class; ++i) {
+    t.Set(i, 0, rng.Gaussian(0, 1));
+    t.Set(i, 1, rng.Gaussian(0, 1));
+    labels[i] = 0;
+    t.Set(per_class + i, 0, rng.Gaussian(10, 1));
+    t.Set(per_class + i, 1, rng.Gaussian(10, 1));
+    labels[per_class + i] = 1;
+  }
+  t.SetLabels(std::move(labels));
+  return t;
+}
+
+TEST(NanAwareDistanceTest, SkipsMissingDims) {
+  data::Table t(data::Schema::Default(3));
+  ASSERT_TRUE(t.AppendRow({0.0, 0.0, 0.0}).ok());
+  ASSERT_TRUE(t.AppendRow({3.0, kNan, 4.0}).ok());
+  // Only dims 0 and 2 count: sqrt((9 + 16) / 2).
+  EXPECT_NEAR(NanAwareDistance(t.Row(0), t.Row(1)), std::sqrt(12.5), 1e-12);
+}
+
+TEST(NanAwareDistanceTest, AllMissingIsInfinite) {
+  data::Table t(data::Schema::Default(2));
+  ASSERT_TRUE(t.AppendRow({kNan, kNan}).ok());
+  ASSERT_TRUE(t.AppendRow({1.0, 2.0}).ok());
+  EXPECT_TRUE(std::isinf(NanAwareDistance(t.Row(0), t.Row(1))));
+}
+
+TEST(KnnClassifierTest, ClassifiesSeparableBlobs) {
+  data::Table train = SeparableBlobs(30, 1);
+  KnnClassifier classifier(5);
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  data::Table probe(data::Schema::Default(2));
+  ASSERT_TRUE(probe.AppendRow({0.5, -0.5}).ok());
+  ASSERT_TRUE(probe.AppendRow({9.5, 10.5}).ok());
+  EXPECT_EQ(classifier.Classify(probe.Row(0)).value(), 0);
+  EXPECT_EQ(classifier.Classify(probe.Row(1)).value(), 1);
+}
+
+TEST(KnnClassifierTest, ToleratesMissingFeatures) {
+  data::Table train = SeparableBlobs(30, 2);
+  KnnClassifier classifier(5);
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  data::Table probe(data::Schema::Default(2));
+  ASSERT_TRUE(probe.AppendRow({kNan, 10.0}).ok());  // only dim 1 observed
+  EXPECT_EQ(classifier.Classify(probe.Row(0)).value(), 1);
+}
+
+TEST(KnnClassifierTest, LifecycleErrors) {
+  KnnClassifier classifier(3);
+  data::Table unlabeled(data::Schema::Default(1));
+  ASSERT_TRUE(unlabeled.AppendRow({1.0}).ok());
+  EXPECT_FALSE(classifier.Fit(unlabeled).ok());
+  EXPECT_FALSE(classifier.Classify(unlabeled.Row(0)).ok());
+  KnnClassifier zero_k(0);
+  data::Table labeled = SeparableBlobs(3, 3);
+  EXPECT_FALSE(zero_k.Fit(labeled).ok());
+}
+
+TEST(CrossValidationTest, HighF1OnSeparableData) {
+  data::Table dataset = SeparableBlobs(40, 4);
+  CvOptions opt;
+  opt.folds = 5;
+  opt.knn_k = 3;
+  Result<double> f1 = CrossValidatedF1(dataset, opt);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_GT(f1.value(), 0.95);
+}
+
+TEST(CrossValidationTest, WorksWithEmbeddedMissing) {
+  // MAM-like generated data: labels + real missing values.
+  datasets::DatasetSpec spec = datasets::Mam();
+  spec.n = 200;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 5);
+  ASSERT_TRUE(gen.ok());
+  Result<double> f1 = CrossValidatedF1(gen.value().table);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_GT(f1.value(), 0.5);  // classes are regime-correlated
+  EXPECT_LE(f1.value(), 1.0);
+}
+
+TEST(CrossValidationTest, InvalidInputsRejected) {
+  data::Table unlabeled(data::Schema::Default(1));
+  ASSERT_TRUE(unlabeled.AppendRow({1.0}).ok());
+  EXPECT_FALSE(CrossValidatedF1(unlabeled).ok());
+  data::Table labeled = SeparableBlobs(10, 6);
+  CvOptions bad;
+  bad.folds = 1;
+  EXPECT_FALSE(CrossValidatedF1(labeled, bad).ok());
+}
+
+}  // namespace
+}  // namespace iim::apps

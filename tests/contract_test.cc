@@ -1,0 +1,203 @@
+// Cross-cutting interface contracts: behaviours every Imputer (including
+// IIM) must honor regardless of its algorithm — refittability, group
+// independence, determinism where promised, and end-to-end CSV workflows.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/iim_imputer.h"
+#include "data/csv.h"
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+
+namespace iim {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+data::Table RegimeTable(size_t n, size_t m, uint64_t seed) {
+  datasets::DatasetSpec spec;
+  spec.name = "contract";
+  spec.n = n;
+  spec.m = m;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  spec.divergence = 0.6;
+  spec.noise = 0.2;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen.value().table;
+}
+
+std::vector<std::string> EveryMethodName() {
+  std::vector<std::string> names = baselines::AllBaselineNames();
+  names.push_back("IIM");
+  return names;
+}
+
+std::unique_ptr<baselines::Imputer> MakeByName(const std::string& name) {
+  if (name == "IIM") {
+    core::IimOptions opt;
+    opt.k = 4;
+    opt.ell = 8;
+    return std::make_unique<core::IimImputer>(opt);
+  }
+  baselines::BaselineOptions opt;
+  opt.k = 4;
+  return std::move(baselines::MakeBaseline(name, opt).value());
+}
+
+class ImputerContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ImputerContractTest, RefitWithDifferentTargetWorks) {
+  // Fitting the same instance for another incomplete attribute must fully
+  // replace the previous state (the experiment harness relies on this).
+  data::Table r = RegimeTable(120, 4, 1);
+  std::unique_ptr<baselines::Imputer> imputer = MakeByName(GetParam());
+  ASSERT_TRUE(imputer->Fit(r, 3, {0, 1, 2}).ok()) << GetParam();
+
+  data::Table q1(r.schema());
+  ASSERT_TRUE(q1.AppendRow({r.At(0, 0), r.At(0, 1), r.At(0, 2), kNan}).ok());
+  ASSERT_TRUE(imputer->ImputeOne(q1.Row(0)).ok()) << GetParam();
+
+  // Refit for target 0 and impute the mirrored query.
+  ASSERT_TRUE(imputer->Fit(r, 0, {1, 2, 3}).ok()) << GetParam();
+  data::Table q2(r.schema());
+  ASSERT_TRUE(q2.AppendRow({kNan, r.At(0, 1), r.At(0, 2), r.At(0, 3)}).ok());
+  Result<double> v = imputer->ImputeOne(q2.Row(0));
+  ASSERT_TRUE(v.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(v.value())) << GetParam();
+}
+
+TEST_P(ImputerContractTest, FeatureSubsetIsRespected) {
+  // Fitting on a strict subset of F must never read the left-out columns:
+  // poisoning them with huge values after Fit must not change results for
+  // methods that predict from the fitted features only.
+  data::Table r = RegimeTable(100, 5, 2);
+  std::unique_ptr<baselines::Imputer> imputer = MakeByName(GetParam());
+  ASSERT_TRUE(imputer->Fit(r, 4, {0, 1}).ok()) << GetParam();
+
+  data::Table q(r.schema());
+  ASSERT_TRUE(q.AppendRow({r.At(3, 0), r.At(3, 1), 1e9, -1e9, kNan}).ok());
+  Result<double> v = imputer->ImputeOne(q.Row(0));
+  ASSERT_TRUE(v.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(v.value())) << GetParam();
+}
+
+TEST_P(ImputerContractTest, CompleteQueryTupleAlsoAccepted) {
+  // A tuple whose target cell happens to be present must still impute
+  // (the harness passes rows with NaN only at the target, but users may
+  // ask "what would the model say here?").
+  data::Table r = RegimeTable(80, 3, 3);
+  std::unique_ptr<baselines::Imputer> imputer = MakeByName(GetParam());
+  ASSERT_TRUE(imputer->Fit(r, 2, {0, 1}).ok()) << GetParam();
+  Result<double> v = imputer->ImputeOne(r.Row(7));
+  ASSERT_TRUE(v.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(v.value())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ImputerContractTest,
+                         ::testing::ValuesIn(EveryMethodName()),
+                         [](const auto& info) { return info.param; });
+
+TEST(CsvWorkflowTest, ReadImputeWriteRoundTrip) {
+  // End-to-end: a CSV with missing cells -> read -> impute every hole
+  // with IIM -> write -> read back complete.
+  data::Table original = RegimeTable(150, 4, 5);
+  std::string csv = "A1,A2,A3,A4\n";
+  for (size_t i = 0; i < original.NumRows(); ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (j > 0) csv += ",";
+      // Poke holes into A4 of every 10th row.
+      if (j == 3 && i % 10 == 0) {
+        csv += "?";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6f", original.At(i, j));
+        csv += buf;
+      }
+    }
+    csv += "\n";
+  }
+
+  Result<data::CsvReadResult> read = data::ParseCsv(csv);
+  ASSERT_TRUE(read.ok());
+  data::Table& working = read.value().table;
+  const data::MissingMask& mask = read.value().mask;
+  EXPECT_EQ(mask.CountMissing(), 15u);
+
+  data::Table r = working.TakeRows(mask.CompleteRows());
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 10;
+  core::IimImputer iim(opt);
+  data::Table imputed = working;
+  Result<eval::MethodResult> res =
+      eval::ImputeAll(r, working, mask, &iim, 0, &imputed);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(imputed.IsComplete());
+  EXPECT_EQ(res.value().imputed, 15u);
+
+  // Imputations are close to the values we removed.
+  for (const auto& cell : mask.cells()) {
+    double truth = original.At(cell.row, static_cast<size_t>(cell.col));
+    EXPECT_NEAR(imputed.At(cell.row, static_cast<size_t>(cell.col)), truth,
+                3.0);
+  }
+
+  std::string path = ::testing::TempDir() + "/iim_workflow.csv";
+  ASSERT_TRUE(data::WriteCsv(imputed, path).ok());
+  Result<data::CsvReadResult> back = data::ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().mask.CountMissing(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(HarnessContractTest, ImputeAllGroupsByAttribute) {
+  // Two holes in different attributes force two fits; both are scored.
+  data::Table working = RegimeTable(90, 3, 7);
+  data::MissingMask mask(working.NumRows(), working.NumCols());
+  mask.Mark(3, 0, working.At(3, 0));
+  working.Set(3, 0, kNan);
+  mask.Mark(8, 2, working.At(8, 2));
+  working.Set(8, 2, kNan);
+  data::Table r = working.TakeRows(mask.CompleteRows());
+
+  core::IimOptions opt;
+  opt.k = 3;
+  opt.ell = 6;
+  core::IimImputer iim(opt);
+  Result<eval::MethodResult> res =
+      eval::ImputeAll(r, working, mask, &iim, 0, nullptr);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().imputed, 2u);
+  EXPECT_EQ(res.value().failed, 0u);
+  // Both attribute groups contributed scored cells.
+  bool saw_col0 = false, saw_col2 = false;
+  for (const auto& cell : res.value().cells) {
+    if (cell.col == 0) saw_col0 = true;
+    if (cell.col == 2) saw_col2 = true;
+  }
+  EXPECT_TRUE(saw_col0);
+  EXPECT_TRUE(saw_col2);
+}
+
+TEST(HarnessContractTest, NoMissingCellsIsANoOp) {
+  data::Table working = RegimeTable(50, 3, 9);
+  data::MissingMask mask(working.NumRows(), working.NumCols());
+  data::Table r = working;
+  core::IimOptions opt;
+  core::IimImputer iim(opt);
+  Result<eval::MethodResult> res =
+      eval::ImputeAll(r, working, mask, &iim, 0, nullptr);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().imputed, 0u);
+  EXPECT_TRUE(std::isnan(res.value().rms));
+}
+
+}  // namespace
+}  // namespace iim

@@ -1,0 +1,101 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace iim::data {
+namespace {
+
+TEST(CsvTest, ParseWithHeader) {
+  Result<CsvReadResult> r = ParseCsv("A1,A2\n1.5,2\n3,4.25\n");
+  ASSERT_TRUE(r.ok());
+  const Table& t = r.value().table;
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.schema().name(1), "A2");
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 4.25);
+  EXPECT_EQ(r.value().mask.CountMissing(), 0u);
+}
+
+TEST(CsvTest, ParseWithoutHeaderSynthesizesNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  Result<CsvReadResult> r = ParseCsv("1,2\n3,4\n", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.schema().name(0), "A1");
+  EXPECT_EQ(r.value().table.NumRows(), 2u);
+}
+
+TEST(CsvTest, MissingTokensBecomeNaNAndMask) {
+  Result<CsvReadResult> r = ParseCsv("A1,A2,A3\n1,,3\n4,5,?\n7,NA,9\n");
+  ASSERT_TRUE(r.ok());
+  const auto& [table, mask] = r.value();
+  EXPECT_EQ(mask.CountMissing(), 3u);
+  EXPECT_TRUE(table.IsNaN(0, 1));
+  EXPECT_TRUE(table.IsNaN(1, 2));
+  EXPECT_TRUE(table.IsNaN(2, 1));
+  EXPECT_TRUE(mask.IsMissing(0, 1));
+}
+
+TEST(CsvTest, LabelColumnExtracted) {
+  CsvOptions opt;
+  opt.label_column = "class";
+  Result<CsvReadResult> r = ParseCsv("A1,class,A2\n1,0,2\n3,1,4\n", opt);
+  ASSERT_TRUE(r.ok());
+  const Table& t = r.value().table;
+  EXPECT_EQ(t.NumCols(), 2u);
+  ASSERT_TRUE(t.HasLabels());
+  EXPECT_EQ(t.Label(0), 0);
+  EXPECT_EQ(t.Label(1), 1);
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 4.0);
+}
+
+TEST(CsvTest, UnknownLabelColumnFails) {
+  CsvOptions opt;
+  opt.label_column = "nope";
+  EXPECT_FALSE(ParseCsv("A1,A2\n1,2\n", opt).ok());
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  EXPECT_FALSE(ParseCsv("A1,A2\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, BadNumberFails) {
+  EXPECT_FALSE(ParseCsv("A1\nhello\n").ok());
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  Result<CsvReadResult> r = ParseCsv("# comment\nA1\n\n1\n# more\n2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.NumRows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(Schema({"x", "y"}));
+  ASSERT_TRUE(t.AppendRow({1.5, 2.5}).ok());
+  ASSERT_TRUE(t.AppendRow({3.5, 4.5}).ok());
+  t.SetLabels({1, 0});
+
+  std::string path = ::testing::TempDir() + "/iim_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+
+  CsvOptions opt;
+  opt.label_column = "label";
+  Result<CsvReadResult> r = ReadCsv(path, opt);
+  ASSERT_TRUE(r.ok());
+  const Table& back = r.value().table;
+  EXPECT_EQ(back.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(back.At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(back.At(1, 1), 4.5);
+  ASSERT_TRUE(back.HasLabels());
+  EXPECT_EQ(back.Label(0), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsv("/nonexistent/really/not.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace iim::data

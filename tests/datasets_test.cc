@@ -1,0 +1,159 @@
+#include "datasets/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/paper_example.h"
+#include "datasets/specs.h"
+#include "regress/ridge.h"
+
+namespace iim::datasets {
+namespace {
+
+TEST(SpecsTest, AllNineDatasetsMatchTableIVShapes) {
+  std::vector<DatasetSpec> specs = AllSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].name, "ASF");
+  EXPECT_EQ(specs[0].n, 1500u);
+  EXPECT_EQ(specs[0].m, 6u);
+  EXPECT_EQ(SpecByName("ca")->n, 20000u);
+  EXPECT_EQ(SpecByName("CA")->m, 9u);
+  EXPECT_EQ(SpecByName("SN")->m, 2u);
+  EXPECT_EQ(SpecByName("HEP")->m, 19u);
+  EXPECT_FALSE(SpecByName("NOPE").has_value());
+}
+
+TEST(SpecsTest, ClassificationDatasetsAreLabeled) {
+  EXPECT_GT(Mam().num_classes, 0u);
+  EXPECT_GT(Hep().num_classes, 0u);
+  EXPECT_GT(Mam().missing_rate, 0.0);
+  EXPECT_EQ(Asf().num_classes, 0u);
+}
+
+TEST(GeneratorTest, ShapeMatchesSpec) {
+  DatasetSpec spec = Ccs();
+  spec.n = 200;  // keep the test fast
+  Result<GeneratedDataset> gen = Generate(spec, 1);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen.value().table.NumRows(), 200u);
+  EXPECT_EQ(gen.value().table.NumCols(), spec.m);
+  EXPECT_EQ(gen.value().regime_of_row.size(), 200u);
+  EXPECT_TRUE(gen.value().table.IsComplete());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  DatasetSpec spec = Asf();
+  spec.n = 100;
+  Result<GeneratedDataset> a = Generate(spec, 42);
+  Result<GeneratedDataset> b = Generate(spec, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < spec.m; ++j) {
+      EXPECT_DOUBLE_EQ(a.value().table.At(i, j), b.value().table.At(i, j));
+    }
+  }
+  Result<GeneratedDataset> c = Generate(spec, 43);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < 100 && !any_diff; ++i) {
+    if (a.value().table.At(i, 0) != c.value().table.At(i, 0)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, LabeledSpecProducesLabelsAndMissing) {
+  DatasetSpec spec = Mam();
+  spec.n = 300;
+  Result<GeneratedDataset> gen = Generate(spec, 5);
+  ASSERT_TRUE(gen.ok());
+  ASSERT_TRUE(gen.value().table.HasLabels());
+  bool saw[2] = {false, false};
+  for (size_t i = 0; i < 300; ++i) {
+    int label = gen.value().table.Label(i);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 2);
+    saw[label] = true;
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  EXPECT_GT(gen.value().mask.CountMissing(), 0u);
+  // Embedded missingness carries no ground truth.
+  EXPECT_TRUE(std::isnan(gen.value().mask.cells()[0].truth));
+}
+
+TEST(GeneratorTest, InvalidSpecsRejected) {
+  DatasetSpec spec = Asf();
+  spec.n = 0;
+  EXPECT_FALSE(Generate(spec, 1).ok());
+  spec = Asf();
+  spec.exogenous = 0;
+  EXPECT_FALSE(Generate(spec, 1).ok());
+  spec = Asf();
+  spec.exogenous = spec.m + 1;
+  EXPECT_FALSE(Generate(spec, 1).ok());
+  spec = Asf();
+  spec.regimes = 0;
+  EXPECT_FALSE(Generate(spec, 1).ok());
+}
+
+// Global-regression fit quality (R^2 of a ridge fit from A1..A_{m-1} to
+// A_m) computed directly on generated data.
+double GlobalR2(const data::Table& t) {
+  size_t n = t.NumRows(), p = t.NumCols() - 1;
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = t.At(i, j);
+    y[i] = t.At(i, p);
+    mean += y[i];
+  }
+  mean /= static_cast<double>(n);
+  auto fit = regress::FitRidge(x, y);
+  EXPECT_TRUE(fit.ok());
+  double sse = 0.0, sst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = fit.value().Predict(x.Row(i));
+    sse += (y[i] - pred) * (y[i] - pred);
+    sst += (y[i] - mean) * (y[i] - mean);
+  }
+  return 1.0 - sse / sst;
+}
+
+TEST(GeneratorTest, DivergenceControlsHeterogeneity) {
+  // PHASE-like (divergence 0) must have a much better global fit than an
+  // SN-like piecewise spec (divergence 1) — the R^2_H knob of DESIGN.md.
+  DatasetSpec clean = Phase();
+  clean.n = 1500;
+  DatasetSpec messy = Sn();
+  messy.n = 1500;
+  Result<GeneratedDataset> g_clean = Generate(clean, 9);
+  Result<GeneratedDataset> g_messy = Generate(messy, 9);
+  ASSERT_TRUE(g_clean.ok());
+  ASSERT_TRUE(g_messy.ok());
+  double r2_clean = GlobalR2(g_clean.value().table);
+  double r2_messy = GlobalR2(g_messy.value().table);
+  EXPECT_GT(r2_clean, 0.8);
+  EXPECT_LT(r2_messy, 0.5);
+  EXPECT_GT(r2_clean, r2_messy + 0.3);
+}
+
+TEST(PaperExampleTest, Figure1ValuesExact) {
+  data::Table r = Figure1Relation();
+  ASSERT_EQ(r.NumRows(), 8u);
+  ASSERT_EQ(r.NumCols(), 2u);
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 5.8);
+  EXPECT_DOUBLE_EQ(r.At(4, 0), 6.8);
+  EXPECT_DOUBLE_EQ(r.At(4, 1), 3.0);
+  EXPECT_DOUBLE_EQ(r.At(7, 1), 5.5);
+  EXPECT_DOUBLE_EQ(kFigure1QueryA1, 5.0);
+  EXPECT_DOUBLE_EQ(kFigure1TruthA2, 1.8);
+}
+
+}  // namespace
+}  // namespace iim::datasets

@@ -1,0 +1,115 @@
+#include "core/imputation_distribution.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/iim_imputer.h"
+#include "datasets/paper_example.h"
+
+namespace iim::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ImputationDistributionTest, NormalizesWeightsAndSorts) {
+  Result<ImputationDistribution> d =
+      ImputationDistribution::Make({3.0, 1.0, 2.0}, {2.0, 2.0, 4.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().candidates(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_NEAR(d.value().weights()[0], 0.25, 1e-12);  // weight of 1.0
+  EXPECT_NEAR(d.value().weights()[1], 0.50, 1e-12);  // weight of 2.0
+  EXPECT_NEAR(d.value().weights()[2], 0.25, 1e-12);  // weight of 3.0
+}
+
+TEST(ImputationDistributionTest, MomentsMatchHandComputation) {
+  Result<ImputationDistribution> d =
+      ImputationDistribution::Make({0.0, 10.0}, {0.5, 0.5});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value().Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(d.value().Variance(), 25.0);
+  EXPECT_DOUBLE_EQ(d.value().StdDev(), 5.0);
+}
+
+TEST(ImputationDistributionTest, DegenerateSingleCandidate) {
+  Result<ImputationDistribution> d =
+      ImputationDistribution::Make({7.5}, {3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value().Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.value().Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.value().Quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(d.value().Quantile(1.0), 7.5);
+}
+
+TEST(ImputationDistributionTest, QuantilesMonotone) {
+  Result<ImputationDistribution> d = ImputationDistribution::Make(
+      {1.0, 2.0, 3.0, 4.0}, {0.1, 0.4, 0.4, 0.1});
+  ASSERT_TRUE(d.ok());
+  double prev = -1e9;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    double v = d.value().Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(d.value().Quantile(0.5), 2.0);  // cum 0.1+0.4 = 0.5
+}
+
+TEST(ImputationDistributionTest, MassWithinRanges) {
+  Result<ImputationDistribution> d = ImputationDistribution::Make(
+      {1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value().MassWithin(1.5, 3.5), 0.8, 1e-12);
+  EXPECT_NEAR(d.value().MassWithin(0.0, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(d.value().MassWithin(-1e9, 1e9), 1.0, 1e-12);
+}
+
+TEST(ImputationDistributionTest, InvalidInputsRejected) {
+  EXPECT_FALSE(ImputationDistribution::Make({}, {}).ok());
+  EXPECT_FALSE(ImputationDistribution::Make({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(ImputationDistribution::Make({1.0}, {-1.0}).ok());
+  EXPECT_FALSE(ImputationDistribution::Make({1.0, 2.0}, {0.0, 0.0}).ok());
+}
+
+TEST(ImputeDistributionTest, MeanEqualsImputeOneOnFigure1) {
+  data::Table r = datasets::Figure1Relation();
+  IimOptions opt;
+  opt.k = 3;
+  opt.ell = 4;
+  IimImputer iim(opt);
+  ASSERT_TRUE(iim.Fit(r, 1, {0}).ok());
+  data::Table q(data::Schema::Default(2));
+  ASSERT_TRUE(q.AppendRow({datasets::kFigure1QueryA1, kNan}).ok());
+
+  Result<double> point = iim.ImputeOne(q.Row(0));
+  Result<ImputationDistribution> dist = iim.ImputeDistribution(q.Row(0));
+  ASSERT_TRUE(point.ok());
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist.value().Mean(), point.value(), 1e-9);
+  EXPECT_EQ(dist.value().size(), 3u);
+  // All three candidates sit near the truth's street; the distribution is
+  // tight (the uncertainty the paper wants to expose for query answering).
+  EXPECT_LT(dist.value().StdDev(), 0.2);
+  EXPECT_GT(dist.value().MassWithin(1.0, 1.5), 0.9);
+}
+
+TEST(ImputeDistributionTest, UniformWeightsMatchUniformCombine) {
+  data::Table r = datasets::Figure1Relation();
+  IimOptions opt;
+  opt.k = 4;
+  opt.ell = 4;
+  opt.uniform_weights = true;
+  IimImputer iim(opt);
+  ASSERT_TRUE(iim.Fit(r, 1, {0}).ok());
+  data::Table q(data::Schema::Default(2));
+  ASSERT_TRUE(q.AppendRow({5.0, kNan}).ok());
+  Result<ImputationDistribution> dist = iim.ImputeDistribution(q.Row(0));
+  ASSERT_TRUE(dist.ok());
+  for (double w : dist.value().weights()) {
+    EXPECT_NEAR(w, 0.25, 1e-12);
+  }
+  EXPECT_NEAR(dist.value().Mean(), iim.ImputeOne(q.Row(0)).value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace iim::core

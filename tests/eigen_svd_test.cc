@@ -1,0 +1,126 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/svd.h"
+#include "linalg/vector_ops.h"
+
+namespace iim::linalg {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  EigenDecomposition eig;
+  ASSERT_TRUE(JacobiEigen(a, &eig).ok());
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  EigenDecomposition eig;
+  ASSERT_TRUE(JacobiEigen(a, &eig).ok());
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  double v0 = eig.vectors(0, 0), v1 = eig.vectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EigenDecomposition eig;
+  EXPECT_FALSE(JacobiEigen(a, &eig).ok());
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JacobiPropertyTest, ReconstructionAndOrthogonality) {
+  size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.Uniform(-2, 2);
+    }
+  }
+  EigenDecomposition eig;
+  ASSERT_TRUE(JacobiEigen(a, &eig).ok());
+  // V diag(values) V^T == A.
+  Matrix lambda(n, n);
+  for (size_t i = 0; i < n; ++i) lambda(i, i) = eig.values[i];
+  Matrix rebuilt =
+      eig.vectors.Multiply(lambda).Multiply(eig.vectors.Transposed());
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-8);
+  // V^T V == I.
+  Matrix vtv = eig.vectors.Transposed().Multiply(eig.vectors);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(n)), 1e-8);
+  // Values sorted descending.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(eig.values[i], eig.values[i + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 15));
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(77);
+  Matrix a(12, 4);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.Uniform(-3, 3);
+  Svd svd;
+  ASSERT_TRUE(ThinSvd(a, &svd).ok());
+  Matrix rebuilt = LowRankReconstruct(svd, svd.singular.size());
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-8);
+}
+
+TEST(SvdTest, SingularValuesSortedAndPositive) {
+  Rng rng(78);
+  Matrix a(10, 5);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.Uniform(-1, 1);
+  Svd svd;
+  ASSERT_TRUE(ThinSvd(a, &svd).ok());
+  for (size_t i = 0; i + 1 < svd.singular.size(); ++i) {
+    EXPECT_GE(svd.singular[i], svd.singular[i + 1]);
+  }
+  for (double s : svd.singular) EXPECT_GT(s, 0.0);
+}
+
+TEST(SvdTest, LowRankMatrixGetsLowRank) {
+  // Rank-1 matrix: outer product.
+  Matrix a(6, 3);
+  Vector u = {1, 2, 3, 4, 5, 6};
+  Vector v = {1, -1, 2};
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 3; ++j) a(i, j) = u[i] * v[j];
+  Svd svd;
+  ASSERT_TRUE(ThinSvd(a, &svd, 0, 1e-8).ok());
+  EXPECT_EQ(svd.singular.size(), 1u);
+  Matrix rebuilt = LowRankReconstruct(svd, 1);
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-8);
+}
+
+TEST(SvdTest, RankCapRespected) {
+  Rng rng(79);
+  Matrix a(8, 4);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.Uniform(-1, 1);
+  Svd svd;
+  ASSERT_TRUE(ThinSvd(a, &svd, 2).ok());
+  EXPECT_LE(svd.singular.size(), 2u);
+}
+
+TEST(SvdTest, ZeroMatrixFails) {
+  Matrix a(4, 2);
+  Svd svd;
+  EXPECT_FALSE(ThinSvd(a, &svd).ok());
+}
+
+}  // namespace
+}  // namespace iim::linalg

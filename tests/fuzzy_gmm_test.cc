@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/fuzzy_cmeans.h"
+#include "cluster/gmm.h"
+#include "common/rng.h"
+
+namespace iim::cluster {
+namespace {
+
+linalg::Matrix TwoBlobs(size_t per_blob, Rng* rng, double separation = 15.0) {
+  linalg::Matrix points(per_blob * 2, 2);
+  for (size_t i = 0; i < per_blob; ++i) {
+    points(i, 0) = rng->Gaussian(0, 1);
+    points(i, 1) = rng->Gaussian(0, 1);
+    points(per_blob + i, 0) = rng->Gaussian(separation, 1);
+    points(per_blob + i, 1) = rng->Gaussian(separation, 1);
+  }
+  return points;
+}
+
+TEST(FuzzyCMeansTest, MembershipsSumToOne) {
+  Rng rng(3);
+  linalg::Matrix points = TwoBlobs(25, &rng);
+  FuzzyCMeansOptions opt;
+  opt.c = 2;
+  Result<FuzzyCMeansResult> res = FuzzyCMeans(points, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 2; ++c) sum += res.value().memberships(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(FuzzyCMeansTest, SeparatedBlobsGetCrispMemberships) {
+  Rng rng(5);
+  linalg::Matrix points = TwoBlobs(30, &rng, 30.0);
+  FuzzyCMeansOptions opt;
+  opt.c = 2;
+  Result<FuzzyCMeansResult> res = FuzzyCMeans(points, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  // Each point strongly belongs to exactly one cluster.
+  for (size_t i = 0; i < points.rows(); ++i) {
+    double top = std::max(res.value().memberships(i, 0),
+                          res.value().memberships(i, 1));
+    EXPECT_GT(top, 0.9);
+  }
+}
+
+TEST(FuzzyCMeansTest, InvalidFuzzifierRejected) {
+  Rng rng(1);
+  linalg::Matrix points(3, 1);
+  FuzzyCMeansOptions opt;
+  opt.fuzzifier = 1.0;
+  EXPECT_FALSE(FuzzyCMeans(points, opt, &rng).ok());
+}
+
+TEST(MvnLogPdfTest, MatchesClosedFormUnivariate) {
+  // N(0, 4) at x = 2: log(1/sqrt(2 pi 4)) - 0.5 * (2^2 / 4).
+  linalg::Matrix cov(1, 1);
+  cov(0, 0) = 4.0;
+  Result<double> lp = MvnLogPdf({2.0}, {0.0}, cov);
+  ASSERT_TRUE(lp.ok());
+  double expected = -0.5 * std::log(2 * M_PI * 4.0) - 0.5;
+  EXPECT_NEAR(lp.value(), expected, 1e-10);
+}
+
+TEST(MvnLogPdfTest, IndependentBivariateFactorizes) {
+  linalg::Matrix cov = linalg::Matrix::FromRows({{1, 0}, {0, 9}});
+  Result<double> joint = MvnLogPdf({1.0, 3.0}, {0.0, 0.0}, cov);
+  linalg::Matrix c1(1, 1), c2(1, 1);
+  c1(0, 0) = 1;
+  c2(0, 0) = 9;
+  Result<double> m1 = MvnLogPdf({1.0}, {0.0}, c1);
+  Result<double> m2 = MvnLogPdf({3.0}, {0.0}, c2);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint.value(), m1.value() + m2.value(), 1e-10);
+}
+
+TEST(MvnLogPdfTest, DimensionMismatchRejected) {
+  linalg::Matrix cov = linalg::Matrix::Identity(2);
+  EXPECT_FALSE(MvnLogPdf({1.0}, {0.0, 0.0}, cov).ok());
+}
+
+TEST(GmmTest, RecoversTwoComponents) {
+  Rng rng(7);
+  linalg::Matrix points = TwoBlobs(60, &rng, 20.0);
+  GaussianMixture gmm;
+  GmmOptions opt;
+  opt.components = 2;
+  ASSERT_TRUE(gmm.Fit(points, opt, &rng).ok());
+  ASSERT_EQ(gmm.NumComponents(), 2u);
+  // Means near (0,0) and (20,20) in some order; weights near 0.5.
+  double m0 = gmm.component(0).mean[0];
+  double m1 = gmm.component(1).mean[0];
+  EXPECT_NEAR(std::min(m0, m1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(m0, m1), 20.0, 1.0);
+  EXPECT_NEAR(gmm.component(0).weight, 0.5, 0.1);
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOneAndIdentifyBlob) {
+  Rng rng(9);
+  linalg::Matrix points = TwoBlobs(50, &rng, 25.0);
+  GaussianMixture gmm;
+  GmmOptions opt;
+  opt.components = 2;
+  ASSERT_TRUE(gmm.Fit(points, opt, &rng).ok());
+
+  Result<std::vector<double>> resp = gmm.Responsibilities({0.0, 0.0}, {});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NEAR(resp.value()[0] + resp.value()[1], 1.0, 1e-9);
+  EXPECT_GT(*std::max_element(resp.value().begin(), resp.value().end()),
+            0.99);
+}
+
+TEST(GmmTest, MarginalResponsibilitiesOnDimensionSubset) {
+  Rng rng(11);
+  linalg::Matrix points = TwoBlobs(50, &rng, 25.0);
+  GaussianMixture gmm;
+  GmmOptions opt;
+  opt.components = 2;
+  ASSERT_TRUE(gmm.Fit(points, opt, &rng).ok());
+  // Conditioning on the first coordinate only still identifies the blob.
+  Result<std::vector<double>> resp = gmm.Responsibilities({25.0}, {0});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NEAR(resp.value()[0] + resp.value()[1], 1.0, 1e-9);
+  EXPECT_GT(*std::max_element(resp.value().begin(), resp.value().end()),
+            0.95);
+}
+
+TEST(GmmTest, UnfittedResponsibilitiesFail) {
+  GaussianMixture gmm;
+  EXPECT_FALSE(gmm.Responsibilities({1.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace iim::cluster

@@ -1,0 +1,111 @@
+#include "regress/incremental_ridge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/paper_example.h"
+#include "regress/ridge.h"
+
+namespace iim::regress {
+namespace {
+
+TEST(IncrementalRidgeTest, EmptySolveFails) {
+  IncrementalRidge inc(2);
+  EXPECT_EQ(inc.Solve().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalRidgeTest, PaperExample6GoldenValues) {
+  // Example 6: learning on t1 with l = 3 gives
+  //   U(3) = [[3, 2.7], [2.7, 3.25]], V(3) = [14.2, 10.9],
+  //   phi(3) ~ (5.66, -1.03);
+  // adding t4 (X = (1, 2.9), Y = 3.2) gives phi(4) ~ (5.56, -0.87).
+  data::Table r = datasets::Figure1Relation();
+  IncrementalRidge inc(1);
+  for (size_t i = 0; i < 3; ++i) {
+    inc.AddRow({r.At(i, 0)}, r.At(i, 1));
+  }
+  EXPECT_NEAR(inc.U()(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(inc.U()(0, 1), 2.7, 1e-12);
+  EXPECT_NEAR(inc.U()(1, 0), 2.7, 1e-12);
+  EXPECT_NEAR(inc.U()(1, 1), 0.0 + 0.64 + 3.61, 1e-12);
+  EXPECT_NEAR(inc.V()[0], 5.8 + 4.6 + 3.8, 1e-12);
+  EXPECT_NEAR(inc.V()[1], 0.0 * 5.8 + 0.8 * 4.6 + 1.9 * 3.8, 1e-12);
+
+  Result<LinearModel> phi3 = inc.Solve();
+  ASSERT_TRUE(phi3.ok());
+  EXPECT_NEAR(phi3.value().phi[0], 5.66, 0.01);
+  EXPECT_NEAR(phi3.value().phi[1], -1.03, 0.01);
+
+  // Incremental step: U(4) = U(3) + [[1, 2.9], [2.9, 8.41]],
+  //                   V(4) = V(3) + [3.2, 9.28].
+  inc.AddRow({r.At(3, 0)}, r.At(3, 1));
+  EXPECT_NEAR(inc.U()(1, 1), 0.64 + 3.61 + 8.41, 1e-12);
+  EXPECT_NEAR(inc.V()[1], 0.8 * 4.6 + 1.9 * 3.8 + 2.9 * 3.2, 1e-12);
+
+  Result<LinearModel> phi4 = inc.Solve();
+  ASSERT_TRUE(phi4.ok());
+  EXPECT_NEAR(phi4.value().phi[0], 5.56, 0.01);
+  EXPECT_NEAR(phi4.value().phi[1], -0.87, 0.01);
+}
+
+class IncrementalEqualsScratchTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(IncrementalEqualsScratchTest, ProposedUpdateMatchesFromScratch) {
+  auto [n, p] = GetParam();
+  Rng rng(1234 + n + p);
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = rng.Uniform(-3, 3);
+    y[i] = rng.Uniform(-10, 10);
+  }
+
+  IncrementalRidge inc(p);
+  for (size_t ell = 1; ell <= n; ++ell) {
+    inc.AddRow(x.Row(ell - 1), y[ell - 1]);
+    // Compare against from-scratch fit over the first `ell` rows at a few
+    // checkpoints (every prefix for small n).
+    if (n > 24 && ell % 7 != 0 && ell != n) continue;
+    linalg::Matrix x_prefix(ell, p);
+    linalg::Vector y_prefix(ell);
+    for (size_t i = 0; i < ell; ++i) {
+      for (size_t j = 0; j < p; ++j) x_prefix(i, j) = x(i, j);
+      y_prefix[i] = y[i];
+    }
+    Result<LinearModel> scratch = FitRidge(x_prefix, y_prefix);
+    Result<LinearModel> incremental = inc.Solve();
+    ASSERT_TRUE(scratch.ok());
+    ASSERT_TRUE(incremental.ok());
+    for (size_t j = 0; j <= p; ++j) {
+      EXPECT_NEAR(incremental.value().phi[j], scratch.value().phi[j], 1e-7)
+          << "ell=" << ell << " coef=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IncrementalEqualsScratchTest,
+    ::testing::Values(std::tuple<size_t, size_t>{8, 1},
+                      std::tuple<size_t, size_t>{24, 2},
+                      std::tuple<size_t, size_t>{60, 3},
+                      std::tuple<size_t, size_t>{100, 5},
+                      std::tuple<size_t, size_t>{40, 8}));
+
+TEST(IncrementalRidgeTest, BatchAddMatchesRowAdds) {
+  Rng rng(9);
+  linalg::Matrix x(10, 2);
+  linalg::Vector y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 2; ++j) x(i, j) = rng.Uniform(-1, 1);
+    y[i] = rng.Uniform(-1, 1);
+  }
+  IncrementalRidge one_by_one(2), batch(2);
+  for (size_t i = 0; i < 10; ++i) one_by_one.AddRow(x.Row(i), y[i]);
+  batch.AddRows(x, y);
+  EXPECT_EQ(one_by_one.num_rows(), batch.num_rows());
+  EXPECT_LT(one_by_one.U().MaxAbsDiff(batch.U()), 1e-12);
+}
+
+}  // namespace
+}  // namespace iim::regress

@@ -1,0 +1,154 @@
+#include "eval/injector.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "datasets/specs.h"
+#include "neighbors/kdtree.h"
+
+namespace iim::eval {
+namespace {
+
+data::Table SmallDataset(uint64_t seed) {
+  datasets::DatasetSpec spec = datasets::Ccs();
+  spec.n = 200;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen.value().table;
+}
+
+TEST(InjectorTest, FractionProtocol) {
+  data::Table t = SmallDataset(1);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_fraction = 0.05;
+  Rng rng(2);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  EXPECT_EQ(mask.CountMissing(), 10u);  // 5% of 200
+  EXPECT_EQ(mask.IncompleteRows().size(), 10u);  // one cell per tuple
+  // Truth recorded and cell NaN'ed.
+  for (const auto& cell : mask.cells()) {
+    EXPECT_FALSE(std::isnan(cell.truth));
+    EXPECT_TRUE(t.IsNaN(cell.row, static_cast<size_t>(cell.col)));
+  }
+}
+
+TEST(InjectorTest, AbsoluteCountOverridesFraction) {
+  data::Table t = SmallDataset(3);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_fraction = 0.5;
+  opt.tuple_count = 7;
+  Rng rng(4);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  EXPECT_EQ(mask.CountMissing(), 7u);
+}
+
+TEST(InjectorTest, FixedAttributeRespected) {
+  data::Table t = SmallDataset(5);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_count = 20;
+  opt.fixed_attr = 2;
+  Rng rng(6);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  for (const auto& cell : mask.cells()) EXPECT_EQ(cell.col, 2);
+}
+
+TEST(InjectorTest, RandomAttributesSpread) {
+  data::Table t = SmallDataset(7);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_count = 60;
+  Rng rng(8);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  std::set<int> attrs;
+  for (const auto& cell : mask.cells()) attrs.insert(cell.col);
+  EXPECT_GE(attrs.size(), 3u);  // hits several of the 6 attributes
+}
+
+TEST(InjectorTest, ClusteredInjectionGroupsNeighbors) {
+  data::Table t = SmallDataset(9);
+  data::Table pristine = t;
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_count = 30;
+  opt.cluster_size = 5;
+  Rng rng(10);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  EXPECT_EQ(mask.CountMissing(), 30u);
+
+  // Each incomplete tuple's nearest neighbor (on the pristine data) is
+  // usually also incomplete — that is the point of clustering.
+  std::vector<int> all_cols;
+  for (size_t c = 0; c < pristine.NumCols(); ++c) {
+    all_cols.push_back(static_cast<int>(c));
+  }
+  neighbors::BruteForceIndex index(&pristine, all_cols);
+  size_t shadowed = 0;
+  for (size_t row : mask.IncompleteRows()) {
+    neighbors::QueryOptions qopt;
+    qopt.k = 1;
+    qopt.exclude = row;
+    auto nbrs = index.Query(pristine.Row(row), qopt);
+    ASSERT_EQ(nbrs.size(), 1u);
+    if (mask.RowHasMissing(nbrs[0].index)) ++shadowed;
+  }
+  EXPECT_GT(shadowed, 15u);  // majority clustered
+}
+
+TEST(InjectorTest, NoDoubleInjectionPerTuple) {
+  data::Table t = SmallDataset(11);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  InjectOptions opt;
+  opt.tuple_count = 150;
+  Rng rng(12);
+  ASSERT_TRUE(InjectMissing(&t, &mask, opt, &rng).ok());
+  for (size_t row : mask.IncompleteRows()) {
+    size_t missing_in_row = 0;
+    for (size_t c = 0; c < t.NumCols(); ++c) {
+      if (mask.IsMissing(row, static_cast<int>(c))) ++missing_in_row;
+    }
+    EXPECT_EQ(missing_in_row, 1u);
+  }
+}
+
+TEST(InjectorTest, InvalidOptionsRejected) {
+  data::Table t = SmallDataset(13);
+  data::MissingMask mask(t.NumRows(), t.NumCols());
+  Rng rng(14);
+  InjectOptions opt;
+  opt.fixed_attr = 99;
+  EXPECT_FALSE(InjectMissing(&t, &mask, opt, &rng).ok());
+  InjectOptions zero_cluster;
+  zero_cluster.cluster_size = 0;
+  EXPECT_FALSE(InjectMissing(&t, &mask, zero_cluster, &rng).ok());
+  data::Table empty;
+  data::MissingMask empty_mask(0, 0);
+  InjectOptions ok_opt;
+  EXPECT_FALSE(InjectMissing(&empty, &empty_mask, ok_opt, &rng).ok());
+  data::MissingMask wrong_shape(3, 3);
+  EXPECT_FALSE(InjectMissing(&t, &wrong_shape, ok_opt, &rng).ok());
+}
+
+TEST(InjectorTest, DeterministicForSeed) {
+  data::Table t1 = SmallDataset(15), t2 = SmallDataset(15);
+  data::MissingMask m1(t1.NumRows(), t1.NumCols());
+  data::MissingMask m2(t2.NumRows(), t2.NumCols());
+  InjectOptions opt;
+  opt.tuple_count = 12;
+  Rng r1(16), r2(16);
+  ASSERT_TRUE(InjectMissing(&t1, &m1, opt, &r1).ok());
+  ASSERT_TRUE(InjectMissing(&t2, &m2, opt, &r2).ok());
+  ASSERT_EQ(m1.CountMissing(), m2.CountMissing());
+  for (size_t i = 0; i < m1.cells().size(); ++i) {
+    EXPECT_EQ(m1.cells()[i].row, m2.cells()[i].row);
+    EXPECT_EQ(m1.cells()[i].col, m2.cells()[i].col);
+  }
+}
+
+}  // namespace
+}  // namespace iim::eval

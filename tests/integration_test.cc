@@ -1,0 +1,243 @@
+// End-to-end integration tests: generate a dataset, inject missing values,
+// run the full method suite through the experiment harness, and check the
+// paper's qualitative claims hold on this implementation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/cross_validation.h"
+#include "baselines/registry.h"
+#include "cluster/kmeans.h"
+#include "core/iim_imputer.h"
+#include "datasets/generator.h"
+#include "datasets/specs.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace iim {
+namespace {
+
+std::vector<eval::Method> MethodSuite(bool adaptive_iim) {
+  std::vector<eval::Method> methods;
+  methods.push_back(eval::Method{"IIM", [adaptive_iim]() {
+    core::IimOptions opt;
+    opt.k = 5;
+    opt.alpha = 1.0;  // local designs are collinear; regularize for real
+    if (adaptive_iim) {
+      opt.adaptive = true;
+      opt.max_ell = 60;
+      opt.step_h = 2;
+    } else {
+      opt.ell = 15;
+    }
+    return std::unique_ptr<baselines::Imputer>(
+        std::make_unique<core::IimImputer>(opt));
+  }});
+  for (const std::string& name :
+       {"Mean", "kNN", "kNNE", "GLR", "LOESS", "XGB"}) {
+    methods.push_back(eval::Method{name, [name]() {
+      baselines::BaselineOptions opt;
+      opt.k = 5;
+      return std::move(baselines::MakeBaseline(name, opt).value());
+    }});
+  }
+  return methods;
+}
+
+double RmsOf(const eval::ExperimentResult& res, const std::string& name) {
+  for (const auto& m : res.methods) {
+    if (m.name == name) return m.rms;
+  }
+  ADD_FAILURE() << "method not found: " << name;
+  return std::nan("");
+}
+
+TEST(IntegrationTest, IimWinsOnHeterogeneousData) {
+  // ASF-like data (strong regimes): IIM must beat Mean and GLR clearly and
+  // not lose badly to anything.
+  datasets::DatasetSpec spec = datasets::Asf();
+  spec.n = 400;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 21);
+  ASSERT_TRUE(gen.ok());
+
+  eval::ExperimentConfig config;
+  config.inject.tuple_fraction = 0.08;
+  config.seed = 22;
+  Result<eval::ExperimentResult> res =
+      eval::RunComparison(gen.value().table, config, MethodSuite(true));
+  ASSERT_TRUE(res.ok());
+
+  double iim = RmsOf(res.value(), "IIM");
+  EXPECT_LT(iim, RmsOf(res.value(), "Mean"));
+  EXPECT_LT(iim, RmsOf(res.value(), "GLR"));
+  // Competitive overall: within 1.3x of the best method on this draw.
+  double best = 1e18;
+  for (const auto& m : res.value().methods) {
+    if (std::isfinite(m.rms)) best = std::min(best, m.rms);
+  }
+  EXPECT_LT(iim, best * 1.3 + 1e-9);
+}
+
+TEST(IntegrationTest, GlrBeatsKnnOnSparseHomogeneousData) {
+  // CA-like regime: high sparsity (R^2_S small) but one global model
+  // (R^2_H large) — the paper's Table V shows GLR(0.6) << kNN(2.02) there,
+  // and IIM at least matching GLR.
+  datasets::DatasetSpec spec = datasets::Ca();
+  spec.n = 800;  // scaled down for test speed
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 31);
+  ASSERT_TRUE(gen.ok());
+
+  eval::ExperimentConfig config;
+  config.inject.tuple_count = 60;
+  config.seed = 32;
+  Result<eval::ExperimentResult> res =
+      eval::RunComparison(gen.value().table, config, MethodSuite(true));
+  ASSERT_TRUE(res.ok());
+
+  double knn = RmsOf(res.value(), "kNN");
+  double glr = RmsOf(res.value(), "GLR");
+  double iim = RmsOf(res.value(), "IIM");
+  EXPECT_LT(glr, knn);
+  EXPECT_LT(iim, knn);
+  // The measured properties match the intended regime.
+  EXPECT_GT(res.value().r2_heterogeneity, res.value().r2_sparsity);
+}
+
+TEST(IntegrationTest, ImputationImprovesClustering) {
+  // Table VII protocol (clustering side): cluster the imputed data and
+  // compare purity against clustering with incomplete tuples discarded.
+  datasets::DatasetSpec spec = datasets::Asf();
+  spec.n = 300;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 41);
+  ASSERT_TRUE(gen.ok());
+  const data::Table& original = gen.value().table;
+  const std::vector<int>& regimes = gen.value().regime_of_row;
+
+  // Ground-truth clusters from k-means on the original complete data.
+  cluster::KMeansOptions kopt;
+  kopt.k = spec.regimes;
+  Rng rng(42);
+  Result<cluster::KMeansResult> truth_clusters =
+      cluster::KMeans(original.ToMatrix(), kopt, &rng);
+  ASSERT_TRUE(truth_clusters.ok());
+
+  // Inject, impute with IIM, re-cluster.
+  data::Table working = original;
+  data::MissingMask mask(working.NumRows(), working.NumCols());
+  eval::InjectOptions iopt;
+  iopt.tuple_fraction = 0.15;
+  Rng inject_rng(43);
+  ASSERT_TRUE(eval::InjectMissing(&working, &mask, iopt, &inject_rng).ok());
+  data::Table r = working.TakeRows(mask.CompleteRows());
+
+  core::IimOptions iim_opt;
+  iim_opt.k = 5;
+  iim_opt.ell = 15;
+  core::IimImputer iim(iim_opt);
+  data::Table imputed = working;
+  Result<eval::MethodResult> imp_res =
+      eval::ImputeAll(r, working, mask, &iim, 0, &imputed);
+  ASSERT_TRUE(imp_res.ok());
+  ASSERT_TRUE(imputed.IsComplete());
+
+  Rng cluster_rng(44);
+  Result<cluster::KMeansResult> clusters_imputed =
+      cluster::KMeans(imputed.ToMatrix(), kopt, &cluster_rng);
+  ASSERT_TRUE(clusters_imputed.ok());
+  Result<double> purity_imputed = eval::Purity(
+      clusters_imputed.value().assignments, truth_clusters.value().assignments);
+  ASSERT_TRUE(purity_imputed.ok());
+
+  // Discarding baseline: cluster only complete tuples.
+  std::vector<int> truth_subset;
+  for (size_t row : mask.CompleteRows()) {
+    truth_subset.push_back(truth_clusters.value().assignments[row]);
+  }
+  Rng discard_rng(45);
+  Result<cluster::KMeansResult> clusters_discard =
+      cluster::KMeans(r.ToMatrix(), kopt, &discard_rng);
+  ASSERT_TRUE(clusters_discard.ok());
+  Result<double> purity_discard =
+      eval::Purity(clusters_discard.value().assignments, truth_subset);
+  ASSERT_TRUE(purity_discard.ok());
+
+  // Imputed clustering should recover the truth well. (The discard
+  // baseline only loses tuples, so compare against a high floor too.)
+  EXPECT_GT(purity_imputed.value(), 0.85);
+  (void)regimes;
+}
+
+TEST(IntegrationTest, ImputationHelpsClassificationOnRealMissing) {
+  // Table VII protocol (classification side) on MAM-like data with
+  // embedded missingness: impute, then 5-fold CV F1 should not degrade
+  // versus classifying with missing values left in place.
+  datasets::DatasetSpec spec = datasets::Mam();
+  spec.n = 240;
+  spec.missing_rate = 0.05;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 51);
+  ASSERT_TRUE(gen.ok());
+  const data::Table& with_missing = gen.value().table;
+  const data::MissingMask& mask = gen.value().mask;
+
+  apps::CvOptions cv;
+  cv.folds = 5;
+  Result<double> f1_missing = apps::CrossValidatedF1(with_missing, cv);
+  ASSERT_TRUE(f1_missing.ok());
+
+  data::Table r = with_missing.TakeRows(mask.CompleteRows());
+  core::IimOptions iim_opt;
+  iim_opt.k = 5;
+  iim_opt.ell = 10;
+  core::IimImputer iim(iim_opt);
+  data::Table imputed = with_missing;
+  Result<eval::MethodResult> imp =
+      eval::ImputeAll(r, with_missing, mask, &iim, 0, &imputed);
+  ASSERT_TRUE(imp.ok());
+  Result<double> f1_imputed = apps::CrossValidatedF1(imputed, cv);
+  ASSERT_TRUE(f1_imputed.ok());
+
+  EXPECT_GE(f1_imputed.value(), f1_missing.value() - 0.05);
+  EXPECT_GT(f1_imputed.value(), 0.5);
+}
+
+TEST(IntegrationTest, FullBaselineSuiteRunsOnModerateData) {
+  // Smoke coverage: every method in Table II plus IIM completes without
+  // failures on a CCS-like dataset.
+  datasets::DatasetSpec spec = datasets::Ccs();
+  spec.n = 220;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, 61);
+  ASSERT_TRUE(gen.ok());
+
+  std::vector<eval::Method> methods;
+  methods.push_back(eval::Method{"IIM", []() {
+    core::IimOptions opt;
+    opt.k = 5;
+    opt.ell = 10;
+    return std::unique_ptr<baselines::Imputer>(
+        std::make_unique<core::IimImputer>(opt));
+  }});
+  for (const std::string& name : baselines::AllBaselineNames()) {
+    methods.push_back(eval::Method{name, [name]() {
+      baselines::BaselineOptions opt;
+      opt.k = 5;
+      return std::move(baselines::MakeBaseline(name, opt).value());
+    }});
+  }
+
+  eval::ExperimentConfig config;
+  config.inject.tuple_count = 12;
+  config.seed = 62;
+  Result<eval::ExperimentResult> res =
+      eval::RunComparison(gen.value().table, config, methods);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().methods.size(), 14u);
+  for (const auto& m : res.value().methods) {
+    EXPECT_EQ(m.failed, 0u) << m.name;
+    EXPECT_TRUE(std::isfinite(m.rms)) << m.name;
+    EXPECT_GT(m.rms, 0.0) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace iim

@@ -1,0 +1,111 @@
+#include "neighbors/kdtree.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "neighbors/knn.h"
+
+namespace iim::neighbors {
+namespace {
+
+data::Table RandomTable(size_t n, size_t m, Rng* rng, bool with_ties) {
+  data::Table t(data::Schema::Default(m), n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double v = rng->Uniform(-10, 10);
+      // Quantize to force duplicate coordinates / distance ties.
+      if (with_ties) v = std::round(v);
+      t.Set(i, j, v);
+    }
+  }
+  return t;
+}
+
+// (n, dims, k, with_ties)
+using Param = std::tuple<size_t, size_t, size_t, bool>;
+
+class KdTreeAgreementTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(KdTreeAgreementTest, MatchesBruteForceExactly) {
+  auto [n, dims, k, ties] = GetParam();
+  Rng rng(1000 * n + 10 * dims + k + (ties ? 1 : 0));
+  data::Table t = RandomTable(n, dims, &rng, ties);
+  std::vector<int> cols;
+  for (size_t j = 0; j < dims; ++j) cols.push_back(static_cast<int>(j));
+
+  BruteForceIndex brute(&t, cols);
+  KdTreeIndex tree(&t, cols);
+
+  data::Table queries = RandomTable(25, dims, &rng, ties);
+  QueryOptions opt;
+  opt.k = k;
+  for (size_t q = 0; q < queries.NumRows(); ++q) {
+    auto expect = brute.Query(queries.Row(q), opt);
+    auto got = tree.Query(queries.Row(q), opt);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, expect[i].index) << "query " << q << " pos "
+                                               << i;
+      EXPECT_NEAR(got[i].distance, expect[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreeAgreementTest,
+    ::testing::Values(Param{50, 1, 3, false}, Param{200, 2, 5, false},
+                      Param{500, 3, 10, false}, Param{300, 5, 7, false},
+                      Param{100, 2, 100, false},  // k == n
+                      Param{250, 2, 5, true},     // heavy ties
+                      Param{400, 1, 9, true}));
+
+TEST(KdTreeTest, ExcludeHonored) {
+  Rng rng(4);
+  data::Table t = RandomTable(100, 2, &rng, false);
+  KdTreeIndex tree(&t, {0, 1});
+  QueryOptions opt;
+  opt.k = 5;
+  opt.exclude = 17;
+  for (const auto& nb : tree.Query(t.Row(17), opt)) {
+    EXPECT_NE(nb.index, 17u);
+  }
+}
+
+TEST(KdTreeTest, QueryAllMatchesBruteForce) {
+  Rng rng(6);
+  data::Table t = RandomTable(60, 2, &rng, false);
+  KdTreeIndex tree(&t, {0, 1});
+  BruteForceIndex brute(&t, {0, 1});
+  auto a = tree.QueryAll(t.Row(3), 3);
+  auto b = brute.QueryAll(t.Row(3), 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+  }
+}
+
+TEST(KdTreeTest, ZeroKReturnsEmpty) {
+  Rng rng(8);
+  data::Table t = RandomTable(10, 2, &rng, false);
+  KdTreeIndex tree(&t, {0, 1});
+  QueryOptions opt;
+  opt.k = 0;
+  EXPECT_TRUE(tree.Query(t.Row(0), opt).empty());
+}
+
+TEST(MakeIndexTest, PicksImplementationBySize) {
+  Rng rng(10);
+  data::Table small = RandomTable(10, 2, &rng, false);
+  data::Table large = RandomTable(100, 2, &rng, false);
+  auto idx_small = MakeIndex(&small, {0, 1}, /*kdtree_threshold=*/50);
+  auto idx_large = MakeIndex(&large, {0, 1}, /*kdtree_threshold=*/50);
+  EXPECT_NE(dynamic_cast<BruteForceIndex*>(idx_small.get()), nullptr);
+  EXPECT_NE(dynamic_cast<KdTreeIndex*>(idx_large.get()), nullptr);
+  EXPECT_EQ(idx_small->size(), 10u);
+  EXPECT_EQ(idx_large->size(), 100u);
+}
+
+}  // namespace
+}  // namespace iim::neighbors

@@ -1,0 +1,105 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace iim::cluster {
+namespace {
+
+// Three well-separated blobs in 2-D.
+linalg::Matrix Blobs(size_t per_blob, Rng* rng,
+                     std::vector<int>* truth = nullptr) {
+  std::vector<std::pair<double, double>> centers = {
+      {0, 0}, {20, 0}, {0, 20}};
+  linalg::Matrix points(per_blob * centers.size(), 2);
+  size_t row = 0;
+  for (size_t c = 0; c < centers.size(); ++c) {
+    for (size_t i = 0; i < per_blob; ++i, ++row) {
+      points(row, 0) = centers[c].first + rng->Gaussian(0, 1);
+      points(row, 1) = centers[c].second + rng->Gaussian(0, 1);
+      if (truth != nullptr) truth->push_back(static_cast<int>(c));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(3);
+  std::vector<int> truth;
+  linalg::Matrix points = Blobs(40, &rng, &truth);
+  KMeansOptions opt;
+  opt.k = 3;
+  Result<KMeansResult> res = KMeans(points, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  // Every pair in the same truth blob must share a cluster.
+  const auto& assign = res.value().assignments;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (size_t j = i + 1; j < truth.size(); ++j) {
+      if (truth[i] == truth[j]) {
+        EXPECT_EQ(assign[i], assign[j]) << i << "," << j;
+      } else {
+        EXPECT_NE(assign[i], assign[j]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  linalg::Matrix points = Blobs(30, &rng);
+  double prev = 1e18;
+  for (size_t k : {1, 2, 3}) {
+    KMeansOptions opt;
+    opt.k = k;
+    Rng run_rng(7);
+    Result<KMeansResult> res = KMeans(points, opt, &run_rng);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LT(res.value().inertia, prev + 1e-9);
+    prev = res.value().inertia;
+  }
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  linalg::Matrix points(2, 1);
+  points(0, 0) = 0;
+  points(1, 0) = 1;
+  KMeansOptions opt;
+  opt.k = 10;
+  Rng rng(1);
+  Result<KMeansResult> res = KMeans(points, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().centers.rows(), 2u);
+  EXPECT_NEAR(res.value().inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, EmptyInputRejected) {
+  linalg::Matrix empty;
+  KMeansOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(KMeans(empty, opt, &rng).ok());
+}
+
+TEST(KMeansTest, SinglePointSingleCluster) {
+  linalg::Matrix points(1, 2);
+  points(0, 0) = 3;
+  points(0, 1) = 4;
+  KMeansOptions opt;
+  opt.k = 1;
+  Rng rng(2);
+  Result<KMeansResult> res = KMeans(points, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.value().centers(0, 0), 3.0);
+  EXPECT_EQ(res.value().assignments[0], 0);
+}
+
+TEST(NearestCenterTest, PicksClosest) {
+  linalg::Matrix centers = linalg::Matrix::FromRows({{0, 0}, {10, 10}});
+  double p1[] = {1.0, 1.0};
+  double p2[] = {9.0, 9.0};
+  EXPECT_EQ(NearestCenter(centers, p1), 0);
+  EXPECT_EQ(NearestCenter(centers, p2), 1);
+}
+
+}  // namespace
+}  // namespace iim::cluster

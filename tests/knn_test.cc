@@ -1,0 +1,112 @@
+#include "neighbors/knn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/paper_example.h"
+#include "neighbors/distance.h"
+
+namespace iim::neighbors {
+namespace {
+
+data::Table MakeTable(const std::vector<std::vector<double>>& rows) {
+  data::Table t(data::Schema::Default(rows.empty() ? 0 : rows[0].size()));
+  for (const auto& row : rows) EXPECT_TRUE(t.AppendRow(row).ok());
+  return t;
+}
+
+TEST(DistanceTest, Formula1NormalizesByAttributeCount) {
+  data::Table t = MakeTable({{0, 0, 0}, {3, 4, 0}});
+  // Unnormalized distance 5; |F| = 2 -> 5 / sqrt(2).
+  double d = NormalizedEuclidean(t.Row(0), t.Row(1), {0, 1});
+  EXPECT_NEAR(d, 5.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(Euclidean(t.Row(0), t.Row(1), {0, 1}), 5.0, 1e-12);
+}
+
+TEST(DistanceTest, VectorOverload) {
+  EXPECT_NEAR(NormalizedEuclidean({0.0, 0.0}, {3.0, 4.0}),
+              5.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, SubsetSelectsColumns) {
+  data::Table t = MakeTable({{0, 100}, {1, 200}});
+  // Only column 0 counts.
+  EXPECT_NEAR(NormalizedEuclidean(t.Row(0), t.Row(1), {0}), 1.0, 1e-12);
+}
+
+TEST(BruteForceTest, FindsNearestInOrder) {
+  data::Table t = MakeTable({{0.0}, {10.0}, {1.0}, {5.0}});
+  BruteForceIndex index(&t, {0});
+  data::Table q = MakeTable({{0.6}});
+  QueryOptions opt;
+  opt.k = 3;
+  auto nbrs = index.Query(q.Row(0), opt);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].index, 2u);  // 1.0 (d=0.4)
+  EXPECT_EQ(nbrs[1].index, 0u);  // 0.0 (d=0.6)
+  EXPECT_EQ(nbrs[2].index, 3u);  // 5.0
+  EXPECT_NEAR(nbrs[0].distance, 0.4, 1e-12);
+}
+
+TEST(BruteForceTest, TieBrokenByIndex) {
+  data::Table t = MakeTable({{1.0}, {-1.0}, {1.0}});
+  BruteForceIndex index(&t, {0});
+  data::Table q = MakeTable({{0.0}});
+  QueryOptions opt;
+  opt.k = 3;
+  auto nbrs = index.Query(q.Row(0), opt);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].index, 0u);
+  EXPECT_EQ(nbrs[1].index, 1u);
+  EXPECT_EQ(nbrs[2].index, 2u);
+}
+
+TEST(BruteForceTest, ExcludeRemovesRow) {
+  data::Table t = MakeTable({{0.0}, {1.0}, {2.0}});
+  BruteForceIndex index(&t, {0});
+  QueryOptions opt;
+  opt.k = 2;
+  opt.exclude = 0;
+  auto nbrs = index.Query(t.Row(0), opt);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].index, 1u);
+  EXPECT_EQ(nbrs[1].index, 2u);
+}
+
+TEST(BruteForceTest, KLargerThanTableReturnsAll) {
+  data::Table t = MakeTable({{0.0}, {1.0}});
+  BruteForceIndex index(&t, {0});
+  QueryOptions opt;
+  opt.k = 10;
+  EXPECT_EQ(index.Query(t.Row(0), opt).size(), 2u);
+}
+
+TEST(BruteForceTest, QueryAllSortedAscending) {
+  data::Table t = MakeTable({{5.0}, {1.0}, {3.0}, {9.0}});
+  BruteForceIndex index(&t, {0});
+  data::Table q = MakeTable({{0.0}});
+  auto all = index.QueryAll(q.Row(0), QueryOptions::kNoExclusion);
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_LE(all[i].distance, all[i + 1].distance);
+  }
+  EXPECT_EQ(all[0].index, 1u);
+}
+
+TEST(BruteForceTest, PaperExample1Neighbors) {
+  // NN(tx, {A1}, 3) = {t5, t4, t6} in Example 3 (indices 4, 3, 5).
+  data::Table r = datasets::Figure1Relation();
+  BruteForceIndex index(&r, {0});
+  data::Table q = MakeTable({{datasets::kFigure1QueryA1, 0.0}});
+  QueryOptions opt;
+  opt.k = 3;
+  auto nbrs = index.Query(q.Row(0), opt);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].index, 4u);  // t5 at A1=6.8, d=1.8
+  EXPECT_EQ(nbrs[1].index, 3u);  // t4 at A1=2.9, d=2.1
+  EXPECT_EQ(nbrs[2].index, 5u);  // t6 at A1=7.5, d=2.5
+}
+
+}  // namespace
+}  // namespace iim::neighbors

@@ -1,0 +1,116 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace iim::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(MatrixTest, IdentityAndFromRows) {
+  Matrix eye = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowColExtraction) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vector{3, 6}));
+  m.SetRow(0, {9, 8, 7});
+  EXPECT_EQ(m.Row(0), (Vector{9, 8, 7}));
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbsDiff(t.Transposed()), 0.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyVec) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Vector v = {1, 0, -1};
+  Vector out = a.MultiplyVec(v);
+  EXPECT_EQ(out, (Vector{-2, -2}));
+}
+
+TEST(MatrixTest, GramEqualsTransposedTimesSelf) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix explicit_gram = a.Transposed().Multiply(a);
+  EXPECT_LT(a.Gram().MaxAbsDiff(explicit_gram), 1e-12);
+}
+
+TEST(MatrixTest, InPlaceArithmetic) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{1, 1}, {1, 1}});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  a.SubInPlace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  a.ScaleInPlace(3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 12.0);
+  a.AddScaledIdentity(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  Vector a = {1, 2, 2};
+  Vector b = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+}
+
+TEST(VectorOpsTest, ElementwiseAndAxpy) {
+  Vector a = {1, 2};
+  Vector b = {3, 5};
+  EXPECT_EQ(Add(a, b), (Vector{4, 7}));
+  EXPECT_EQ(Sub(b, a), (Vector{2, 3}));
+  EXPECT_EQ(Scale(a, 2.0), (Vector{2, 4}));
+  Vector c = {1, 1};
+  Axpy(2.0, a, &c);
+  EXPECT_EQ(c, (Vector{3, 5}));
+}
+
+TEST(VectorOpsTest, Statistics) {
+  Vector v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Sum(v), 40.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(Min(v), 2.0);
+  EXPECT_DOUBLE_EQ(Max(v), 9.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace iim::linalg

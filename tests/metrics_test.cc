@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace iim::eval {
+namespace {
+
+TEST(RmsErrorTest, KnownValue) {
+  // Errors 3 and 4 -> RMS = sqrt((9 + 16) / 2).
+  std::vector<ScoredCell> cells = {{10.0, 13.0, 0}, {0.0, -4.0, 0}};
+  Result<double> rms = RmsError(cells);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_NEAR(rms.value(), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmsErrorTest, PerfectImputationIsZero) {
+  std::vector<ScoredCell> cells = {{1.0, 1.0, 0}, {2.0, 2.0, 0}};
+  EXPECT_DOUBLE_EQ(RmsError(cells).value(), 0.0);
+  EXPECT_FALSE(RmsError({}).ok());
+}
+
+TEST(RSquaredTest, PerfectAndMeanPredictors) {
+  std::vector<ScoredCell> perfect = {{1, 1, 0}, {2, 2, 0}, {3, 3, 0}};
+  EXPECT_NEAR(RSquared(perfect, 2.0).value(), 1.0, 1e-12);
+  std::vector<ScoredCell> mean_pred = {{1, 2, 0}, {2, 2, 0}, {3, 2, 0}};
+  EXPECT_NEAR(RSquared(mean_pred, 2.0).value(), 0.0, 1e-12);
+}
+
+TEST(RSquaredTest, ZeroVarianceFails) {
+  std::vector<ScoredCell> cells = {{2, 1, 0}, {2, 3, 0}};
+  EXPECT_FALSE(RSquared(cells, 2.0).ok());
+}
+
+TEST(RSquaredPooledTest, MixedAttributeCells) {
+  // Attribute 0 has mean 10, attribute 1 has mean 100.
+  std::vector<ScoredCell> cells = {
+      {12.0, 11.0, 0}, {8.0, 9.0, 0}, {105.0, 103.0, 1}, {95.0, 99.0, 1}};
+  std::vector<double> means = {10.0, 100.0};
+  Result<double> r2 = RSquaredPooled(cells, means);
+  ASSERT_TRUE(r2.ok());
+  double sse = 1 + 1 + 4 + 16;
+  double sst = 4 + 4 + 25 + 25;
+  EXPECT_NEAR(r2.value(), 1.0 - sse / sst, 1e-12);
+  // Out-of-range column rejected.
+  std::vector<ScoredCell> bad = {{1.0, 1.0, 7}};
+  EXPECT_FALSE(RSquaredPooled(bad, means).ok());
+}
+
+TEST(PurityTest, PerfectClusteringIsOne) {
+  std::vector<int> pred = {0, 0, 1, 1};
+  std::vector<int> truth = {5, 5, 9, 9};
+  EXPECT_DOUBLE_EQ(Purity(pred, truth).value(), 1.0);
+}
+
+TEST(PurityTest, MixedClusters) {
+  // Cluster 0: labels {a, a, b} -> 2; cluster 1: {b} -> 1; purity 3/4.
+  std::vector<int> pred = {0, 0, 0, 1};
+  std::vector<int> truth = {1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(Purity(pred, truth).value(), 0.75);
+  EXPECT_FALSE(Purity({}, {}).ok());
+  EXPECT_FALSE(Purity({1}, {1, 2}).ok());
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  std::vector<int> y = {0, 1, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MacroF1(y, y).value(), 1.0);
+}
+
+TEST(MacroF1Test, KnownConfusion) {
+  // truth:    0 0 1 1
+  // predicted:0 1 1 1
+  // class 0: tp=1 fp=0 fn=1 -> p=1, r=.5, f1=2/3
+  // class 1: tp=2 fp=1 fn=0 -> p=2/3, r=1, f1=0.8
+  std::vector<int> truth = {0, 0, 1, 1};
+  std::vector<int> pred = {0, 1, 1, 1};
+  EXPECT_NEAR(MacroF1(pred, truth).value(), (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(MacroF1Test, AllWrongIsZero) {
+  std::vector<int> truth = {0, 1};
+  std::vector<int> pred = {1, 0};
+  EXPECT_DOUBLE_EQ(MacroF1(pred, truth).value(), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"Method", "RMS"});
+  printer.AddRow({"IIM", "8.08"});
+  printer.AddRow({"kNN", "22.63"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("| Method | RMS   |"), std::string::npos);
+  EXPECT_NE(out.find("| IIM    | 8.08  |"), std::string::npos);
+  EXPECT_NE(out.find("| kNN    | 22.63 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"x"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(FormatTest, MetricAndSeconds) {
+  EXPECT_EQ(FormatMetric(1.23456), "1.235");
+  EXPECT_EQ(FormatMetric(std::nan("")), "-");
+  EXPECT_EQ(FormatSeconds(0.0012345), "0.00123s");
+  EXPECT_EQ(FormatSeconds(0.5), "0.5000s");
+  EXPECT_EQ(FormatSeconds(12.345), "12.35s");
+}
+
+}  // namespace
+}  // namespace iim::eval

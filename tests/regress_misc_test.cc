@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regress/bayesian_lr.h"
+#include "regress/loess.h"
+#include "regress/ridge.h"
+
+namespace iim::regress {
+namespace {
+
+TEST(BayesianLrTest, PosteriorMeanMatchesRidge) {
+  Rng rng(3);
+  linalg::Matrix x(30, 2);
+  linalg::Vector y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.Uniform(-2, 2);
+    x(i, 1) = rng.Uniform(-2, 2);
+    y[i] = 1.0 + 0.5 * x(i, 0) - 2.0 * x(i, 1) + rng.Gaussian(0, 0.1);
+  }
+  Result<BayesianDraw> draw = DrawBayesianLinearModel(x, y, &rng);
+  ASSERT_TRUE(draw.ok());
+  Result<LinearModel> ridge = FitRidge(x, y);
+  ASSERT_TRUE(ridge.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(draw.value().mean.phi[i], ridge.value().phi[i], 1e-9);
+  }
+  EXPECT_GT(draw.value().sigma, 0.0);
+  EXPECT_LT(draw.value().sigma, 1.0);  // noise was 0.1
+}
+
+TEST(BayesianLrTest, DrawnModelScattersAroundMean) {
+  Rng rng(5);
+  linalg::Matrix x(50, 1);
+  linalg::Vector y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Uniform(0, 10);
+    y[i] = 2.0 * x(i, 0) + rng.Gaussian(0, 0.5);
+  }
+  // Across draws the slope should vary but stay near 2.
+  double min_slope = 1e9, max_slope = -1e9;
+  for (int rep = 0; rep < 30; ++rep) {
+    Result<BayesianDraw> draw = DrawBayesianLinearModel(x, y, &rng);
+    ASSERT_TRUE(draw.ok());
+    min_slope = std::min(min_slope, draw.value().model.phi[1]);
+    max_slope = std::max(max_slope, draw.value().model.phi[1]);
+  }
+  EXPECT_LT(max_slope - min_slope, 0.5);  // concentrated
+  EXPECT_GT(max_slope - min_slope, 1e-6); // but not degenerate
+  EXPECT_NEAR(0.5 * (min_slope + max_slope), 2.0, 0.2);
+}
+
+TEST(BayesianLrTest, DeterministicGivenSeed) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}, {3}, {4}, {5}});
+  linalg::Vector y = {1.1, 1.9, 3.2, 3.8, 5.1};
+  Rng a(42), b(42);
+  Result<BayesianDraw> da = DrawBayesianLinearModel(x, y, &a);
+  Result<BayesianDraw> db = DrawBayesianLinearModel(x, y, &b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(da.value().model.phi[0], db.value().model.phi[0]);
+  EXPECT_DOUBLE_EQ(da.value().model.phi[1], db.value().model.phi[1]);
+}
+
+TEST(LoessTest, InterpolatesLocalLinearStructure) {
+  // Neighbors on a clean line y = 2x + 1.
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}, {3}, {4}});
+  linalg::Vector y = {3, 5, 7, 9};
+  linalg::Vector dist = {1.5, 0.5, 0.5, 1.5};  // query at 2.5
+  Result<double> pred = LoessPredict(x, y, dist, {2.5});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred.value(), 6.0, 1e-6);
+}
+
+TEST(LoessTest, CloserNeighborsDominate) {
+  // Near group says y = x; far group is wildly offset. The tricube kernel
+  // must favor the near group.
+  linalg::Matrix x =
+      linalg::Matrix::FromRows({{1.0}, {1.2}, {0.8}, {9.0}, {9.5}});
+  linalg::Vector y = {1.0, 1.2, 0.8, 100.0, 120.0};
+  linalg::Vector dist = {0.0, 0.2, 0.2, 8.0, 8.5};
+  Result<double> pred = LoessPredict(x, y, dist, {1.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred.value(), 1.0, 0.5);
+}
+
+TEST(LoessTest, ZeroDistancesFallBackToUniform) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}, {3}});
+  linalg::Vector y = {2, 4, 6};
+  linalg::Vector dist = {0, 0, 0};
+  Result<double> pred = LoessPredict(x, y, dist, {2.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred.value(), 4.0, 1e-6);
+}
+
+TEST(LoessTest, DimensionMismatchRejected) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}});
+  EXPECT_FALSE(LoessPredict(x, {1.0, 2.0}, {0.0}, {1.0}).ok());
+  EXPECT_FALSE(LoessPredict(linalg::Matrix(), {}, {}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace iim::regress

@@ -1,0 +1,116 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/vector_ops.h"
+
+namespace iim::linalg {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng* rng) {
+  // A^T A + n*I is comfortably positive definite.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng->Uniform(-1, 1);
+  Matrix spd = a.Gram();
+  spd.AddScaledIdentity(static_cast<double>(n));
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = Matrix::FromRows({{4, 2, 0}, {2, 5, 1}, {0, 1, 3}});
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactor(a, &l).ok());
+  Matrix rebuilt = l.Multiply(l.Transposed());
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(CholeskyTest, SolveKnownSystem) {
+  Matrix a = Matrix::FromRows({{4, 1}, {1, 3}});
+  Vector b = {1, 2};
+  Vector x;
+  ASSERT_TRUE(CholeskySolve(a, b, &x).ok());
+  // Verify A x == b.
+  Vector ax = a.MultiplyVec(x);
+  EXPECT_NEAR(ax[0], 1.0, 1e-12);
+  EXPECT_NEAR(ax[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix not_spd = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalue -1
+  Matrix l;
+  EXPECT_EQ(CholeskyFactor(not_spd, &l).code(),
+            StatusCode::kFailedPrecondition);
+  Matrix not_square(2, 3);
+  EXPECT_EQ(CholeskyFactor(not_square, &l).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, SolveSizeMismatch) {
+  Matrix a = Matrix::Identity(3);
+  Vector b = {1, 2};
+  Vector x;
+  EXPECT_FALSE(CholeskySolve(a, b, &x).ok());
+}
+
+TEST(CholeskyTest, InverseTimesSelfIsIdentity) {
+  Rng rng(5);
+  Matrix a = RandomSpd(5, &rng);
+  Matrix inv;
+  ASSERT_TRUE(CholeskyInverse(a, &inv).ok());
+  EXPECT_LT(a.Multiply(inv).MaxAbsDiff(Matrix::Identity(5)), 1e-9);
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SolverPropertyTest, CholeskyAndLuAgreeOnSpdSystems) {
+  size_t n = GetParam();
+  Rng rng(100 + n);
+  for (int rep = 0; rep < 10; ++rep) {
+    Matrix a = RandomSpd(n, &rng);
+    Vector b(n);
+    for (double& v : b) v = rng.Uniform(-5, 5);
+    Vector x_chol, x_lu;
+    ASSERT_TRUE(CholeskySolve(a, b, &x_chol).ok());
+    ASSERT_TRUE(LuSolve(a, b, &x_lu).ok());
+    EXPECT_LT(Distance(x_chol, x_lu), 1e-8);
+    // Residual check.
+    Vector ax = a.MultiplyVec(x_chol);
+    EXPECT_LT(Distance(ax, b), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 20));
+
+TEST(LuTest, SolvesNonSymmetricSystem) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  Vector b = {-8, 0, 3};
+  Vector x;
+  ASSERT_TRUE(LuSolve(a, b, &x).ok());
+  Vector ax = a.MultiplyVec(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  Vector b = {1, 2};
+  Vector x;
+  EXPECT_EQ(LuSolve(a, b, &x).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LuTest, DeterminantKnownValues) {
+  EXPECT_NEAR(Determinant(Matrix::Identity(4)), 1.0, 1e-12);
+  Matrix a = Matrix::FromRows({{2, 0}, {0, 3}});
+  EXPECT_NEAR(Determinant(a), 6.0, 1e-12);
+  Matrix swapped = Matrix::FromRows({{0, 1}, {1, 0}});  // permutation: det -1
+  EXPECT_NEAR(Determinant(swapped), -1.0, 1e-12);
+  Matrix singular = Matrix::FromRows({{1, 1}, {1, 1}});
+  EXPECT_DOUBLE_EQ(Determinant(singular), 0.0);
+}
+
+}  // namespace
+}  // namespace iim::linalg

@@ -1,0 +1,134 @@
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+#include "data/transforms.h"
+
+namespace iim::data {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Table MakeTable(const std::vector<std::vector<double>>& rows) {
+  Table t(Schema::Default(rows.empty() ? 0 : rows[0].size()));
+  for (const auto& row : rows) EXPECT_TRUE(t.AppendRow(row).ok());
+  return t;
+}
+
+TEST(StatsTest, ColumnStatsBasic) {
+  Table t = MakeTable({{1, 10}, {2, 20}, {3, 30}});
+  ColumnStats s = ComputeColumnStats(t, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+}
+
+TEST(StatsTest, NaNCellsSkipped) {
+  Table t = MakeTable({{1}, {kNan}, {3}});
+  ColumnStats s = ComputeColumnStats(t, 0);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST(StatsTest, AllMissingColumn) {
+  Table t = MakeTable({{kNan}, {kNan}});
+  ColumnStats s = ComputeColumnStats(t, 0);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(ScalerTest, TransformInverseRoundTrip) {
+  Table t = MakeTable({{1, 100}, {2, 200}, {3, 300}, {4, 400}});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(t).ok());
+  Table work = t;
+  ASSERT_TRUE(scaler.Transform(&work).ok());
+  // Standardized columns have mean ~0.
+  EXPECT_NEAR(ComputeColumnStats(work, 0).mean, 0.0, 1e-12);
+  EXPECT_NEAR(ComputeColumnStats(work, 1).stddev, 1.0, 1e-12);
+  ASSERT_TRUE(scaler.InverseTransform(&work).ok());
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    EXPECT_NEAR(work.At(i, 0), t.At(i, 0), 1e-12);
+    EXPECT_NEAR(work.At(i, 1), t.At(i, 1), 1e-12);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnStaysFinite) {
+  Table t = MakeTable({{5}, {5}, {5}});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(t).ok());
+  Table work = t;
+  ASSERT_TRUE(scaler.Transform(&work).ok());
+  EXPECT_TRUE(std::isfinite(work.At(0, 0)));
+}
+
+TEST(ScalerTest, NaNPassesThrough) {
+  Table t = MakeTable({{1}, {3}, {kNan}});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(t).ok());
+  Table work = t;
+  ASSERT_TRUE(scaler.Transform(&work).ok());
+  EXPECT_TRUE(work.IsNaN(2, 0));
+}
+
+TEST(ScalerTest, UnfittedFails) {
+  StandardScaler scaler;
+  Table t = MakeTable({{1}});
+  EXPECT_EQ(scaler.Transform(&t).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TransformsTest, ShuffledIndicesIsPermutation) {
+  Rng rng(3);
+  std::vector<size_t> idx = ShuffledIndices(20, &rng);
+  std::vector<size_t> sorted = idx;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(TransformsTest, SampleRowsSizeAndContent) {
+  Table t = MakeTable({{0}, {1}, {2}, {3}, {4}});
+  Rng rng(5);
+  Table s = SampleRows(t, 3, &rng);
+  EXPECT_EQ(s.NumRows(), 3u);
+  for (size_t i = 0; i < s.NumRows(); ++i) {
+    EXPECT_GE(s.At(i, 0), 0.0);
+    EXPECT_LE(s.At(i, 0), 4.0);
+  }
+  // Oversampling clamps.
+  EXPECT_EQ(SampleRows(t, 50, &rng).NumRows(), 5u);
+}
+
+TEST(TransformsTest, KFoldCoversAllRowsDisjointly) {
+  Table t = MakeTable({{0}, {1}, {2}, {3}, {4}, {5}, {6}});
+  Rng rng(9);
+  auto folds = KFoldSplit(t, 3, &rng);
+  ASSERT_EQ(folds.size(), 3u);
+  std::vector<size_t> all;
+  for (const auto& f : folds) all.insert(all.end(), f.begin(), f.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(TransformsTest, StratifiedKFoldBalancesClasses) {
+  Table t = MakeTable({{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}});
+  t.SetLabels({0, 0, 0, 0, 0, 1, 1, 1, 1, 1});
+  Rng rng(11);
+  auto folds = KFoldSplit(t, 5, &rng);
+  for (const auto& fold : folds) {
+    ASSERT_EQ(fold.size(), 2u);
+    std::map<int, int> counts;
+    for (size_t row : fold) ++counts[t.Label(row)];
+    // One of each class per fold.
+    EXPECT_EQ(counts[0], 1);
+    EXPECT_EQ(counts[1], 1);
+  }
+}
+
+}  // namespace
+}  // namespace iim::data

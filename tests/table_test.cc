@@ -1,0 +1,128 @@
+#include "data/table.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/missing_mask.h"
+#include "data/schema.h"
+
+namespace iim::data {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(SchemaTest, DefaultNamesFollowPaperNotation) {
+  Schema s = Schema::Default(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.name(0), "A1");
+  EXPECT_EQ(s.name(2), "A3");
+}
+
+TEST(SchemaTest, IndexOfAndAllExcept) {
+  Schema s({"x", "y", "z"});
+  EXPECT_EQ(s.IndexOf("y"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.AllExcept(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.AllExcept(-1), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(Schema::Default(2));
+  ASSERT_TRUE(t.AppendRow({1.0, 2.0}).ok());
+  ASSERT_TRUE(t.AppendRow({3.0, 4.0}).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 3.0);
+  t.Set(1, 0, 9.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 9.0);
+  EXPECT_FALSE(t.AppendRow({1.0}).ok());  // arity mismatch
+}
+
+TEST(TableTest, RowViewAndGather) {
+  Table t(Schema::Default(3));
+  ASSERT_TRUE(t.AppendRow({1, 2, 3}).ok());
+  RowView row = t.Row(0);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[2], 3.0);
+  EXPECT_EQ(row.Gather({2, 0}), (std::vector<double>{3.0, 1.0}));
+  EXPECT_EQ(row.ToVector(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(TableTest, ColumnExtraction) {
+  Table t(Schema::Default(2));
+  ASSERT_TRUE(t.AppendRow({1, 10}).ok());
+  ASSERT_TRUE(t.AppendRow({2, 20}).ok());
+  EXPECT_EQ(t.Column(1), (std::vector<double>{10, 20}));
+}
+
+TEST(TableTest, TakeRowsCarriesLabels) {
+  Table t(Schema::Default(1));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({static_cast<double>(i)}).ok());
+  }
+  t.SetLabels({0, 1, 0, 1, 0});
+  Table sub = t.TakeRows({1, 3, 4});
+  EXPECT_EQ(sub.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 1.0);
+  ASSERT_TRUE(sub.HasLabels());
+  EXPECT_EQ(sub.Label(0), 1);
+  EXPECT_EQ(sub.Label(2), 0);
+}
+
+TEST(TableTest, TakeColsSubsetsSchema) {
+  Table t(Schema::Default(3));
+  ASSERT_TRUE(t.AppendRow({1, 2, 3}).ok());
+  Table sub = t.TakeCols({2, 0});
+  EXPECT_EQ(sub.schema().name(0), "A3");
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.At(0, 1), 1.0);
+}
+
+TEST(TableTest, MatrixRoundTrip) {
+  Table t(Schema::Default(2));
+  ASSERT_TRUE(t.AppendRow({1, 2}).ok());
+  ASSERT_TRUE(t.AppendRow({3, 4}).ok());
+  linalg::Matrix m = t.ToMatrix();
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Result<Table> back = Table::FromMatrix(m, Schema::Default(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back.value().At(1, 1), 4.0);
+  EXPECT_FALSE(Table::FromMatrix(m, Schema::Default(3)).ok());
+}
+
+TEST(TableTest, NaNTracking) {
+  Table t(Schema::Default(2));
+  ASSERT_TRUE(t.AppendRow({1, kNan}).ok());
+  EXPECT_TRUE(t.IsNaN(0, 1));
+  EXPECT_FALSE(t.IsNaN(0, 0));
+  EXPECT_FALSE(t.IsComplete());
+  t.Set(0, 1, 2.0);
+  EXPECT_TRUE(t.IsComplete());
+}
+
+TEST(MissingMaskTest, MarkAndQuery) {
+  MissingMask mask(3, 2);
+  EXPECT_FALSE(mask.IsMissing(0, 0));
+  mask.Mark(0, 1, 7.5);
+  EXPECT_TRUE(mask.IsMissing(0, 1));
+  EXPECT_EQ(mask.CountMissing(), 1u);
+  EXPECT_DOUBLE_EQ(mask.cells()[0].truth, 7.5);
+  // Double-mark is a no-op.
+  mask.Mark(0, 1, 9.9);
+  EXPECT_EQ(mask.CountMissing(), 1u);
+  EXPECT_DOUBLE_EQ(mask.cells()[0].truth, 7.5);
+}
+
+TEST(MissingMaskTest, RowPartition) {
+  MissingMask mask(4, 2);
+  mask.Mark(1, 0, 0.0);
+  mask.Mark(3, 1, 0.0);
+  EXPECT_TRUE(mask.RowHasMissing(1));
+  EXPECT_FALSE(mask.RowHasMissing(0));
+  EXPECT_EQ(mask.IncompleteRows(), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(mask.CompleteRows(), (std::vector<size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace iim::data

@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regress/gbdt.h"
+#include "regress/tree.h"
+
+namespace iim::regress {
+namespace {
+
+TEST(TreeTest, FitsStepFunctionExactly) {
+  // y = 0 for x < 5, y = 10 for x >= 5.
+  linalg::Matrix x(20, 1);
+  linalg::Vector y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 10 ? 0.0 : 10.0;
+  }
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.max_depth = 2;
+  opt.min_samples_leaf = 2;
+  ASSERT_TRUE(tree.Fit(x, y, opt).ok());
+  EXPECT_NEAR(tree.Predict({3.0}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({15.0}), 10.0, 1e-9);
+}
+
+TEST(TreeTest, DepthZeroIsLeafWithMean) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}, {3}, {4}});
+  linalg::Vector y = {1, 2, 3, 4};
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.max_depth = 0;
+  ASSERT_TRUE(tree.Fit(x, y, opt).ok());
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_NEAR(tree.Predict({100.0}), 2.5, 1e-12);
+}
+
+TEST(TreeTest, MinSamplesLeafRespected) {
+  linalg::Matrix x(10, 1);
+  linalg::Vector y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.max_depth = 10;
+  opt.min_samples_leaf = 5;
+  ASSERT_TRUE(tree.Fit(x, y, opt).ok());
+  // Only one split possible (5 | 5).
+  EXPECT_LE(tree.Depth(), 2);
+}
+
+TEST(TreeTest, ConstantTargetMakesSingleLeaf) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}, {3}, {4}, {5}, {6}});
+  linalg::Vector y(6, 7.0);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({3.0}), 7.0);
+}
+
+TEST(TreeTest, MultiFeaturePicksInformativeOne) {
+  Rng rng(3);
+  linalg::Matrix x(100, 2);
+  linalg::Vector y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);        // noise feature
+    x(i, 1) = rng.Uniform(-1, 1);        // informative feature
+    y[i] = x(i, 1) > 0 ? 5.0 : -5.0;
+  }
+  RegressionTree tree;
+  TreeOptions opt;
+  opt.max_depth = 1;
+  ASSERT_TRUE(tree.Fit(x, y, opt).ok());
+  EXPECT_NEAR(tree.Predict({0.0, 0.5}), 5.0, 1.0);
+  EXPECT_NEAR(tree.Predict({0.0, -0.5}), -5.0, 1.0);
+}
+
+TEST(TreeTest, BadInputRejected) {
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit(linalg::Matrix(), {}).ok());
+  linalg::Matrix x(3, 1);
+  EXPECT_FALSE(tree.Fit(x, {1.0}).ok());
+}
+
+TEST(GbdtTest, BoostingReducesTrainingError) {
+  Rng rng(5);
+  linalg::Matrix x(200, 1);
+  linalg::Vector y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Uniform(0, 10);
+    y[i] = std::sin(x(i, 0)) * 3.0 + 0.5 * x(i, 0);
+  }
+  auto train_rmse = [&](int rounds) {
+    Gbdt model;
+    GbdtOptions opt;
+    opt.rounds = rounds;
+    opt.tree.max_depth = 3;
+    Rng fit_rng(7);
+    EXPECT_TRUE(model.Fit(x, y, opt, &fit_rng).ok());
+    double acc = 0.0;
+    for (size_t i = 0; i < 200; ++i) {
+      double d = y[i] - model.Predict(x.Row(i));
+      acc += d * d;
+    }
+    return std::sqrt(acc / 200.0);
+  };
+  double rmse_small = train_rmse(2);
+  double rmse_large = train_rmse(60);
+  EXPECT_LT(rmse_large, rmse_small * 0.5);
+  EXPECT_LT(rmse_large, 0.5);
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  Rng rng(11);
+  linalg::Matrix x(150, 1);
+  linalg::Vector y(150);
+  for (size_t i = 0; i < 150; ++i) {
+    x(i, 0) = rng.Uniform(0, 5);
+    y[i] = 2.0 * x(i, 0) + 1.0;
+  }
+  Gbdt model;
+  GbdtOptions opt;
+  opt.rounds = 80;
+  opt.subsample = 0.6;
+  Rng fit_rng(13);
+  ASSERT_TRUE(model.Fit(x, y, opt, &fit_rng).ok());
+  EXPECT_NEAR(model.Predict({2.5}), 6.0, 0.6);
+  EXPECT_EQ(model.NumTrees(), 80u);
+}
+
+TEST(GbdtTest, InvalidOptionsRejected) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{1}, {2}});
+  linalg::Vector y = {1, 2};
+  Gbdt model;
+  GbdtOptions opt;
+  opt.subsample = 0.0;
+  Rng rng(1);
+  EXPECT_FALSE(model.Fit(x, y, opt, &rng).ok());
+  opt.subsample = 1.5;
+  EXPECT_FALSE(model.Fit(x, y, opt, &rng).ok());
+}
+
+}  // namespace
+}  // namespace iim::regress
