@@ -11,9 +11,19 @@
 
 namespace iim::bench {
 
+size_t BenchThreads(size_t fallback) {
+  const char* env = std::getenv("IIM_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<size_t>(parsed);
+}
+
 core::IimOptions DefaultIimOptions(size_t k) {
   core::IimOptions opt;
   opt.k = k;
+  opt.threads = BenchThreads();
   opt.adaptive = true;
   opt.max_ell = 100;
   opt.step_h = 2;
@@ -36,12 +46,13 @@ eval::Method IimMethod(const core::IimOptions& options,
 }
 
 std::vector<eval::Method> BaselineMethods(
-    const std::vector<std::string>& names, size_t k) {
+    const std::vector<std::string>& names, size_t k, size_t threads) {
   std::vector<eval::Method> methods;
   for (const std::string& name : names) {
-    methods.push_back(eval::Method{name, [name, k]() {
+    methods.push_back(eval::Method{name, [name, k, threads]() {
       baselines::BaselineOptions opt;
       opt.k = k;
+      opt.threads = threads;
       Result<std::unique_ptr<baselines::Imputer>> made =
           baselines::MakeBaseline(name, opt);
       if (!made.ok()) {
@@ -58,7 +69,8 @@ std::vector<eval::Method> MethodSuite(const std::vector<std::string>& names,
                                       const core::IimOptions& iim_options) {
   std::vector<eval::Method> methods;
   methods.push_back(IimMethod(iim_options));
-  for (eval::Method& m : BaselineMethods(names, iim_options.k)) {
+  for (eval::Method& m :
+       BaselineMethods(names, iim_options.k, iim_options.threads)) {
     methods.push_back(std::move(m));
   }
   return methods;

@@ -23,15 +23,21 @@ namespace iim::bench {
 // with bounded candidate l and sampled validation so the large relations
 // (CA 20k, SN 100k) stay tractable. The caps are far above the optimal l
 // observed in Figure 11 (tens), so they do not bind the accuracy.
+// The thread count defaults to the IIM_BENCH_THREADS environment variable
+// (1 when unset) so every bench can be widened without a rebuild.
 core::IimOptions DefaultIimOptions(size_t k = 5);
+
+// IIM_BENCH_THREADS as a size_t, or `fallback` when unset/invalid.
+size_t BenchThreads(size_t fallback = 1);
 
 // A Method entry for IIM with the given options.
 eval::Method IimMethod(const core::IimOptions& options,
                        const std::string& label = "IIM");
 
-// Method entries for the named baselines (Table II names).
+// Method entries for the named baselines (Table II names). `threads` is
+// forwarded to baselines with a parallel ImputeBatch (kNN).
 std::vector<eval::Method> BaselineMethods(
-    const std::vector<std::string>& names, size_t k = 5);
+    const std::vector<std::string>& names, size_t k = 5, size_t threads = 1);
 
 // IIM + the listed baselines.
 std::vector<eval::Method> MethodSuite(const std::vector<std::string>& names,

@@ -77,7 +77,10 @@ void BM_NeighborQuery(benchmark::State& state, bool use_kdtree) {
   spec.regimes = 3;
   spec.exogenous = 2;
   auto gen = iim::datasets::Generate(spec, 3);
-  if (!gen.ok()) state.SkipWithError("generate failed");
+  if (!gen.ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
   const iim::data::Table& t = gen.value().table;
   std::vector<int> cols = {0, 1, 2};
   std::unique_ptr<iim::neighbors::NeighborIndex> index;
@@ -116,6 +119,90 @@ void BM_CombineCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_CombineCandidates)->Arg(5)->Arg(20)->Arg(100);
 
+// Learning phase (Algorithm 3, adaptive) across thread counts: Arg0 = n,
+// Arg1 = threads. This is the headline number of BENCH_learning.json; the
+// models are bit-identical for every thread count, so the runs only differ
+// in wall-clock.
+void BM_IimLearnAdaptive(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  iim::datasets::DatasetSpec spec;
+  spec.name = "bench";
+  spec.n = n;
+  spec.m = 5;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  auto gen = iim::datasets::Generate(spec, 5);
+  if (!gen.ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
+  const iim::data::Table& t = gen.value().table;
+
+  iim::core::IimOptions opt;
+  opt.k = 5;
+  opt.adaptive = true;
+  opt.step_h = 2;
+  opt.max_ell = 50;
+  opt.threads = threads;
+  for (auto _ : state) {
+    iim::core::IimImputer iim(opt);
+    if (!iim.Fit(t, 4, {0, 1, 2, 3}).ok()) {
+      state.SkipWithError("fit failed");
+      return;
+    }
+    benchmark::DoNotOptimize(iim.learning_seconds());
+  }
+}
+BENCHMARK(BM_IimLearnAdaptive)
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Args({5000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+// Batched imputation phase across thread counts: Arg0 = n, Arg1 = threads.
+void BM_IimImputeBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  iim::datasets::DatasetSpec spec;
+  spec.name = "bench";
+  spec.n = n;
+  spec.m = 5;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  auto gen = iim::datasets::Generate(spec, 5);
+  if (!gen.ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
+  const iim::data::Table& t = gen.value().table;
+
+  iim::core::IimOptions opt;
+  opt.k = 5;
+  opt.ell = 20;
+  opt.threads = threads;
+  iim::core::IimImputer iim(opt);
+  if (!iim.Fit(t, 4, {0, 1, 2, 3}).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  std::vector<iim::data::RowView> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows.push_back(t.Row(i));
+  for (auto _ : state) {
+    auto values = iim.ImputeBatch(rows);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_IimImputeBatch)
+    ->Args({5000, 1})
+    ->Args({5000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_IimImputeOne(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   iim::datasets::DatasetSpec spec;
@@ -125,7 +212,10 @@ void BM_IimImputeOne(benchmark::State& state) {
   spec.regimes = 3;
   spec.exogenous = 2;
   auto gen = iim::datasets::Generate(spec, 5);
-  if (!gen.ok()) state.SkipWithError("generate failed");
+  if (!gen.ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
   const iim::data::Table& t = gen.value().table;
 
   iim::core::IimOptions opt;
@@ -134,6 +224,7 @@ void BM_IimImputeOne(benchmark::State& state) {
   iim::core::IimImputer iim(opt);
   if (!iim.Fit(t, 4, {0, 1, 2, 3}).ok()) {
     state.SkipWithError("fit failed");
+    return;
   }
   size_t probe = 0;
   for (auto _ : state) {

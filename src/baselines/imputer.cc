@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace iim::baselines {
+
+std::vector<Result<double>> Imputer::ImputeBatch(
+    const std::vector<data::RowView>& rows) const {
+  std::vector<Result<double>> out;
+  out.reserve(rows.size());
+  for (const data::RowView& tuple : rows) out.push_back(ImputeOne(tuple));
+  return out;
+}
+
+std::vector<Result<double>> ParallelImputeBatch(
+    const Imputer& imputer, const std::vector<data::RowView>& rows,
+    size_t threads) {
+  // Placeholder value; every slot is overwritten below.
+  std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
+  ThreadPool pool(threads);
+  constexpr size_t kBatchGrain = 16;
+  pool.ParallelFor(rows.size(), kBatchGrain,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       out[i] = imputer.ImputeOne(rows[i]);
+                     }
+                   });
+  return out;
+}
 
 Status ImputerBase::Fit(const data::Table& complete, int target,
                         const std::vector<int>& features) {

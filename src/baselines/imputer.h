@@ -37,6 +37,13 @@ class Imputer {
   // `tuple` must have the arity of the fitted table (the target cell value
   // is ignored and may be NaN).
   virtual Result<double> ImputeOne(const data::RowView& tuple) const = 0;
+
+  // Batched imputation: entry i answers rows[i] (value or per-tuple
+  // error). The default loops ImputeOne serially; methods whose per-tuple
+  // imputation is independent and thread-safe (IIM, kNN) override it to
+  // fan out over a thread pool. Entry order never depends on threading.
+  virtual std::vector<Result<double>> ImputeBatch(
+      const std::vector<data::RowView>& rows) const;
 };
 
 // Knobs shared across baseline constructors; each method reads the subset
@@ -51,7 +58,18 @@ struct BaselineOptions {
   int gbdt_depth = 4;
   double gbdt_learning_rate = 0.1;
   uint64_t seed = 7;          // for methods with randomness (BLR, PMM, ...)
+  // Worker threads for methods with a parallel ImputeBatch (0 = all
+  // hardware threads). Methods without one ignore it.
+  size_t threads = 1;
 };
+
+// Fan-out shared by the parallel ImputeBatch overrides: imputes every row
+// with imputer.ImputeOne over a pool of `threads` workers (0 = all
+// hardware threads). imputer.ImputeOne must be thread-safe. Output order
+// matches `rows` for any thread count.
+std::vector<Result<double>> ParallelImputeBatch(
+    const Imputer& imputer, const std::vector<data::RowView>& rows,
+    size_t threads);
 
 // Common bookkeeping shared by the concrete imputers.
 class ImputerBase : public Imputer {

@@ -23,4 +23,9 @@ Result<double> KnnImputer::ImputeOne(const data::RowView& tuple) const {
   return sum / static_cast<double>(nbrs.size());
 }
 
+std::vector<Result<double>> KnnImputer::ImputeBatch(
+    const std::vector<data::RowView>& rows) const {
+  return ParallelImputeBatch(*this, rows, threads_);
+}
+
 }  // namespace iim::baselines

@@ -14,16 +14,22 @@ namespace iim::baselines {
 
 class KnnImputer final : public ImputerBase {
  public:
-  explicit KnnImputer(const BaselineOptions& options) : k_(options.k) {}
+  explicit KnnImputer(const BaselineOptions& options)
+      : k_(options.k), threads_(options.threads) {}
 
   std::string Name() const override { return "kNN"; }
   Result<double> ImputeOne(const data::RowView& tuple) const override;
+  // Per-tuple imputation is stateless, so the batch fans out over
+  // options.threads workers.
+  std::vector<Result<double>> ImputeBatch(
+      const std::vector<data::RowView>& rows) const override;
 
  protected:
   Status FitImpl() override;
 
  private:
   size_t k_;
+  size_t threads_;
   std::unique_ptr<neighbors::NeighborIndex> index_;
 };
 

@@ -48,6 +48,11 @@ Result<double> IimImputer::ImputeOne(const data::RowView& tuple) const {
   return CombineCandidates(candidates, options_.uniform_weights);
 }
 
+std::vector<Result<double>> IimImputer::ImputeBatch(
+    const std::vector<data::RowView>& rows) const {
+  return baselines::ParallelImputeBatch(*this, rows, options_.threads);
+}
+
 Result<ImputationDistribution> IimImputer::ImputeDistribution(
     const data::RowView& tuple) const {
   ASSIGN_OR_RETURN(std::vector<double> candidates, Candidates(tuple));
@@ -56,22 +61,35 @@ Result<ImputationDistribution> IimImputer::ImputeDistribution(
   if (!options_.uniform_weights && k > 1) {
     // Formula 11-12 weights; when all candidates agree the distances are
     // all zero and the distribution collapses to uniform (same value).
-    std::vector<double> c(k, 0.0);
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < k; ++j) {
-        c[i] += std::fabs(candidates[i] - candidates[j]);
-      }
-    }
-    double max_c = 0.0;
-    for (double v : c) max_c = std::max(max_c, v);
-    if (max_c >= 1e-12) {
-      for (size_t i = 0; i < k; ++i) {
-        weights[i] = 1.0 / std::max(c[i], 1e-12);
-      }
-    }
+    weights = ComputeCandidateVotes(candidates).weights;
   }
   return ImputationDistribution::Make(std::move(candidates),
                                       std::move(weights));
+}
+
+CandidateVotes ComputeCandidateVotes(const std::vector<double>& candidates) {
+  size_t k = candidates.size();
+  CandidateVotes votes;
+  votes.weights.assign(k, 1.0);
+  // Formula 11: c_xi = sum_j |t_x^i - t_x^j|.
+  std::vector<double> c(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      c[i] += std::fabs(candidates[i] - candidates[j]);
+    }
+  }
+  double max_c = 0.0;
+  for (double v : c) max_c = std::max(max_c, v);
+  if (max_c < 1e-12) {
+    votes.degenerate = true;
+    return votes;
+  }
+  // Formula 12: w_xi proportional to c_xi^{-1} (unnormalized here; the
+  // guard keeps exact-duplicate candidates from dividing by zero).
+  for (size_t i = 0; i < k; ++i) {
+    votes.weights[i] = 1.0 / std::max(c[i], 1e-12);
+  }
+  return votes;
 }
 
 Result<double> CombineCandidates(const std::vector<double>& candidates,
@@ -85,26 +103,14 @@ Result<double> CombineCandidates(const std::vector<double>& candidates,
     for (double c : candidates) sum += c;
     return sum / static_cast<double>(k);
   }
-  // Formula 11: c_xi = sum_j |t_x^i - t_x^j|.
-  std::vector<double> c(k, 0.0);
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      c[i] += std::fabs(candidates[i] - candidates[j]);
-    }
-  }
-  // If every candidate agrees (all c_xi == 0), the aggregation is that
-  // common value; guard tiny distances for numerical safety.
-  double max_c = 0.0;
-  for (double v : c) max_c = std::max(max_c, v);
-  if (max_c < 1e-12) return candidates[0];
-
-  // Formula 12: w_xi proportional to c_xi^{-1}.
+  CandidateVotes votes = ComputeCandidateVotes(candidates);
+  // If every candidate agrees, the aggregation is that common value.
+  if (votes.degenerate) return candidates[0];
   double denom = 0.0;
-  for (double v : c) denom += 1.0 / std::max(v, 1e-12);
+  for (double w : votes.weights) denom += w;
   double value = 0.0;
   for (size_t i = 0; i < k; ++i) {
-    double w = (1.0 / std::max(c[i], 1e-12)) / denom;
-    value += w * candidates[i];
+    value += (votes.weights[i] / denom) * candidates[i];
   }
   return value;
 }

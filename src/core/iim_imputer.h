@@ -28,6 +28,13 @@ class IimImputer final : public baselines::ImputerBase {
   std::string Name() const override { return "IIM"; }
   Result<double> ImputeOne(const data::RowView& tuple) const override;
 
+  // Parallel Algorithm 2 over many incomplete tuples: the per-tuple work
+  // (neighbor query, Formula 9 candidates, Formula 10-12 aggregation) is
+  // independent, so it fans out over options.threads workers. Results are
+  // bit-identical to calling ImputeOne per row, in row order.
+  std::vector<Result<double>> ImputeBatch(
+      const std::vector<data::RowView>& rows) const override;
+
   // Candidates t_x^j[Am] suggested by the k imputation neighbors' models
   // (exposed for tests and the quickstart walk-through).
   Result<std::vector<double>> Candidates(const data::RowView& tuple) const;
@@ -59,6 +66,17 @@ class IimImputer final : public baselines::ImputerBase {
 // to the plain average of Proposition 1. Empty input is an error.
 Result<double> CombineCandidates(const std::vector<double>& candidates,
                                  bool uniform = false);
+
+// Formula 11-12 mutual-vote weights, shared by CombineCandidates and
+// ImputeDistribution: weights[i] = 1 / max(c_xi, 1e-12) with
+// c_xi = sum_j |cand_i - cand_j|. When every candidate agrees (all c_xi
+// below 1e-12) the weights degenerate to uniform ones and `degenerate` is
+// set — callers treat that as "the common value wins exactly".
+struct CandidateVotes {
+  std::vector<double> weights;
+  bool degenerate = false;
+};
+CandidateVotes ComputeCandidateVotes(const std::vector<double>& candidates);
 
 }  // namespace iim::core
 

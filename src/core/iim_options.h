@@ -44,6 +44,13 @@ struct IimOptions {
 
   // Ridge regularization alpha of Formula 5.
   double alpha = 1e-6;
+
+  // --- Execution ---
+  // Worker threads for learning and batched imputation (0 = all hardware
+  // threads). Results are bit-identical for every setting: the parallel
+  // loops partition work into fixed blocks independent of the thread
+  // count and merge per-block results in block order.
+  size_t threads = 1;
 };
 
 }  // namespace iim::core

@@ -5,12 +5,20 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/feature_block.h"
 #include "regress/incremental_ridge.h"
 #include "regress/ridge.h"
 
 namespace iim::core {
 
 namespace {
+
+// Tuples per ParallelFor block. One tuple's work (a neighbor query plus
+// one or more ridge fits) dwarfs the scheduling cost, so small blocks keep
+// the load balanced; the partition is fixed by this constant and n alone,
+// which is what makes the per-block reductions thread-count independent.
+constexpr size_t kTupleGrain = 16;
 
 // Learning-neighbor order for tuple i: the tuple itself first (distance 0,
 // as in Example 2 where T_1 = {t1, t2, t3, t4}), then the next `need - 1`
@@ -33,29 +41,36 @@ std::vector<size_t> LearningOrder(const neighbors::NeighborIndex& index,
   return order;
 }
 
-// Fits the model over the first `ell` tuples of `order` (from scratch).
-Result<regress::LinearModel> FitOverPrefix(
-    const data::Table& r, int target, const std::vector<int>& features,
-    const std::vector<size_t>& order, size_t ell, double alpha) {
-  size_t q = features.size();
+// Fits the model over the first `ell` tuples of `order` (from scratch),
+// reading the gathered features from the contiguous block.
+Result<regress::LinearModel> FitOverPrefix(const data::FeatureBlock& fb,
+                                           const std::vector<size_t>& order,
+                                           size_t ell, double alpha) {
+  size_t q = fb.num_features();
   if (ell == 1) {
     // Single-neighbor rule (Section III-A2): a constant model predicting
     // the tuple's own value.
-    return regress::LinearModel::Constant(
-        r.At(order[0], static_cast<size_t>(target)), q);
+    return regress::LinearModel::Constant(fb.Target(order[0]), q);
   }
   linalg::Matrix x(ell, q);
   linalg::Vector y(ell);
   for (size_t row = 0; row < ell; ++row) {
-    data::RowView t = r.Row(order[row]);
-    for (size_t j = 0; j < q; ++j) {
-      x(row, j) = t[static_cast<size_t>(features[j])];
-    }
-    y[row] = t[static_cast<size_t>(target)];
+    const double* f = fb.Features(order[row]);
+    for (size_t j = 0; j < q; ++j) x(row, j) = f[j];
+    y[row] = fb.Target(order[row]);
   }
   regress::RidgeOptions ropt;
   ropt.alpha = alpha;
   return regress::FitRidge(x, y, ropt);
+}
+
+// First error of a per-block status array, in block order (deterministic
+// regardless of which thread hit its error first).
+Status FirstError(const std::vector<Status>& block_status) {
+  for (const Status& st : block_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -75,16 +90,26 @@ Result<IndividualModels> IndividualModels::Learn(
   if (r.empty()) return Status::InvalidArgument("Learn: empty relation");
   size_t n = r.NumRows();
   size_t ell = std::clamp<size_t>(options.ell, 1, n);
+  data::FeatureBlock fb = data::FeatureBlock::Build(r, target, features);
 
   IndividualModels phi;
-  phi.models_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<size_t> order = LearningOrder(index, r, i, ell);
-    ASSIGN_OR_RETURN(
-        regress::LinearModel model,
-        FitOverPrefix(r, target, features, order, ell, options.alpha));
-    phi.models_.push_back(std::move(model));
-  }
+  phi.models_.resize(n);
+  ThreadPool pool(options.threads);
+  std::vector<Status> block_status(ThreadPool::NumBlocks(n, kTupleGrain));
+  pool.ParallelFor(n, kTupleGrain, [&](size_t begin, size_t end) {
+    size_t block = begin / kTupleGrain;
+    for (size_t i = begin; i < end; ++i) {
+      std::vector<size_t> order = LearningOrder(index, r, i, ell);
+      Result<regress::LinearModel> model =
+          FitOverPrefix(fb, order, ell, options.alpha);
+      if (!model.ok()) {
+        block_status[block] = model.status();
+        return;
+      }
+      phi.models_[i] = std::move(model).value();
+    }
+  });
+  RETURN_IF_ERROR(FirstError(block_status));
   return phi;
 }
 
@@ -99,6 +124,7 @@ Result<IndividualModels> IndividualModels::LearnAdaptive(
   size_t q = features.size();
   std::vector<size_t> ells =
       CandidateEllValues(n, options.step_h, options.max_ell);
+  ThreadPool pool(options.threads);
 
   // Validation tuples (all of r by default, or a sample).
   std::vector<size_t> validators(n);
@@ -113,26 +139,30 @@ Result<IndividualModels> IndividualModels::LearnAdaptive(
   // that would use t_i's model (t_i in NN(t_j, F, k), self excluded as in
   // Example 4). The fan-out is capped: with very large imputation k the
   // validation cost grows as n * |L| * k while the selection quality
-  // plateaus, so k > 10 judges add cost but no signal.
+  // plateaus, so k > 10 judges add cost but no signal. The n queries are
+  // independent and fan out over the pool; the merge below runs serially
+  // in validator order so the lists are identical for any thread count.
   constexpr size_t kMaxValidationK = 10;
   std::vector<std::vector<size_t>> validated_by(n);
-  neighbors::QueryOptions vopt;
   size_t vk = options.validation_k > 0 ? options.validation_k : options.k;
-  vopt.k = std::clamp<size_t>(vk, 1, kMaxValidationK);
+  vk = std::clamp<size_t>(vk, 1, kMaxValidationK);
+  std::vector<neighbors::BatchQuery> vbatch;
+  vbatch.reserve(validators.size());
   for (size_t j : validators) {
-    vopt.exclude = j;
-    for (const auto& nb : index.Query(r.Row(j), vopt)) {
-      validated_by[nb.index].push_back(j);
+    vbatch.push_back(neighbors::BatchQuery{r.Row(j), j});
+  }
+  std::vector<std::vector<neighbors::Neighbor>> vneighbors =
+      index.QueryMany(vbatch, vk, &pool);
+  for (size_t v = 0; v < validators.size(); ++v) {
+    for (const auto& nb : vneighbors[v]) {
+      validated_by[nb.index].push_back(validators[v]);
     }
   }
+  vneighbors.clear();
+  vneighbors.shrink_to_fit();
 
-  // Pre-gather validator feature vectors and truths.
-  std::vector<std::vector<double>> vfeat(n);
-  std::vector<double> vtruth(n, 0.0);
-  for (size_t j = 0; j < n; ++j) {
-    vfeat[j] = r.Row(j).Gather(features);
-    vtruth[j] = r.At(j, static_cast<size_t>(target));
-  }
+  // Contiguous validator features/truths (and FitOverPrefix inputs).
+  data::FeatureBlock fb = data::FeatureBlock::Build(r, target, features);
 
   IndividualModels phi;
   phi.models_.resize(n);
@@ -142,72 +172,105 @@ Result<IndividualModels> IndividualModels::LearnAdaptive(
     stats->total_cost = 0.0;
   }
 
+  // Per-block partials, reduced in block order after the loop so the
+  // result is independent of the thread count: candidate costs summed
+  // over all tuples (the orphan fallback criterion), the orphan tuples
+  // themselves, the chosen-model cost total, and determination time.
+  size_t num_blocks = ThreadPool::NumBlocks(n, kTupleGrain);
+  std::vector<Status> block_status(num_blocks);
+  std::vector<std::vector<double>> block_cost(
+      num_blocks, std::vector<double>(ells.size(), 0.0));
+  std::vector<std::vector<size_t>> block_orphans(num_blocks);
+  std::vector<double> block_chosen_cost(num_blocks, 0.0);
+  std::vector<double> block_seconds(num_blocks, 0.0);
+
+  pool.ParallelFor(n, kTupleGrain, [&](size_t begin, size_t end) {
+    size_t block = begin / kTupleGrain;
+    Stopwatch determination_timer;
+    for (size_t i = begin; i < end; ++i) {
+      std::vector<size_t> order = LearningOrder(index, r, i, ells.back());
+      const std::vector<size_t>& judges = validated_by[i];
+
+      determination_timer.Restart();
+      regress::IncrementalRidge accum(q);
+      size_t consumed = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_ell = ells.front();
+      regress::LinearModel best_model;
+
+      for (size_t e = 0; e < ells.size(); ++e) {
+        size_t ell = ells[e];
+        regress::LinearModel model;
+        if (options.incremental) {
+          // Proposition 3: fold in only the h new neighbors.
+          while (consumed < ell) {
+            accum.AddRow(fb.Features(order[consumed]),
+                         fb.Target(order[consumed]));
+            ++consumed;
+          }
+          if (ell == 1) {
+            model = regress::LinearModel::Constant(fb.Target(order[0]), q);
+          } else {
+            Result<regress::LinearModel> solved = accum.Solve(options.alpha);
+            if (!solved.ok()) {
+              block_status[block] = solved.status();
+              return;
+            }
+            model = std::move(solved).value();
+          }
+        } else {
+          // Straightforward variant (Figures 12-13 baseline): rebuild the
+          // design from scratch for every candidate l.
+          Result<regress::LinearModel> fit =
+              FitOverPrefix(fb, order, ell, options.alpha);
+          if (!fit.ok()) {
+            block_status[block] = fit.status();
+            return;
+          }
+          model = std::move(fit).value();
+        }
+
+        double cost = 0.0;
+        for (size_t j : judges) {
+          double err = fb.Target(j) - model.Predict(fb.Features(j), q);
+          cost += err * err;
+        }
+        block_cost[block][e] += cost;
+        if (!judges.empty() && cost < best_cost) {
+          best_cost = cost;
+          best_ell = ell;
+          best_model = model;
+        }
+      }
+
+      block_seconds[block] += determination_timer.ElapsedSeconds();
+
+      if (judges.empty()) {
+        block_orphans[block].push_back(i);
+      } else {
+        phi.models_[i] = std::move(best_model);
+        if (stats != nullptr) {
+          stats->chosen_ell[i] = best_ell;
+          block_chosen_cost[block] += best_cost;
+        }
+      }
+    }
+  });
+  RETURN_IF_ERROR(FirstError(block_status));
+
   // Tuples nobody validates fall back to the globally best l (by summed
-  // cost over validated tuples), accumulated as we go.
+  // cost over validated tuples).
   std::vector<double> global_cost(ells.size(), 0.0);
   std::vector<size_t> orphan;
-
-  Stopwatch determination_timer;
   double determination_seconds = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<size_t> order = LearningOrder(index, r, i, ells.back());
-    const std::vector<size_t>& judges = validated_by[i];
-
-    determination_timer.Restart();
-    regress::IncrementalRidge accum(q);
-    size_t consumed = 0;
-    double best_cost = std::numeric_limits<double>::infinity();
-    size_t best_ell = ells.front();
-    regress::LinearModel best_model;
-
+  for (size_t b = 0; b < num_blocks; ++b) {
     for (size_t e = 0; e < ells.size(); ++e) {
-      size_t ell = ells[e];
-      regress::LinearModel model;
-      if (options.incremental) {
-        // Proposition 3: fold in only the h new neighbors.
-        while (consumed < ell) {
-          data::RowView t = r.Row(order[consumed]);
-          accum.AddRow(t.Gather(features),
-                       t[static_cast<size_t>(target)]);
-          ++consumed;
-        }
-        if (ell == 1) {
-          model = regress::LinearModel::Constant(
-              r.At(order[0], static_cast<size_t>(target)), q);
-        } else {
-          ASSIGN_OR_RETURN(model, accum.Solve(options.alpha));
-        }
-      } else {
-        // Straightforward variant (Figures 12-13 baseline): rebuild the
-        // design from scratch for every candidate l.
-        ASSIGN_OR_RETURN(model, FitOverPrefix(r, target, features, order,
-                                              ell, options.alpha));
-      }
-
-      double cost = 0.0;
-      for (size_t j : judges) {
-        double err = vtruth[j] - model.Predict(vfeat[j]);
-        cost += err * err;
-      }
-      global_cost[e] += cost;
-      if (!judges.empty() && cost < best_cost) {
-        best_cost = cost;
-        best_ell = ell;
-        best_model = model;
-      }
+      global_cost[e] += block_cost[b][e];
     }
-
-    determination_seconds += determination_timer.ElapsedSeconds();
-
-    if (judges.empty()) {
-      orphan.push_back(i);
-    } else {
-      phi.models_[i] = std::move(best_model);
-      if (stats != nullptr) {
-        stats->chosen_ell[i] = best_ell;
-        stats->total_cost += best_cost;
-      }
-    }
+    orphan.insert(orphan.end(), block_orphans[b].begin(),
+                  block_orphans[b].end());
+    determination_seconds += block_seconds[b];
+    if (stats != nullptr) stats->total_cost += block_chosen_cost[b];
   }
   if (stats != nullptr) {
     stats->determination_seconds = determination_seconds;
@@ -218,13 +281,26 @@ Result<IndividualModels> IndividualModels::LearnAdaptive(
         std::min_element(global_cost.begin(), global_cost.end()) -
         global_cost.begin());
     size_t fallback_ell = ells[best_e];
-    for (size_t i : orphan) {
-      std::vector<size_t> order = LearningOrder(index, r, i, fallback_ell);
-      ASSIGN_OR_RETURN(phi.models_[i],
-                       FitOverPrefix(r, target, features, order,
-                                     fallback_ell, options.alpha));
-      if (stats != nullptr) stats->chosen_ell[i] = fallback_ell;
-    }
+    std::vector<Status> fallback_status(
+        ThreadPool::NumBlocks(orphan.size(), kTupleGrain));
+    pool.ParallelFor(orphan.size(), kTupleGrain,
+                     [&](size_t begin, size_t end) {
+      size_t block = begin / kTupleGrain;
+      for (size_t o = begin; o < end; ++o) {
+        size_t i = orphan[o];
+        std::vector<size_t> order =
+            LearningOrder(index, r, i, fallback_ell);
+        Result<regress::LinearModel> fit =
+            FitOverPrefix(fb, order, fallback_ell, options.alpha);
+        if (!fit.ok()) {
+          fallback_status[block] = fit.status();
+          return;
+        }
+        phi.models_[i] = std::move(fit).value();
+        if (stats != nullptr) stats->chosen_ell[i] = fallback_ell;
+      }
+    });
+    RETURN_IF_ERROR(FirstError(fallback_status));
   }
   return phi;
 }

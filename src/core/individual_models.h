@@ -27,14 +27,21 @@ struct AdaptiveStats {
   std::vector<size_t> candidate_ells;
   // Total validation cost of the chosen models.
   double total_cost = 0.0;
-  // Wall-clock seconds spent determining the models: candidate-model
-  // computation + validation, *excluding* nearest-neighbor retrieval.
-  // This matches the paper's Figure 12 accounting, where the NN lists are
-  // precomputed once and reused for every candidate l.
+  // Seconds spent determining the models: candidate-model computation +
+  // validation, *excluding* nearest-neighbor retrieval. This matches the
+  // paper's Figure 12 accounting, where the NN lists are precomputed once
+  // and reused for every candidate l. With options.threads > 1 the
+  // per-tuple times are summed across workers, so this is aggregate busy
+  // time (CPU-seconds), not wall-clock.
   double determination_seconds = 0.0;
 };
 
 // The set Phi of individual regression parameters, one per tuple of r.
+//
+// Both learners gather (F, Am) into a contiguous data::FeatureBlock once
+// and fan the independent per-tuple work out over options.threads workers.
+// The resulting models are bit-identical for every thread count (fixed
+// block partitioning; per-block reductions merged in block order).
 class IndividualModels {
  public:
   // Algorithm 1. `index` must be built over `r` on `features` (it is used

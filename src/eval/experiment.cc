@@ -56,20 +56,27 @@ Result<MethodResult> ImputeAll(const data::Table& r,
       result.failed += cells.size();
       continue;
     }
-    for (const auto* cell : cells) {
-      Stopwatch impute_timer;
-      Result<double> value = imputer->ImputeOne(working.Row(cell->row));
-      result.impute_seconds += impute_timer.ElapsedSeconds();
-      if (!value.ok()) {
+    // One batched call per incomplete attribute: methods with a parallel
+    // ImputeBatch (IIM, kNN) fan the independent tuples out over their
+    // thread pool; the rest fall back to a serial loop.
+    std::vector<data::RowView> rows;
+    rows.reserve(cells.size());
+    for (const auto* cell : cells) rows.push_back(working.Row(cell->row));
+    Stopwatch impute_timer;
+    std::vector<Result<double>> values = imputer->ImputeBatch(rows);
+    result.impute_seconds += impute_timer.ElapsedSeconds();
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const auto* cell = cells[c];
+      if (!values[c].ok()) {
         ++result.failed;
         continue;
       }
       ++result.imputed;
-      result.cells.push_back(ScoredCell{cell->truth, value.value(),
+      result.cells.push_back(ScoredCell{cell->truth, values[c].value(),
                                         cell->col});
       if (imputed_out != nullptr) {
         imputed_out->Set(cell->row, static_cast<size_t>(cell->col),
-                         value.value());
+                         values[c].value());
       }
     }
   }

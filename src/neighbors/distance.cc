@@ -19,12 +19,17 @@ double NormalizedEuclidean(const data::RowView& a, const data::RowView& b,
 double NormalizedEuclidean(const std::vector<double>& a,
                            const std::vector<double>& b) {
   assert(a.size() == b.size() && !a.empty());
+  return NormalizedEuclidean(a.data(), b.data(), a.size());
+}
+
+double NormalizedEuclidean(const double* a, const double* b, size_t d) {
+  assert(d > 0);
   double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    acc += d * d;
+  for (size_t i = 0; i < d; ++i) {
+    double delta = a[i] - b[i];
+    acc += delta * delta;
   }
-  return std::sqrt(acc / static_cast<double>(a.size()));
+  return std::sqrt(acc / static_cast<double>(d));
 }
 
 double Euclidean(const data::RowView& a, const data::RowView& b,

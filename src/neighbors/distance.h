@@ -20,6 +20,10 @@ double NormalizedEuclidean(const data::RowView& a, const data::RowView& b,
 double NormalizedEuclidean(const std::vector<double>& a,
                            const std::vector<double>& b);
 
+// Same on d contiguous pre-gathered coordinates (the contiguous index
+// fast path). Bit-identical to the vector overload.
+double NormalizedEuclidean(const double* a, const double* b, size_t d);
+
 // Plain (unnormalized) Euclidean on `cols`.
 double Euclidean(const data::RowView& a, const data::RowView& b,
                  const std::vector<int>& cols);

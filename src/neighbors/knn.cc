@@ -13,28 +13,79 @@ bool NeighborLess(const Neighbor& a, const Neighbor& b) {
   return a.index < b.index;
 }
 
+// Queries per ParallelFor block: one query is ~n distance evaluations, so
+// even small blocks amortize the scheduling cost.
+constexpr size_t kQueryGrain = 8;
+
 }  // namespace
+
+std::vector<std::vector<Neighbor>> NeighborIndex::QueryMany(
+    const std::vector<BatchQuery>& batch, size_t k, ThreadPool* pool) const {
+  std::vector<std::vector<Neighbor>> results(batch.size());
+  auto run = [this, &batch, &results, k](size_t begin, size_t end) {
+    QueryOptions qopt;
+    qopt.k = k;
+    for (size_t i = begin; i < end; ++i) {
+      qopt.exclude = batch[i].exclude;
+      results[i] = Query(batch[i].query, qopt);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(batch.size(), kQueryGrain, run);
+  } else {
+    run(0, batch.size());
+  }
+  return results;
+}
 
 BruteForceIndex::BruteForceIndex(const data::Table* table,
                                  std::vector<int> cols)
-    : table_(table), cols_(std::move(cols)) {}
+    : table_(table), cols_(std::move(cols)) {
+  size_t n = table_->NumRows();
+  size_t d = cols_.size();
+  points_.resize(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table_->Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      points_[i * d + j] = row[static_cast<size_t>(cols_[j])];
+    }
+  }
+}
+
+std::vector<Neighbor> BruteForceIndex::Scan(const data::RowView& query,
+                                            size_t exclude) const {
+  size_t n = table_->NumRows();
+  size_t d = cols_.size();
+  std::vector<double> q(d);
+  for (size_t j = 0; j < d; ++j) q[j] = query[static_cast<size_t>(cols_[j])];
+  std::vector<Neighbor> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    out.push_back(
+        Neighbor{i, NormalizedEuclidean(q.data(), points_.data() + i * d, d)});
+  }
+  return out;
+}
 
 std::vector<Neighbor> BruteForceIndex::Query(
     const data::RowView& query, const QueryOptions& options) const {
-  std::vector<Neighbor> all = QueryAll(query, options.exclude);
-  if (all.size() > options.k) all.resize(options.k);
-  return all;
+  if (options.k == 0) return {};
+  std::vector<Neighbor> out = Scan(query, options.exclude);
+  if (out.size() > options.k) {
+    // Top-k selection: O(n + k log k) instead of the O(n log n) full sort.
+    std::nth_element(out.begin(),
+                     out.begin() + static_cast<long>(options.k), out.end(),
+                     NeighborLess);
+    out.resize(options.k);
+  }
+  std::sort(out.begin(), out.end(), NeighborLess);
+  return out;
 }
 
 std::vector<Neighbor> BruteForceIndex::QueryAll(const data::RowView& query,
                                                 size_t exclude) const {
-  std::vector<Neighbor> out;
-  out.reserve(table_->NumRows());
-  for (size_t i = 0; i < table_->NumRows(); ++i) {
-    if (i == exclude) continue;
-    out.push_back(
-        Neighbor{i, NormalizedEuclidean(query, table_->Row(i), cols_)});
-  }
+  std::vector<Neighbor> out = Scan(query, exclude);
   std::sort(out.begin(), out.end(), NeighborLess);
   return out;
 }

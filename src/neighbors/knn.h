@@ -3,13 +3,16 @@
 // NeighborIndex is the NN(t, F, l) primitive shared by IIM, kNN, kNNE,
 // LOESS, ILLS and PMM. The default implementation is an exact brute-force
 // scan (distances are cheap: |F| <= ~20); neighbors/kdtree.h provides a
-// tree-accelerated drop-in for large n.
+// tree-accelerated drop-in for large n. QueryMany fans a batch of queries
+// out over a ThreadPool — this is what the parallel learning phase and
+// ImputeBatch drive.
 
 #ifndef IIM_NEIGHBORS_KNN_H_
 #define IIM_NEIGHBORS_KNN_H_
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/table.h"
 
 namespace iim::neighbors {
@@ -28,12 +31,18 @@ struct QueryOptions {
   static constexpr size_t kNoExclusion = static_cast<size_t>(-1);
 };
 
+// One entry of a QueryMany batch.
+struct BatchQuery {
+  data::RowView query;
+  size_t exclude = QueryOptions::kNoExclusion;
+};
+
 class NeighborIndex {
  public:
   virtual ~NeighborIndex() = default;
 
   // k nearest rows to `query`, ascending by (distance, index). Returns fewer
-  // than k results when the indexed table is small.
+  // than k results when the indexed table is small, and empty when k == 0.
   virtual std::vector<Neighbor> Query(const data::RowView& query,
                                       const QueryOptions& options) const = 0;
 
@@ -42,10 +51,19 @@ class NeighborIndex {
   virtual std::vector<Neighbor> QueryAll(const data::RowView& query,
                                          size_t exclude) const = 0;
 
+  // Batched Query: result i answers batch[i]. Queries are independent, so
+  // they fan out over `pool` (nullptr or a 1-thread pool runs serially);
+  // the output order matches the batch order regardless of thread count.
+  std::vector<std::vector<Neighbor>> QueryMany(
+      const std::vector<BatchQuery>& batch, size_t k,
+      ThreadPool* pool = nullptr) const;
+
   virtual size_t size() const = 0;
 };
 
-// Exact brute-force index.
+// Exact brute-force index. Gathers the F columns of every row into one
+// contiguous n x |F| buffer at construction so a query streams dense
+// memory instead of striding through the full table rows.
 class BruteForceIndex final : public NeighborIndex {
  public:
   // Indexes `table` on attribute subset `cols` (kept by value). The table
@@ -61,8 +79,13 @@ class BruteForceIndex final : public NeighborIndex {
   const std::vector<int>& cols() const { return cols_; }
 
  private:
+  // Distances from `query` to every non-excluded row, unordered.
+  std::vector<Neighbor> Scan(const data::RowView& query,
+                             size_t exclude) const;
+
   const data::Table* table_;
   std::vector<int> cols_;
+  std::vector<double> points_;  // row-major NumRows x cols_.size()
 };
 
 }  // namespace iim::neighbors

@@ -11,6 +11,10 @@ IncrementalRidge::IncrementalRidge(size_t p)
     : p_(p), u_(p + 1, p + 1), v_(p + 1, 0.0) {}
 
 void IncrementalRidge::AddRow(const std::vector<double>& x, double y) {
+  AddRow(x.data(), y);
+}
+
+void IncrementalRidge::AddRow(const double* x, double y) {
   // Rank-1 update with the augmented row (1, x).
   u_(0, 0) += 1.0;
   v_[0] += y;

@@ -20,6 +20,8 @@ class IncrementalRidge {
 
   // Folds one training row into U, V (Formulas 20-21 with h = 1).
   void AddRow(const std::vector<double>& x, double y);
+  // Same on p contiguous values (the data::FeatureBlock fast path).
+  void AddRow(const double* x, double y);
   // Batch variant (Formulas 20-21 with h = rows).
   void AddRows(const linalg::Matrix& x, const linalg::Vector& y);
 

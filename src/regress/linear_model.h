@@ -20,8 +20,14 @@ struct LinearModel {
   // (1, x) . phi  — Formula 4 / Formula 9.
   double Predict(const std::vector<double>& x) const {
     assert(x.size() + 1 == phi.size());
+    return Predict(x.data(), x.size());
+  }
+
+  // Same on p contiguous values (the data::FeatureBlock fast path).
+  double Predict(const double* x, size_t p) const {
+    assert(p + 1 == phi.size());
     double acc = phi[0];
-    for (size_t i = 0; i < x.size(); ++i) acc += phi[i + 1] * x[i];
+    for (size_t i = 0; i < p; ++i) acc += phi[i + 1] * x[i];
     return acc;
   }
 

@@ -1,8 +1,11 @@
 #include "neighbors/knn.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 #include "datasets/paper_example.h"
 #include "neighbors/distance.h"
@@ -92,6 +95,76 @@ TEST(BruteForceTest, QueryAllSortedAscending) {
     EXPECT_LE(all[i].distance, all[i + 1].distance);
   }
   EXPECT_EQ(all[0].index, 1u);
+}
+
+TEST(BruteForceTest, KZeroReturnsEmpty) {
+  // Regression: k == 0 must return an empty result instead of touching
+  // the selection path with an empty prefix.
+  data::Table t = MakeTable({{0.0}, {1.0}, {2.0}});
+  BruteForceIndex index(&t, {0});
+  QueryOptions opt;
+  opt.k = 0;
+  EXPECT_TRUE(index.Query(t.Row(0), opt).empty());
+  opt.exclude = 0;
+  EXPECT_TRUE(index.Query(t.Row(0), opt).empty());
+}
+
+TEST(BruteForceTest, TopKSelectionMatchesFullSort) {
+  // The nth_element top-k path must agree with the full QueryAll order on
+  // every prefix, including across distance ties.
+  data::Table t = MakeTable({{2.0}, {-2.0}, {1.0}, {5.0}, {1.0}, {-1.0},
+                             {0.25}, {3.0}, {-3.0}, {0.25}});
+  BruteForceIndex index(&t, {0});
+  data::Table q = MakeTable({{0.0}});
+  auto all = index.QueryAll(q.Row(0), QueryOptions::kNoExclusion);
+  for (size_t k = 1; k <= t.NumRows() + 1; ++k) {
+    QueryOptions opt;
+    opt.k = k;
+    auto top = index.Query(q.Row(0), opt);
+    ASSERT_EQ(top.size(), std::min(k, t.NumRows())) << "k=" << k;
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].index, all[i].index) << "k=" << k << " i=" << i;
+      EXPECT_EQ(top[i].distance, all[i].distance) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(QueryManyTest, MatchesSingleQueries) {
+  data::Table t = MakeTable({{0.0, 1.0}, {2.0, 0.5}, {-1.0, 3.0},
+                             {4.0, -2.0}, {0.5, 0.5}, {1.5, 2.5}});
+  BruteForceIndex index(&t, {0, 1});
+  std::vector<BatchQuery> batch;
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    batch.push_back(BatchQuery{t.Row(i), i});
+  }
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    auto results = index.QueryMany(batch, 3, &pool);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      QueryOptions opt;
+      opt.k = 3;
+      opt.exclude = i;
+      auto single = index.Query(t.Row(i), opt);
+      ASSERT_EQ(results[i].size(), single.size()) << "i=" << i;
+      for (size_t j = 0; j < single.size(); ++j) {
+        EXPECT_EQ(results[i][j].index, single[j].index);
+        EXPECT_EQ(results[i][j].distance, single[j].distance);
+      }
+    }
+  }
+  // nullptr pool = serial; must match the pooled results entry for entry.
+  auto serial = index.QueryMany(batch, 3, nullptr);
+  ThreadPool pool(4);
+  auto pooled = index.QueryMany(batch, 3, &pool);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), pooled[i].size()) << "i=" << i;
+    for (size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(serial[i][j].index, pooled[i][j].index);
+      EXPECT_EQ(serial[i][j].distance, pooled[i][j].distance);
+    }
+  }
 }
 
 TEST(BruteForceTest, PaperExample1Neighbors) {

@@ -1,0 +1,126 @@
+// The parallel engine's core contract: for any `threads` setting, learning
+// and imputation produce bit-identical results. Fixed block partitioning +
+// per-block reductions merged in block order make this hold exactly, not
+// just approximately.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/iim_imputer.h"
+#include "core/individual_models.h"
+#include "datasets/generator.h"
+#include "neighbors/knn.h"
+
+namespace iim::core {
+namespace {
+
+data::Table TestTable(size_t n) {
+  datasets::DatasetSpec spec;
+  spec.name = "determinism";
+  spec.n = n;
+  spec.m = 5;
+  spec.regimes = 3;
+  spec.exogenous = 2;
+  auto gen = datasets::Generate(spec, 11);
+  EXPECT_TRUE(gen.ok());
+  return std::move(gen).value().table;
+}
+
+const int kTarget = 4;
+const std::vector<int> kFeatures = {0, 1, 2, 3};
+
+void ExpectSameModels(const IndividualModels& a, const IndividualModels& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.model(i).phi.size(), b.model(i).phi.size()) << "tuple " << i;
+    for (size_t j = 0; j < a.model(i).phi.size(); ++j) {
+      // EXPECT_EQ, not NEAR: the contract is bitwise identity.
+      EXPECT_EQ(a.model(i).phi[j], b.model(i).phi[j])
+          << "tuple " << i << " coeff " << j;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LearnIsThreadCountInvariant) {
+  data::Table r = TestTable(257);
+  neighbors::BruteForceIndex index(&r, kFeatures);
+  IimOptions opt;
+  opt.ell = 12;
+
+  opt.threads = 1;
+  auto serial = IndividualModels::Learn(r, kTarget, kFeatures, index, opt);
+  ASSERT_TRUE(serial.ok());
+  opt.threads = 8;
+  auto parallel = IndividualModels::Learn(r, kTarget, kFeatures, index, opt);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameModels(serial.value(), parallel.value());
+}
+
+TEST(ParallelDeterminismTest, LearnAdaptiveIsThreadCountInvariant) {
+  data::Table r = TestTable(257);
+  neighbors::BruteForceIndex index(&r, kFeatures);
+  IimOptions opt;
+  opt.adaptive = true;
+  opt.k = 5;
+  opt.step_h = 2;
+  opt.max_ell = 30;
+
+  opt.threads = 1;
+  AdaptiveStats serial_stats;
+  auto serial = IndividualModels::LearnAdaptive(r, kTarget, kFeatures, index,
+                                                opt, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  opt.threads = 8;
+  AdaptiveStats parallel_stats;
+  auto parallel = IndividualModels::LearnAdaptive(r, kTarget, kFeatures,
+                                                  index, opt,
+                                                  &parallel_stats);
+  ASSERT_TRUE(parallel.ok());
+
+  ExpectSameModels(serial.value(), parallel.value());
+  ASSERT_EQ(serial_stats.chosen_ell.size(), parallel_stats.chosen_ell.size());
+  for (size_t i = 0; i < serial_stats.chosen_ell.size(); ++i) {
+    EXPECT_EQ(serial_stats.chosen_ell[i], parallel_stats.chosen_ell[i])
+        << "tuple " << i;
+  }
+  // The per-block partial sums are reduced in block order, so even the
+  // floating-point cost total matches bitwise.
+  EXPECT_EQ(serial_stats.total_cost, parallel_stats.total_cost);
+}
+
+TEST(ParallelDeterminismTest, ImputeBatchIsThreadCountInvariant) {
+  data::Table r = TestTable(200);
+  IimOptions opt;
+  opt.adaptive = true;
+  opt.k = 5;
+  opt.step_h = 3;
+  opt.max_ell = 20;
+
+  opt.threads = 1;
+  IimImputer serial(opt);
+  ASSERT_TRUE(serial.Fit(r, kTarget, kFeatures).ok());
+  opt.threads = 8;
+  IimImputer parallel(opt);
+  ASSERT_TRUE(parallel.Fit(r, kTarget, kFeatures).ok());
+
+  std::vector<data::RowView> rows;
+  for (size_t i = 0; i < r.NumRows(); i += 3) rows.push_back(r.Row(i));
+
+  std::vector<Result<double>> sv = serial.ImputeBatch(rows);
+  std::vector<Result<double>> pv = parallel.ImputeBatch(rows);
+  ASSERT_EQ(sv.size(), rows.size());
+  ASSERT_EQ(pv.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(sv[i].ok()) << i;
+    ASSERT_TRUE(pv[i].ok()) << i;
+    EXPECT_EQ(sv[i].value(), pv[i].value()) << "row " << i;
+    // The batch must also agree with one-at-a-time imputation.
+    Result<double> one = serial.ImputeOne(rows[i]);
+    ASSERT_TRUE(one.ok()) << i;
+    EXPECT_EQ(one.value(), sv[i].value()) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace iim::core

@@ -1,0 +1,142 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iim {
+namespace {
+
+TEST(ThreadPoolTest, NumBlocksPartition) {
+  EXPECT_EQ(ThreadPool::NumBlocks(0, 4), 0u);
+  EXPECT_EQ(ThreadPool::NumBlocks(1, 4), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(4, 4), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(5, 4), 2u);
+  EXPECT_EQ(ThreadPool::NumBlocks(8, 4), 2u);
+  // grain == 0 is treated as 1.
+  EXPECT_EQ(ThreadPool::NumBlocks(3, 0), 3u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t grain : {1u, 3u, 16u, 1000u}) {
+      ThreadPool pool(threads);
+      const size_t n = 101;
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(n, grain, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads
+                                     << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, BlockBoundsFollowGrain) {
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> blocks(ThreadPool::NumBlocks(10, 4));
+  pool.ParallelFor(10, 4, [&](size_t begin, size_t end) {
+    blocks[begin / 4] = {begin, end};
+  });
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(blocks[1], (std::pair<size_t, size_t>{4, 8}));
+  EXPECT_EQ(blocks[2], (std::pair<size_t, size_t>{8, 10}));
+}
+
+TEST(ThreadPoolTest, FewerIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(3, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 6u);  // 1 + 2 + 3
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100, 4,
+                       [](size_t begin, size_t) {
+                         if (begin == 48) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestBlockExceptionWins) {
+  ThreadPool pool(4);
+  // Several blocks throw; the surfaced message must always come from the
+  // lowest-numbered failing block regardless of scheduling.
+  for (int round = 0; round < 10; ++round) {
+    std::string caught;
+    try {
+      pool.ParallelFor(64, 4, [](size_t begin, size_t) {
+        if (begin >= 16) throw std::runtime_error(std::to_string(begin / 4));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "4");  // block 4 = begin 16
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(64, 2, [&](size_t begin, size_t end) {
+      count.fetch_add(end - begin);
+    });
+    ASSERT_EQ(count.load(), 64u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SerialAndParallelSumsMatch) {
+  // Per-block partial sums reduced in block order must be bit-identical
+  // across pool widths (the determinism contract the learner relies on).
+  const size_t n = 997;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 3);
+  }
+  auto blockwise_sum = [&](size_t threads) {
+    ThreadPool pool(threads);
+    const size_t grain = 16;
+    std::vector<double> partial(ThreadPool::NumBlocks(n, grain), 0.0);
+    pool.ParallelFor(n, grain, [&](size_t begin, size_t end) {
+      double acc = 0.0;
+      for (size_t i = begin; i < end; ++i) acc += values[i];
+      partial[begin / grain] = acc;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  double serial = blockwise_sum(1);
+  EXPECT_EQ(serial, blockwise_sum(2));
+  EXPECT_EQ(serial, blockwise_sum(8));
+}
+
+}  // namespace
+}  // namespace iim
