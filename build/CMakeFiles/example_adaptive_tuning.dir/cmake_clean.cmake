@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_tuning.dir/examples/adaptive_tuning.cpp.o"
+  "CMakeFiles/example_adaptive_tuning.dir/examples/adaptive_tuning.cpp.o.d"
+  "example_adaptive_tuning"
+  "example_adaptive_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classification_pipeline.dir/examples/classification_pipeline.cpp.o"
+  "CMakeFiles/example_classification_pipeline.dir/examples/classification_pipeline.cpp.o.d"
+  "example_classification_pipeline"
+  "example_classification_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classification_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

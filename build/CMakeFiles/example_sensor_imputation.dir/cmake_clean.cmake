@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_imputation.dir/examples/sensor_imputation.cpp.o"
+  "CMakeFiles/example_sensor_imputation.dir/examples/sensor_imputation.cpp.o.d"
+  "example_sensor_imputation"
+  "example_sensor_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

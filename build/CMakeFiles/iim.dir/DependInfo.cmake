@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cross_validation.cc" "CMakeFiles/iim.dir/src/apps/cross_validation.cc.o" "gcc" "CMakeFiles/iim.dir/src/apps/cross_validation.cc.o.d"
+  "/root/repo/src/apps/knn_classifier.cc" "CMakeFiles/iim.dir/src/apps/knn_classifier.cc.o" "gcc" "CMakeFiles/iim.dir/src/apps/knn_classifier.cc.o.d"
+  "/root/repo/src/baselines/blr_imputer.cc" "CMakeFiles/iim.dir/src/baselines/blr_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/blr_imputer.cc.o.d"
+  "/root/repo/src/baselines/eracer_imputer.cc" "CMakeFiles/iim.dir/src/baselines/eracer_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/eracer_imputer.cc.o.d"
+  "/root/repo/src/baselines/glr_imputer.cc" "CMakeFiles/iim.dir/src/baselines/glr_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/glr_imputer.cc.o.d"
+  "/root/repo/src/baselines/gmm_imputer.cc" "CMakeFiles/iim.dir/src/baselines/gmm_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/gmm_imputer.cc.o.d"
+  "/root/repo/src/baselines/ifc_imputer.cc" "CMakeFiles/iim.dir/src/baselines/ifc_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/ifc_imputer.cc.o.d"
+  "/root/repo/src/baselines/ills_imputer.cc" "CMakeFiles/iim.dir/src/baselines/ills_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/ills_imputer.cc.o.d"
+  "/root/repo/src/baselines/imputer.cc" "CMakeFiles/iim.dir/src/baselines/imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/imputer.cc.o.d"
+  "/root/repo/src/baselines/knn_imputer.cc" "CMakeFiles/iim.dir/src/baselines/knn_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/knn_imputer.cc.o.d"
+  "/root/repo/src/baselines/knne_imputer.cc" "CMakeFiles/iim.dir/src/baselines/knne_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/knne_imputer.cc.o.d"
+  "/root/repo/src/baselines/loess_imputer.cc" "CMakeFiles/iim.dir/src/baselines/loess_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/loess_imputer.cc.o.d"
+  "/root/repo/src/baselines/mean_imputer.cc" "CMakeFiles/iim.dir/src/baselines/mean_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/mean_imputer.cc.o.d"
+  "/root/repo/src/baselines/pmm_imputer.cc" "CMakeFiles/iim.dir/src/baselines/pmm_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/pmm_imputer.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "CMakeFiles/iim.dir/src/baselines/registry.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/svd_imputer.cc" "CMakeFiles/iim.dir/src/baselines/svd_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/svd_imputer.cc.o.d"
+  "/root/repo/src/baselines/xgb_imputer.cc" "CMakeFiles/iim.dir/src/baselines/xgb_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/baselines/xgb_imputer.cc.o.d"
+  "/root/repo/src/cluster/fuzzy_cmeans.cc" "CMakeFiles/iim.dir/src/cluster/fuzzy_cmeans.cc.o" "gcc" "CMakeFiles/iim.dir/src/cluster/fuzzy_cmeans.cc.o.d"
+  "/root/repo/src/cluster/gmm.cc" "CMakeFiles/iim.dir/src/cluster/gmm.cc.o" "gcc" "CMakeFiles/iim.dir/src/cluster/gmm.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "CMakeFiles/iim.dir/src/cluster/kmeans.cc.o" "gcc" "CMakeFiles/iim.dir/src/cluster/kmeans.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/iim.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/iim.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/iim.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/iim.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/iim.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/iim.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/iim_imputer.cc" "CMakeFiles/iim.dir/src/core/iim_imputer.cc.o" "gcc" "CMakeFiles/iim.dir/src/core/iim_imputer.cc.o.d"
+  "/root/repo/src/core/imputation_distribution.cc" "CMakeFiles/iim.dir/src/core/imputation_distribution.cc.o" "gcc" "CMakeFiles/iim.dir/src/core/imputation_distribution.cc.o.d"
+  "/root/repo/src/core/individual_models.cc" "CMakeFiles/iim.dir/src/core/individual_models.cc.o" "gcc" "CMakeFiles/iim.dir/src/core/individual_models.cc.o.d"
+  "/root/repo/src/data/csv.cc" "CMakeFiles/iim.dir/src/data/csv.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/csv.cc.o.d"
+  "/root/repo/src/data/feature_block.cc" "CMakeFiles/iim.dir/src/data/feature_block.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/feature_block.cc.o.d"
+  "/root/repo/src/data/missing_mask.cc" "CMakeFiles/iim.dir/src/data/missing_mask.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/missing_mask.cc.o.d"
+  "/root/repo/src/data/schema.cc" "CMakeFiles/iim.dir/src/data/schema.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/schema.cc.o.d"
+  "/root/repo/src/data/stats.cc" "CMakeFiles/iim.dir/src/data/stats.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/stats.cc.o.d"
+  "/root/repo/src/data/table.cc" "CMakeFiles/iim.dir/src/data/table.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/table.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "CMakeFiles/iim.dir/src/data/transforms.cc.o" "gcc" "CMakeFiles/iim.dir/src/data/transforms.cc.o.d"
+  "/root/repo/src/datasets/generator.cc" "CMakeFiles/iim.dir/src/datasets/generator.cc.o" "gcc" "CMakeFiles/iim.dir/src/datasets/generator.cc.o.d"
+  "/root/repo/src/datasets/paper_example.cc" "CMakeFiles/iim.dir/src/datasets/paper_example.cc.o" "gcc" "CMakeFiles/iim.dir/src/datasets/paper_example.cc.o.d"
+  "/root/repo/src/datasets/specs.cc" "CMakeFiles/iim.dir/src/datasets/specs.cc.o" "gcc" "CMakeFiles/iim.dir/src/datasets/specs.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "CMakeFiles/iim.dir/src/eval/experiment.cc.o" "gcc" "CMakeFiles/iim.dir/src/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/injector.cc" "CMakeFiles/iim.dir/src/eval/injector.cc.o" "gcc" "CMakeFiles/iim.dir/src/eval/injector.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/iim.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/iim.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "CMakeFiles/iim.dir/src/eval/report.cc.o" "gcc" "CMakeFiles/iim.dir/src/eval/report.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "CMakeFiles/iim.dir/src/linalg/cholesky.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cc" "CMakeFiles/iim.dir/src/linalg/jacobi_eigen.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/jacobi_eigen.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "CMakeFiles/iim.dir/src/linalg/lu.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/iim.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "CMakeFiles/iim.dir/src/linalg/svd.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "CMakeFiles/iim.dir/src/linalg/vector_ops.cc.o" "gcc" "CMakeFiles/iim.dir/src/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/neighbors/distance.cc" "CMakeFiles/iim.dir/src/neighbors/distance.cc.o" "gcc" "CMakeFiles/iim.dir/src/neighbors/distance.cc.o.d"
+  "/root/repo/src/neighbors/kdtree.cc" "CMakeFiles/iim.dir/src/neighbors/kdtree.cc.o" "gcc" "CMakeFiles/iim.dir/src/neighbors/kdtree.cc.o.d"
+  "/root/repo/src/neighbors/knn.cc" "CMakeFiles/iim.dir/src/neighbors/knn.cc.o" "gcc" "CMakeFiles/iim.dir/src/neighbors/knn.cc.o.d"
+  "/root/repo/src/regress/bayesian_lr.cc" "CMakeFiles/iim.dir/src/regress/bayesian_lr.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/bayesian_lr.cc.o.d"
+  "/root/repo/src/regress/gbdt.cc" "CMakeFiles/iim.dir/src/regress/gbdt.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/gbdt.cc.o.d"
+  "/root/repo/src/regress/incremental_ridge.cc" "CMakeFiles/iim.dir/src/regress/incremental_ridge.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/incremental_ridge.cc.o.d"
+  "/root/repo/src/regress/loess.cc" "CMakeFiles/iim.dir/src/regress/loess.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/loess.cc.o.d"
+  "/root/repo/src/regress/ridge.cc" "CMakeFiles/iim.dir/src/regress/ridge.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/ridge.cc.o.d"
+  "/root/repo/src/regress/tree.cc" "CMakeFiles/iim.dir/src/regress/tree.cc.o" "gcc" "CMakeFiles/iim.dir/src/regress/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iim_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/iim_bench_common.dir/bench/bench_common.cc.o.d"
+  "libiim_bench_common.a"
+  "libiim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiim_bench_common.a"
+)

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "CMakeFiles/iim_tests.dir/tests/apps_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/apps_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "CMakeFiles/iim_tests.dir/tests/baselines_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/baselines_test.cc.o.d"
+  "/root/repo/tests/contract_test.cc" "CMakeFiles/iim_tests.dir/tests/contract_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/contract_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "CMakeFiles/iim_tests.dir/tests/csv_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/csv_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "CMakeFiles/iim_tests.dir/tests/datasets_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/datasets_test.cc.o.d"
+  "/root/repo/tests/degenerate_test.cc" "CMakeFiles/iim_tests.dir/tests/degenerate_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/degenerate_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "CMakeFiles/iim_tests.dir/tests/distribution_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/distribution_test.cc.o.d"
+  "/root/repo/tests/eigen_svd_test.cc" "CMakeFiles/iim_tests.dir/tests/eigen_svd_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/eigen_svd_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "CMakeFiles/iim_tests.dir/tests/experiment_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/experiment_test.cc.o.d"
+  "/root/repo/tests/feature_block_test.cc" "CMakeFiles/iim_tests.dir/tests/feature_block_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/feature_block_test.cc.o.d"
+  "/root/repo/tests/fuzzy_gmm_test.cc" "CMakeFiles/iim_tests.dir/tests/fuzzy_gmm_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/fuzzy_gmm_test.cc.o.d"
+  "/root/repo/tests/iim_adaptive_test.cc" "CMakeFiles/iim_tests.dir/tests/iim_adaptive_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/iim_adaptive_test.cc.o.d"
+  "/root/repo/tests/iim_core_test.cc" "CMakeFiles/iim_tests.dir/tests/iim_core_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/iim_core_test.cc.o.d"
+  "/root/repo/tests/incremental_ridge_test.cc" "CMakeFiles/iim_tests.dir/tests/incremental_ridge_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/incremental_ridge_test.cc.o.d"
+  "/root/repo/tests/injector_test.cc" "CMakeFiles/iim_tests.dir/tests/injector_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/injector_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/iim_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/kdtree_test.cc" "CMakeFiles/iim_tests.dir/tests/kdtree_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/kdtree_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "CMakeFiles/iim_tests.dir/tests/kmeans_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/kmeans_test.cc.o.d"
+  "/root/repo/tests/knn_test.cc" "CMakeFiles/iim_tests.dir/tests/knn_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/knn_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "CMakeFiles/iim_tests.dir/tests/matrix_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/matrix_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "CMakeFiles/iim_tests.dir/tests/metrics_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/metrics_test.cc.o.d"
+  "/root/repo/tests/parallel_determinism_test.cc" "CMakeFiles/iim_tests.dir/tests/parallel_determinism_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/parallel_determinism_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "CMakeFiles/iim_tests.dir/tests/property_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/property_test.cc.o.d"
+  "/root/repo/tests/regress_misc_test.cc" "CMakeFiles/iim_tests.dir/tests/regress_misc_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/regress_misc_test.cc.o.d"
+  "/root/repo/tests/ridge_test.cc" "CMakeFiles/iim_tests.dir/tests/ridge_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/ridge_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "CMakeFiles/iim_tests.dir/tests/rng_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/rng_test.cc.o.d"
+  "/root/repo/tests/solver_test.cc" "CMakeFiles/iim_tests.dir/tests/solver_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/solver_test.cc.o.d"
+  "/root/repo/tests/stats_transforms_test.cc" "CMakeFiles/iim_tests.dir/tests/stats_transforms_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/stats_transforms_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "CMakeFiles/iim_tests.dir/tests/status_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "CMakeFiles/iim_tests.dir/tests/string_util_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/string_util_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "CMakeFiles/iim_tests.dir/tests/table_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/table_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "CMakeFiles/iim_tests.dir/tests/thread_pool_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/thread_pool_test.cc.o.d"
+  "/root/repo/tests/tree_gbdt_test.cc" "CMakeFiles/iim_tests.dir/tests/tree_gbdt_test.cc.o" "gcc" "CMakeFiles/iim_tests.dir/tests/tree_gbdt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/iim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
