@@ -81,6 +81,10 @@ std::vector<size_t> CandidateEllValues(size_t n, size_t step_h,
   size_t cap = (max_ell == 0) ? n : std::min(max_ell, n);
   std::vector<size_t> ells;
   for (size_t ell = 1; ell <= cap; ell += step_h) ells.push_back(ell);
+  // The cap must stay reachable even when the stride steps over it
+  // ((cap - 1) % h != 0): l = n is the GLR limit of Proposition 2, and
+  // max_ell is the budget the caller actually asked to consider.
+  if (!ells.empty() && ells.back() != cap) ells.push_back(cap);
   return ells;
 }
 

@@ -7,33 +7,26 @@
 
 namespace iim::neighbors {
 
-namespace {
-
-// Orders by (distance, index); the heap uses the inverse so its top is the
-// current worst neighbor. Matching BruteForceIndex tie-breaking keeps the
-// two indexes bit-for-bit interchangeable.
-bool NeighborLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
+void FlatKdTree::Clear() {
+  n_ = 0;
+  d_ = 0;
+  order_.clear();
+  nodes_.clear();
+  root_ = -1;
 }
 
-}  // namespace
-
-KdTreeIndex::KdTreeIndex(const data::Table* table, std::vector<int> cols)
-    : table_(table), cols_(std::move(cols)) {
-  // Points are stored unscaled and leaf distances are computed with the
-  // exact NormalizedEuclidean used by BruteForceIndex, so the two indexes
-  // produce bitwise-identical results (including distance ties).
-  points_.reserve(table_->NumRows());
-  for (size_t i = 0; i < table_->NumRows(); ++i) {
-    points_.push_back(table_->Row(i).Gather(cols_));
-  }
-  order_.resize(points_.size());
-  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-  if (!points_.empty()) root_ = Build(0, points_.size(), 0);
+void FlatKdTree::Build(const double* points, size_t n, size_t d) {
+  Clear();
+  n_ = n;
+  d_ = d;
+  order_.resize(n);
+  for (size_t i = 0; i < n; ++i) order_[i] = i;
+  nodes_.reserve(n / kLeafSize * 2 + 1);
+  if (n > 0) root_ = BuildRange(points, 0, n, 0);
 }
 
-int KdTreeIndex::Build(size_t begin, size_t end, int depth) {
+int FlatKdTree::BuildRange(const double* points, size_t begin, size_t end,
+                           int depth) {
   Node node;
   if (end - begin <= kLeafSize) {
     node.begin = begin;
@@ -42,13 +35,12 @@ int KdTreeIndex::Build(size_t begin, size_t end, int depth) {
     return static_cast<int>(nodes_.size() - 1);
   }
   // Split on the axis with the largest spread in this range.
-  size_t dims = cols_.size();
-  int best_axis = depth % static_cast<int>(dims);
+  int best_axis = depth % static_cast<int>(d_);
   double best_spread = -1.0;
-  for (size_t d = 0; d < dims; ++d) {
-    double lo = points_[order_[begin]][d], hi = lo;
+  for (size_t d = 0; d < d_; ++d) {
+    double lo = points[order_[begin] * d_ + d], hi = lo;
     for (size_t i = begin + 1; i < end; ++i) {
-      double v = points_[order_[i]][d];
+      double v = points[order_[i] * d_ + d];
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -58,73 +50,91 @@ int KdTreeIndex::Build(size_t begin, size_t end, int depth) {
     }
   }
   size_t mid = begin + (end - begin) / 2;
+  size_t axis = static_cast<size_t>(best_axis);
   std::nth_element(order_.begin() + static_cast<long>(begin),
                    order_.begin() + static_cast<long>(mid),
                    order_.begin() + static_cast<long>(end),
-                   [this, best_axis](size_t a, size_t b) {
-                     return points_[a][static_cast<size_t>(best_axis)] <
-                            points_[b][static_cast<size_t>(best_axis)];
+                   [points, this, axis](size_t a, size_t b) {
+                     return points[a * d_ + axis] < points[b * d_ + axis];
                    });
   node.axis = best_axis;
-  node.split = points_[order_[mid]][static_cast<size_t>(best_axis)];
+  node.split = points[order_[mid] * d_ + axis];
   nodes_.push_back(node);
   int id = static_cast<int>(nodes_.size() - 1);
-  int left = Build(begin, mid, depth + 1);
-  int right = Build(mid, end, depth + 1);
+  int left = BuildRange(points, begin, mid, depth + 1);
+  int right = BuildRange(points, mid, end, depth + 1);
   nodes_[static_cast<size_t>(id)].left = left;
   nodes_[static_cast<size_t>(id)].right = right;
   return id;
 }
 
-void KdTreeIndex::Search(int node_id, const std::vector<double>& q,
-                         const QueryOptions& options,
-                         std::vector<Neighbor>* heap) const {
+void FlatKdTree::SearchNode(int node_id, const double* points,
+                            const double* q, const QueryOptions& options,
+                            std::vector<Neighbor>* heap) const {
   const Node& node = nodes_[static_cast<size_t>(node_id)];
   if (node.IsLeaf()) {
     for (size_t i = node.begin; i < node.end; ++i) {
       size_t row = order_[i];
       if (row == options.exclude) continue;
-      Neighbor cand{row, NormalizedEuclidean(q, points_[row])};
-      if (heap->size() < options.k) {
-        heap->push_back(cand);
-        std::push_heap(heap->begin(), heap->end(), NeighborLess);
-      } else if (NeighborLess(cand, heap->front())) {
-        std::pop_heap(heap->begin(), heap->end(), NeighborLess);
-        heap->back() = cand;
-        std::push_heap(heap->begin(), heap->end(), NeighborLess);
-      }
+      PushNeighborHeap(
+          heap, options.k,
+          Neighbor{row, NormalizedEuclidean(q, points + row * d_, d_)});
     }
     return;
   }
   double delta = q[static_cast<size_t>(node.axis)] - node.split;
   int near = delta <= 0.0 ? node.left : node.right;
   int far = delta <= 0.0 ? node.right : node.left;
-  Search(near, q, options, heap);
+  SearchNode(near, points, q, options, heap);
   // The normalized distance from q to the splitting plane is
   // |delta| / sqrt(|F|). Visit the far side unless the plane is strictly
   // farther than the current worst neighbor; equality keeps ties exact.
   if (heap->size() < options.k) {
-    Search(far, q, options, heap);
+    SearchNode(far, points, q, options, heap);
   } else {
     double worst = heap->front().distance;
     // Conservative slack: squaring `worst` can round below the true
     // worst^2, which on exact distance ties would prune a subtree holding
     // an equidistant smaller-index neighbor. The relative epsilon makes
     // the bound err toward visiting.
-    double bound = worst * worst * static_cast<double>(cols_.size());
+    double bound = worst * worst * static_cast<double>(d_);
     if (delta * delta <= bound + bound * 1e-12) {
-      Search(far, q, options, heap);
+      SearchNode(far, points, q, options, heap);
     }
   }
+}
+
+void FlatKdTree::Search(const double* points, const double* q,
+                        const QueryOptions& options,
+                        std::vector<Neighbor>* heap) const {
+  if (root_ < 0 || options.k == 0) return;
+  SearchNode(root_, points, q, options, heap);
+}
+
+KdTreeIndex::KdTreeIndex(const data::Table* table, std::vector<int> cols)
+    : cols_(std::move(cols)) {
+  // Points are stored unscaled and leaf distances are computed with the
+  // exact NormalizedEuclidean used by BruteForceIndex, so the two indexes
+  // produce bitwise-identical results (including distance ties).
+  size_t n = table->NumRows();
+  size_t d = cols_.size();
+  points_.resize(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowView row = table->Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      points_[i * d + j] = row[static_cast<size_t>(cols_[j])];
+    }
+  }
+  tree_.Build(points_.data(), n, d);
 }
 
 std::vector<Neighbor> KdTreeIndex::Query(const data::RowView& query,
                                          const QueryOptions& options) const {
   std::vector<Neighbor> heap;
-  if (root_ < 0 || options.k == 0) return heap;
+  if (tree_.empty() || options.k == 0) return heap;
   heap.reserve(options.k);
   std::vector<double> q = query.Gather(cols_);
-  Search(root_, q, options, &heap);
+  tree_.Search(points_.data(), q.data(), options, &heap);
   std::sort(heap.begin(), heap.end(), NeighborLess);
   return heap;
 }
@@ -132,11 +142,14 @@ std::vector<Neighbor> KdTreeIndex::Query(const data::RowView& query,
 std::vector<Neighbor> KdTreeIndex::QueryAll(const data::RowView& query,
                                             size_t exclude) const {
   std::vector<double> q = query.Gather(cols_);
+  size_t n = tree_.size();
+  size_t d = cols_.size();
   std::vector<Neighbor> out;
-  out.reserve(points_.size());
-  for (size_t i = 0; i < points_.size(); ++i) {
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     if (i == exclude) continue;
-    out.push_back(Neighbor{i, NormalizedEuclidean(q, points_[i])});
+    out.push_back(
+        Neighbor{i, NormalizedEuclidean(q.data(), points_.data() + i * d, d)});
   }
   std::sort(out.begin(), out.end(), NeighborLess);
   return out;

@@ -1,8 +1,11 @@
-// KD-tree accelerated exact nearest-neighbor index.
+// KD-tree accelerated exact nearest-neighbor search.
 //
-// Same contract as BruteForceIndex; used for the large-n scalability
-// experiments (SN with 100k tuples). Distances match Formula 1 exactly,
-// so swapping indexes never changes results, only speed.
+// FlatKdTree is the tree core: it builds over an n x d row-major point
+// buffer and answers bounded top-k searches with distances that match
+// Formula 1 exactly, so swapping it in for a brute-force scan never
+// changes results, only speed. KdTreeIndex wraps it behind the
+// NeighborIndex contract for a frozen data::Table; stream::DynamicIndex
+// reuses the same core over the immutable prefix of its growing buffer.
 
 #ifndef IIM_NEIGHBORS_KDTREE_H_
 #define IIM_NEIGHBORS_KDTREE_H_
@@ -14,21 +17,34 @@
 
 namespace iim::neighbors {
 
-class KdTreeIndex final : public NeighborIndex {
+// Exact KD-tree over a flat row-major buffer of n points of dimension d.
+//
+// The buffer is NOT retained: Build reads it to place the splits, and every
+// Search takes it again. Callers may grow the underlying storage past
+// n * d after Build (amortized vector growth, appends) as long as the
+// first n * d values are bit-unchanged — this is what gives the dynamic
+// index cheap appends without rebuilding on every arrival.
+class FlatKdTree {
  public:
-  KdTreeIndex(const data::Table* table, std::vector<int> cols);
+  FlatKdTree() = default;
 
-  std::vector<Neighbor> Query(const data::RowView& query,
-                              const QueryOptions& options) const override;
-  // Falls back to a full scan: a sorted list of *all* points cannot beat
-  // O(n log n) anyway.
-  std::vector<Neighbor> QueryAll(const data::RowView& query,
-                                 size_t exclude) const override;
-  size_t size() const override { return points_.size(); }
+  void Build(const double* points, size_t n, size_t d);
+  void Clear();
+
+  // Number of points covered by the last Build (0 = no tree).
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // Merges the exact top-k neighbors of `q` (d values) among the covered
+  // points into `heap`, a max-heap ordered by NeighborLess (see
+  // PushNeighborHeap). The heap may arrive pre-seeded with candidates from
+  // elsewhere (the dynamic index's unindexed tail); pruning stays exact.
+  void Search(const double* points, const double* q,
+              const QueryOptions& options, std::vector<Neighbor>* heap) const;
 
  private:
   struct Node {
-    int axis = -1;          // split dimension (index into cols_)
+    int axis = -1;          // split dimension
     double split = 0.0;     // split coordinate
     size_t begin = 0;       // leaf: range into order_
     size_t end = 0;
@@ -39,17 +55,37 @@ class KdTreeIndex final : public NeighborIndex {
 
   static constexpr size_t kLeafSize = 16;
 
-  int Build(size_t begin, size_t end, int depth);
-  void Search(int node_id, const std::vector<double>& q,
-              const QueryOptions& options,
-              std::vector<Neighbor>* heap) const;
+  int BuildRange(const double* points, size_t begin, size_t end, int depth);
+  void SearchNode(int node_id, const double* points, const double* q,
+                  const QueryOptions& options,
+                  std::vector<Neighbor>* heap) const;
 
-  const data::Table* table_;
-  std::vector<int> cols_;
-  std::vector<std::vector<double>> points_;  // projected coordinates
-  std::vector<size_t> order_;                // row ids, permuted by Build
+  size_t n_ = 0;
+  size_t d_ = 0;
+  std::vector<size_t> order_;  // point ids, permuted by Build
   std::vector<Node> nodes_;
   int root_ = -1;
+};
+
+// NeighborIndex over a frozen table, tree-accelerated. Same contract and
+// bit-identical results as BruteForceIndex; used for the large-n
+// scalability experiments (SN with 100k tuples).
+class KdTreeIndex final : public NeighborIndex {
+ public:
+  KdTreeIndex(const data::Table* table, std::vector<int> cols);
+
+  std::vector<Neighbor> Query(const data::RowView& query,
+                              const QueryOptions& options) const override;
+  // Falls back to a full scan: a sorted list of *all* points cannot beat
+  // O(n log n) anyway.
+  std::vector<Neighbor> QueryAll(const data::RowView& query,
+                                 size_t exclude) const override;
+  size_t size() const override { return tree_.size(); }
+
+ private:
+  std::vector<int> cols_;
+  std::vector<double> points_;  // row-major size() x cols_.size()
+  FlatKdTree tree_;
 };
 
 // Picks KdTree for large tables, brute force otherwise.

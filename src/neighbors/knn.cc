@@ -8,11 +8,6 @@ namespace iim::neighbors {
 
 namespace {
 
-bool NeighborLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
-}
-
 // Queries per ParallelFor block: one query is ~n distance evaluations, so
 // even small blocks amortize the scheduling cost.
 constexpr size_t kQueryGrain = 8;
@@ -40,12 +35,12 @@ std::vector<std::vector<Neighbor>> NeighborIndex::QueryMany(
 
 BruteForceIndex::BruteForceIndex(const data::Table* table,
                                  std::vector<int> cols)
-    : table_(table), cols_(std::move(cols)) {
-  size_t n = table_->NumRows();
+    : cols_(std::move(cols)) {
+  size_t n = table->NumRows();
   size_t d = cols_.size();
   points_.resize(n * d);
   for (size_t i = 0; i < n; ++i) {
-    data::RowView row = table_->Row(i);
+    data::RowView row = table->Row(i);
     for (size_t j = 0; j < d; ++j) {
       points_[i * d + j] = row[static_cast<size_t>(cols_[j])];
     }
@@ -54,7 +49,7 @@ BruteForceIndex::BruteForceIndex(const data::Table* table,
 
 std::vector<Neighbor> BruteForceIndex::Scan(const data::RowView& query,
                                             size_t exclude) const {
-  size_t n = table_->NumRows();
+  size_t n = size();  // the construction-time snapshot, not the live table
   size_t d = cols_.size();
   std::vector<double> q(d);
   for (size_t j = 0; j < d; ++j) q[j] = query[static_cast<size_t>(cols_[j])];

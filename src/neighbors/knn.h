@@ -10,6 +10,7 @@
 #ifndef IIM_NEIGHBORS_KNN_H_
 #define IIM_NEIGHBORS_KNN_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -21,6 +22,29 @@ struct Neighbor {
   size_t index;     // row in the indexed table
   double distance;  // Formula 1 distance
 };
+
+// The one neighbor ordering every index uses: ascending (distance, index).
+// Sharing it keeps brute force, the KD-tree and the dynamic index
+// bit-for-bit interchangeable, including on distance ties.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+// Bounded top-k insert into a max-heap ordered by NeighborLess (the heap's
+// front is the current worst kept neighbor). Shared by the KD-tree leaf
+// scan and the dynamic index's tail scan so their merge semantics match.
+inline void PushNeighborHeap(std::vector<Neighbor>* heap, size_t k,
+                             const Neighbor& cand) {
+  if (heap->size() < k) {
+    heap->push_back(cand);
+    std::push_heap(heap->begin(), heap->end(), NeighborLess);
+  } else if (NeighborLess(cand, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), NeighborLess);
+    heap->back() = cand;
+    std::push_heap(heap->begin(), heap->end(), NeighborLess);
+  }
+}
 
 // Search options: `exclude` removes one row from consideration (used when a
 // validation tuple queries its own relation); `k` caps the result size.
@@ -67,14 +91,20 @@ class NeighborIndex {
 class BruteForceIndex final : public NeighborIndex {
  public:
   // Indexes `table` on attribute subset `cols` (kept by value). The table
-  // must outlive the index.
+  // is only read during construction — the index holds its own snapshot
+  // of the gathered columns.
   BruteForceIndex(const data::Table* table, std::vector<int> cols);
 
   std::vector<Neighbor> Query(const data::RowView& query,
                               const QueryOptions& options) const override;
   std::vector<Neighbor> QueryAll(const data::RowView& query,
                                  size_t exclude) const override;
-  size_t size() const override { return table_->NumRows(); }
+  // Snapshot size at construction, derived from the gathered point buffer
+  // — NOT table_->NumRows(), which can grow after the index is built and
+  // would send Scan reading past the end of points_.
+  size_t size() const override {
+    return cols_.empty() ? 0 : points_.size() / cols_.size();
+  }
 
   const std::vector<int>& cols() const { return cols_; }
 
@@ -83,9 +113,8 @@ class BruteForceIndex final : public NeighborIndex {
   std::vector<Neighbor> Scan(const data::RowView& query,
                              size_t exclude) const;
 
-  const data::Table* table_;
   std::vector<int> cols_;
-  std::vector<double> points_;  // row-major NumRows x cols_.size()
+  std::vector<double> points_;  // row-major size() x cols_.size()
 };
 
 }  // namespace iim::neighbors

@@ -1,5 +1,6 @@
 #include "regress/incremental_ridge.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/cholesky.h"
@@ -9,6 +10,13 @@ namespace iim::regress {
 
 IncrementalRidge::IncrementalRidge(size_t p)
     : p_(p), u_(p + 1, p + 1), v_(p + 1, 0.0) {}
+
+void IncrementalRidge::Reset() {
+  size_t m = p_ + 1;
+  std::fill(u_.RowPtr(0), u_.RowPtr(0) + m * m, 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  num_rows_ = 0;
+}
 
 void IncrementalRidge::AddRow(const std::vector<double>& x, double y) {
   AddRow(x.data(), y);

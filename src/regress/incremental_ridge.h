@@ -18,6 +18,11 @@ class IncrementalRidge {
   // p = number of features (the ones column is implicit).
   explicit IncrementalRidge(size_t p);
 
+  // Drops every folded row (U = 0, V = 0) keeping the allocation, so a
+  // long-lived per-tuple accumulator can restream a changed neighbor
+  // prefix without reallocating.
+  void Reset();
+
   // Folds one training row into U, V (Formulas 20-21 with h = 1).
   void AddRow(const std::vector<double>& x, double y);
   // Same on p contiguous values (the data::FeatureBlock fast path).

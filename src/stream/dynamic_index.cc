@@ -1,0 +1,102 @@
+#include "stream/dynamic_index.h"
+
+#include <algorithm>
+
+#include "neighbors/distance.h"
+
+namespace iim::stream {
+
+DynamicIndex::DynamicIndex(std::vector<int> cols)
+    : DynamicIndex(std::move(cols), Options()) {}
+
+DynamicIndex::DynamicIndex(std::vector<int> cols, const Options& options)
+    : cols_(std::move(cols)), options_(options) {}
+
+void DynamicIndex::Append(const data::RowView& row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t d = cols_.size();
+  // Plain push_back: capacity doubling keeps appends amortized O(1). (An
+  // exact-size reserve here would force a full copy on every arrival.)
+  for (size_t j = 0; j < d; ++j) {
+    points_.push_back(row[static_cast<size_t>(cols_[j])]);
+  }
+  ++n_;
+  size_t tail = n_ - tree_.size();
+  if (n_ >= options_.kdtree_threshold &&
+      tail >= std::max(options_.min_rebuild_tail, tree_.size() / 4)) {
+    tree_.Build(points_.data(), n_, d);
+    ++rebuilds_;
+  }
+}
+
+void DynamicIndex::Collect(const std::vector<double>& q,
+                           const neighbors::QueryOptions& options,
+                           std::vector<neighbors::Neighbor>* heap) const {
+  size_t d = cols_.size();
+  // Unindexed tail first (it is usually the smaller side), then the tree;
+  // PushNeighborHeap's (distance, index) order makes the merge exact
+  // regardless of which side a neighbor came from.
+  for (size_t i = tree_.size(); i < n_; ++i) {
+    if (i == options.exclude) continue;
+    heap->push_back(neighbors::Neighbor{
+        i, neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d,
+                                          d)});
+  }
+  if (heap->size() > options.k) {
+    std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
+    while (heap->size() > options.k) {
+      std::pop_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
+      heap->pop_back();
+    }
+  } else {
+    std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
+  }
+  tree_.Search(points_.data(), q.data(), options, heap);
+}
+
+std::vector<neighbors::Neighbor> DynamicIndex::Query(
+    const data::RowView& query,
+    const neighbors::QueryOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<neighbors::Neighbor> heap;
+  if (options.k == 0 || n_ == 0) return heap;
+  heap.reserve(options.k + 1);
+  std::vector<double> q = query.Gather(cols_);
+  Collect(q, options, &heap);
+  std::sort(heap.begin(), heap.end(), neighbors::NeighborLess);
+  return heap;
+}
+
+std::vector<neighbors::Neighbor> DynamicIndex::QueryAll(
+    const data::RowView& query, size_t exclude) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t d = cols_.size();
+  std::vector<double> q = query.Gather(cols_);
+  std::vector<neighbors::Neighbor> out;
+  out.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (i == exclude) continue;
+    out.push_back(neighbors::Neighbor{
+        i, neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d,
+                                          d)});
+  }
+  std::sort(out.begin(), out.end(), neighbors::NeighborLess);
+  return out;
+}
+
+size_t DynamicIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return n_;
+}
+
+size_t DynamicIndex::tree_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tree_.size();
+}
+
+size_t DynamicIndex::rebuilds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rebuilds_;
+}
+
+}  // namespace iim::stream

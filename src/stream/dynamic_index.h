@@ -1,0 +1,84 @@
+// DynamicIndex: an appendable exact nearest-neighbor index for streaming
+// ingestion.
+//
+// Points live in one flat contiguous row-major buffer with amortized
+// growth. A FlatKdTree covers the immutable prefix that existed at the
+// last rebuild; arrivals since then sit in an unindexed tail that queries
+// scan brute-force. Once the relation crosses the same 4096-point
+// threshold MakeIndex uses and the tail has grown past a fraction of the
+// tree, the tree is rebuilt over everything — amortized O(log n) rebuilds
+// over the stream's lifetime.
+//
+// Results are bit-identical to a BruteForceIndex over the same points for
+// every append/rebuild interleaving: tree and tail use the same Formula 1
+// distance and the same (distance, index) tie order.
+//
+// Concurrency: appends take the writer side of a shared_mutex, queries the
+// reader side for their whole duration, so an in-flight query always sees
+// a consistent snapshot — it can never observe a half-appended point or a
+// buffer mid-reallocation. Queries running concurrently with an Append
+// simply order before or after it.
+
+#ifndef IIM_STREAM_DYNAMIC_INDEX_H_
+#define IIM_STREAM_DYNAMIC_INDEX_H_
+
+#include <shared_mutex>
+#include <vector>
+
+#include "neighbors/kdtree.h"
+
+namespace iim::stream {
+
+class DynamicIndex final : public neighbors::NeighborIndex {
+ public:
+  struct Options {
+    // Minimum total size before any KD-tree is built (matches the
+    // MakeIndex default: brute force is faster below it).
+    size_t kdtree_threshold = 4096;
+    // Rebuild once the unindexed tail exceeds both this floor and a
+    // quarter of the indexed prefix.
+    size_t min_rebuild_tail = 1024;
+  };
+
+  // Indexes attribute subset `cols` of rows appended later; `cols` must be
+  // non-empty. Starts empty.
+  explicit DynamicIndex(std::vector<int> cols);
+  DynamicIndex(std::vector<int> cols, const Options& options);
+
+  // Appends one full-arity row (its `cols` values are gathered, matching
+  // the BruteForceIndex constructor), growing the buffer amortized-O(1)
+  // and rebuilding the KD-tree when the tail policy says so.
+  void Append(const data::RowView& row);
+
+  std::vector<neighbors::Neighbor> Query(
+      const data::RowView& query,
+      const neighbors::QueryOptions& options) const override;
+  std::vector<neighbors::Neighbor> QueryAll(const data::RowView& query,
+                                            size_t exclude) const override;
+  size_t size() const override;
+
+  const std::vector<int>& cols() const { return cols_; }
+  // Points covered by the KD-tree (0 = pure brute force); for tests and
+  // rebuild diagnostics.
+  size_t tree_size() const;
+  size_t rebuilds() const;
+
+ private:
+  // Exact top-k over tail scan + tree search, unsorted heap out.
+  void Collect(const std::vector<double>& q,
+               const neighbors::QueryOptions& options,
+               std::vector<neighbors::Neighbor>* heap) const;
+
+  std::vector<int> cols_;
+  Options options_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<double> points_;  // row-major n_ x cols_.size()
+  size_t n_ = 0;
+  neighbors::FlatKdTree tree_;  // covers points [0, tree_.size())
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace iim::stream
+
+#endif  // IIM_STREAM_DYNAMIC_INDEX_H_

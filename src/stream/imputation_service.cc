@@ -1,0 +1,119 @@
+#include "stream/imputation_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace iim::stream {
+
+ImputationService::ImputationService(OnlineIim* engine)
+    : ImputationService(engine, Options()) {}
+
+ImputationService::ImputationService(OnlineIim* engine,
+                                     const Options& options)
+    : engine_(engine), options_(options) {
+  server_ = std::thread([this] { ServeLoop(); });
+}
+
+ImputationService::~ImputationService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  server_.join();
+}
+
+std::future<Status> ImputationService::SubmitIngest(std::vector<double> row) {
+  Request req;
+  req.is_ingest = true;
+  req.values = std::move(row);
+  std::future<Status> result = req.ingest_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return result;
+}
+
+std::future<Result<double>> ImputationService::SubmitImpute(
+    std::vector<double> tuple) {
+  Request req;
+  req.values = std::move(tuple);
+  std::future<Result<double>> result = req.impute_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return result;
+}
+
+void ImputationService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ImputationService::Stats ImputationService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ImputationService::ServeLoop() {
+  for (;;) {
+    std::vector<Request> taken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      if (queue_.empty()) break;  // shutdown with nothing left to serve
+      if (queue_.front().is_ingest) {
+        // Ingests apply one at a time: later requests must see the
+        // relation exactly as their submission order implies.
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      } else {
+        // Coalesce the run of consecutive imputation requests at the head
+        // into one micro-batch.
+        while (!queue_.empty() && !queue_.front().is_ingest &&
+               taken.size() < options_.max_batch) {
+          taken.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      in_flight_ = taken.size();
+    }
+
+    if (taken.front().is_ingest) {
+      data::RowView row(taken.front().values.data(),
+                        taken.front().values.size());
+      taken.front().ingest_promise.set_value(engine_->Ingest(row));
+    } else {
+      std::vector<data::RowView> rows;
+      rows.reserve(taken.size());
+      for (const Request& req : taken) {
+        rows.emplace_back(req.values.data(), req.values.size());
+      }
+      std::vector<Result<double>> answers = engine_->ImputeBatch(rows);
+      for (size_t i = 0; i < taken.size(); ++i) {
+        taken[i].impute_promise.set_value(std::move(answers[i]));
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (taken.front().is_ingest) {
+        ++stats_.ingests;
+      } else {
+        stats_.imputations += taken.size();
+        ++stats_.batches;
+        stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
+      }
+      in_flight_ = 0;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+  // Unreachable requests would deadlock futures; the loop only exits with
+  // an empty queue, so there are none.
+}
+
+}  // namespace iim::stream

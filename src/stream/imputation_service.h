@@ -1,0 +1,92 @@
+// ImputationService: an async micro-batching front end over one OnlineIim.
+//
+// Producers enqueue arrivals without blocking on the engine:
+//
+//   SubmitIngest(row)    — complete tuple, resolves to the ingest Status;
+//   SubmitImpute(tuple)  — incomplete tuple, resolves to the imputed value.
+//
+// A single server thread drains the queue in submission order. Consecutive
+// imputation requests are coalesced into one micro-batch (up to
+// Options::max_batch) and answered by a single ThreadPool-backed
+// OnlineIim::ImputeBatch call; ingests apply one at a time so every
+// request observes exactly the relation state its submission order
+// implies. Because ImputeBatch is bit-identical to per-row ImputeOne for
+// every thread count, batching is purely a throughput knob: results never
+// depend on how arrivals happened to be grouped.
+
+#ifndef IIM_STREAM_IMPUTATION_SERVICE_H_
+#define IIM_STREAM_IMPUTATION_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stream/online_iim.h"
+
+namespace iim::stream {
+
+class ImputationService {
+ public:
+  struct Options {
+    // Most imputation requests drained into one engine call.
+    size_t max_batch = 64;
+  };
+
+  struct Stats {
+    size_t ingests = 0;
+    size_t imputations = 0;
+    size_t batches = 0;       // engine ImputeBatch calls issued
+    size_t largest_batch = 0;
+  };
+
+  // The engine must outlive the service; the service is the engine's only
+  // caller while running (OnlineIim is externally synchronized).
+  explicit ImputationService(OnlineIim* engine);
+  ImputationService(OnlineIim* engine, const Options& options);
+  // Serves every request already submitted, then stops the server thread.
+  ~ImputationService();
+
+  ImputationService(const ImputationService&) = delete;
+  ImputationService& operator=(const ImputationService&) = delete;
+
+  // Enqueues a complete tuple (full schema arity, by value — the caller's
+  // buffer is free immediately).
+  std::future<Status> SubmitIngest(std::vector<double> row);
+  // Enqueues an incomplete tuple for imputation.
+  std::future<Result<double>> SubmitImpute(std::vector<double> tuple);
+
+  // Blocks until every request submitted so far has been served.
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  struct Request {
+    bool is_ingest = false;
+    std::vector<double> values;
+    std::promise<Status> ingest_promise;
+    std::promise<Result<double>> impute_promise;
+  };
+
+  void ServeLoop();
+
+  OnlineIim* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // server waits for requests
+  std::condition_variable idle_cv_;  // Drain waits for an empty pipeline
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;  // requests popped but not yet answered
+  bool shutdown_ = false;
+  Stats stats_;
+
+  std::thread server_;
+};
+
+}  // namespace iim::stream
+
+#endif  // IIM_STREAM_IMPUTATION_SERVICE_H_

@@ -1,0 +1,295 @@
+#include "stream/online_iim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neighbors/distance.h"
+
+namespace iim::stream {
+
+namespace {
+
+// Same batch grain as ParallelImputeBatch: keeps the fixed partition (and
+// therefore the result order guarantees) aligned with the batch engine.
+constexpr size_t kBatchGrain = 16;
+
+}  // namespace
+
+Result<std::unique_ptr<OnlineIim>> OnlineIim::Create(
+    const data::Schema& schema, int target, std::vector<int> features,
+    const core::IimOptions& options) {
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("OnlineIim: empty schema");
+  }
+  if (target < 0 || static_cast<size_t>(target) >= schema.size()) {
+    return Status::InvalidArgument("OnlineIim: target out of range");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("OnlineIim: no complete attributes");
+  }
+  for (int f : features) {
+    if (f < 0 || static_cast<size_t>(f) >= schema.size()) {
+      return Status::InvalidArgument("OnlineIim: feature out of range");
+    }
+    if (f == target) {
+      return Status::InvalidArgument(
+          "OnlineIim: target cannot be a feature");
+    }
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("OnlineIim: k must be positive");
+  }
+  if (options.adaptive) {
+    return Status::InvalidArgument(
+        "OnlineIim: adaptive per-tuple l is not supported online (the "
+        "validation lists change with every arrival); use a fixed ell");
+  }
+  return std::unique_ptr<OnlineIim>(
+      new OnlineIim(schema, target, std::move(features), options));
+}
+
+OnlineIim::OnlineIim(const data::Schema& schema, int target,
+                     std::vector<int> features,
+                     const core::IimOptions& options)
+    : target_(target),
+      features_(std::move(features)),
+      options_(options),
+      q_(features_.size()),
+      ell_(std::max<size_t>(options.ell, 1)),
+      table_(schema),
+      index_(features_) {}
+
+Status OnlineIim::Ingest(const data::RowView& row) {
+  if (row.size() != table_.NumCols()) {
+    return Status::InvalidArgument("OnlineIim: tuple arity mismatch");
+  }
+  if (std::isnan(row[static_cast<size_t>(target_)])) {
+    return Status::InvalidArgument("OnlineIim: NaN target in ingested tuple");
+  }
+  for (int f : features_) {
+    if (std::isnan(row[static_cast<size_t>(f)])) {
+      return Status::InvalidArgument(
+          "OnlineIim: NaN feature in ingested tuple");
+    }
+  }
+
+  size_t id = n_;
+  std::vector<double> f_new(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    f_new[j] = row[static_cast<size_t>(features_[j])];
+  }
+  double y_new = row[static_cast<size_t>(target_)];
+
+  // How the arrival lands in each existing tuple's learning order. The new
+  // point carries the largest index, so it loses every distance tie — the
+  // insertion point is after all entries with distance <= d.
+  for (size_t i = 0; i < n_; ++i) {
+    double d = neighbors::NormalizedEuclidean(fx_.data() + i * q_,
+                                              f_new.data(), q_);
+    std::vector<neighbors::Neighbor>& order = orders_[i];
+    auto pos = std::upper_bound(
+        order.begin(), order.end(), d,
+        [](double dv, const neighbors::Neighbor& nb) {
+          return dv < nb.distance;
+        });
+    if (pos == order.end()) {
+      if (order.size() < ell_) {
+        // Prefix grows at the end: the accumulated fold stays valid and
+        // the new row is caught up lazily (Proposition 3).
+        order.push_back(neighbors::Neighbor{id, d});
+        dirty_[i] = 1;
+        ++stats_.fast_path_appends;
+      }
+      // else: strictly farther than the current worst — unaffected.
+    } else {
+      order.insert(pos, neighbors::Neighbor{id, d});
+      if (order.size() > ell_) order.pop_back();
+      // The fold's summation sequence changed; a rank-1 update cannot
+      // remove the displaced row, so restream from scratch on next use.
+      accums_[i].Reset();
+      consumed_[i] = 0;
+      dirty_[i] = 1;
+      ++stats_.models_invalidated;
+    }
+  }
+
+  // The new tuple's own order: itself first, then up to ell_ - 1 nearest
+  // existing tuples (the index does not contain `id` yet, so no exclusion
+  // is needed — same set LearningOrder retrieves with exclude = id).
+  std::vector<neighbors::Neighbor> order_new;
+  order_new.reserve(std::min(ell_, n_ + 1));
+  order_new.push_back(neighbors::Neighbor{id, 0.0});
+  if (ell_ > 1 && n_ > 0) {
+    neighbors::QueryOptions qopt;
+    qopt.k = std::min(ell_ - 1, n_);
+    for (const neighbors::Neighbor& nb : index_.Query(row, qopt)) {
+      order_new.push_back(nb);
+    }
+  }
+
+  RETURN_IF_ERROR(table_.AppendRow(row.ToVector()));
+  index_.Append(row);
+  fx_.insert(fx_.end(), f_new.begin(), f_new.end());
+  fy_.push_back(y_new);
+  orders_.push_back(std::move(order_new));
+  accums_.emplace_back(q_);
+  consumed_.push_back(0);
+  models_.emplace_back();
+  dirty_.push_back(1);
+  ++n_;
+  ++stats_.ingested;
+  return Status::OK();
+}
+
+Status OnlineIim::EnsureModel(size_t i) {
+  if (!dirty_[i]) return Status::OK();
+  const std::vector<neighbors::Neighbor>& order = orders_[i];
+  if (order.size() == 1) {
+    // Single-neighbor rule (Section III-A2): constant model of the
+    // tuple's own value — matches FitOverPrefix at ell == 1.
+    models_[i] = regress::LinearModel::Constant(fy_[i], q_);
+    dirty_[i] = 0;
+    ++stats_.models_solved;
+    return Status::OK();
+  }
+  // Catch the accumulator up with the prefix rows it has not folded yet
+  // (all of them after an invalidation). Rows enter in order[0..s)
+  // sequence, the exact summation order of a batch FitRidge over the same
+  // prefix — that is what makes the solved model bit-identical.
+  while (consumed_[i] < order.size()) {
+    size_t r = order[consumed_[i]].index;
+    accums_[i].AddRow(fx_.data() + r * q_, fy_[r]);
+    ++consumed_[i];
+  }
+  ASSIGN_OR_RETURN(models_[i], accums_[i].Solve(options_.alpha));
+  dirty_[i] = 0;
+  ++stats_.models_solved;
+  return Status::OK();
+}
+
+Status OnlineIim::CheckQuery(const data::RowView& tuple) const {
+  if (n_ == 0) {
+    return Status::FailedPrecondition("OnlineIim: no tuples ingested");
+  }
+  if (tuple.size() != table_.NumCols()) {
+    return Status::InvalidArgument("OnlineIim: tuple arity mismatch");
+  }
+  for (int f : features_) {
+    if (std::isnan(tuple[static_cast<size_t>(f)])) {
+      return Status::InvalidArgument(
+          "OnlineIim: NaN in complete attribute of tuple");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> OnlineIim::AggregateClean(
+    const data::RowView& tuple,
+    const std::vector<neighbors::Neighbor>& nbrs) const {
+  std::vector<double> x(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    x[j] = tuple[static_cast<size_t>(features_[j])];
+  }
+  std::vector<double> candidates;
+  candidates.reserve(nbrs.size());
+  for (const neighbors::Neighbor& nb : nbrs) {
+    // Formula 9: t_x^j[Am] = (1, t_x[F]) phi_j.
+    candidates.push_back(models_[nb.index].Predict(x.data(), q_));
+  }
+  return core::CombineCandidates(candidates, options_.uniform_weights);
+}
+
+Result<double> OnlineIim::ImputeOne(const data::RowView& tuple) {
+  RETURN_IF_ERROR(CheckQuery(tuple));
+  neighbors::QueryOptions qopt;
+  qopt.k = options_.k;
+  std::vector<neighbors::Neighbor> nbrs = index_.Query(tuple, qopt);
+  if (nbrs.empty()) {
+    return Status::Internal("OnlineIim: no imputation neighbors");
+  }
+  for (const neighbors::Neighbor& nb : nbrs) {
+    RETURN_IF_ERROR(EnsureModel(nb.index));
+  }
+  ++stats_.imputed;
+  return AggregateClean(tuple, nbrs);
+}
+
+std::vector<Result<double>> OnlineIim::ImputeBatch(
+    const std::vector<data::RowView>& rows) {
+  std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
+
+  // Phase 1 (serial): validate, collect the queryable rows.
+  std::vector<neighbors::BatchQuery> batch;
+  std::vector<size_t> row_of_query;
+  batch.reserve(rows.size());
+  row_of_query.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status st = CheckQuery(rows[i]);
+    if (st.ok()) {
+      batch.push_back(neighbors::BatchQuery{rows[i]});
+      row_of_query.push_back(i);
+    } else {
+      out[i] = st;
+    }
+  }
+
+  // Phase 2 (parallel, read-only): neighbor queries fan out; the fixed
+  // block partition keeps result order thread-count independent.
+  ThreadPool pool(options_.threads);
+  std::vector<std::vector<neighbors::Neighbor>> nbrs =
+      index_.QueryMany(batch, options_.k, &pool);
+
+  // Phase 3 (serial): solve every pending model exactly once. Serial keeps
+  // the engine mutation trivially deterministic and race-free; the set is
+  // small (<= k models per distinct neighborhood, most already clean). A
+  // solve failure is recorded per model, not broadcast: rows whose own
+  // neighborhoods solved fine still get answers, exactly as a per-row
+  // ImputeOne sequence would.
+  std::vector<size_t> needed;
+  for (const std::vector<neighbors::Neighbor>& list : nbrs) {
+    for (const neighbors::Neighbor& nb : list) {
+      if (dirty_[nb.index]) needed.push_back(nb.index);
+    }
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<std::pair<size_t, Status>> failures;  // sorted by model id
+  for (size_t id : needed) {
+    Status st = EnsureModel(id);
+    if (!st.ok()) failures.emplace_back(id, st);
+  }
+
+  // Phase 4 (parallel, read-only): aggregate candidates per row. A row
+  // inherits the error of its first failed neighbor model (ImputeOne's
+  // neighbor-order semantics).
+  pool.ParallelFor(batch.size(), kBatchGrain, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      size_t i = row_of_query[b];
+      if (nbrs[b].empty()) {
+        out[i] = Status::Internal("OnlineIim: no imputation neighbors");
+        continue;
+      }
+      const Status* failed = nullptr;
+      for (const neighbors::Neighbor& nb : nbrs[b]) {
+        auto it = std::lower_bound(
+            failures.begin(), failures.end(), nb.index,
+            [](const std::pair<size_t, Status>& f, size_t id) {
+              return f.first < id;
+            });
+        if (it != failures.end() && it->first == nb.index) {
+          failed = &it->second;
+          break;
+        }
+      }
+      out[i] = failed != nullptr ? Result<double>(*failed)
+                                 : AggregateClean(rows[i], nbrs[b]);
+    }
+  });
+  // Mirror ImputeOne's accounting: only answered rows count as served.
+  for (size_t b = 0; b < batch.size(); ++b) {
+    if (out[row_of_query[b]].ok()) ++stats_.imputed;
+  }
+  return out;
+}
+
+}  // namespace iim::stream

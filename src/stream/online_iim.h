@@ -1,0 +1,137 @@
+// OnlineIim: IIM's learning + imputation phases over a stream of tuples.
+//
+// The batch IimImputer freezes a relation, learns one model per tuple
+// (Algorithm 1) and only then imputes. The motivating workload — sensor
+// readings arriving continuously — instead interleaves two events:
+//
+//   Ingest(t)     complete tuple arrival: t joins the relation and may
+//                 change the l-neighborhood (and therefore the individual
+//                 model) of existing tuples;
+//   ImputeOne(t)  incomplete tuple arrival: impute t[Am] against the
+//                 relation as of now (Algorithm 2).
+//
+// Instead of refitting all n models per arrival, the engine maintains per
+// tuple its learning order NN(t_i, F, l) and an IncrementalRidge U/V
+// accumulator (Proposition 3). An arrival strictly farther than t_i's
+// current l-th neighbor leaves t_i untouched; an arrival extending a
+// not-yet-full prefix is folded in with one O(q^2) AddRow; only an
+// arrival that lands *inside* the prefix (displacing a neighbor, which a
+// rank-1 update cannot express — that needs the down-date on the ROADMAP)
+// invalidates the accumulator. Model (re)solves are lazy: they run when an
+// imputation actually asks for that tuple's model.
+//
+// Contract (asserted by tests/stream_test.cc): after any sequence of
+// ingests, imputations are bit-identical to a from-scratch IimImputer
+// fitted on table() with the same options, for every `threads` setting.
+//
+// Thread-safety: externally synchronized. Calls must not overlap;
+// ImputeBatch parallelizes internally (deterministically). Use
+// ImputationService to drive one engine from concurrent producers.
+
+#ifndef IIM_STREAM_ONLINE_IIM_H_
+#define IIM_STREAM_ONLINE_IIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/iim_imputer.h"
+#include "data/table.h"
+#include "regress/incremental_ridge.h"
+#include "stream/dynamic_index.h"
+
+namespace iim::stream {
+
+class OnlineIim {
+ public:
+  struct Stats {
+    size_t ingested = 0;
+    size_t imputed = 0;
+    // Arrivals folded onto the end of a tuple's growing prefix (the cheap
+    // Proposition 3 path, pending a lazy re-solve).
+    size_t fast_path_appends = 0;
+    // Arrivals that landed inside a tuple's prefix: accumulator reset,
+    // full restream on next use.
+    size_t models_invalidated = 0;
+    // Lazy model (re)solves actually performed.
+    size_t models_solved = 0;
+  };
+
+  // Validates like Imputer::Fit: target/features in range for `schema`,
+  // features non-empty and distinct from target, options.k > 0. Adaptive
+  // per-tuple l (Algorithm 3) is not supported online yet — its validation
+  // lists change with every arrival; see ROADMAP.
+  static Result<std::unique_ptr<OnlineIim>> Create(
+      const data::Schema& schema, int target, std::vector<int> features,
+      const core::IimOptions& options);
+
+  OnlineIim(const OnlineIim&) = delete;
+  OnlineIim& operator=(const OnlineIim&) = delete;
+
+  // Complete tuple arrival. The row must have the schema's arity and be
+  // non-NaN on target and features.
+  Status Ingest(const data::RowView& row);
+
+  // Incomplete tuple arrival (Algorithm 2 against the current relation).
+  Result<double> ImputeOne(const data::RowView& tuple);
+
+  // Batched Algorithm 2: entry i answers rows[i]. Neighbor queries and
+  // candidate aggregation fan out over options.threads workers; pending
+  // model solves run once, serially, so results are bit-identical to
+  // per-row ImputeOne calls for every thread count.
+  std::vector<Result<double>> ImputeBatch(
+      const std::vector<data::RowView>& rows);
+
+  // The relation ingested so far (a batch IimImputer fitted on this
+  // snapshot with options() reproduces this engine's imputations exactly).
+  const data::Table& table() const { return table_; }
+  size_t size() const { return n_; }
+  const core::IimOptions& options() const { return options_; }
+  const DynamicIndex& index() const { return index_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  OnlineIim(const data::Schema& schema, int target,
+            std::vector<int> features, const core::IimOptions& options);
+
+  Status CheckQuery(const data::RowView& tuple) const;
+  // Re-solves tuple i's model if a past arrival dirtied it: folds any
+  // pending prefix growth into the accumulator (restreaming from scratch
+  // after an invalidation) and solves. Touches only slot i.
+  Status EnsureModel(size_t i);
+  // Candidate collection + Formula 10-12 aggregation; models of `nbrs`
+  // must already be ensured.
+  Result<double> AggregateClean(
+      const data::RowView& tuple,
+      const std::vector<neighbors::Neighbor>& nbrs) const;
+
+  int target_;
+  std::vector<int> features_;
+  core::IimOptions options_;
+  size_t q_;      // |F|
+  size_t ell_;    // learning-neighbor budget, >= 1 (orders cap at
+                  // min(ell_, n) — the batch learner's clamp)
+
+  data::Table table_;
+  DynamicIndex index_;
+  std::vector<double> fx_;  // gathered features, row-major n x q
+  std::vector<double> fy_;  // gathered targets
+
+  // Per-tuple model state. orders_[i] is t_i's learning order: itself
+  // first (distance 0), then neighbors ascending by (distance, index) —
+  // exactly IndividualModels' LearningOrder. accums_[i] holds the U/V fold
+  // of orders_[i][0 .. consumed_[i]); that prefix is immutable between
+  // invalidations, which is what makes lazy catch-up AddRows sum in the
+  // same sequence as a batch FitRidge.
+  std::vector<std::vector<neighbors::Neighbor>> orders_;
+  std::vector<regress::IncrementalRidge> accums_;
+  std::vector<size_t> consumed_;
+  std::vector<regress::LinearModel> models_;
+  std::vector<uint8_t> dirty_;
+  size_t n_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace iim::stream
+
+#endif  // IIM_STREAM_ONLINE_IIM_H_

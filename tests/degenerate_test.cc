@@ -150,11 +150,16 @@ TEST(IimDegenerateTest, StepLargerThanRelation) {
   data::Table r = MakeTable({{0, 0}, {1, 2}, {2, 4}, {3, 6}});
   core::IimOptions opt;
   opt.adaptive = true;
-  opt.step_h = 1000;  // only l = 1 is ever considered
+  opt.step_h = 1000;  // stride skips everything between 1 and the cap
   core::IimImputer iim(opt);
   ASSERT_TRUE(iim.Fit(r, 1, {0}).ok());
+  // The candidates are {1, n}: the cap stays reachable no matter the
+  // stride (l = n is the GLR limit of Proposition 2). On exactly linear
+  // data the global model fits perfectly, so every tuple selects it.
+  EXPECT_EQ(iim.adaptive_stats().candidate_ells,
+            (std::vector<size_t>{1, 4}));
   for (size_t ell : iim.adaptive_stats().chosen_ell) {
-    EXPECT_EQ(ell, 1u);
+    EXPECT_EQ(ell, 4u);
   }
 }
 

@@ -29,12 +29,24 @@ data::Table HeterogeneousTable(size_t n, size_t m, uint64_t seed) {
 TEST(CandidateEllTest, SteppingSequence) {
   EXPECT_EQ(CandidateEllValues(8, 1, 0),
             (std::vector<size_t>{1, 2, 3, 4, 5, 6, 7, 8}));
-  // Example 5: stepping h = 3 over n = 8 considers {1, 4, 7}.
-  EXPECT_EQ(CandidateEllValues(8, 3, 0), (std::vector<size_t>{1, 4, 7}));
-  EXPECT_EQ(CandidateEllValues(10, 4, 6), (std::vector<size_t>{1, 5}));
-  EXPECT_EQ(CandidateEllValues(3, 100, 0), (std::vector<size_t>{1}));
+  // Example 5's stepping h = 3 over n = 8 considers {1, 4, 7} plus the
+  // cap itself: l = n (the GLR limit of Proposition 2) stays reachable.
+  EXPECT_EQ(CandidateEllValues(8, 3, 0), (std::vector<size_t>{1, 4, 7, 8}));
+  EXPECT_EQ(CandidateEllValues(10, 4, 6), (std::vector<size_t>{1, 5, 6}));
+  EXPECT_EQ(CandidateEllValues(3, 100, 0), (std::vector<size_t>{1, 3}));
   // step_h == 0 is treated as 1.
   EXPECT_EQ(CandidateEllValues(3, 0, 0), (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(CandidateEllTest, CapEmittedExactlyOnceAtBothEndpoints) {
+  // Regression: the cap used to be dropped whenever (cap-1) % h != 0,
+  // making l = n unreachable under stepping.
+  EXPECT_EQ(CandidateEllValues(9, 3, 0), (std::vector<size_t>{1, 4, 7, 9}));
+  // When the stride lands on the cap it must not be duplicated.
+  EXPECT_EQ(CandidateEllValues(7, 3, 0), (std::vector<size_t>{1, 4, 7}));
+  EXPECT_EQ(CandidateEllValues(1, 5, 0), (std::vector<size_t>{1}));
+  // max_ell above n clamps to n, and the clamped cap is emitted too.
+  EXPECT_EQ(CandidateEllValues(5, 3, 100), (std::vector<size_t>{1, 4, 5}));
 }
 
 TEST(AdaptiveTest, PaperExample4SelectsEllFourForT2) {
@@ -55,7 +67,7 @@ TEST(AdaptiveTest, PaperExample4SelectsEllFourForT2) {
 }
 
 TEST(AdaptiveTest, SteppingExample5StillPicksFour) {
-  // Stepping h = 3 considers l in {1, 4, 7}; t2 still selects l = 4.
+  // Stepping h = 3 considers l in {1, 4, 7, 8}; t2 still selects l = 4.
   data::Table r = datasets::Figure1Relation();
   neighbors::BruteForceIndex index(&r, {0});
   IimOptions opt;
@@ -66,7 +78,7 @@ TEST(AdaptiveTest, SteppingExample5StillPicksFour) {
   Result<IndividualModels> phi =
       IndividualModels::LearnAdaptive(r, 1, {0}, index, opt, &stats);
   ASSERT_TRUE(phi.ok());
-  EXPECT_EQ(stats.candidate_ells, (std::vector<size_t>{1, 4, 7}));
+  EXPECT_EQ(stats.candidate_ells, (std::vector<size_t>{1, 4, 7, 8}));
   EXPECT_EQ(stats.chosen_ell[1], 4u);
 }
 

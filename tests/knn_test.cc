@@ -109,6 +109,29 @@ TEST(BruteForceTest, KZeroReturnsEmpty) {
   EXPECT_TRUE(index.Query(t.Row(0), opt).empty());
 }
 
+TEST(BruteForceTest, SizeIsConstructionSnapshotNotLiveTable) {
+  // Regression: size() and Scan() used to read table_->NumRows(), so a
+  // table growing after construction (the streaming workload) sent the
+  // scan past the end of the gathered point buffer.
+  data::Table t = MakeTable({{0.0}, {1.0}, {2.0}});
+  BruteForceIndex index(&t, {0});
+  ASSERT_EQ(index.size(), 3u);
+  QueryOptions opt;
+  opt.k = 10;
+  auto before = index.Query(t.Row(0), opt);
+
+  ASSERT_TRUE(t.AppendRow({0.1}).ok());
+  ASSERT_TRUE(t.AppendRow({0.2}).ok());
+  EXPECT_EQ(index.size(), 3u);  // still the snapshot
+  auto after = index.Query(t.Row(0), opt);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].index, before[i].index);
+    EXPECT_EQ(after[i].distance, before[i].distance);
+  }
+  EXPECT_EQ(index.QueryAll(t.Row(0), QueryOptions::kNoExclusion).size(), 3u);
+}
+
 TEST(BruteForceTest, TopKSelectionMatchesFullSort) {
   // The nth_element top-k path must agree with the full QueryAll order on
   // every prefix, including across distance ties.

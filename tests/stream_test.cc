@@ -1,0 +1,342 @@
+// Streaming subsystem: DynamicIndex snapshot/equivalence guarantees,
+// OnlineIim's bit-identical-to-batch contract, and the micro-batching
+// ImputationService front end.
+
+#include "stream/online_iim.h"
+
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/iim_imputer.h"
+#include "datasets/generator.h"
+#include "stream/dynamic_index.h"
+#include "stream/imputation_service.h"
+
+namespace iim::stream {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+data::Table HeterogeneousTable(size_t n, size_t m, uint64_t seed) {
+  datasets::DatasetSpec spec;
+  spec.name = "stream-test";
+  spec.n = n;
+  spec.m = m;
+  spec.regimes = 4;
+  spec.exogenous = std::max<size_t>(1, m / 2);
+  spec.divergence = 0.9;
+  spec.noise = 0.15;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen.value().table;
+}
+
+// An incomplete probe tuple: the generated row with its target blanked.
+std::vector<double> Probe(const data::Table& source, size_t row,
+                          int target) {
+  std::vector<double> values = source.Row(row).ToVector();
+  values[static_cast<size_t>(target)] = kNan;
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// DynamicIndex
+
+TEST(DynamicIndexTest, MatchesBruteForceUnderInterleavedAppendsAndQueries) {
+  // Tiny thresholds so the stream crosses brute-force -> tree+tail ->
+  // rebuild regimes well inside 300 appends.
+  DynamicIndex::Options dopt;
+  dopt.kdtree_threshold = 32;
+  dopt.min_rebuild_tail = 16;
+  DynamicIndex dynamic({0, 2}, dopt);
+
+  data::Table grown(data::Schema::Default(3));
+  data::Table full = HeterogeneousTable(300, 3, 21);
+  Rng rng(99);
+  for (size_t i = 0; i < full.NumRows(); ++i) {
+    ASSERT_TRUE(grown.AppendRow(full.Row(i).ToVector()).ok());
+    dynamic.Append(full.Row(i));
+    ASSERT_EQ(dynamic.size(), i + 1);
+    if (i % 7 != 0) continue;
+    // Fresh brute-force ground truth over the same prefix.
+    neighbors::BruteForceIndex brute(&grown, {0, 2});
+    data::Table probe(data::Schema::Default(3));
+    ASSERT_TRUE(probe
+                    .AppendRow({rng.Uniform(-5.0, 15.0), 0.0,
+                                rng.Uniform(-5.0, 15.0)})
+                    .ok());
+    neighbors::QueryOptions qopt;
+    qopt.k = 1 + static_cast<size_t>(i % 9);
+    if (i % 3 == 0) qopt.exclude = i / 2;
+    std::vector<neighbors::Neighbor> got = dynamic.Query(probe.Row(0), qopt);
+    std::vector<neighbors::Neighbor> want = brute.Query(probe.Row(0), qopt);
+    ASSERT_EQ(got.size(), want.size()) << "append " << i;
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].index, want[j].index) << "append " << i << " j " << j;
+      EXPECT_EQ(got[j].distance, want[j].distance);  // bit-identical
+    }
+    std::vector<neighbors::Neighbor> got_all =
+        dynamic.QueryAll(probe.Row(0), qopt.exclude);
+    std::vector<neighbors::Neighbor> want_all =
+        brute.QueryAll(probe.Row(0), qopt.exclude);
+    ASSERT_EQ(got_all.size(), want_all.size());
+    for (size_t j = 0; j < got_all.size(); ++j) {
+      EXPECT_EQ(got_all[j].index, want_all[j].index);
+      EXPECT_EQ(got_all[j].distance, want_all[j].distance);
+    }
+  }
+  // The stream actually exercised the tree: at least one rebuild happened
+  // and the tree covers a non-trivial prefix.
+  EXPECT_GE(dynamic.rebuilds(), 1u);
+  EXPECT_GT(dynamic.tree_size(), dopt.kdtree_threshold / 2);
+  EXPECT_LE(dynamic.tree_size(), dynamic.size());
+}
+
+TEST(DynamicIndexTest, StaysBruteForceBelowThreshold) {
+  DynamicIndex index({0});
+  data::Table t = HeterogeneousTable(50, 2, 3);
+  for (size_t i = 0; i < t.NumRows(); ++i) index.Append(t.Row(i));
+  EXPECT_EQ(index.size(), 50u);
+  EXPECT_EQ(index.tree_size(), 0u);  // default threshold is 4096
+  EXPECT_EQ(index.rebuilds(), 0u);
+  neighbors::QueryOptions qopt;
+  qopt.k = 60;  // more than n: returns all
+  EXPECT_EQ(index.Query(t.Row(0), qopt).size(), 50u);
+  qopt.k = 0;
+  EXPECT_TRUE(index.Query(t.Row(0), qopt).empty());
+}
+
+// ---------------------------------------------------------------------------
+// OnlineIim
+
+core::IimOptions StreamOptions(size_t threads) {
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 12;
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(OnlineIimTest, BitIdenticalToBatchRefitAcrossStreamAndThreads) {
+  data::Table full = HeterogeneousTable(260, 3, 11);
+  int target = 2;
+  std::vector<int> features = {0, 1};
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    core::IimOptions opt = StreamOptions(threads);
+    Result<std::unique_ptr<OnlineIim>> engine =
+        OnlineIim::Create(full.schema(), target, features, opt);
+    ASSERT_TRUE(engine.ok());
+    OnlineIim& online = *engine.value();
+
+    data::Table probes(data::Schema::Default(3));
+    for (size_t i = 200; i < 240; ++i) {
+      ASSERT_TRUE(probes.AppendRow(Probe(full, i, target)).ok());
+    }
+
+    for (size_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(online.Ingest(full.Row(i)).ok());
+      // Interleave imputations so models get built mid-stream and then
+      // re-dirtied by later arrivals — the hard path for laziness.
+      if (i % 31 == 30) {
+        EXPECT_TRUE(online.ImputeOne(probes.Row(0)).ok());
+      }
+      // Snapshot checkpoints: a from-scratch batch fit on the relation
+      // ingested so far must reproduce the online engine exactly.
+      if (i == 24 || i == 121 || i == 199) {
+        core::IimImputer batch(opt);
+        ASSERT_TRUE(batch.Fit(online.table(), target, features).ok());
+        std::vector<data::RowView> rows;
+        for (size_t p = 0; p < probes.NumRows(); ++p) {
+          rows.push_back(probes.Row(p));
+        }
+        std::vector<Result<double>> got = online.ImputeBatch(rows);
+        std::vector<Result<double>> want = batch.ImputeBatch(rows);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t p = 0; p < rows.size(); ++p) {
+          ASSERT_TRUE(got[p].ok()) << "probe " << p;
+          ASSERT_TRUE(want[p].ok()) << "probe " << p;
+          // Bit-identical, not approximately equal.
+          EXPECT_EQ(got[p].value(), want[p].value())
+              << "ingests " << i + 1 << " probe " << p << " threads "
+              << threads;
+        }
+      }
+    }
+
+    // Both incremental maintenance paths actually ran.
+    EXPECT_GT(online.stats().fast_path_appends, 0u);
+    EXPECT_GT(online.stats().models_invalidated, 0u);
+    EXPECT_GT(online.stats().models_solved, 0u);
+    EXPECT_EQ(online.stats().ingested, 200u);
+  }
+}
+
+TEST(OnlineIimTest, ThreadCountsAgreeBitwise) {
+  data::Table full = HeterogeneousTable(140, 3, 17);
+  Result<std::unique_ptr<OnlineIim>> e1 =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, StreamOptions(1));
+  Result<std::unique_ptr<OnlineIim>> e4 =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, StreamOptions(4));
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e4.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(e1.value()->Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(e4.value()->Ingest(full.Row(i)).ok());
+  }
+  data::Table probes(data::Schema::Default(3));
+  for (size_t i = 100; i < 140; ++i) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, i, 2)).ok());
+  }
+  std::vector<data::RowView> rows;
+  for (size_t p = 0; p < probes.NumRows(); ++p) rows.push_back(probes.Row(p));
+  std::vector<Result<double>> r1 = e1.value()->ImputeBatch(rows);
+  std::vector<Result<double>> r4 = e4.value()->ImputeBatch(rows);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (size_t p = 0; p < r1.size(); ++p) {
+    ASSERT_TRUE(r1[p].ok());
+    ASSERT_TRUE(r4[p].ok());
+    EXPECT_EQ(r1[p].value(), r4[p].value()) << p;
+  }
+}
+
+TEST(OnlineIimTest, EllOneReducesToOnlineKnn) {
+  // l = 1 constant models: the online engine must agree with batch IIM in
+  // its kNN-reduction corner too (Proposition 2's other endpoint).
+  data::Table full = HeterogeneousTable(60, 3, 29);
+  core::IimOptions opt;
+  opt.k = 3;
+  opt.ell = 1;
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.value()->Ingest(full.Row(i)).ok());
+  }
+  core::IimImputer batch(opt);
+  ASSERT_TRUE(batch.Fit(engine.value()->table(), 2, {0, 1}).ok());
+  for (size_t i = 50; i < 60; ++i) {
+    data::Table probe(data::Schema::Default(3));
+    ASSERT_TRUE(probe.AppendRow(Probe(full, i, 2)).ok());
+    Result<double> got = engine.value()->ImputeOne(probe.Row(0));
+    Result<double> want = batch.ImputeOne(probe.Row(0));
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got.value(), want.value());
+  }
+}
+
+TEST(OnlineIimTest, ValidatesArguments) {
+  data::Schema schema = data::Schema::Default(3);
+  core::IimOptions opt;
+  EXPECT_FALSE(OnlineIim::Create(schema, 5, {0}, opt).ok());   // target
+  EXPECT_FALSE(OnlineIim::Create(schema, 2, {}, opt).ok());    // no features
+  EXPECT_FALSE(OnlineIim::Create(schema, 2, {2}, opt).ok());   // target in F
+  opt.k = 0;
+  EXPECT_FALSE(OnlineIim::Create(schema, 2, {0}, opt).ok());   // k == 0
+  opt.k = 5;
+  opt.adaptive = true;
+  EXPECT_FALSE(OnlineIim::Create(schema, 2, {0}, opt).ok());   // adaptive
+  opt.adaptive = false;
+
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(schema, 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  data::Table bad(data::Schema::Default(3));
+  ASSERT_TRUE(bad.AppendRow({1.0, kNan, 2.0}).ok());  // NaN feature
+  EXPECT_FALSE(engine.value()->Ingest(bad.Row(0)).ok());
+  data::Table bad_target(data::Schema::Default(3));
+  ASSERT_TRUE(bad_target.AppendRow({1.0, 1.0, kNan}).ok());
+  EXPECT_FALSE(engine.value()->Ingest(bad_target.Row(0)).ok());
+  // Imputing before any ingest is a precondition failure.
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow({1.0, 1.0, kNan}).ok());
+  EXPECT_FALSE(engine.value()->ImputeOne(probe.Row(0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ImputationService
+
+TEST(ImputationServiceTest, OrderedIngestImputeEqualsDirectDrive) {
+  data::Table full = HeterogeneousTable(160, 3, 41);
+  core::IimOptions opt = StreamOptions(2);
+
+  // Reference: drive one engine synchronously.
+  Result<std::unique_ptr<OnlineIim>> ref =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(ref.ok());
+  std::vector<double> want;
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(ref.value()->Ingest(full.Row(i)).ok());
+    if (i >= 20 && i % 5 == 0) {
+      data::Table probe(data::Schema::Default(3));
+      ASSERT_TRUE(probe.AppendRow(Probe(full, 120 + i % 40, 2)).ok());
+      Result<double> v = ref.value()->ImputeOne(probe.Row(0));
+      ASSERT_TRUE(v.ok());
+      want.push_back(v.value());
+    }
+  }
+
+  // Same arrival sequence through the async service.
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::future<Result<double>>> futures;
+  {
+    ImputationService::Options sopt;
+    sopt.max_batch = 8;
+    ImputationService service(engine.value().get(), sopt);
+    for (size_t i = 0; i < 120; ++i) {
+      service.SubmitIngest(full.Row(i).ToVector());
+      if (i >= 20 && i % 5 == 0) {
+        futures.push_back(service.SubmitImpute(Probe(full, 120 + i % 40, 2)));
+      }
+    }
+    service.Drain();
+    ImputationService::Stats stats = service.stats();
+    EXPECT_EQ(stats.ingests, 120u);
+    EXPECT_EQ(stats.imputations, futures.size());
+    EXPECT_GE(stats.batches, 1u);
+  }  // destructor serves anything left and joins
+
+  ASSERT_EQ(futures.size(), want.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got.value(), want[i]) << i;
+  }
+}
+
+TEST(ImputationServiceTest, CoalescesConsecutiveImputations) {
+  data::Table full = HeterogeneousTable(80, 3, 53);
+  core::IimOptions opt = StreamOptions(2);
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.value()->Ingest(full.Row(i)).ok());
+  }
+
+  ImputationService::Options sopt;
+  sopt.max_batch = 16;
+  ImputationService service(engine.value().get(), sopt);
+  std::vector<std::future<Result<double>>> futures;
+  for (size_t i = 40; i < 80; ++i) {
+    futures.push_back(service.SubmitImpute(Probe(full, i, 2)));
+  }
+  service.Drain();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  ImputationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.imputations, 40u);
+  // 40 requests against a 16-cap: strictly fewer engine calls than
+  // requests proves micro-batching happened.
+  EXPECT_LT(stats.batches, 40u);
+  EXPECT_GT(stats.largest_batch, 1u);
+}
+
+}  // namespace
+}  // namespace iim::stream
