@@ -1,17 +1,28 @@
-// Streaming engine bench: per-arrival online update vs. full relearn.
+// Streaming engine bench: per-arrival online update vs. full relearn,
+// and sliding-window eviction vs. relearning the window.
 //
-// Builds an OnlineIim over n ingested tuples, then measures the cost of
-// serving one more arrival online — Ingest (neighbor-order maintenance)
-// plus an imputation that forces the lazy model solves the arrival
-// dirtied — against the batch alternative: refit IimImputer from scratch
-// on the same snapshot and impute once. The acceptance bar is a >= 10x
-// per-arrival advantage at n = 10k; results are written as JSON for
-// BENCH_streaming.json.
+// Phase 1 builds an OnlineIim over n ingested tuples, then measures the
+// cost of serving one more arrival online — Ingest (neighbor-order
+// maintenance) plus an imputation that forces the lazy model solves the
+// arrival dirtied — against the batch alternative: refit IimImputer from
+// scratch on the same snapshot and impute once.
+//
+// Phase 2 does the same for retirement: a second engine with
+// window_size = n streams further arrivals (each auto-evicting the
+// oldest tuple: order repair, ridge down-date or restream, tombstone),
+// then times explicit Evict calls in isolation against the batch
+// alternative — relearning the n-tuple window from scratch.
+//
+// The acceptance bars at n = 10k: >= 10x per-arrival advantage, and
+// per-eviction >= 10x cheaper than a window relearn. Results are written
+// as JSON for BENCH_streaming.json.
 //
 //   ./bench_streaming [n] [arrivals] [out.json]
 //
-// Exit status: 0 when the shape check holds, 1 otherwise.
+// Exit status: 0 when the shape checks hold, 1 otherwise.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -138,6 +149,118 @@ int main(int argc, char** argv) {
   bool identical = check_online == check_batch;
   bool fast_enough = speedup >= 10.0;
 
+  // Phase 2: sliding window. A second engine capped at window_size = n
+  // streams the same arrivals; each ingest now also retires the oldest
+  // tuple (learning-order repair + ridge down-date/restream + index
+  // tombstone). Explicit Evict calls are then timed in isolation against
+  // the batch alternative: relearning the n-tuple window from scratch.
+  iim::core::IimOptions wopt = opt;
+  wopt.window_size = n;
+  auto wengine =
+      iim::stream::OnlineIim::Create(data.schema(), target, features, wopt);
+  if (!wengine.ok()) {
+    std::fprintf(stderr, "create windowed: %s\n",
+                 wengine.status().ToString().c_str());
+    return 1;
+  }
+  iim::stream::OnlineIim& windowed = *wengine.value();
+  for (size_t i = 0; i < n; ++i) {
+    iim::Status st = windowed.Ingest(data.Row(i));
+    if (!st.ok()) {
+      std::fprintf(stderr, "windowed ingest %zu: %s\n", i,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> windowed_seconds;
+  windowed_seconds.reserve(arrivals);
+  for (size_t a = 0; a < arrivals; ++a) {
+    timer.Restart();
+    iim::Status st = windowed.Ingest(data.Row(n + a));
+    if (!st.ok()) {
+      std::fprintf(stderr, "windowed ingest: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    iim::Result<double> v = windowed.ImputeOne(probe);
+    if (!v.ok()) {
+      std::fprintf(stderr, "windowed impute: %s\n",
+                   v.status().ToString().c_str());
+      return 1;
+    }
+    windowed_seconds.push_back(timer.ElapsedSeconds());
+  }
+
+  // Isolated evictions: the oldest live arrivals are [arrivals, ...) after
+  // the windowed stream retired the first `arrivals` of them. First solve
+  // models around each soon-to-be-evicted tuple (a live deployment serves
+  // imputations continuously), so the timed evictions repair real folds —
+  // the rank-1 down-date path — rather than only unfolded lazy state.
+  size_t evict_reps = std::min<size_t>(arrivals, 25);
+  for (size_t e = 0; e < evict_reps; ++e) {
+    std::vector<double> warm_row = data.Row(arrivals + e).ToVector();
+    warm_row[static_cast<size_t>(target)] =
+        std::numeric_limits<double>::quiet_NaN();
+    iim::data::RowView warm(warm_row.data(), warm_row.size());
+    iim::Result<double> v = windowed.ImputeOne(warm);
+    if (!v.ok()) {
+      std::fprintf(stderr, "warm impute: %s\n",
+                   v.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<double> evict_seconds;
+  evict_seconds.reserve(evict_reps);
+  for (size_t e = 0; e < evict_reps; ++e) {
+    timer.Restart();
+    iim::Status st = windowed.Evict(arrivals + e);
+    if (!st.ok()) {
+      std::fprintf(stderr, "evict: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    evict_seconds.push_back(timer.ElapsedSeconds());
+  }
+
+  // Batch alternative: relearn the live window from scratch.
+  std::vector<double> window_relearn_seconds;
+  window_relearn_seconds.reserve(refits);
+  double check_windowed_batch = 0.0;
+  for (size_t r = 0; r < refits; ++r) {
+    timer.Restart();
+    iim::core::IimImputer wbatch(wopt);
+    iim::Status st = wbatch.Fit(windowed.table(), target, features);
+    if (!st.ok()) {
+      std::fprintf(stderr, "window fit: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    iim::Result<double> v = wbatch.ImputeOne(probe);
+    if (!v.ok()) {
+      std::fprintf(stderr, "window batch impute: %s\n",
+                   v.status().ToString().c_str());
+      return 1;
+    }
+    window_relearn_seconds.push_back(timer.ElapsedSeconds());
+    check_windowed_batch = v.value();
+  }
+  double check_windowed = 0.0;
+  {
+    iim::Result<double> v = windowed.ImputeOne(probe);
+    if (!v.ok()) return 1;
+    check_windowed = v.value();
+  }
+
+  double windowed_mean = Mean(windowed_seconds);
+  double evict_mean = Mean(evict_seconds);
+  double window_relearn_mean = Mean(window_relearn_seconds);
+  double evict_speedup =
+      evict_mean > 0.0 ? window_relearn_mean / evict_mean : 0.0;
+  // Down-dated accumulators reorder the floating-point summation, so the
+  // windowed engine matches the batch refit tightly, not bitwise.
+  double wscale = std::max(1.0, std::fabs(check_windowed_batch));
+  bool windowed_matches =
+      std::fabs(check_windowed - check_windowed_batch) <= 1e-7 * wscale;
+  bool evict_fast_enough = evict_speedup >= 10.0;
+
   std::printf("n=%zu arrivals=%zu (initial build %.3f s)\n", n, arrivals,
               build_seconds);
   std::printf("%-34s %12.6f ms\n", "online per-arrival (ingest+impute)",
@@ -151,9 +274,23 @@ int main(int argc, char** argv) {
               stats.fast_path_appends, stats.models_invalidated,
               stats.models_solved, online.index().tree_size(),
               online.index().size(), online.index().rebuilds());
+  std::printf("\nsliding window (window_size = n):\n");
+  std::printf("%-34s %12.6f ms\n", "windowed per-arrival (+auto-evict)",
+              windowed_mean * 1e3);
+  std::printf("%-34s %12.6f ms\n", "explicit eviction", evict_mean * 1e3);
+  std::printf("%-34s %12.6f ms\n", "window relearn", window_relearn_mean * 1e3);
+  std::printf("%-34s %12.1fx\n", "eviction speedup", evict_speedup);
+  const auto& wstats = windowed.stats();
+  std::printf("windowed engine: %zu evictions (%zu down-dates, %zu restream "
+              "fallbacks, %zu backfills, %zu compactions)\n",
+              wstats.evicted, wstats.downdates, wstats.downdate_fallbacks,
+              wstats.backfills, wstats.compactions);
   std::printf("SHAPE CHECK: online update >= 10x full relearn and "
               "bit-identical to batch ... %s\n",
               fast_enough && identical ? "OK" : "DEVIATES");
+  std::printf("SHAPE CHECK: eviction >= 10x cheaper than window relearn and "
+              "windowed matches batch refit ... %s\n",
+              evict_fast_enough && windowed_matches ? "OK" : "DEVIATES");
 
   FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -173,13 +310,29 @@ int main(int argc, char** argv) {
                "  \"fast_path_appends\": %zu,\n"
                "  \"models_invalidated\": %zu,\n"
                "  \"models_solved\": %zu,\n"
-               "  \"kdtree_rebuilds\": %zu\n"
+               "  \"kdtree_rebuilds\": %zu,\n"
+               "  \"windowed_per_arrival_seconds\": %.9f,\n"
+               "  \"eviction_seconds\": %.9f,\n"
+               "  \"window_relearn_seconds\": %.9f,\n"
+               "  \"eviction_speedup\": %.1f,\n"
+               "  \"windowed_matches_batch_refit\": %s,\n"
+               "  \"evictions\": %zu,\n"
+               "  \"downdates\": %zu,\n"
+               "  \"downdate_fallbacks\": %zu,\n"
+               "  \"backfills\": %zu,\n"
+               "  \"compactions\": %zu\n"
                "}\n",
                n, arrivals, build_seconds, online_mean, relearn_mean, speedup,
                identical ? "true" : "false", stats.fast_path_appends,
                stats.models_invalidated, stats.models_solved,
-               online.index().rebuilds());
+               online.index().rebuilds(), windowed_mean, evict_mean,
+               window_relearn_mean, evict_speedup,
+               windowed_matches ? "true" : "false", wstats.evicted,
+               wstats.downdates, wstats.downdate_fallbacks, wstats.backfills,
+               wstats.compactions);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
-  return fast_enough && identical ? 0 : 1;
+  return fast_enough && identical && evict_fast_enough && windowed_matches
+             ? 0
+             : 1;
 }

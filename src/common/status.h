@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 5,
   kNotSupported = 6,
   kIoError = 7,
+  kResourceExhausted = 8,
 };
 
 // Value-semantic status object. Ok statuses carry no message and are cheap
@@ -58,6 +59,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +88,7 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -45,6 +45,19 @@ struct IimOptions {
   // Ridge regularization alpha of Formula 5.
   double alpha = 1e-6;
 
+  // --- Streaming (stream::OnlineIim; the batch imputer ignores these) ---
+  // Sliding window: keep only the most recent `window_size` live tuples.
+  // Once an ingest pushes the live count past the window, the oldest live
+  // tuple is evicted (learning orders repaired, accumulators down-dated or
+  // restreamed, index tombstoned). 0 = unbounded growth.
+  size_t window_size = 0;
+  // Evictions repair an affected tuple's U/V accumulator in place with a
+  // rank-1 ridge down-date when the conditioning guard allows it
+  // (IncrementalRidge::RemoveRow); false forces the restream fallback —
+  // slower per eviction, but bitwise identical to a batch refit on the
+  // surviving window.
+  bool downdate = true;
+
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware
   // threads). Results are bit-identical for every setting: the parallel

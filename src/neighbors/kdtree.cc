@@ -70,12 +70,14 @@ int FlatKdTree::BuildRange(const double* points, size_t begin, size_t end,
 
 void FlatKdTree::SearchNode(int node_id, const double* points,
                             const double* q, const QueryOptions& options,
-                            std::vector<Neighbor>* heap) const {
+                            std::vector<Neighbor>* heap,
+                            const uint8_t* alive) const {
   const Node& node = nodes_[static_cast<size_t>(node_id)];
   if (node.IsLeaf()) {
     for (size_t i = node.begin; i < node.end; ++i) {
       size_t row = order_[i];
       if (row == options.exclude) continue;
+      if (alive != nullptr && alive[row] == 0) continue;
       PushNeighborHeap(
           heap, options.k,
           Neighbor{row, NormalizedEuclidean(q, points + row * d_, d_)});
@@ -85,12 +87,12 @@ void FlatKdTree::SearchNode(int node_id, const double* points,
   double delta = q[static_cast<size_t>(node.axis)] - node.split;
   int near = delta <= 0.0 ? node.left : node.right;
   int far = delta <= 0.0 ? node.right : node.left;
-  SearchNode(near, points, q, options, heap);
+  SearchNode(near, points, q, options, heap, alive);
   // The normalized distance from q to the splitting plane is
   // |delta| / sqrt(|F|). Visit the far side unless the plane is strictly
   // farther than the current worst neighbor; equality keeps ties exact.
   if (heap->size() < options.k) {
-    SearchNode(far, points, q, options, heap);
+    SearchNode(far, points, q, options, heap, alive);
   } else {
     double worst = heap->front().distance;
     // Conservative slack: squaring `worst` can round below the true
@@ -99,16 +101,17 @@ void FlatKdTree::SearchNode(int node_id, const double* points,
     // the bound err toward visiting.
     double bound = worst * worst * static_cast<double>(d_);
     if (delta * delta <= bound + bound * 1e-12) {
-      SearchNode(far, points, q, options, heap);
+      SearchNode(far, points, q, options, heap, alive);
     }
   }
 }
 
 void FlatKdTree::Search(const double* points, const double* q,
                         const QueryOptions& options,
-                        std::vector<Neighbor>* heap) const {
+                        std::vector<Neighbor>* heap,
+                        const uint8_t* alive) const {
   if (root_ < 0 || options.k == 0) return;
-  SearchNode(root_, points, q, options, heap);
+  SearchNode(root_, points, q, options, heap, alive);
 }
 
 KdTreeIndex::KdTreeIndex(const data::Table* table, std::vector<int> cols)

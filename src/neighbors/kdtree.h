@@ -10,6 +10,7 @@
 #ifndef IIM_NEIGHBORS_KDTREE_H_
 #define IIM_NEIGHBORS_KDTREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -39,8 +40,12 @@ class FlatKdTree {
   // points into `heap`, a max-heap ordered by NeighborLess (see
   // PushNeighborHeap). The heap may arrive pre-seeded with candidates from
   // elsewhere (the dynamic index's unindexed tail); pruning stays exact.
+  // `alive`, when non-null, is an n-element bitmap: points with alive[i]
+  // == 0 are skipped as if absent (the dynamic index's tombstones) —
+  // skipping only shrinks the candidate set, so pruning stays exact.
   void Search(const double* points, const double* q,
-              const QueryOptions& options, std::vector<Neighbor>* heap) const;
+              const QueryOptions& options, std::vector<Neighbor>* heap,
+              const uint8_t* alive = nullptr) const;
 
  private:
   struct Node {
@@ -57,8 +62,8 @@ class FlatKdTree {
 
   int BuildRange(const double* points, size_t begin, size_t end, int depth);
   void SearchNode(int node_id, const double* points, const double* q,
-                  const QueryOptions& options,
-                  std::vector<Neighbor>* heap) const;
+                  const QueryOptions& options, std::vector<Neighbor>* heap,
+                  const uint8_t* alive) const;
 
   size_t n_ = 0;
   size_t d_ = 0;

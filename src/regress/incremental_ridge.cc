@@ -35,6 +35,41 @@ void IncrementalRidge::AddRow(const double* x, double y) {
   ++num_rows_;
 }
 
+bool IncrementalRidge::RemoveRow(const std::vector<double>& x, double y,
+                                 double rel_tol) {
+  return RemoveRow(x.data(), y, rel_tol);
+}
+
+bool IncrementalRidge::RemoveRow(const double* x, double y, double rel_tol) {
+  if (num_rows_ == 0) return false;
+  if (num_rows_ == 1) {
+    // The accumulator holds exactly this row; the empty state is exact.
+    Reset();
+    return true;
+  }
+  // Conditioning guard: each down-dated Gram diagonal entry
+  // d' = U_jj - x_j^2 must keep at least rel_tol of its magnitude. (The
+  // count entry U_00 = num_rows always survives: n - 1 >= rel_tol * n for
+  // n >= 2.) A negative d' means the row was never in the fold or rounding
+  // already ate it — equally unsafe.
+  for (size_t i = 0; i < p_; ++i) {
+    double d = u_(i + 1, i + 1);
+    double z2 = x[i] * x[i];
+    if (z2 == 0.0) continue;
+    if (d - z2 < rel_tol * d) return false;
+  }
+  u_(0, 0) -= 1.0;
+  v_[0] -= y;
+  for (size_t i = 0; i < p_; ++i) {
+    u_(0, i + 1) -= x[i];
+    u_(i + 1, 0) -= x[i];
+    v_[i + 1] -= x[i] * y;
+    for (size_t j = 0; j < p_; ++j) u_(i + 1, j + 1) -= x[i] * x[j];
+  }
+  --num_rows_;
+  return true;
+}
+
 void IncrementalRidge::AddRows(const linalg::Matrix& x,
                                const linalg::Vector& y) {
   for (size_t r = 0; r < x.rows(); ++r) {

@@ -3,6 +3,13 @@
 // Maintains U = X^T X and V = X^T Y so that growing the training set from
 // the l nearest neighbors to the (l+h) nearest neighbors costs O(m^2 h)
 // instead of O(m^2 (l+h)) — constant in l. Solving for phi remains O(m^3).
+//
+// RemoveRow is the inverse rank-1 *down-date* (the sliding-window path of
+// stream::OnlineIim): subtracting a row is algebraically exact but can
+// cancel most of the Gram diagonal's significant digits, leaving a matrix
+// whose conditioning has silently blown up. A cheap guard refuses such
+// removals; the caller then restreams the surviving window into a fresh
+// accumulator instead.
 
 #ifndef IIM_REGRESS_INCREMENTAL_RIDGE_H_
 #define IIM_REGRESS_INCREMENTAL_RIDGE_H_
@@ -29,6 +36,18 @@ class IncrementalRidge {
   void AddRow(const double* x, double y);
   // Batch variant (Formulas 20-21 with h = rows).
   void AddRows(const linalg::Matrix& x, const linalg::Vector& y);
+
+  // Rank-1 down-date: subtracts a previously added row from U, V (the
+  // caller asserts the row really was folded in — the accumulator cannot
+  // tell). Returns false, leaving the accumulator untouched, when the
+  // subtraction would be numerically unsafe: a down-dated Gram diagonal
+  // entry retaining less than `rel_tol` of its magnitude means nearly all
+  // significant digits cancel and the conditioning of U + alpha E is no
+  // longer trustworthy. Removing the only row degenerates to Reset() and
+  // is always safe.
+  bool RemoveRow(const std::vector<double>& x, double y,
+                 double rel_tol = 1e-8);
+  bool RemoveRow(const double* x, double y, double rel_tol = 1e-8);
 
   // phi = (U + alpha E)^{-1} V (Formula 19). Fails if no rows were added.
   Result<LinearModel> Solve(double alpha = 1e-6) const;

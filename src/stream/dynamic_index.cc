@@ -20,13 +20,59 @@ void DynamicIndex::Append(const data::RowView& row) {
   for (size_t j = 0; j < d; ++j) {
     points_.push_back(row[static_cast<size_t>(cols_[j])]);
   }
+  alive_.push_back(1);
   ++n_;
   size_t tail = n_ - tree_.size();
-  if (n_ >= options_.kdtree_threshold &&
+  if (n_ - dead_ >= options_.kdtree_threshold &&
       tail >= std::max(options_.min_rebuild_tail, tree_.size() / 4)) {
     tree_.Build(points_.data(), n_, d);
     ++rebuilds_;
   }
+}
+
+bool DynamicIndex::Remove(size_t slot) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (slot >= n_ || alive_[slot] == 0) return false;
+  alive_[slot] = 0;
+  ++dead_;
+  return true;
+}
+
+bool DynamicIndex::NeedsCompaction() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t live = n_ - dead_;
+  return dead_ >= options_.min_compact_tombstones &&
+         static_cast<double>(dead_) >
+             options_.max_tombstone_fraction * static_cast<double>(live);
+}
+
+std::vector<size_t> DynamicIndex::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t d = cols_.size();
+  std::vector<size_t> remap(n_, kGone);
+  size_t next = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (alive_[i] == 0) continue;
+    remap[i] = next;
+    if (next != i) {
+      std::copy(points_.begin() + static_cast<long>(i * d),
+                points_.begin() + static_cast<long>((i + 1) * d),
+                points_.begin() + static_cast<long>(next * d));
+    }
+    ++next;
+  }
+  points_.resize(next * d);
+  alive_.assign(next, 1);
+  n_ = next;
+  dead_ = 0;
+  ++compactions_;
+  if (n_ >= options_.kdtree_threshold) {
+    tree_.Build(points_.data(), n_, d);
+    ++rebuilds_;
+  } else {
+    tree_.Clear();
+  }
+  return remap;
 }
 
 void DynamicIndex::Collect(const std::vector<double>& q,
@@ -37,7 +83,7 @@ void DynamicIndex::Collect(const std::vector<double>& q,
   // PushNeighborHeap's (distance, index) order makes the merge exact
   // regardless of which side a neighbor came from.
   for (size_t i = tree_.size(); i < n_; ++i) {
-    if (i == options.exclude) continue;
+    if (i == options.exclude || alive_[i] == 0) continue;
     heap->push_back(neighbors::Neighbor{
         i, neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d,
                                           d)});
@@ -51,7 +97,8 @@ void DynamicIndex::Collect(const std::vector<double>& q,
   } else {
     std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
   }
-  tree_.Search(points_.data(), q.data(), options, heap);
+  tree_.Search(points_.data(), q.data(), options, heap,
+               dead_ > 0 ? alive_.data() : nullptr);
 }
 
 std::vector<neighbors::Neighbor> DynamicIndex::Query(
@@ -59,7 +106,7 @@ std::vector<neighbors::Neighbor> DynamicIndex::Query(
     const neighbors::QueryOptions& options) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<neighbors::Neighbor> heap;
-  if (options.k == 0 || n_ == 0) return heap;
+  if (options.k == 0 || n_ - dead_ == 0) return heap;
   heap.reserve(options.k + 1);
   std::vector<double> q = query.Gather(cols_);
   Collect(q, options, &heap);
@@ -73,9 +120,9 @@ std::vector<neighbors::Neighbor> DynamicIndex::QueryAll(
   size_t d = cols_.size();
   std::vector<double> q = query.Gather(cols_);
   std::vector<neighbors::Neighbor> out;
-  out.reserve(n_);
+  out.reserve(n_ - dead_);
   for (size_t i = 0; i < n_; ++i) {
-    if (i == exclude) continue;
+    if (i == exclude || alive_[i] == 0) continue;
     out.push_back(neighbors::Neighbor{
         i, neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d,
                                           d)});
@@ -86,7 +133,17 @@ std::vector<neighbors::Neighbor> DynamicIndex::QueryAll(
 
 size_t DynamicIndex::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  return n_ - dead_;
+}
+
+size_t DynamicIndex::slots() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return n_;
+}
+
+size_t DynamicIndex::tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return dead_;
 }
 
 size_t DynamicIndex::tree_size() const {
@@ -97,6 +154,11 @@ size_t DynamicIndex::tree_size() const {
 size_t DynamicIndex::rebuilds() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return rebuilds_;
+}
+
+size_t DynamicIndex::compactions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return compactions_;
 }
 
 }  // namespace iim::stream

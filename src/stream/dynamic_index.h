@@ -1,5 +1,5 @@
 // DynamicIndex: an appendable exact nearest-neighbor index for streaming
-// ingestion.
+// ingestion with sliding-window eviction.
 //
 // Points live in one flat contiguous row-major buffer with amortized
 // growth. A FlatKdTree covers the immutable prefix that existed at the
@@ -9,19 +9,31 @@
 // tree, the tree is rebuilt over everything — amortized O(log n) rebuilds
 // over the stream's lifetime.
 //
-// Results are bit-identical to a BruteForceIndex over the same points for
-// every append/rebuild interleaving: tree and tail use the same Formula 1
-// distance and the same (distance, index) tie order.
+// Eviction is two-phase. Remove(slot) *tombstones* the row: it stays in
+// the buffer (slot ids of the survivors are untouched) but every query
+// skips it — the tail scan checks the bitmap, the tree search takes it as
+// an alive-filter. Once tombstones pile up past a fraction of the live
+// rows (NeedsCompaction), the owner calls Compact(): dead rows are
+// physically dropped, survivors slide onto a dense prefix in their
+// original relative order, the tree is rebuilt, and the old-slot -> new-
+// slot map is returned so the owner can remap its own slot-indexed state.
 //
-// Concurrency: appends take the writer side of a shared_mutex, queries the
-// reader side for their whole duration, so an in-flight query always sees
-// a consistent snapshot — it can never observe a half-appended point or a
-// buffer mid-reallocation. Queries running concurrently with an Append
-// simply order before or after it.
+// Results are bit-identical to a BruteForceIndex over the live points for
+// every append/remove/compact interleaving: tree and tail use the same
+// Formula 1 distance and the same (distance, slot) tie order, and
+// compaction preserves relative slot order so ties keep breaking the same
+// way.
+//
+// Concurrency: appends, removals and compaction take the writer side of a
+// shared_mutex, queries the reader side for their whole duration, so an
+// in-flight query always sees a consistent snapshot — it can never observe
+// a half-appended point, a buffer mid-reallocation, or a half-compacted
+// slot mapping.
 
 #ifndef IIM_STREAM_DYNAMIC_INDEX_H_
 #define IIM_STREAM_DYNAMIC_INDEX_H_
 
+#include <cstdint>
 #include <shared_mutex>
 #include <vector>
 
@@ -32,13 +44,20 @@ namespace iim::stream {
 class DynamicIndex final : public neighbors::NeighborIndex {
  public:
   struct Options {
-    // Minimum total size before any KD-tree is built (matches the
+    // Minimum live size before any KD-tree is built (matches the
     // MakeIndex default: brute force is faster below it).
     size_t kdtree_threshold = 4096;
     // Rebuild once the unindexed tail exceeds both this floor and a
     // quarter of the indexed prefix.
     size_t min_rebuild_tail = 1024;
+    // NeedsCompaction() once tombstones exceed both this floor and this
+    // fraction of the live rows.
+    size_t min_compact_tombstones = 64;
+    double max_tombstone_fraction = 0.25;
   };
+
+  // Compact()'s remap value for evicted slots.
+  static constexpr size_t kGone = static_cast<size_t>(-1);
 
   // Indexes attribute subset `cols` of rows appended later; `cols` must be
   // non-empty. Starts empty.
@@ -47,21 +66,42 @@ class DynamicIndex final : public neighbors::NeighborIndex {
 
   // Appends one full-arity row (its `cols` values are gathered, matching
   // the BruteForceIndex constructor), growing the buffer amortized-O(1)
-  // and rebuilding the KD-tree when the tail policy says so.
+  // and rebuilding the KD-tree when the tail policy says so. The new row's
+  // slot id is the current slots() count.
   void Append(const data::RowView& row);
+
+  // Tombstones one slot: it disappears from every subsequent query but
+  // keeps occupying its slot until Compact(). Returns false (a no-op) for
+  // an out-of-range or already-dead slot.
+  bool Remove(size_t slot);
+
+  // True once the tombstone pile is worth a physical compaction.
+  bool NeedsCompaction() const;
+
+  // Drops tombstoned rows, slides survivors onto a dense prefix (relative
+  // order preserved), rebuilds the KD-tree over the survivors when they
+  // still clear kdtree_threshold (Clear()s it otherwise), and returns the
+  // old-slot -> new-slot map (kGone for evicted slots) for the owner's own
+  // remapping.
+  std::vector<size_t> Compact();
 
   std::vector<neighbors::Neighbor> Query(
       const data::RowView& query,
       const neighbors::QueryOptions& options) const override;
   std::vector<neighbors::Neighbor> QueryAll(const data::RowView& query,
                                             size_t exclude) const override;
+  // Live (non-tombstoned) rows.
   size_t size() const override;
 
   const std::vector<int>& cols() const { return cols_; }
+  // Total slots including tombstones; the id space queries report.
+  size_t slots() const;
+  size_t tombstones() const;
   // Points covered by the KD-tree (0 = pure brute force); for tests and
   // rebuild diagnostics.
   size_t tree_size() const;
   size_t rebuilds() const;
+  size_t compactions() const;
 
  private:
   // Exact top-k over tail scan + tree search, unsorted heap out.
@@ -74,9 +114,12 @@ class DynamicIndex final : public neighbors::NeighborIndex {
 
   mutable std::shared_mutex mu_;
   std::vector<double> points_;  // row-major n_ x cols_.size()
-  size_t n_ = 0;
+  std::vector<uint8_t> alive_;  // n_ entries; 0 = tombstoned
+  size_t n_ = 0;                // slots, including tombstones
+  size_t dead_ = 0;             // tombstoned slots
   neighbors::FlatKdTree tree_;  // covers points [0, tree_.size())
   size_t rebuilds_ = 0;
+  size_t compactions_ = 0;
 };
 
 }  // namespace iim::stream

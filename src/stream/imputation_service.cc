@@ -18,35 +18,73 @@ ImputationService::~ImputationService() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    paused_ = false;  // a paused service still serves its backlog on exit
   }
   work_cv_.notify_all();
   server_.join();
 }
 
-std::future<Status> ImputationService::SubmitIngest(std::vector<double> row) {
-  Request req;
-  req.is_ingest = true;
-  req.values = std::move(row);
-  std::future<Status> result = req.ingest_promise.get_future();
+bool ImputationService::TryEnqueue(Request req) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(req));
+    if (options_.max_queue == 0 || queue_.size() < options_.max_queue) {
+      queue_.push_back(std::move(req));
+      return true;
+    }
+    ++stats_.rejected;
   }
-  work_cv_.notify_one();
+  // Load-shed outside the lock: the engine never sees the request; its
+  // future resolves immediately to the explicit overload status.
+  Status overload = Status::ResourceExhausted(
+      "ImputationService: request queue full (Options::max_queue); the "
+      "producer is outrunning the engine");
+  if (req.kind == Kind::kImpute) {
+    req.impute_promise.set_value(std::move(overload));
+  } else {
+    req.status_promise.set_value(std::move(overload));
+  }
+  return false;
+}
+
+std::future<Status> ImputationService::SubmitIngest(std::vector<double> row) {
+  Request req;
+  req.kind = Kind::kIngest;
+  req.values = std::move(row);
+  std::future<Status> result = req.status_promise.get_future();
+  if (TryEnqueue(std::move(req))) work_cv_.notify_one();
   return result;
 }
 
 std::future<Result<double>> ImputationService::SubmitImpute(
     std::vector<double> tuple) {
   Request req;
+  req.kind = Kind::kImpute;
   req.values = std::move(tuple);
   std::future<Result<double>> result = req.impute_promise.get_future();
+  if (TryEnqueue(std::move(req))) work_cv_.notify_one();
+  return result;
+}
+
+std::future<Status> ImputationService::SubmitEvict(uint64_t arrival) {
+  Request req;
+  req.kind = Kind::kEvict;
+  req.arrival = arrival;
+  std::future<Status> result = req.status_promise.get_future();
+  if (TryEnqueue(std::move(req))) work_cv_.notify_one();
+  return result;
+}
+
+void ImputationService::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void ImputationService::Resume() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(req));
+    paused_ = false;
   }
-  work_cv_.notify_one();
-  return result;
+  work_cv_.notify_all();
 }
 
 void ImputationService::Drain() {
@@ -64,17 +102,19 @@ void ImputationService::ServeLoop() {
     std::vector<Request> taken;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (!queue_.empty() && !paused_);
+      });
       if (queue_.empty()) break;  // shutdown with nothing left to serve
-      if (queue_.front().is_ingest) {
-        // Ingests apply one at a time: later requests must see the
-        // relation exactly as their submission order implies.
+      if (queue_.front().kind != Kind::kImpute) {
+        // Ingests and evictions apply one at a time: later requests must
+        // see the relation exactly as their submission order implies.
         taken.push_back(std::move(queue_.front()));
         queue_.pop_front();
       } else {
         // Coalesce the run of consecutive imputation requests at the head
         // into one micro-batch.
-        while (!queue_.empty() && !queue_.front().is_ingest &&
+        while (!queue_.empty() && queue_.front().kind == Kind::kImpute &&
                taken.size() < options_.max_batch) {
           taken.push_back(std::move(queue_.front()));
           queue_.pop_front();
@@ -83,10 +123,14 @@ void ImputationService::ServeLoop() {
       in_flight_ = taken.size();
     }
 
-    if (taken.front().is_ingest) {
+    Kind kind = taken.front().kind;
+    if (kind == Kind::kIngest) {
       data::RowView row(taken.front().values.data(),
                         taken.front().values.size());
-      taken.front().ingest_promise.set_value(engine_->Ingest(row));
+      taken.front().status_promise.set_value(engine_->Ingest(row));
+    } else if (kind == Kind::kEvict) {
+      taken.front().status_promise.set_value(
+          engine_->Evict(taken.front().arrival));
     } else {
       std::vector<data::RowView> rows;
       rows.reserve(taken.size());
@@ -101,8 +145,10 @@ void ImputationService::ServeLoop() {
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (taken.front().is_ingest) {
+      if (kind == Kind::kIngest) {
         ++stats_.ingests;
+      } else if (kind == Kind::kEvict) {
+        ++stats_.evictions;
       } else {
         stats_.imputations += taken.size();
         ++stats_.batches;

@@ -3,21 +3,34 @@
 // Producers enqueue arrivals without blocking on the engine:
 //
 //   SubmitIngest(row)    — complete tuple, resolves to the ingest Status;
-//   SubmitImpute(tuple)  — incomplete tuple, resolves to the imputed value.
+//   SubmitImpute(tuple)  — incomplete tuple, resolves to the imputed value;
+//   SubmitEvict(arrival) — retire the tuple of a past ingest, resolves to
+//                          the eviction Status (sliding windows set via
+//                          IimOptions::window_size evict inside the
+//                          ingest itself and need no extra request).
 //
 // A single server thread drains the queue in submission order. Consecutive
 // imputation requests are coalesced into one micro-batch (up to
 // Options::max_batch) and answered by a single ThreadPool-backed
-// OnlineIim::ImputeBatch call; ingests apply one at a time so every
-// request observes exactly the relation state its submission order
-// implies. Because ImputeBatch is bit-identical to per-row ImputeOne for
-// every thread count, batching is purely a throughput knob: results never
-// depend on how arrivals happened to be grouped.
+// OnlineIim::ImputeBatch call; ingests and evictions apply one at a time
+// so every request observes exactly the relation state its submission
+// order implies. Because ImputeBatch is bit-identical to per-row
+// ImputeOne for every thread count, batching is purely a throughput knob:
+// results never depend on how arrivals happened to be grouped.
+//
+// Backpressure: the queue is bounded (Options::max_queue). A submission
+// that would exceed it is load-shed — its future resolves immediately to
+// StatusCode::kResourceExhausted and the engine never sees it — so a
+// producer outrunning the engine observes explicit overload instead of
+// unbounded memory growth. Pause()/Resume() stop and restart the drain
+// (e.g. to let a maintenance window pass); Drain() of a paused service
+// with queued work blocks until Resume().
 
 #ifndef IIM_STREAM_IMPUTATION_SERVICE_H_
 #define IIM_STREAM_IMPUTATION_SERVICE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -33,20 +46,28 @@ class ImputationService {
   struct Options {
     // Most imputation requests drained into one engine call.
     size_t max_batch = 64;
+    // Most requests pending at once; submissions beyond it are rejected
+    // with kResourceExhausted. 0 = unbounded (the pre-backpressure
+    // behavior; use only when producers are known to be slower than the
+    // engine).
+    size_t max_queue = 4096;
   };
 
   struct Stats {
     size_t ingests = 0;
     size_t imputations = 0;
+    size_t evictions = 0;
     size_t batches = 0;       // engine ImputeBatch calls issued
     size_t largest_batch = 0;
+    size_t rejected = 0;      // submissions shed at the queue bound
   };
 
   // The engine must outlive the service; the service is the engine's only
   // caller while running (OnlineIim is externally synchronized).
   explicit ImputationService(OnlineIim* engine);
   ImputationService(OnlineIim* engine, const Options& options);
-  // Serves every request already submitted, then stops the server thread.
+  // Serves every request already submitted (resuming if paused), then
+  // stops the server thread.
   ~ImputationService();
 
   ImputationService(const ImputationService&) = delete;
@@ -57,6 +78,14 @@ class ImputationService {
   std::future<Status> SubmitIngest(std::vector<double> row);
   // Enqueues an incomplete tuple for imputation.
   std::future<Result<double>> SubmitImpute(std::vector<double> tuple);
+  // Enqueues an eviction of the `arrival`-th ingested tuple (see
+  // OnlineIim::Evict).
+  std::future<Status> SubmitEvict(uint64_t arrival);
+
+  // Stops draining after the in-flight batch; queued requests keep
+  // accumulating (and shedding at the bound) until Resume().
+  void Pause();
+  void Resume();
 
   // Blocks until every request submitted so far has been served.
   void Drain();
@@ -64,13 +93,19 @@ class ImputationService {
   Stats stats() const;
 
  private:
+  enum class Kind { kIngest, kImpute, kEvict };
+
   struct Request {
-    bool is_ingest = false;
+    Kind kind = Kind::kImpute;
     std::vector<double> values;
-    std::promise<Status> ingest_promise;
+    uint64_t arrival = 0;
+    std::promise<Status> status_promise;   // ingest + evict
     std::promise<Result<double>> impute_promise;
   };
 
+  // Enqueues under the lock unless the queue is at the bound; returns
+  // whether the request was accepted.
+  bool TryEnqueue(Request req);
   void ServeLoop();
 
   OnlineIim* engine_;
@@ -81,6 +116,7 @@ class ImputationService {
   std::condition_variable idle_cv_;  // Drain waits for an empty pipeline
   std::deque<Request> queue_;
   size_t in_flight_ = 0;  // requests popped but not yet answered
+  bool paused_ = false;
   bool shutdown_ = false;
   Stats stats_;
 

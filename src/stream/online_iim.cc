@@ -80,10 +80,11 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   }
   double y_new = row[static_cast<size_t>(target_)];
 
-  // How the arrival lands in each existing tuple's learning order. The new
-  // point carries the largest index, so it loses every distance tie — the
+  // How the arrival lands in each live tuple's learning order. The new
+  // point carries the largest slot, so it loses every distance tie — the
   // insertion point is after all entries with distance <= d.
   for (size_t i = 0; i < n_; ++i) {
+    if (alive_[i] == 0) continue;
     double d = neighbors::NormalizedEuclidean(fx_.data() + i * q_,
                                               f_new.data(), q_);
     std::vector<neighbors::Neighbor>& order = orders_[i];
@@ -114,14 +115,14 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   }
 
   // The new tuple's own order: itself first, then up to ell_ - 1 nearest
-  // existing tuples (the index does not contain `id` yet, so no exclusion
-  // is needed — same set LearningOrder retrieves with exclude = id).
+  // live tuples (the index does not contain `id` yet, so no exclusion is
+  // needed — same set LearningOrder retrieves with exclude = id).
   std::vector<neighbors::Neighbor> order_new;
-  order_new.reserve(std::min(ell_, n_ + 1));
+  order_new.reserve(std::min(ell_, live_ + 1));
   order_new.push_back(neighbors::Neighbor{id, 0.0});
-  if (ell_ > 1 && n_ > 0) {
+  if (ell_ > 1 && live_ > 0) {
     neighbors::QueryOptions qopt;
-    qopt.k = std::min(ell_ - 1, n_);
+    qopt.k = std::min(ell_ - 1, live_);
     for (const neighbors::Neighbor& nb : index_.Query(row, qopt)) {
       order_new.push_back(nb);
     }
@@ -136,9 +137,171 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   consumed_.push_back(0);
   models_.emplace_back();
   dirty_.push_back(1);
+  alive_.push_back(1);
+  seq_of_slot_.push_back(stats_.ingested);
+  slot_of_seq_.emplace(stats_.ingested, id);
   ++n_;
+  ++live_;
   ++stats_.ingested;
+  live_cache_valid_ = false;
+
+  // Sliding window: retire the oldest live tuple(s) the arrival pushed
+  // out. The arrival itself is the newest, so it never self-evicts.
+  if (options_.window_size > 0) {
+    while (live_ > options_.window_size) {
+      EvictSlot(OldestLiveSlot());
+    }
+    MaybeCompact();
+  }
   return Status::OK();
+}
+
+Status OnlineIim::Evict(uint64_t arrival) {
+  auto it = slot_of_seq_.find(arrival);
+  if (it == slot_of_seq_.end()) {
+    return Status::NotFound(
+        "OnlineIim: arrival is not live (never ingested, or already "
+        "evicted)");
+  }
+  EvictSlot(it->second);
+  MaybeCompact();
+  return Status::OK();
+}
+
+size_t OnlineIim::OldestLiveSlot() {
+  while (oldest_cursor_ < n_ && alive_[oldest_cursor_] == 0) {
+    ++oldest_cursor_;
+  }
+  return oldest_cursor_;
+}
+
+void OnlineIim::EvictSlot(size_t gone) {
+  // Detach the departing tuple: tombstone it everywhere and release its
+  // own model state (the slot lingers until compaction, its payload need
+  // not).
+  alive_[gone] = 0;
+  slot_of_seq_.erase(seq_of_slot_[gone]);
+  index_.Remove(gone);
+  --live_;
+  ++stats_.evicted;
+  live_cache_valid_ = false;
+  orders_[gone].clear();
+  orders_[gone].shrink_to_fit();
+  accums_[gone].Reset();
+  consumed_[gone] = 0;
+  models_[gone] = regress::LinearModel();
+  dirty_[gone] = 1;
+
+  // Repair every surviving learning order that contained the departed
+  // tuple — the arrival-displacement logic in reverse. Cutting an entry
+  // out of the folded prefix is undone by a rank-1 down-date when the
+  // conditioning guard allows; otherwise the accumulator restreams the
+  // new prefix on next use. The survivor's order then grew a vacancy: the
+  // next nearest live tuple enters at the end (it ranked behind every
+  // remaining entry in (distance, slot) order, or it would already be a
+  // member), which is the same fast-path append an arrival takes.
+  for (size_t i = 0; i < n_; ++i) {
+    if (alive_[i] == 0) continue;
+    std::vector<neighbors::Neighbor>& order = orders_[i];
+    size_t p = 0;
+    while (p < order.size() && order[p].index != gone) ++p;
+    if (p == order.size()) continue;
+    order.erase(order.begin() + static_cast<long>(p));
+    if (p < consumed_[i]) {
+      bool downdated =
+          options_.downdate &&
+          accums_[i].RemoveRow(fx_.data() + gone * q_, fy_[gone]);
+      if (downdated) {
+        --consumed_[i];
+        ++stats_.downdates;
+      } else {
+        accums_[i].Reset();
+        consumed_[i] = 0;
+        ++stats_.downdate_fallbacks;
+      }
+    }
+    size_t want = std::min(ell_, live_);  // self included
+    if (order.size() < want) {
+      neighbors::QueryOptions qopt;
+      qopt.k = want - 1;
+      qopt.exclude = i;
+      std::vector<neighbors::Neighbor> nn = index_.Query(table_.Row(i), qopt);
+      // nn[0 .. order.size()-1) coincides with the order's surviving
+      // neighbors; anything beyond is the entrant.
+      for (size_t j = order.size() - 1; j < nn.size(); ++j) {
+        order.push_back(nn[j]);
+        ++stats_.backfills;
+      }
+    }
+    dirty_[i] = 1;
+  }
+}
+
+void OnlineIim::MaybeCompact() {
+  if (!index_.NeedsCompaction()) return;
+  std::vector<size_t> remap = index_.Compact();
+
+  std::vector<double> fx(live_ * q_);
+  std::vector<double> fy(live_);
+  std::vector<std::vector<neighbors::Neighbor>> orders(live_);
+  std::vector<regress::IncrementalRidge> accums;
+  accums.reserve(live_);
+  std::vector<size_t> consumed(live_);
+  std::vector<regress::LinearModel> models(live_);
+  std::vector<uint8_t> dirty(live_);
+  std::vector<uint64_t> seq_of_slot(live_);
+  std::vector<size_t> live_rows;
+  live_rows.reserve(live_);
+
+  for (size_t old = 0; old < n_; ++old) {
+    size_t slot = remap[old];
+    if (slot == DynamicIndex::kGone) continue;
+    std::copy(fx_.begin() + static_cast<long>(old * q_),
+              fx_.begin() + static_cast<long>((old + 1) * q_),
+              fx.begin() + static_cast<long>(slot * q_));
+    fy[slot] = fy_[old];
+    orders[slot] = std::move(orders_[old]);
+    for (neighbors::Neighbor& nb : orders[slot]) {
+      nb.index = remap[nb.index];  // orders reference live slots only
+    }
+    // push_back lands accums[slot]: remap is ascending over live slots.
+    accums.push_back(std::move(accums_[old]));
+    consumed[slot] = consumed_[old];
+    models[slot] = std::move(models_[old]);
+    dirty[slot] = dirty_[old];
+    seq_of_slot[slot] = seq_of_slot_[old];
+    slot_of_seq_[seq_of_slot_[old]] = slot;
+    live_rows.push_back(old);
+  }
+
+  table_ = table_.TakeRows(live_rows);
+  fx_ = std::move(fx);
+  fy_ = std::move(fy);
+  orders_ = std::move(orders);
+  accums_ = std::move(accums);
+  consumed_ = std::move(consumed);
+  models_ = std::move(models);
+  dirty_ = std::move(dirty);
+  alive_.assign(live_, 1);
+  seq_of_slot_ = std::move(seq_of_slot);
+  n_ = live_;
+  oldest_cursor_ = 0;
+  live_cache_valid_ = false;
+  ++stats_.compactions;
+}
+
+const data::Table& OnlineIim::table() const {
+  if (live_ == n_) return table_;
+  if (!live_cache_valid_) {
+    std::vector<size_t> live_rows;
+    live_rows.reserve(live_);
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] != 0) live_rows.push_back(i);
+    }
+    live_cache_ = table_.TakeRows(live_rows);
+    live_cache_valid_ = true;
+  }
+  return live_cache_;
 }
 
 Status OnlineIim::EnsureModel(size_t i) {
@@ -168,8 +331,8 @@ Status OnlineIim::EnsureModel(size_t i) {
 }
 
 Status OnlineIim::CheckQuery(const data::RowView& tuple) const {
-  if (n_ == 0) {
-    return Status::FailedPrecondition("OnlineIim: no tuples ingested");
+  if (live_ == 0) {
+    return Status::FailedPrecondition("OnlineIim: no live tuples");
   }
   if (tuple.size() != table_.NumCols()) {
     return Status::InvalidArgument("OnlineIim: tuple arity mismatch");

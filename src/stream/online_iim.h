@@ -2,13 +2,16 @@
 //
 // The batch IimImputer freezes a relation, learns one model per tuple
 // (Algorithm 1) and only then imputes. The motivating workload — sensor
-// readings arriving continuously — instead interleaves two events:
+// readings arriving continuously — instead interleaves three events:
 //
 //   Ingest(t)     complete tuple arrival: t joins the relation and may
 //                 change the l-neighborhood (and therefore the individual
 //                 model) of existing tuples;
 //   ImputeOne(t)  incomplete tuple arrival: impute t[Am] against the
-//                 relation as of now (Algorithm 2).
+//                 relation as of now (Algorithm 2);
+//   Evict(a)      retirement: the tuple of the a-th ingest leaves the
+//                 relation — explicitly, or automatically once a
+//                 sliding window (options.window_size) overflows.
 //
 // Instead of refitting all n models per arrival, the engine maintains per
 // tuple its learning order NN(t_i, F, l) and an IncrementalRidge U/V
@@ -16,13 +19,30 @@
 // current l-th neighbor leaves t_i untouched; an arrival extending a
 // not-yet-full prefix is folded in with one O(q^2) AddRow; only an
 // arrival that lands *inside* the prefix (displacing a neighbor, which a
-// rank-1 update cannot express — that needs the down-date on the ROADMAP)
-// invalidates the accumulator. Model (re)solves are lazy: they run when an
-// imputation actually asks for that tuple's model.
+// rank-1 update cannot express) invalidates the accumulator. Eviction
+// mirrors that in reverse: a departed neighbor is cut from each affected
+// learning order, its folded contribution removed by a rank-1 *down-date*
+// (RemoveRow) when the conditioning guard allows — with a restream-from-
+// scratch fallback when it does not — and the next nearest live tuple is
+// pulled in at the end of the order (a fast-path append, like an
+// arrival). Model (re)solves are lazy: they run when an imputation
+// actually asks for that tuple's model.
 //
-// Contract (asserted by tests/stream_test.cc): after any sequence of
-// ingests, imputations are bit-identical to a from-scratch IimImputer
-// fitted on table() with the same options, for every `threads` setting.
+// Slots and tombstones: evicted tuples keep their slot (the id space the
+// index reports) until tombstones pile up, then the engine compacts —
+// DynamicIndex::Compact's slot remap is replayed over every slot-indexed
+// structure. Compaction preserves arrival order, so (distance, slot) tie
+// order — and therefore results — never changes.
+//
+// Contract (asserted by tests/stream_test.cc and
+// tests/stream_window_test.cc): after any sequence of ingests and
+// evictions, imputations match a from-scratch IimImputer fitted on
+// table() — the live window — with the same options, for every `threads`
+// setting: bit-identical when every touched accumulator was restreamed
+// (options.downdate == false, or no eviction ever hit a folded prefix),
+// within tight tolerance when rank-1 down-dates repaired accumulators in
+// place (the subtraction is algebraically exact but reorders the
+// floating-point summation).
 //
 // Thread-safety: externally synchronized. Calls must not overlap;
 // ImputeBatch parallelizes internally (deterministically). Use
@@ -31,7 +51,9 @@
 #ifndef IIM_STREAM_ONLINE_IIM_H_
 #define IIM_STREAM_ONLINE_IIM_H_
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/iim_imputer.h"
@@ -46,6 +68,7 @@ class OnlineIim {
   struct Stats {
     size_t ingested = 0;
     size_t imputed = 0;
+    size_t evicted = 0;
     // Arrivals folded onto the end of a tuple's growing prefix (the cheap
     // Proposition 3 path, pending a lazy re-solve).
     size_t fast_path_appends = 0;
@@ -54,6 +77,15 @@ class OnlineIim {
     size_t models_invalidated = 0;
     // Lazy model (re)solves actually performed.
     size_t models_solved = 0;
+    // Evictions repaired in place by a rank-1 ridge down-date.
+    size_t downdates = 0;
+    // Down-dates refused by the conditioning guard (or disabled by
+    // options.downdate): accumulator reset, restream on next use.
+    size_t downdate_fallbacks = 0;
+    // Next-nearest live tuples pulled into a shrunken learning order.
+    size_t backfills = 0;
+    // Physical compactions (tombstoned slots dropped, index rebuilt).
+    size_t compactions = 0;
   };
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
@@ -68,8 +100,18 @@ class OnlineIim {
   OnlineIim& operator=(const OnlineIim&) = delete;
 
   // Complete tuple arrival. The row must have the schema's arity and be
-  // non-NaN on target and features.
+  // non-NaN on target and features. When options.window_size > 0 and this
+  // arrival pushes the live count past it, the oldest live tuple(s) are
+  // evicted before returning.
   Status Ingest(const data::RowView& row);
+
+  // Retires the tuple of the `arrival`-th successful Ingest (0-based — the
+  // value stats().ingested had when that tuple arrived). Arrival numbers
+  // are stable across compaction; NotFound if that tuple was never
+  // ingested or is already gone. Evicting down to an empty relation is
+  // allowed — imputations then fail with FailedPrecondition until the next
+  // ingest.
+  Status Evict(uint64_t arrival);
 
   // Incomplete tuple arrival (Algorithm 2 against the current relation).
   Result<double> ImputeOne(const data::RowView& tuple);
@@ -81,10 +123,15 @@ class OnlineIim {
   std::vector<Result<double>> ImputeBatch(
       const std::vector<data::RowView>& rows);
 
-  // The relation ingested so far (a batch IimImputer fitted on this
-  // snapshot with options() reproduces this engine's imputations exactly).
-  const data::Table& table() const { return table_; }
-  size_t size() const { return n_; }
+  // The live window, in arrival order (a batch IimImputer fitted on this
+  // snapshot with options() reproduces this engine's imputations — see the
+  // contract above). Materialized lazily when tombstones are present.
+  // The returned reference — and anything retaining it, like a fitted
+  // ImputerBase or RowViews — is invalidated by the next Ingest or Evict;
+  // copy the Table to hold a snapshot across mutations.
+  const data::Table& table() const;
+  // Live tuples.
+  size_t size() const { return live_; }
   const core::IimOptions& options() const { return options_; }
   const DynamicIndex& index() const { return index_; }
   const Stats& stats() const { return stats_; }
@@ -94,40 +141,62 @@ class OnlineIim {
             std::vector<int> features, const core::IimOptions& options);
 
   Status CheckQuery(const data::RowView& tuple) const;
-  // Re-solves tuple i's model if a past arrival dirtied it: folds any
-  // pending prefix growth into the accumulator (restreaming from scratch
-  // after an invalidation) and solves. Touches only slot i.
+  // Re-solves tuple i's model if a past arrival or eviction dirtied it:
+  // folds any pending prefix growth into the accumulator (restreaming from
+  // scratch after an invalidation) and solves. Touches only slot i.
   Status EnsureModel(size_t i);
   // Candidate collection + Formula 10-12 aggregation; models of `nbrs`
   // must already be ensured.
   Result<double> AggregateClean(
       const data::RowView& tuple,
       const std::vector<neighbors::Neighbor>& nbrs) const;
+  // Tombstones slot `gone` and repairs every surviving learning order that
+  // contained it (down-date or restream + backfill). Callers follow up
+  // with MaybeCompact().
+  void EvictSlot(size_t gone);
+  // First live slot (the oldest live tuple); n_ when the relation is
+  // empty. Amortized O(1) via a forward-only cursor.
+  size_t OldestLiveSlot();
+  // Replays the index's compaction remap over every slot-indexed
+  // structure once the tombstone pile crosses the index's threshold.
+  void MaybeCompact();
 
   int target_;
   std::vector<int> features_;
   core::IimOptions options_;
   size_t q_;      // |F|
   size_t ell_;    // learning-neighbor budget, >= 1 (orders cap at
-                  // min(ell_, n) — the batch learner's clamp)
+                  // min(ell_, live) — the batch learner's clamp)
 
+  // Slot-indexed state. Between compactions slots include tombstones
+  // (alive_[i] == 0); arrival order of live slots is always ascending.
   data::Table table_;
   DynamicIndex index_;
   std::vector<double> fx_;  // gathered features, row-major n x q
   std::vector<double> fy_;  // gathered targets
 
   // Per-tuple model state. orders_[i] is t_i's learning order: itself
-  // first (distance 0), then neighbors ascending by (distance, index) —
-  // exactly IndividualModels' LearningOrder. accums_[i] holds the U/V fold
-  // of orders_[i][0 .. consumed_[i]); that prefix is immutable between
-  // invalidations, which is what makes lazy catch-up AddRows sum in the
-  // same sequence as a batch FitRidge.
+  // first (distance 0), then live neighbors ascending by (distance, slot)
+  // — exactly IndividualModels' LearningOrder. accums_[i] holds the U/V
+  // fold of orders_[i][0 .. consumed_[i]); that prefix is immutable
+  // between invalidations (eviction down-dates shrink it in place), which
+  // is what makes lazy catch-up AddRows sum in the same sequence as a
+  // batch FitRidge.
   std::vector<std::vector<neighbors::Neighbor>> orders_;
   std::vector<regress::IncrementalRidge> accums_;
   std::vector<size_t> consumed_;
   std::vector<regress::LinearModel> models_;
   std::vector<uint8_t> dirty_;
-  size_t n_ = 0;
+  std::vector<uint8_t> alive_;
+  std::vector<uint64_t> seq_of_slot_;            // arrival number per slot
+  std::unordered_map<uint64_t, size_t> slot_of_seq_;  // live tuples only
+  size_t n_ = 0;       // slots, including tombstones
+  size_t live_ = 0;    // live tuples
+  size_t oldest_cursor_ = 0;
+
+  // table() materialization cache while tombstones are present.
+  mutable data::Table live_cache_;
+  mutable bool live_cache_valid_ = false;
 
   Stats stats_;
 };

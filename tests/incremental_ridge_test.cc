@@ -1,5 +1,9 @@
 #include "regress/incremental_ridge.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -91,6 +95,84 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple<size_t, size_t>{60, 3},
                       std::tuple<size_t, size_t>{100, 5},
                       std::tuple<size_t, size_t>{40, 8}));
+
+TEST(IncrementalRidgeTest, AddRemoveRoundTripRestoresCoefficients) {
+  // Property: AddRow(r) followed by RemoveRow(r) — in any nesting — lands
+  // back on the prior accumulator state and coefficients, up to the
+  // floating-point non-associativity of the subtraction.
+  Rng rng(4242);
+  for (size_t trial = 0; trial < 24; ++trial) {
+    size_t p = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    size_t base = p + 2 + static_cast<size_t>(rng.UniformInt(0, 8));
+    IncrementalRidge inc(p);
+    auto random_row = [&](std::vector<double>* x, double* y) {
+      x->resize(p);
+      for (size_t j = 0; j < p; ++j) (*x)[j] = rng.Uniform(-3, 3);
+      *y = rng.Uniform(-10, 10);
+    };
+    std::vector<double> x;
+    double y;
+    for (size_t i = 0; i < base; ++i) {
+      random_row(&x, &y);
+      inc.AddRow(x, y);
+    }
+    linalg::Matrix u0 = inc.U();
+    Result<LinearModel> phi0 = inc.Solve();
+    ASSERT_TRUE(phi0.ok());
+
+    // Push a short LIFO stack of extra rows, then pop it back off.
+    size_t extra = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+    std::vector<std::pair<std::vector<double>, double>> pushed;
+    for (size_t h = 0; h < extra; ++h) {
+      random_row(&x, &y);
+      inc.AddRow(x, y);
+      pushed.emplace_back(x, y);
+    }
+    for (size_t h = extra; h-- > 0;) {
+      ASSERT_TRUE(inc.RemoveRow(pushed[h].first, pushed[h].second))
+          << "trial " << trial << " pop " << h;
+    }
+
+    ASSERT_EQ(inc.num_rows(), base);
+    EXPECT_LT(inc.U().MaxAbsDiff(u0), 1e-9 * (1.0 + u0(0, 0)))
+        << "trial " << trial;
+    Result<LinearModel> phi1 = inc.Solve();
+    ASSERT_TRUE(phi1.ok());
+    for (size_t j = 0; j <= p; ++j) {
+      double scale = std::max(1.0, std::fabs(phi0.value().phi[j]));
+      EXPECT_NEAR(phi1.value().phi[j], phi0.value().phi[j], 1e-8 * scale)
+          << "trial " << trial << " coef " << j;
+    }
+  }
+}
+
+TEST(IncrementalRidgeTest, DowndateGuardRefusesCatastrophicCancellation) {
+  // A dominant row whose removal would cancel ~all significant digits of
+  // the Gram diagonal must be refused (rank-collapse: the remaining mass
+  // is 1e-12 of the diagonal) — this is the restream-fallback trigger.
+  IncrementalRidge inc(2);
+  inc.AddRow({1e6, -2e6}, 5.0);
+  inc.AddRow({1.0, 0.5}, 1.0);
+  inc.AddRow({-0.5, 1.0}, -2.0);
+  linalg::Matrix u_before = inc.U();
+
+  EXPECT_FALSE(inc.RemoveRow(std::vector<double>{1e6, -2e6}, 5.0));
+  // A refused down-date leaves the accumulator untouched.
+  EXPECT_EQ(inc.num_rows(), 3u);
+  EXPECT_EQ(inc.U().MaxAbsDiff(u_before), 0.0);
+
+  // Same-magnitude rows down-date fine.
+  EXPECT_TRUE(inc.RemoveRow(std::vector<double>{1.0, 0.5}, 1.0));
+  EXPECT_EQ(inc.num_rows(), 2u);
+  EXPECT_TRUE(inc.RemoveRow(std::vector<double>{-0.5, 1.0}, -2.0));
+  // Removing the last row degenerates to Reset (exact empty state).
+  EXPECT_TRUE(inc.RemoveRow(std::vector<double>{1e6, -2e6}, 5.0));
+  EXPECT_EQ(inc.num_rows(), 0u);
+  EXPECT_EQ(inc.U()(0, 0), 0.0);
+  EXPECT_EQ(inc.Solve().status().code(), StatusCode::kFailedPrecondition);
+  // Removing from an empty accumulator is refused outright.
+  EXPECT_FALSE(inc.RemoveRow(std::vector<double>{1.0, 1.0}, 0.0));
+}
 
 TEST(IncrementalRidgeTest, BatchAddMatchesRowAdds) {
   Rng rng(9);

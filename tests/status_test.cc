@@ -30,6 +30,10 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::ResourceExhausted("q full").ToString(),
+            "ResourceExhausted: q full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -12,36 +12,14 @@
 
 #include "common/rng.h"
 #include "core/iim_imputer.h"
-#include "datasets/generator.h"
 #include "stream/dynamic_index.h"
 #include "stream/imputation_service.h"
+#include "stream_test_util.h"
 
 namespace iim::stream {
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
-
-data::Table HeterogeneousTable(size_t n, size_t m, uint64_t seed) {
-  datasets::DatasetSpec spec;
-  spec.name = "stream-test";
-  spec.n = n;
-  spec.m = m;
-  spec.regimes = 4;
-  spec.exogenous = std::max<size_t>(1, m / 2);
-  spec.divergence = 0.9;
-  spec.noise = 0.15;
-  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, seed);
-  EXPECT_TRUE(gen.ok());
-  return gen.value().table;
-}
-
-// An incomplete probe tuple: the generated row with its target blanked.
-std::vector<double> Probe(const data::Table& source, size_t row,
-                          int target) {
-  std::vector<double> values = source.Row(row).ToVector();
-  values[static_cast<size_t>(target)] = kNan;
-  return values;
-}
 
 // ---------------------------------------------------------------------------
 // DynamicIndex
@@ -311,6 +289,76 @@ TEST(ImputationServiceTest, OrderedIngestImputeEqualsDirectDrive) {
   }
 }
 
+TEST(ImputationServiceTest, BoundedQueueShedsLoadWithExplicitStatus) {
+  data::Table full = HeterogeneousTable(60, 3, 61);
+  core::IimOptions opt = StreamOptions(1);
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+
+  ImputationService::Options sopt;
+  sopt.max_batch = 4;
+  sopt.max_queue = 8;
+  ImputationService service(engine.value().get(), sopt);
+  // Pause before submitting: the server is parked, so the queue fills
+  // deterministically to the bound and everything past it is shed.
+  service.Pause();
+
+  std::vector<std::future<Status>> accepted;
+  for (size_t i = 0; i < sopt.max_queue; ++i) {
+    accepted.push_back(service.SubmitIngest(full.Row(i).ToVector()));
+  }
+  // Saturated: ingests, imputations and evictions are all rejected
+  // immediately with the explicit overload status.
+  std::future<Status> shed_ingest =
+      service.SubmitIngest(full.Row(20).ToVector());
+  std::future<Result<double>> shed_impute =
+      service.SubmitImpute(Probe(full, 30, 2));
+  std::future<Status> shed_evict = service.SubmitEvict(0);
+  EXPECT_EQ(shed_ingest.get().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed_impute.get().status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed_evict.get().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejected, 3u);
+
+  // Resume: every accepted request is served normally.
+  service.Resume();
+  service.Drain();
+  for (auto& f : accepted) EXPECT_TRUE(f.get().ok());
+  ImputationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.ingests, sopt.max_queue);
+  EXPECT_EQ(engine.value()->size(), sopt.max_queue);
+}
+
+TEST(ImputationServiceTest, SubmitEvictAppliesInSubmissionOrder) {
+  data::Table full = HeterogeneousTable(80, 3, 67);
+  core::IimOptions opt = StreamOptions(2);
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+
+  ImputationService service(engine.value().get());
+  for (size_t i = 0; i < 60; ++i) {
+    service.SubmitIngest(full.Row(i).ToVector());
+  }
+  // Retire the first 20 arrivals; the imputation submitted after them must
+  // observe the shrunken window.
+  std::vector<std::future<Status>> evictions;
+  for (uint64_t a = 0; a < 20; ++a) {
+    evictions.push_back(service.SubmitEvict(a));
+  }
+  std::future<Status> bogus = service.SubmitEvict(999);
+  std::future<Result<double>> value = service.SubmitImpute(Probe(full, 70, 2));
+  service.Drain();
+
+  for (auto& f : evictions) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(bogus.get().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(value.get().ok());
+  EXPECT_EQ(engine.value()->size(), 40u);
+  EXPECT_EQ(service.stats().evictions, 21u);
+  EXPECT_EQ(engine.value()->stats().evicted, 20u);
+}
+
 TEST(ImputationServiceTest, CoalescesConsecutiveImputations) {
   data::Table full = HeterogeneousTable(80, 3, 53);
   core::IimOptions opt = StreamOptions(2);
@@ -324,18 +372,23 @@ TEST(ImputationServiceTest, CoalescesConsecutiveImputations) {
   ImputationService::Options sopt;
   sopt.max_batch = 16;
   ImputationService service(engine.value().get(), sopt);
+  // Park the server while submitting so the queue really holds runs of
+  // consecutive imputations — without this the test races the drain (a
+  // server faster than the producer never sees two requests at once).
+  service.Pause();
   std::vector<std::future<Result<double>>> futures;
   for (size_t i = 40; i < 80; ++i) {
     futures.push_back(service.SubmitImpute(Probe(full, i, 2)));
   }
+  service.Resume();
   service.Drain();
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
   ImputationService::Stats stats = service.stats();
   EXPECT_EQ(stats.imputations, 40u);
-  // 40 requests against a 16-cap: strictly fewer engine calls than
-  // requests proves micro-batching happened.
-  EXPECT_LT(stats.batches, 40u);
-  EXPECT_GT(stats.largest_batch, 1u);
+  // 40 queued requests against a 16-cap drain in exactly ceil(40/16)
+  // micro-batches.
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.largest_batch, 16u);
 }
 
 }  // namespace

@@ -1,0 +1,46 @@
+// Shared fixtures for the streaming test suites (tests/stream_test.cc and
+// tests/stream_window_test.cc): one heterogeneous-relation generator so
+// both suites agree on what a hard multi-regime table looks like, and the
+// incomplete-probe constructor.
+
+#ifndef IIM_TESTS_STREAM_TEST_UTIL_H_
+#define IIM_TESTS_STREAM_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+#include "datasets/generator.h"
+
+namespace iim::stream {
+
+inline data::Table HeterogeneousTable(size_t n, size_t m, uint64_t seed) {
+  datasets::DatasetSpec spec;
+  spec.name = "stream-test";
+  spec.n = n;
+  spec.m = m;
+  spec.regimes = 4;
+  spec.exogenous = std::max<size_t>(1, m / 2);
+  spec.divergence = 0.9;
+  spec.noise = 0.15;
+  Result<datasets::GeneratedDataset> gen = datasets::Generate(spec, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen.value().table;
+}
+
+// An incomplete probe tuple: the generated row with its target blanked.
+inline std::vector<double> Probe(const data::Table& source, size_t row,
+                                 int target) {
+  std::vector<double> values = source.Row(row).ToVector();
+  values[static_cast<size_t>(target)] =
+      std::numeric_limits<double>::quiet_NaN();
+  return values;
+}
+
+}  // namespace iim::stream
+
+#endif  // IIM_TESTS_STREAM_TEST_UTIL_H_
