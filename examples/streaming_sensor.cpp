@@ -32,6 +32,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/percentile.h"
+#include "common/stopwatch.h"
 #include "core/iim_imputer.h"
 #include "datasets/generator.h"
 #include "stream/imputation_service.h"
@@ -107,6 +109,14 @@ int main() {
                 "(largest %zu)\n",
                 sstats.ingests, sstats.imputations, sstats.batches,
                 sstats.largest_batch);
+    std::printf("Service latency: ingest p50 %.3f / p99 %.3f / max %.3f ms; "
+                "impute batch p50 %.3f / p99 %.3f / max %.3f ms\n",
+                sstats.ingest_latency.p50 * 1e3,
+                sstats.ingest_latency.p99 * 1e3,
+                sstats.ingest_latency.max * 1e3,
+                sstats.impute_latency.p50 * 1e3,
+                sstats.impute_latency.p99 * 1e3,
+                sstats.impute_latency.max * 1e3);
   }
 
   double acc = 0.0;
@@ -130,9 +140,15 @@ int main() {
               "prefix appends, %zu invalidations, %zu lazy model solves\n",
               stats.ingested, stats.fast_path_appends,
               stats.models_invalidated, stats.models_solved);
-  std::printf("Index: %zu points, KD-tree over %zu (%zu rebuilds)\n\n",
-              online.index().size(), online.index().tree_size(),
-              online.index().rebuilds());
+  // One coherent index snapshot: rebuild counters, double-buffer state
+  // and the worst writer-lock hold an arrival ever paid.
+  iim::stream::DynamicIndex::Stats istats = online.index().stats();
+  std::printf("Index: %zu points, KD-tree over %zu (tail %zu); %zu rebuilds "
+              "= %zu background launches, %zu swaps, %zu discarded; worst "
+              "Append lock hold %.3f ms\n\n",
+              istats.live, istats.tree_size, istats.tail_size,
+              istats.rebuilds, istats.launches, istats.swaps,
+              istats.discarded, istats.max_append_hold_seconds * 1e3);
 
   // The streaming guarantee: a batch engine fitted from scratch on the
   // final relation must agree with the online engine bit for bit.
@@ -171,8 +187,13 @@ int main() {
     return 1;
   }
   iim::stream::OnlineIim& windowed = *wengine.value();
+  std::vector<double> arrival_seconds;
+  arrival_seconds.reserve(readings.NumRows());
+  iim::Stopwatch arrival_timer;
   for (size_t i = 0; i < readings.NumRows(); ++i) {
+    arrival_timer.Restart();
     iim::Status st = windowed.Ingest(readings.Row(i));
+    arrival_seconds.push_back(arrival_timer.ElapsedSeconds());
     if (!st.ok()) {
       std::fprintf(stderr, "windowed ingest %zu: %s\n", i,
                    st.ToString().c_str());
@@ -195,10 +216,22 @@ int main() {
   std::printf("\nSliding window (window_size = %zu): %zu ingested, %zu "
               "evicted, %zu live\n",
               kWindow, wstats.ingested, wstats.evicted, windowed.size());
+  // The tail-latency smoke check: every arrival above carried ingest +
+  // auto-evict + any compaction; the percentiles make a regression in any
+  // of them visible at a glance.
+  iim::LatencySummary arrival_lat = iim::Summarize(arrival_seconds);
+  std::printf("Per-arrival latency (ingest + auto-evict): p50 %.3f / p99 "
+              "%.3f / max %.3f ms\n",
+              arrival_lat.p50 * 1e3, arrival_lat.p99 * 1e3,
+              arrival_lat.max * 1e3);
+  iim::stream::DynamicIndex::Stats wistats = windowed.index().stats();
   std::printf("Eviction repair: %zu down-dates, %zu restream fallbacks, %zu "
-              "backfills; %zu compactions kept %zu index slots\n",
+              "backfills over %zu reverse-neighbor postings edges; %zu "
+              "compactions kept %zu index slots (worst compact lock hold "
+              "%.3f ms)\n",
               wstats.downdates, wstats.downdate_fallbacks, wstats.backfills,
-              wstats.compactions, windowed.index().slots());
+              wstats.postings_edges, wstats.compactions, wistats.slots,
+              wistats.max_compact_hold_seconds * 1e3);
 
   // The windowed guarantee: a batch engine fitted on the live window (the
   // last kWindow readings) agrees with the windowed engine — bitwise when

@@ -1,0 +1,56 @@
+// Latency percentile helpers for the tail-latency instrumentation
+// (bench_streaming, examples/streaming_sensor, ImputationService stats).
+//
+// Percentile uses the nearest-rank definition on a copy of the samples —
+// O(n) via nth_element, no full sort — so callers can keep their sample
+// buffers in arrival order and ask for p50/p99/max after the fact.
+
+#ifndef IIM_COMMON_PERCENTILE_H_
+#define IIM_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace iim {
+
+// Nearest-rank percentile of `samples` for p in [0, 100]; 0 on empty
+// input. p = 0 is the minimum, p = 100 the maximum.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest rank: ceil(p/100 * n), clamped to [1, n]; 0-based index is
+  // rank - 1.
+  size_t n = samples.size();
+  size_t rank = static_cast<size_t>(p / 100.0 * static_cast<double>(n));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(n)) {
+    ++rank;  // ceil without floating-point drift for exact multiples
+  }
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<long>(rank - 1),
+                   samples.end());
+  return samples[rank - 1];
+}
+
+// Convenience bundle for the common p50/p99/max reporting triple.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  s.p50 = Percentile(samples, 50.0);
+  s.p99 = Percentile(samples, 99.0);
+  s.max = *std::max_element(samples.begin(), samples.end());
+  return s;
+}
+
+}  // namespace iim
+
+#endif  // IIM_COMMON_PERCENTILE_H_

@@ -72,15 +72,29 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
     Job* job = nullptr;
+    std::shared_ptr<std::packaged_task<void()>> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+        return shutdown_ || !tasks_.empty() ||
+               (job_ != nullptr && generation_ != seen_generation);
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
-      ++active_workers_;
+      if (!tasks_.empty()) {
+        // Tasks drain first — including during shutdown, so a submitted
+        // background build always completes before the pool dies.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (shutdown_) {
+        return;
+      } else {
+        seen_generation = generation_;
+        job = job_;
+        ++active_workers_;
+      }
+    }
+    if (task != nullptr) {
+      (*task)();  // packaged_task captures exceptions into the future
+      continue;
     }
     RunBlocks(job);
     {
@@ -89,6 +103,30 @@ void ThreadPool::WorkerLoop() {
     }
     done_cv_.notify_all();
   }
+}
+
+void ThreadPool::Prestart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.empty()) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task =
+      std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    // A 1-thread pool runs ParallelFor inline and owns no workers; the
+    // first Submit brings one up so async tasks have a thread to run on.
+    if (workers_.empty()) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  work_cv_.notify_one();
+  return fut;
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t grain,

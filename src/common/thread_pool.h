@@ -16,6 +16,14 @@
 // Exceptions thrown inside fn are captured and rethrown on the calling
 // thread after all blocks finish (the exception of the lowest-numbered
 // failing block wins, again for determinism).
+//
+// Submit(fn) is the second entry point: a detached task that runs on a
+// pool worker while the caller keeps going — the primitive behind
+// stream::DynamicIndex's background KD-tree rebuilds. Tasks never run on
+// the calling thread; a 1-thread pool (whose ParallelFor is inline)
+// lazily spawns one worker the first time Submit is called, so an async
+// task always has a real thread. Queued tasks are drained, not dropped,
+// at destruction.
 
 #ifndef IIM_COMMON_THREAD_POOL_H_
 #define IIM_COMMON_THREAD_POOL_H_
@@ -23,7 +31,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -51,6 +62,19 @@ class ThreadPool {
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  // Runs fn asynchronously on a pool worker and returns immediately; the
+  // future resolves when fn has finished (exceptionally if fn threw).
+  // Tasks are served in submission order, before any waiting ParallelFor
+  // job, and never on the calling thread — safe to call while holding
+  // locks fn itself takes. ~ThreadPool waits for every submitted task.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Ensures at least one worker thread exists, spawning it now if the
+  // pool was constructed 1-wide (whose workers are otherwise lazy).
+  // Lets a latency-sensitive caller pay the OS thread-creation cost at
+  // setup time instead of inside its first Submit.
+  void Prestart();
+
   // The partition ParallelFor uses, exposed so callers can pre-size
   // per-block accumulators: NumBlocks(n, grain) blocks, block b covering
   // [BlockBegin, min(BlockBegin + grain, n)).
@@ -71,11 +95,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a job
+  std::condition_variable work_cv_;   // workers wait for a job or task
   std::condition_variable done_cv_;   // caller waits for completion
   Job* job_ = nullptr;                // current job, guarded by mu_
   uint64_t generation_ = 0;           // bumps per job; stops re-entry
   size_t active_workers_ = 0;         // workers currently inside job_
+  // Detached Submit tasks, drained ahead of jobs and before shutdown.
+  std::deque<std::shared_ptr<std::packaged_task<void()>>> tasks_;
   bool shutdown_ = false;
 };
 

@@ -57,6 +57,12 @@ struct IimOptions {
   // slower per eviction, but bitwise identical to a batch refit on the
   // surviving window.
   bool downdate = true;
+  // Build replacement KD-trees for the streaming index on a background
+  // thread and install them with a brief writer-lock swap, bounding
+  // per-arrival ingest latency (results are identical either way; see
+  // stream::DynamicIndex::Options::background_rebuild). false rebuilds
+  // inside the ingest under the writer lock — the tail-latency baseline.
+  bool background_rebuild = true;
 
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware

@@ -2,15 +2,29 @@
 //
 // The paper (Formula 1) uses Euclidean distance on the complete attributes
 // F normalized by |F|:  d_{x,i} = sqrt( sum_{A in F} (t_x[A]-t_i[A])^2 / |F| ).
+//
+// All overloads funnel into one blocked squared-L2 kernel (SquaredL2):
+// four independent accumulator chains that the compiler can keep in SIMD
+// lanes and contract into FMAs, with a fixed summation order. Every call
+// form — raw pointers over a gathered point buffer, RowView pairs on a
+// column subset — reproduces that exact order, so the KD-tree, the brute
+// scan, the dynamic index tail and the streaming maintenance loops all
+// agree on every distance bit for bit, ties included.
 
 #ifndef IIM_NEIGHBORS_DISTANCE_H_
 #define IIM_NEIGHBORS_DISTANCE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/table.h"
 
 namespace iim::neighbors {
+
+// sum_i (a[i] - b[i])^2 over d contiguous values, blocked summation order
+// (lanes 0..3 then pairwise lane merge; the shared kernel every distance
+// overload reduces to).
+double SquaredL2(const double* a, const double* b, size_t d);
 
 // Formula 1. Attributes listed in `cols`; both rows must be non-NaN there.
 double NormalizedEuclidean(const data::RowView& a, const data::RowView& b,

@@ -23,12 +23,24 @@ struct LinearModel {
     return Predict(x.data(), x.size());
   }
 
-  // Same on p contiguous values (the data::FeatureBlock fast path).
+  // Same on p contiguous values (the data::FeatureBlock fast path). Four
+  // independent accumulator chains with a fixed merge order: the compiler
+  // can vectorize and FMA-contract them without reassociating, and every
+  // caller (batch learner, streaming engine, validators) sums in the same
+  // sequence, which keeps their cross-checks bit-identical.
   double Predict(const double* x, size_t p) const {
     assert(p + 1 == phi.size());
-    double acc = phi[0];
-    for (size_t i = 0; i < p; ++i) acc += phi[i + 1] * x[i];
-    return acc;
+    const double* w = phi.data() + 1;
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    size_t i = 0;
+    for (; i + 4 <= p; i += 4) {
+      acc0 += w[i] * x[i];
+      acc1 += w[i + 1] * x[i + 1];
+      acc2 += w[i + 2] * x[i + 2];
+      acc3 += w[i + 3] * x[i + 3];
+    }
+    for (; i < p; ++i) acc0 += w[i] * x[i];
+    return phi[0] + ((acc0 + acc1) + (acc2 + acc3));
   }
 
   // A "constant" model that always predicts `value` over p features — the

@@ -1,7 +1,10 @@
 #include "stream/dynamic_index.h"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
+#include "common/stopwatch.h"
 #include "neighbors/distance.h"
 
 namespace iim::stream {
@@ -10,10 +13,97 @@ DynamicIndex::DynamicIndex(std::vector<int> cols)
     : DynamicIndex(std::move(cols), Options()) {}
 
 DynamicIndex::DynamicIndex(std::vector<int> cols, const Options& options)
-    : cols_(std::move(cols)), options_(options) {}
+    : cols_(std::move(cols)), options_(options) {
+  if (options_.background_rebuild) {
+    // Bring the builder worker up now, outside any lock: its OS
+    // thread-creation cost must not land inside the first launching
+    // Append's writer-lock hold (the metric this index exists to bound).
+    builder_ = std::make_unique<ThreadPool>(1);
+    builder_->Prestart();
+  }
+}
+
+DynamicIndex::~DynamicIndex() {
+  // Joining the builder pool drains any in-flight build task (which reads
+  // mu_ and points_) before the rest of the members are destroyed.
+  builder_.reset();
+}
+
+void DynamicIndex::InstallLocked() {
+  if (pending_ == nullptr ||
+      !pending_->done.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (pending_->epoch == prefix_epoch_) {
+    // The prefix the build covered is bit-unchanged (appends only extend
+    // it), so the tree's point ids and split planes are valid against the
+    // live buffer. The swap is the only tree mutation queries can ever
+    // observe, and it is O(1).
+    tree_ = std::move(pending_->tree);
+    ++rebuilds_;
+    ++swaps_;
+  } else {
+    // Defense in depth: unreachable today, because Compact — the only
+    // epoch bump — drops pending_ in the same critical section (and
+    // counts the discard there). If a future edit ever bumps the epoch
+    // without resetting pending_, this guard keeps the stale tree out.
+    ++discarded_;
+  }
+  pending_.reset();
+}
+
+void DynamicIndex::LaunchRebuildLocked() {
+  pending_ = std::make_shared<PendingBuild>();
+  pending_->n = n_;
+  pending_->epoch = prefix_epoch_;
+  // The constructor created and prestarted the builder for every
+  // background_rebuild index — creating it here would put OS thread
+  // spawning inside the writer-lock hold.
+  assert(builder_ != nullptr);
+  ++launches_;
+  std::shared_ptr<PendingBuild> p = pending_;
+  build_future_ = builder_->Submit([this, p] {
+    size_t d = cols_.size();
+    {
+      // Brief reader-side pass: copy the prefix while writers are out.
+      // Queries (also readers) proceed concurrently. Rows [0, p->n) are
+      // bit-stable until a compaction, which bumps the epoch and turns
+      // this build into a discard.
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      if (p->epoch != prefix_epoch_) {
+        p->done.store(true, std::memory_order_release);
+        return;
+      }
+      p->snapshot.assign(points_.begin(),
+                         points_.begin() + static_cast<long>(p->n * d));
+    }
+    // The O(n log n) build runs with no lock held.
+    p->tree.Build(p->snapshot.data(), p->n, d);
+    p->snapshot.clear();
+    p->snapshot.shrink_to_fit();
+    p->done.store(true, std::memory_order_release);
+  });
+}
+
+void DynamicIndex::MaybeRebuildLocked() {
+  if (pending_ != nullptr) return;  // one build in flight at a time
+  size_t d = cols_.size();
+  size_t tail = n_ - tree_.size();
+  if (n_ - dead_ < options_.kdtree_threshold ||
+      tail < std::max(options_.min_rebuild_tail, tree_.size() / 4)) {
+    return;
+  }
+  if (options_.background_rebuild) {
+    LaunchRebuildLocked();
+  } else {
+    tree_.Build(points_.data(), n_, d);
+    ++rebuilds_;
+  }
+}
 
 void DynamicIndex::Append(const data::RowView& row) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  Stopwatch hold;  // writer-lock hold: the ingest critical section
   size_t d = cols_.size();
   // Plain push_back: capacity doubling keeps appends amortized O(1). (An
   // exact-size reserve here would force a full copy on every arrival.)
@@ -22,12 +112,12 @@ void DynamicIndex::Append(const data::RowView& row) {
   }
   alive_.push_back(1);
   ++n_;
-  size_t tail = n_ - tree_.size();
-  if (n_ - dead_ >= options_.kdtree_threshold &&
-      tail >= std::max(options_.min_rebuild_tail, tree_.size() / 4)) {
-    tree_.Build(points_.data(), n_, d);
-    ++rebuilds_;
-  }
+  // Adopt a finished build first: the swap shrinks the tail, which may
+  // make the launch below unnecessary.
+  InstallLocked();
+  MaybeRebuildLocked();
+  max_append_hold_seconds_ =
+      std::max(max_append_hold_seconds_, hold.ElapsedSeconds());
 }
 
 bool DynamicIndex::Remove(size_t slot) {
@@ -35,6 +125,7 @@ bool DynamicIndex::Remove(size_t slot) {
   if (slot >= n_ || alive_[slot] == 0) return false;
   alive_[slot] = 0;
   ++dead_;
+  InstallLocked();  // opportunistic, O(1)
   return true;
 }
 
@@ -48,6 +139,7 @@ bool DynamicIndex::NeedsCompaction() const {
 
 std::vector<size_t> DynamicIndex::Compact() {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  Stopwatch hold;
   size_t d = cols_.size();
   std::vector<size_t> remap(n_, kGone);
   size_t next = 0;
@@ -66,13 +158,45 @@ std::vector<size_t> DynamicIndex::Compact() {
   n_ = next;
   dead_ = 0;
   ++compactions_;
-  if (n_ >= options_.kdtree_threshold) {
-    tree_.Build(points_.data(), n_, d);
-    ++rebuilds_;
-  } else {
-    tree_.Clear();
+  // The prefix moved: any in-flight build is now stale. Bumping the epoch
+  // makes the builder abandon (if it has not copied yet) or the installer
+  // discard (if it has); dropping our pending_ reference frees the slot
+  // for the post-compaction build. The orphaned task only touches its own
+  // snapshot.
+  ++prefix_epoch_;
+  if (pending_ != nullptr) {
+    ++discarded_;
+    pending_.reset();
   }
+  tree_.Clear();
+  if (n_ >= options_.kdtree_threshold) {
+    if (options_.background_rebuild) {
+      // Same double-buffered machinery as Append: queries scan the whole
+      // (now dense) buffer brute-force — still exact — until the
+      // replacement tree lands.
+      LaunchRebuildLocked();
+    } else {
+      tree_.Build(points_.data(), n_, d);
+      ++rebuilds_;
+    }
+  }
+  max_compact_hold_seconds_ =
+      std::max(max_compact_hold_seconds_, hold.ElapsedSeconds());
   return remap;
+}
+
+void DynamicIndex::WaitForRebuild() {
+  while (true) {
+    std::shared_future<void> f;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      InstallLocked();
+      if (pending_ == nullptr) return;
+      f = build_future_;  // copy: concurrent waiters share the handle
+    }
+    // Wait with no lock held (the builder needs the reader side).
+    if (f.valid()) f.wait();
+  }
 }
 
 void DynamicIndex::Collect(const std::vector<double>& q,
@@ -89,14 +213,16 @@ void DynamicIndex::Collect(const std::vector<double>& q,
                                           d)});
   }
   if (heap->size() > options.k) {
-    std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
-    while (heap->size() > options.k) {
-      std::pop_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
-      heap->pop_back();
-    }
-  } else {
-    std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
+    // Top-k selection in O(tail + k log k) instead of heap-popping the
+    // whole tail at O(tail log tail). (distance, slot) is a total order,
+    // so the kept set — and therefore every downstream result — is
+    // unchanged bit for bit.
+    std::nth_element(heap->begin(),
+                     heap->begin() + static_cast<long>(options.k),
+                     heap->end(), neighbors::NeighborLess);
+    heap->resize(options.k);
   }
+  std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
   tree_.Search(points_.data(), q.data(), options, heap,
                dead_ > 0 ? alive_.data() : nullptr);
 }
@@ -134,6 +260,25 @@ std::vector<neighbors::Neighbor> DynamicIndex::QueryAll(
 size_t DynamicIndex::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return n_ - dead_;
+}
+
+DynamicIndex::Stats DynamicIndex::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats s;
+  s.live = n_ - dead_;
+  s.slots = n_;
+  s.tombstones = dead_;
+  s.tree_size = tree_.size();
+  s.tail_size = n_ - tree_.size();
+  s.rebuilds = rebuilds_;
+  s.launches = launches_;
+  s.swaps = swaps_;
+  s.discarded = discarded_;
+  s.compactions = compactions_;
+  s.rebuild_in_flight = pending_ != nullptr;
+  s.max_append_hold_seconds = max_append_hold_seconds_;
+  s.max_compact_hold_seconds = max_compact_hold_seconds_;
+  return s;
 }
 
 size_t DynamicIndex::slots() const {

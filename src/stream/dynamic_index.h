@@ -9,34 +9,54 @@
 // tree, the tree is rebuilt over everything — amortized O(log n) rebuilds
 // over the stream's lifetime.
 //
+// Rebuilds happen OFF the ingest path (Options::background_rebuild, on by
+// default): the replacement tree is built double-buffered on a ThreadPool
+// task — a brief shared-lock pass copies the prefix, the O(n log n) build
+// runs with no lock held — while arrivals keep landing in the brute-force
+// tail and queries keep hitting old-tree + tail. The next writer
+// operation installs the finished tree with a pointer swap, instantly
+// shrinking the tail to the arrivals that came in during the build. A
+// compaction racing the build bumps the prefix epoch, and the stale
+// result is discarded at install time. Per-arrival cost is thereby
+// bounded: the worst Append does an O(1) push plus a swap, never an
+// O(n log n) build under the writer lock.
+//
 // Eviction is two-phase. Remove(slot) *tombstones* the row: it stays in
 // the buffer (slot ids of the survivors are untouched) but every query
 // skips it — the tail scan checks the bitmap, the tree search takes it as
 // an alive-filter. Once tombstones pile up past a fraction of the live
 // rows (NeedsCompaction), the owner calls Compact(): dead rows are
 // physically dropped, survivors slide onto a dense prefix in their
-// original relative order, the tree is rebuilt, and the old-slot -> new-
-// slot map is returned so the owner can remap its own slot-indexed state.
+// original relative order, a rebuild over the survivors is launched
+// through the same background machinery (queries scan brute-force until
+// it lands), and the old-slot -> new-slot map is returned so the owner
+// can remap its own slot-indexed state.
 //
 // Results are bit-identical to a BruteForceIndex over the live points for
-// every append/remove/compact interleaving: tree and tail use the same
-// Formula 1 distance and the same (distance, slot) tie order, and
-// compaction preserves relative slot order so ties keep breaking the same
-// way.
+// every append/remove/compact interleaving AND every rebuild timing: tree
+// and tail use the same Formula 1 distance and the same (distance, slot)
+// tie order, the tree/tail boundary never changes which neighbors win,
+// and compaction preserves relative slot order so ties keep breaking the
+// same way.
 //
 // Concurrency: appends, removals and compaction take the writer side of a
 // shared_mutex, queries the reader side for their whole duration, so an
 // in-flight query always sees a consistent snapshot — it can never observe
 // a half-appended point, a buffer mid-reallocation, or a half-compacted
-// slot mapping.
+// slot mapping. The background builder reads only its own prefix copy
+// (taken under a reader lock), so it races with nothing.
 
 #ifndef IIM_STREAM_DYNAMIC_INDEX_H_
 #define IIM_STREAM_DYNAMIC_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <shared_mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "neighbors/kdtree.h"
 
 namespace iim::stream {
@@ -54,6 +74,41 @@ class DynamicIndex final : public neighbors::NeighborIndex {
     // fraction of the live rows.
     size_t min_compact_tombstones = 64;
     double max_tombstone_fraction = 0.25;
+    // Build replacement KD-trees on a background ThreadPool task and
+    // install them with a brief writer-lock swap (the double-buffered
+    // path described above). false rebuilds synchronously inside
+    // Append/Compact under the writer lock — the pre-overhaul behavior,
+    // kept as the tail-latency baseline for benches.
+    bool background_rebuild = true;
+  };
+
+  // One coherent snapshot of every counter, taken under a single lock
+  // acquisition — the individual accessors below each lock separately, so
+  // reading several while a background builder runs can tear (e.g. a swap
+  // landing between rebuilds() and tree_size()).
+  struct Stats {
+    size_t live = 0;        // non-tombstoned rows
+    size_t slots = 0;       // including tombstones
+    size_t tombstones = 0;
+    size_t tree_size = 0;   // points covered by the installed tree
+    size_t tail_size = 0;   // slots - tree_size: brute-force scanned
+    size_t rebuilds = 0;    // trees installed (sync + background swaps)
+    size_t launches = 0;    // background builds launched
+    size_t swaps = 0;       // background builds installed
+    size_t discarded = 0;   // background builds dropped (compaction raced)
+    size_t compactions = 0;
+    bool rebuild_in_flight = false;
+    // Longest writer-lock hold inside one Append — the ingest critical
+    // section that bounds both arrival latency and how long concurrent
+    // queries can be blocked. In-lock rebuilds land their O(n log n)
+    // build here; the background path keeps it at the O(1) push + swap.
+    // (Wall-clock per-arrival percentiles can hide the difference on
+    // single-core machines, where the builder competes for the CPU; this
+    // cannot.)
+    double max_append_hold_seconds = 0.0;
+    // Same for Compact (the O(n) survivor slide, plus the in-lock build
+    // when background_rebuild is off).
+    double max_compact_hold_seconds = 0.0;
   };
 
   // Compact()'s remap value for evicted slots.
@@ -63,11 +118,13 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   // non-empty. Starts empty.
   explicit DynamicIndex(std::vector<int> cols);
   DynamicIndex(std::vector<int> cols, const Options& options);
+  ~DynamicIndex() override;
 
   // Appends one full-arity row (its `cols` values are gathered, matching
-  // the BruteForceIndex constructor), growing the buffer amortized-O(1)
-  // and rebuilding the KD-tree when the tail policy says so. The new row's
-  // slot id is the current slots() count.
+  // the BruteForceIndex constructor), growing the buffer amortized-O(1);
+  // the new row's slot id is the current slots() count. May launch (or
+  // install) a background rebuild per the tail policy — but never blocks
+  // on one.
   void Append(const data::RowView& row);
 
   // Tombstones one slot: it disappears from every subsequent query but
@@ -79,11 +136,18 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   bool NeedsCompaction() const;
 
   // Drops tombstoned rows, slides survivors onto a dense prefix (relative
-  // order preserved), rebuilds the KD-tree over the survivors when they
-  // still clear kdtree_threshold (Clear()s it otherwise), and returns the
-  // old-slot -> new-slot map (kGone for evicted slots) for the owner's own
-  // remapping.
+  // order preserved), schedules a rebuild over the survivors when they
+  // still clear kdtree_threshold (Clear()s the tree otherwise — queries
+  // are brute-force and still exact until the new tree lands), and
+  // returns the old-slot -> new-slot map (kGone for evicted slots) for
+  // the owner's own remapping.
   std::vector<size_t> Compact();
+
+  // Blocks until no background build is in flight, installing (or
+  // discarding) the result. Queries never need this — results are exact
+  // at every moment — it is a determinism barrier for tests, benches and
+  // idle streams that want the tree fresh before a read-heavy phase.
+  void WaitForRebuild();
 
   std::vector<neighbors::Neighbor> Query(
       const data::RowView& query,
@@ -94,20 +158,42 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   size_t size() const override;
 
   const std::vector<int>& cols() const { return cols_; }
-  // Total slots including tombstones; the id space queries report.
+
+  Stats stats() const;
+
+  // Single-field conveniences (each takes the lock once; use stats() when
+  // reading more than one).
   size_t slots() const;
   size_t tombstones() const;
-  // Points covered by the KD-tree (0 = pure brute force); for tests and
-  // rebuild diagnostics.
   size_t tree_size() const;
   size_t rebuilds() const;
   size_t compactions() const;
 
  private:
+  // One double-buffered tree build. The task owns a copy of the prefix it
+  // covers (taken under a reader lock once the task starts), builds with
+  // no lock held, then publishes through `done`; writers install the tree
+  // if the prefix epoch still matches. Shared-ptr'd so an abandoning
+  // index (Compact, destruction) can just drop its reference.
+  struct PendingBuild {
+    size_t n = 0;           // prefix rows the build will cover
+    uint64_t epoch = 0;     // prefix_epoch_ at launch
+    std::vector<double> snapshot;
+    neighbors::FlatKdTree tree;
+    std::atomic<bool> done{false};
+  };
+
   // Exact top-k over tail scan + tree search, unsorted heap out.
   void Collect(const std::vector<double>& q,
                const neighbors::QueryOptions& options,
                std::vector<neighbors::Neighbor>* heap) const;
+  // Adopts a finished background build (writer lock held by caller).
+  void InstallLocked();
+  // Launches a background build over the current slots (writer lock held
+  // by caller; no build may be pending).
+  void LaunchRebuildLocked();
+  // Applies the tail policy after an append (writer lock held by caller).
+  void MaybeRebuildLocked();
 
   std::vector<int> cols_;
   Options options_;
@@ -118,8 +204,26 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   size_t n_ = 0;                // slots, including tombstones
   size_t dead_ = 0;             // tombstoned slots
   neighbors::FlatKdTree tree_;  // covers points [0, tree_.size())
+  // Bumped whenever prefix values move (Compact): a pending build whose
+  // epoch no longer matches is discarded instead of installed.
+  uint64_t prefix_epoch_ = 0;
+  std::shared_ptr<PendingBuild> pending_;  // non-null while a build runs
+  // shared_future so concurrent WaitForRebuild callers can all block on
+  // the same build instead of one consuming the handle.
+  std::shared_future<void> build_future_;
   size_t rebuilds_ = 0;
+  size_t launches_ = 0;
+  size_t swaps_ = 0;
+  size_t discarded_ = 0;
   size_t compactions_ = 0;
+  double max_append_hold_seconds_ = 0.0;
+  double max_compact_hold_seconds_ = 0.0;
+
+  // Created (worker prestarted) at construction when background_rebuild
+  // is on, so no Append ever pays thread creation; declared last so its
+  // destructor (which drains any in-flight build task) runs before the
+  // members the task reads are torn down.
+  std::unique_ptr<ThreadPool> builder_;
 };
 
 }  // namespace iim::stream

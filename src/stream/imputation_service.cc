@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace iim::stream {
 
 ImputationService::ImputationService(OnlineIim* engine)
@@ -93,8 +95,30 @@ void ImputationService::Drain() {
 }
 
 ImputationService::Stats ImputationService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  std::vector<double> ingest_copy, impute_copy;
+  {
+    // Only the copies happen under mu_ — the nth_element passes run
+    // unlocked so a polling monitor cannot stall Submit or the serve
+    // loop (and thereby inflate the very latencies being summarized).
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    ingest_copy = ingest_seconds_;
+    impute_copy = impute_seconds_;
+  }
+  s.ingest_latency = Summarize(ingest_copy);
+  s.impute_latency = Summarize(impute_copy);
+  return s;
+}
+
+void ImputationService::RecordLatency(std::vector<double>* ring,
+                                      size_t* next, double seconds) {
+  if (ring->size() < kLatencySamples) {
+    ring->push_back(seconds);
+    return;
+  }
+  (*ring)[*next] = seconds;
+  *next = (*next + 1) % kLatencySamples;
 }
 
 void ImputationService::ServeLoop() {
@@ -124,6 +148,7 @@ void ImputationService::ServeLoop() {
     }
 
     Kind kind = taken.front().kind;
+    Stopwatch serve_timer;
     if (kind == Kind::kIngest) {
       data::RowView row(taken.front().values.data(),
                         taken.front().values.size());
@@ -143,16 +168,19 @@ void ImputationService::ServeLoop() {
       }
     }
 
+    double serve_seconds = serve_timer.ElapsedSeconds();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (kind == Kind::kIngest) {
         ++stats_.ingests;
+        RecordLatency(&ingest_seconds_, &ingest_next_, serve_seconds);
       } else if (kind == Kind::kEvict) {
         ++stats_.evictions;
       } else {
         stats_.imputations += taken.size();
         ++stats_.batches;
         stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
+        RecordLatency(&impute_seconds_, &impute_next_, serve_seconds);
       }
       in_flight_ = 0;
       if (queue_.empty()) idle_cv_.notify_all();

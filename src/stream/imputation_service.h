@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/percentile.h"
 #include "stream/online_iim.h"
 
 namespace iim::stream {
@@ -60,6 +61,12 @@ class ImputationService {
     size_t batches = 0;       // engine ImputeBatch calls issued
     size_t largest_batch = 0;
     size_t rejected = 0;      // submissions shed at the queue bound
+    // Engine-serve latency (seconds) over the most recent requests of
+    // each kind (bounded reservoir of kLatencySamples): ingest is
+    // per-arrival — the tail the background index rebuild bounds —
+    // impute is per micro-batch.
+    LatencySummary ingest_latency;
+    LatencySummary impute_latency;
   };
 
   // The engine must outlive the service; the service is the engine's only
@@ -103,10 +110,17 @@ class ImputationService {
     std::promise<Result<double>> impute_promise;
   };
 
+  // Most recent per-kind serve durations retained for the percentile
+  // summaries (a plain ring: old samples are overwritten).
+  static constexpr size_t kLatencySamples = 4096;
+
   // Enqueues under the lock unless the queue is at the bound; returns
   // whether the request was accepted.
   bool TryEnqueue(Request req);
   void ServeLoop();
+  // Appends one serve duration to a bounded ring (caller holds mu_).
+  static void RecordLatency(std::vector<double>* ring, size_t* next,
+                            double seconds);
 
   OnlineIim* engine_;
   Options options_;
@@ -119,6 +133,10 @@ class ImputationService {
   bool paused_ = false;
   bool shutdown_ = false;
   Stats stats_;
+  std::vector<double> ingest_seconds_;  // bounded rings, guarded by mu_
+  size_t ingest_next_ = 0;
+  std::vector<double> impute_seconds_;
+  size_t impute_next_ = 0;
 
   std::thread server_;
 };

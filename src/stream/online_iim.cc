@@ -1,6 +1,7 @@
 #include "stream/online_iim.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "neighbors/distance.h"
@@ -12,6 +13,12 @@ namespace {
 // Same batch grain as ParallelImputeBatch: keeps the fixed partition (and
 // therefore the result order guarantees) aligned with the batch engine.
 constexpr size_t kBatchGrain = 16;
+
+DynamicIndex::Options IndexOptions(const core::IimOptions& options) {
+  DynamicIndex::Options dopt;
+  dopt.background_rebuild = options.background_rebuild;
+  return dopt;
+}
 
 }  // namespace
 
@@ -57,7 +64,8 @@ OnlineIim::OnlineIim(const data::Schema& schema, int target,
       q_(features_.size()),
       ell_(std::max<size_t>(options.ell, 1)),
       table_(schema),
-      index_(features_) {}
+      index_(features_, IndexOptions(options)),
+      fb_(q_) {}
 
 Status OnlineIim::Ingest(const data::RowView& row) {
   if (row.size() != table_.NumCols()) {
@@ -82,10 +90,13 @@ Status OnlineIim::Ingest(const data::RowView& row) {
 
   // How the arrival lands in each live tuple's learning order. The new
   // point carries the largest slot, so it loses every distance tie — the
-  // insertion point is after all entries with distance <= d.
+  // insertion point is after all entries with distance <= d. Every tuple
+  // that adopts the arrival is also recorded as a holder in the new
+  // slot's reverse-neighbor postings.
+  std::vector<size_t> holders_of_new;
   for (size_t i = 0; i < n_; ++i) {
     if (alive_[i] == 0) continue;
-    double d = neighbors::NormalizedEuclidean(fx_.data() + i * q_,
+    double d = neighbors::NormalizedEuclidean(fb_.Features(i),
                                               f_new.data(), q_);
     std::vector<neighbors::Neighbor>& order = orders_[i];
     auto pos = std::upper_bound(
@@ -98,13 +109,20 @@ Status OnlineIim::Ingest(const data::RowView& row) {
         // Prefix grows at the end: the accumulated fold stays valid and
         // the new row is caught up lazily (Proposition 3).
         order.push_back(neighbors::Neighbor{id, d});
+        holders_of_new.push_back(i);
         dirty_[i] = 1;
         ++stats_.fast_path_appends;
       }
       // else: strictly farther than the current worst — unaffected.
     } else {
       order.insert(pos, neighbors::Neighbor{id, d});
-      if (order.size() > ell_) order.pop_back();
+      holders_of_new.push_back(i);
+      if (order.size() > ell_) {
+        // The displaced worst neighbor leaves i's order — and i leaves
+        // its postings.
+        PostingsRemove(order.back().index, i);
+        order.pop_back();
+      }
       // The fold's summation sequence changed; a rank-1 update cannot
       // remove the displaced row, so restream from scratch on next use.
       accums_[i].Reset();
@@ -130,8 +148,14 @@ Status OnlineIim::Ingest(const data::RowView& row) {
 
   RETURN_IF_ERROR(table_.AppendRow(row.ToVector()));
   index_.Append(row);
-  fx_.insert(fx_.end(), f_new.begin(), f_new.end());
-  fy_.push_back(y_new);
+  fb_.Append(f_new.data(), y_new);
+  // The new tuple holds its own neighbors; its holders were collected in
+  // the arrival loop above.
+  for (const neighbors::Neighbor& nb : order_new) {
+    if (nb.index != id) PostingsAdd(nb.index, id);
+  }
+  stats_.postings_edges += holders_of_new.size();
+  postings_.push_back(std::move(holders_of_new));
   orders_.push_back(std::move(order_new));
   accums_.emplace_back(q_);
   consumed_.push_back(0);
@@ -175,16 +199,37 @@ size_t OnlineIim::OldestLiveSlot() {
   return oldest_cursor_;
 }
 
+void OnlineIim::PostingsAdd(size_t s, size_t holder) {
+  postings_[s].push_back(holder);
+  ++stats_.postings_edges;
+}
+
+void OnlineIim::PostingsRemove(size_t s, size_t holder) {
+  std::vector<size_t>& v = postings_[s];
+  for (size_t& h : v) {
+    if (h == holder) {
+      h = v.back();  // unordered: swap-pop keeps removal O(1)
+      v.pop_back();
+      --stats_.postings_edges;
+      return;
+    }
+  }
+  assert(false && "reverse-neighbor postings entry missing");
+}
+
 void OnlineIim::EvictSlot(size_t gone) {
   // Detach the departing tuple: tombstone it everywhere and release its
   // own model state (the slot lingers until compaction, its payload need
-  // not).
+  // not). It also stops holding its own neighbors.
   alive_[gone] = 0;
   slot_of_seq_.erase(seq_of_slot_[gone]);
   index_.Remove(gone);
   --live_;
   ++stats_.evicted;
   live_cache_valid_ = false;
+  for (const neighbors::Neighbor& nb : orders_[gone]) {
+    if (nb.index != gone) PostingsRemove(nb.index, gone);
+  }
   orders_[gone].clear();
   orders_[gone].shrink_to_fit();
   accums_[gone].Reset();
@@ -192,25 +237,51 @@ void OnlineIim::EvictSlot(size_t gone) {
   models_[gone] = regress::LinearModel();
   dirty_[gone] = 1;
 
-  // Repair every surviving learning order that contained the departed
-  // tuple — the arrival-displacement logic in reverse. Cutting an entry
-  // out of the folded prefix is undone by a rank-1 down-date when the
-  // conditioning guard allows; otherwise the accumulator restreams the
-  // new prefix on next use. The survivor's order then grew a vacancy: the
-  // next nearest live tuple enters at the end (it ranked behind every
-  // remaining entry in (distance, slot) order, or it would already be a
-  // member), which is the same fast-path append an arrival takes.
-  for (size_t i = 0; i < n_; ++i) {
-    if (alive_[i] == 0) continue;
+  // The survivors whose learning order contained the departed tuple are
+  // exactly its reverse-neighbor postings — the ~l affected tuples, read
+  // in O(l) instead of scanning all n live orders. Sorted so the repairs
+  // run in ascending-slot order, the order the old full scan used.
+  std::vector<size_t> affected = std::move(postings_[gone]);
+  postings_[gone] = std::vector<size_t>();
+  stats_.postings_edges -= affected.size();
+  std::sort(affected.begin(), affected.end());
+#ifndef NDEBUG
+  {
+    // Differential check against the old full scan: the maintained
+    // postings must name exactly the live orders that contain `gone`.
+    std::vector<size_t> scan;
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] == 0) continue;
+      for (const neighbors::Neighbor& nb : orders_[i]) {
+        if (nb.index == gone) {
+          scan.push_back(i);
+          break;
+        }
+      }
+    }
+    assert(scan == affected &&
+           "reverse-neighbor postings disagree with full scan");
+  }
+#endif
+
+  // Repair each affected learning order — the arrival-displacement logic
+  // in reverse. Cutting an entry out of the folded prefix is undone by a
+  // rank-1 down-date when the conditioning guard allows; otherwise the
+  // accumulator restreams the new prefix on next use. The survivor's
+  // order then grew a vacancy: the next nearest live tuple enters at the
+  // end (it ranked behind every remaining entry in (distance, slot)
+  // order, or it would already be a member), which is the same fast-path
+  // append an arrival takes.
+  for (size_t i : affected) {
     std::vector<neighbors::Neighbor>& order = orders_[i];
     size_t p = 0;
     while (p < order.size() && order[p].index != gone) ++p;
-    if (p == order.size()) continue;
+    if (p == order.size()) continue;  // unreachable under the invariant
     order.erase(order.begin() + static_cast<long>(p));
     if (p < consumed_[i]) {
       bool downdated =
           options_.downdate &&
-          accums_[i].RemoveRow(fx_.data() + gone * q_, fy_[gone]);
+          accums_[i].RemoveRow(fb_.Features(gone), fb_.Target(gone));
       if (downdated) {
         --consumed_[i];
         ++stats_.downdates;
@@ -230,6 +301,7 @@ void OnlineIim::EvictSlot(size_t gone) {
       // neighbors; anything beyond is the entrant.
       for (size_t j = order.size() - 1; j < nn.size(); ++j) {
         order.push_back(nn[j]);
+        PostingsAdd(nn[j].index, i);
         ++stats_.backfills;
       }
     }
@@ -241,9 +313,8 @@ void OnlineIim::MaybeCompact() {
   if (!index_.NeedsCompaction()) return;
   std::vector<size_t> remap = index_.Compact();
 
-  std::vector<double> fx(live_ * q_);
-  std::vector<double> fy(live_);
   std::vector<std::vector<neighbors::Neighbor>> orders(live_);
+  std::vector<std::vector<size_t>> postings(live_);
   std::vector<regress::IncrementalRidge> accums;
   accums.reserve(live_);
   std::vector<size_t> consumed(live_);
@@ -256,14 +327,14 @@ void OnlineIim::MaybeCompact() {
   for (size_t old = 0; old < n_; ++old) {
     size_t slot = remap[old];
     if (slot == DynamicIndex::kGone) continue;
-    std::copy(fx_.begin() + static_cast<long>(old * q_),
-              fx_.begin() + static_cast<long>((old + 1) * q_),
-              fx.begin() + static_cast<long>(slot * q_));
-    fy[slot] = fy_[old];
     orders[slot] = std::move(orders_[old]);
     for (neighbors::Neighbor& nb : orders[slot]) {
       nb.index = remap[nb.index];  // orders reference live slots only
     }
+    // Postings hold live slots only (dead holders were removed when they
+    // were evicted), so the remap applies to every entry.
+    postings[slot] = std::move(postings_[old]);
+    for (size_t& h : postings[slot]) h = remap[h];
     // push_back lands accums[slot]: remap is ascending over live slots.
     accums.push_back(std::move(accums_[old]));
     consumed[slot] = consumed_[old];
@@ -275,9 +346,9 @@ void OnlineIim::MaybeCompact() {
   }
 
   table_ = table_.TakeRows(live_rows);
-  fx_ = std::move(fx);
-  fy_ = std::move(fy);
+  fb_.Compact(remap, DynamicIndex::kGone);
   orders_ = std::move(orders);
+  postings_ = std::move(postings);
   accums_ = std::move(accums);
   consumed_ = std::move(consumed);
   models_ = std::move(models);
@@ -288,6 +359,25 @@ void OnlineIim::MaybeCompact() {
   oldest_cursor_ = 0;
   live_cache_valid_ = false;
   ++stats_.compactions;
+}
+
+bool OnlineIim::VerifyPostings() const {
+  std::vector<std::vector<size_t>> want(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (alive_[i] == 0) continue;
+    for (const neighbors::Neighbor& nb : orders_[i]) {
+      if (nb.index != i) want[nb.index].push_back(i);  // ascending in i
+    }
+  }
+  size_t edges = 0;
+  for (size_t s = 0; s < n_; ++s) {
+    if (alive_[s] == 0 && !postings_[s].empty()) return false;
+    std::vector<size_t> got = postings_[s];
+    std::sort(got.begin(), got.end());
+    if (got != want[s]) return false;
+    edges += got.size();
+  }
+  return edges == stats_.postings_edges;
 }
 
 const data::Table& OnlineIim::table() const {
@@ -310,7 +400,7 @@ Status OnlineIim::EnsureModel(size_t i) {
   if (order.size() == 1) {
     // Single-neighbor rule (Section III-A2): constant model of the
     // tuple's own value — matches FitOverPrefix at ell == 1.
-    models_[i] = regress::LinearModel::Constant(fy_[i], q_);
+    models_[i] = regress::LinearModel::Constant(fb_.Target(i), q_);
     dirty_[i] = 0;
     ++stats_.models_solved;
     return Status::OK();
@@ -321,7 +411,7 @@ Status OnlineIim::EnsureModel(size_t i) {
   // prefix — that is what makes the solved model bit-identical.
   while (consumed_[i] < order.size()) {
     size_t r = order[consumed_[i]].index;
-    accums_[i].AddRow(fx_.data() + r * q_, fy_[r]);
+    accums_[i].AddRow(fb_.Features(r), fb_.Target(r));
     ++consumed_[i];
   }
   ASSIGN_OR_RETURN(models_[i], accums_[i].Solve(options_.alpha));

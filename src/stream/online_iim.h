@@ -28,6 +28,14 @@
 // arrival). Model (re)solves are lazy: they run when an imputation
 // actually asks for that tuple's model.
 //
+// Eviction cost is O(l), not O(n·l): the engine maintains a
+// reverse-neighbor index — postings_[s] lists the live tuples whose
+// learning order contains slot s — updated on every arrival insertion,
+// displacement and backfill. EvictSlot walks exactly the ~l affected
+// tuples from the departed slot's postings instead of scanning every live
+// learning order. Debug builds re-derive the affected set with the old
+// full scan after each eviction and assert the postings agree.
+//
 // Slots and tombstones: evicted tuples keep their slot (the id space the
 // index reports) until tombstones pile up, then the engine compacts —
 // DynamicIndex::Compact's slot remap is replayed over every slot-indexed
@@ -57,6 +65,7 @@
 #include <vector>
 
 #include "core/iim_imputer.h"
+#include "data/feature_block.h"
 #include "data/table.h"
 #include "regress/incremental_ridge.h"
 #include "stream/dynamic_index.h"
@@ -86,6 +95,10 @@ class OnlineIim {
     size_t backfills = 0;
     // Physical compactions (tombstoned slots dropped, index rebuilt).
     size_t compactions = 0;
+    // Live reverse-neighbor postings entries (one per (holder, neighbor)
+    // edge, self-edges excluded) — the gauge EvictSlot's O(l) bound rides
+    // on.
+    size_t postings_edges = 0;
   };
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
@@ -134,7 +147,20 @@ class OnlineIim {
   size_t size() const { return live_; }
   const core::IimOptions& options() const { return options_; }
   const DynamicIndex& index() const { return index_; }
+  // Flushes the index's background rebuild (tests, benches, quiesce
+  // points before a read-heavy phase); queries never require it. Only
+  // this narrow operation is exposed — the index's writer API stays
+  // private so its slots cannot be moved out from under the engine's
+  // slot-aligned state.
+  void WaitForIndexRebuild() { index_.WaitForRebuild(); }
   const Stats& stats() const { return stats_; }
+
+  // Verifies the reverse-neighbor postings against a full recomputation
+  // from the learning orders (the invariant the O(l) eviction path rides
+  // on): postings_[s] must hold exactly the live tuples i != s with s in
+  // orders_[i], and nothing for dead slots. O(n·l); debug builds assert
+  // it after every eviction, tests call it directly.
+  bool VerifyPostings() const;
 
  private:
   OnlineIim(const data::Schema& schema, int target,
@@ -150,10 +176,14 @@ class OnlineIim {
   Result<double> AggregateClean(
       const data::RowView& tuple,
       const std::vector<neighbors::Neighbor>& nbrs) const;
-  // Tombstones slot `gone` and repairs every surviving learning order that
-  // contained it (down-date or restream + backfill). Callers follow up
-  // with MaybeCompact().
+  // Tombstones slot `gone` and repairs the surviving learning orders that
+  // contained it — looked up in O(l) from postings_[gone], not by
+  // scanning every live order (down-date or restream + backfill).
+  // Callers follow up with MaybeCompact().
   void EvictSlot(size_t gone);
+  // Registers/unregisters holder in postings_[s] (s != holder).
+  void PostingsAdd(size_t s, size_t holder);
+  void PostingsRemove(size_t s, size_t holder);
   // First live slot (the oldest live tuple); n_ when the relation is
   // empty. Amortized O(1) via a forward-only cursor.
   size_t OldestLiveSlot();
@@ -172,8 +202,9 @@ class OnlineIim {
   // (alive_[i] == 0); arrival order of live slots is always ascending.
   data::Table table_;
   DynamicIndex index_;
-  std::vector<double> fx_;  // gathered features, row-major n x q
-  std::vector<double> fy_;  // gathered targets
+  // Gathered (F, Am) projection, one row per slot: fb_.Features(i) /
+  // fb_.Target(i) feed the blocked distance, fold and predict kernels.
+  data::FeatureBlock fb_;
 
   // Per-tuple model state. orders_[i] is t_i's learning order: itself
   // first (distance 0), then live neighbors ascending by (distance, slot)
@@ -183,6 +214,10 @@ class OnlineIim {
   // is what makes lazy catch-up AddRows sum in the same sequence as a
   // batch FitRidge.
   std::vector<std::vector<neighbors::Neighbor>> orders_;
+  // Reverse-neighbor index: postings_[s] = live slots i != s whose
+  // orders_[i] contains s (unordered; each holder at most once). The
+  // membership i in orders_[i] is implicit and never stored.
+  std::vector<std::vector<size_t>> postings_;
   std::vector<regress::IncrementalRidge> accums_;
   std::vector<size_t> consumed_;
   std::vector<regress::LinearModel> models_;

@@ -38,6 +38,56 @@ TEST(DistanceTest, SubsetSelectsColumns) {
   EXPECT_NEAR(NormalizedEuclidean(t.Row(0), t.Row(1), {0}), 1.0, 1e-12);
 }
 
+TEST(DistanceTest, BlockedKernelMatchesPlainSummation) {
+  // The blocked 4-lane kernel must agree with a straightforward scalar
+  // reduction to high relative accuracy at every length (both are exact
+  // reorderings of the same sum).
+  for (size_t d = 1; d <= 23; ++d) {
+    std::vector<double> a(d), b(d);
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = std::sin(static_cast<double>(i) * 1.3) * 7.0;
+      b[i] = std::cos(static_cast<double>(i) * 0.7) * 5.0;
+    }
+    double plain = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      double delta = a[i] - b[i];
+      plain += delta * delta;
+    }
+    double blocked = SquaredL2(a.data(), b.data(), d);
+    EXPECT_NEAR(blocked, plain, 1e-12 * std::max(1.0, plain)) << "d=" << d;
+  }
+}
+
+TEST(DistanceTest, EveryOverloadSharesOneSummationOrder) {
+  // The RowView-gathered overload must reproduce the contiguous kernel
+  // bit for bit — the property that lets the batch learner (gathered
+  // buffers) and the streaming maintenance loops (RowView) interchange
+  // distances, ties included. Gathering through a permuted column subset
+  // must match gathering the permuted coordinates up front.
+  const size_t m = 9;
+  std::vector<double> ra(m), rb(m);
+  for (size_t i = 0; i < m; ++i) {
+    ra[i] = 1.0 / static_cast<double>(i + 3);
+    rb[i] = std::sqrt(static_cast<double>(i) + 0.5);
+  }
+  data::Table t = MakeTable({ra, rb});
+  for (const std::vector<int>& cols :
+       {std::vector<int>{0}, std::vector<int>{4, 1, 7},
+        std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8},
+        std::vector<int>{8, 6, 4, 2, 0, 1, 3}}) {
+    std::vector<double> ga, gb;
+    for (int c : cols) {
+      ga.push_back(ra[static_cast<size_t>(c)]);
+      gb.push_back(rb[static_cast<size_t>(c)]);
+    }
+    double via_rows = NormalizedEuclidean(t.Row(0), t.Row(1), cols);
+    double via_ptrs = NormalizedEuclidean(ga.data(), gb.data(), ga.size());
+    double via_vecs = NormalizedEuclidean(ga, gb);
+    EXPECT_EQ(via_rows, via_ptrs);  // bit-identical, not just close
+    EXPECT_EQ(via_rows, via_vecs);
+  }
+}
+
 TEST(BruteForceTest, FindsNearestInOrder) {
   data::Table t = MakeTable({{0.0}, {10.0}, {1.0}, {5.0}});
   BruteForceIndex index(&t, {0});

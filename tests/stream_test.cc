@@ -67,11 +67,87 @@ TEST(DynamicIndexTest, MatchesBruteForceUnderInterleavedAppendsAndQueries) {
       EXPECT_EQ(got_all[j].distance, want_all[j].distance);
     }
   }
-  // The stream actually exercised the tree: at least one rebuild happened
-  // and the tree covers a non-trivial prefix.
-  EXPECT_GE(dynamic.rebuilds(), 1u);
-  EXPECT_GT(dynamic.tree_size(), dopt.kdtree_threshold / 2);
-  EXPECT_LE(dynamic.tree_size(), dynamic.size());
+  // The stream actually exercised the tree: background builds launched,
+  // and after the flush barrier at least one is installed and covers a
+  // non-trivial prefix. (Mid-stream, results are exact regardless of
+  // whether a swap has landed — the loop above already proved that.)
+  dynamic.WaitForRebuild();
+  DynamicIndex::Stats stats = dynamic.stats();
+  EXPECT_GE(stats.launches, 1u);
+  EXPECT_GE(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.discarded, 0u);  // no compaction raced the builds
+  EXPECT_FALSE(stats.rebuild_in_flight);
+  EXPECT_GT(stats.tree_size, dopt.kdtree_threshold / 2);
+  EXPECT_LE(stats.tree_size, dynamic.size());
+  EXPECT_EQ(stats.tree_size + stats.tail_size, stats.slots);
+}
+
+TEST(DynamicIndexTest, BackgroundAndInLockRebuildsAgreeBitwise) {
+  // The double-buffered background rebuild must be invisible in results:
+  // an index rebuilding in-lock (the latency baseline) and one rebuilding
+  // on the builder thread return identical neighbors at every step, no
+  // matter when the swap lands.
+  DynamicIndex::Options sync_opt;
+  sync_opt.kdtree_threshold = 40;
+  sync_opt.min_rebuild_tail = 12;
+  sync_opt.background_rebuild = false;
+  DynamicIndex::Options bg_opt = sync_opt;
+  bg_opt.background_rebuild = true;
+  DynamicIndex sync_index({0, 1}, sync_opt);
+  DynamicIndex bg_index({0, 1}, bg_opt);
+
+  data::Table full = HeterogeneousTable(260, 3, 52);
+  Rng rng(7);
+  for (size_t i = 0; i < full.NumRows(); ++i) {
+    sync_index.Append(full.Row(i));
+    bg_index.Append(full.Row(i));
+    if (i % 5 != 0) continue;
+    data::Table probe(data::Schema::Default(3));
+    ASSERT_TRUE(probe
+                    .AppendRow({rng.Uniform(-5.0, 15.0),
+                                rng.Uniform(-5.0, 15.0), 0.0})
+                    .ok());
+    neighbors::QueryOptions qopt;
+    qopt.k = 1 + static_cast<size_t>(i % 6);
+    std::vector<neighbors::Neighbor> want =
+        sync_index.Query(probe.Row(0), qopt);
+    std::vector<neighbors::Neighbor> got = bg_index.Query(probe.Row(0), qopt);
+    ASSERT_EQ(got.size(), want.size()) << "append " << i;
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].index, want[j].index) << "append " << i;
+      EXPECT_EQ(got[j].distance, want[j].distance);
+    }
+  }
+  // The baseline rebuilt synchronously; the background index launched
+  // builds and, once flushed, has installed at least one.
+  EXPECT_GE(sync_index.rebuilds(), 1u);
+  EXPECT_EQ(sync_index.stats().launches, 0u);
+  bg_index.WaitForRebuild();
+  DynamicIndex::Stats bg = bg_index.stats();
+  EXPECT_GE(bg.launches, 1u);
+  EXPECT_EQ(bg.swaps, bg.rebuilds);
+  EXPECT_GE(bg.swaps, 1u);
+}
+
+TEST(DynamicIndexTest, StatsSnapshotIsCoherent) {
+  DynamicIndex::Options dopt;
+  dopt.kdtree_threshold = 32;
+  dopt.min_rebuild_tail = 8;
+  DynamicIndex index({0, 1}, dopt);
+  data::Table t = HeterogeneousTable(120, 3, 9);
+  for (size_t i = 0; i < t.NumRows(); ++i) index.Append(t.Row(i));
+  for (size_t s = 0; s < 10; ++s) ASSERT_TRUE(index.Remove(s));
+  index.WaitForRebuild();
+  DynamicIndex::Stats stats = index.stats();
+  // One snapshot, internally consistent: the identities that can tear
+  // when read through the per-field accessors while a builder runs.
+  EXPECT_EQ(stats.slots, 120u);
+  EXPECT_EQ(stats.tombstones, 10u);
+  EXPECT_EQ(stats.live, 110u);
+  EXPECT_EQ(stats.tree_size + stats.tail_size, stats.slots);
+  EXPECT_EQ(stats.swaps + stats.discarded, stats.launches);
+  EXPECT_FALSE(stats.rebuild_in_flight);
+  EXPECT_EQ(stats.live, index.size());
 }
 
 TEST(DynamicIndexTest, StaysBruteForceBelowThreshold) {

@@ -93,6 +93,7 @@ TEST(DynamicIndexWindowTest, QueriesNeverReturnEvictedRows) {
   EXPECT_EQ(index.size(), live_count);
   EXPECT_EQ(index.slots(), full.NumRows());
   EXPECT_EQ(index.tombstones(), full.NumRows() - live_count);
+  index.WaitForRebuild();  // flush the background builder, then count
   EXPECT_GE(index.rebuilds(), 1u);  // the KD-tree path really ran
 }
 
@@ -225,8 +226,12 @@ void RunWindowDifferential(uint64_t seed, size_t threads, bool downdate) {
     }
 
     // Checkpoints: the live window must match the reference bit for bit,
-    // and a from-scratch batch fit on it must reproduce the engine.
+    // the reverse-neighbor postings must match a recomputation from the
+    // learning orders, and a from-scratch batch fit on the window must
+    // reproduce the engine.
     if (steps % 120 != 0 && next_src != 380) continue;
+    ASSERT_TRUE(online.VerifyPostings()) << "seed " << seed << " step "
+                                        << steps;
     ExpectWindowEquals(online, full, live_rows);
     if (live_rows.empty()) continue;
     data::Table snapshot = online.table();
@@ -339,6 +344,63 @@ TEST(StreamWindowTest, FifoWindowAutoEvictsAndCompacts) {
             << "probe row " << i;
       }
     }
+  }
+}
+
+// The reverse-neighbor postings invariant under randomized arrival /
+// eviction / compaction schedules: after EVERY step, postings_[s] must
+// equal the mapping recomputed from scratch out of the learning orders
+// (O(l)-eviction reads the affected set from exactly these postings, so
+// any drift silently corrupts which models get repaired).
+TEST(StreamWindowTest, PostingsMatchRecomputationAfterEveryStep) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(300, 3, 131);
+
+  for (uint64_t seed : {5u, 29u}) {
+    core::IimOptions opt = WindowOptions(1, seed % 2 == 0);
+    opt.window_size = 80;  // FIFO auto-evictions + explicit evictions
+    Result<std::unique_ptr<OnlineIim>> engine =
+        OnlineIim::Create(full.schema(), target, features, opt);
+    ASSERT_TRUE(engine.ok());
+    OnlineIim& online = *engine.value();
+
+    data::Table probe(data::Schema::Default(3));
+    ASSERT_TRUE(probe.AppendRow(Probe(full, 290, target)).ok());
+
+    Rng rng(seed);
+    std::vector<uint64_t> live_seqs;
+    uint64_t arrivals = 0;
+    size_t next_src = 0;
+    size_t explicit_evicts = 0;
+    while (next_src < 280) {
+      if (live_seqs.size() > 20 && rng.Bernoulli(0.3)) {
+        // Explicit eviction of a random (not necessarily oldest) tuple.
+        size_t v = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(live_seqs.size()) - 1));
+        ASSERT_TRUE(online.Evict(live_seqs[v]).ok());
+        live_seqs.erase(live_seqs.begin() + static_cast<long>(v));
+        ++explicit_evicts;
+      } else {
+        ASSERT_TRUE(online.Ingest(full.Row(next_src)).ok());
+        live_seqs.push_back(arrivals++);
+        ++next_src;
+        // The FIFO window may have auto-evicted the oldest live tuples.
+        while (live_seqs.size() > online.size()) {
+          live_seqs.erase(live_seqs.begin());
+        }
+      }
+      // Interleaved imputations build models between repairs.
+      if (next_src % 41 == 0) (void)online.ImputeOne(probe.Row(0));
+      ASSERT_TRUE(online.VerifyPostings())
+          << "seed " << seed << " after arrival " << arrivals << " ("
+          << explicit_evicts << " explicit evicts, "
+          << online.stats().compactions << " compactions)";
+    }
+    EXPECT_GT(explicit_evicts, 0u);
+    EXPECT_GT(online.stats().compactions, 0u)
+        << "schedule never exercised the compaction remap";
+    EXPECT_GT(online.stats().postings_edges, 0u);
   }
 }
 

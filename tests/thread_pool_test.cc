@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -136,6 +138,70 @@ TEST(ThreadPoolTest, SerialAndParallelSumsMatch) {
   double serial = blockwise_sum(1);
   EXPECT_EQ(serial, blockwise_sum(2));
   EXPECT_EQ(serial, blockwise_sum(8));
+}
+
+TEST(ThreadPoolTest, SubmitRunsOffTheCallingThread) {
+  ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  std::future<void> fut = pool.Submit([&] {
+    ran_on = std::this_thread::get_id();
+  });
+  fut.wait();
+  EXPECT_NE(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, SubmitWorksOnSingleThreadPool) {
+  // A 1-thread pool runs ParallelFor inline and owns no workers; Submit
+  // must still find (spawn) a thread — the background-rebuild case.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::future<void> fut = pool.Submit([&] { ran.store(1); });
+  fut.wait();
+  EXPECT_EQ(ran.load(), 1);
+  // ParallelFor still behaves as the inline serial pool afterwards.
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(10, 3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> fut =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitInterleavesWithParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> task_done{0};
+  std::future<void> fut = pool.Submit([&] {
+    task_done.store(1);
+  });
+  // A ParallelFor issued while the task may still be queued or running
+  // completes normally (the caller participates, so no deadlock even if
+  // every worker is busy).
+  std::atomic<int> covered{0};
+  pool.ParallelFor(64, 4, [&](size_t begin, size_t end) {
+    covered.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(covered.load(), 64);
+  fut.wait();
+  EXPECT_EQ(task_done.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // No wait: destruction must serve all eight before joining.
+  }
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace
