@@ -24,11 +24,22 @@
 // ratio in the JSON is the evidence. The batch alternative (relearning
 // the n-tuple window) is timed at w = n.
 //
+// Phase 3 measures sharded ingestion (ShardedOnlineIim) at S = 1, 2, 4,
+// 8: the same n-row stream is ingested through S shards (IngestBatch
+// chunks, per-shard parallel apply), then a probe set is imputed through
+// the cross-shard scatter/gather merge. Ingest throughput should scale
+// with S even on one core — each arrival's learning-order maintenance
+// loop scans only its own shard's residents, an O(n/S) work cut, not a
+// parallelism trick — while query results must be IDENTICAL at every S
+// (the merge reproduces the global neighbor sets bit for bit; query
+// latency honestly pays the fan-out + per-query model fits).
+//
 // The acceptance bars at n = 10k: >= 10x per-arrival advantage,
-// per-eviction >= 10x cheaper than a window relearn, and (whenever the
+// per-eviction >= 10x cheaper than a window relearn, (whenever the
 // baseline actually rebuilt in-lock) a smaller worst-case ingest with
-// the background builder. Results are written as JSON for
-// BENCH_streaming.json.
+// the background builder, sharded ingest at S=4 >= 1.3x the S=1
+// throughput, and sharded query results bitwise unchanged across S.
+// Results are written as JSON for BENCH_streaming.json.
 //
 //   ./bench_streaming [n] [arrivals] [out.json]
 //
@@ -47,6 +58,7 @@
 #include "core/iim_imputer.h"
 #include "datasets/generator.h"
 #include "stream/online_iim.h"
+#include "stream/sharded_iim.h"
 
 namespace {
 
@@ -336,6 +348,99 @@ int main(int argc, char** argv) {
       !tail_check_applies ||
       istats.max_append_hold_seconds < inlock_istats.max_append_hold_seconds;
 
+  // Phase 3: sharded ingestion at S = 1, 2, 4, 8. Each engine ingests
+  // the same n rows through IngestBatch chunks (the service's coalesced
+  // drive), then serves the same probe set through the cross-shard
+  // merge. The S=1 wrapper is the apples-to-apples baseline: same code
+  // path, no fan-out.
+  struct ShardCell {
+    size_t shards = 0;
+    double ingest_seconds = 0.0;
+    double rows_per_sec = 0.0;
+    double impute_p50 = 0.0;
+    double impute_p99 = 0.0;
+    bool identical = true;
+  };
+  const size_t shard_counts[] = {1, 2, 4, 8};
+  const size_t kChunk = 512;
+  const size_t kShardProbes = 64;
+  std::vector<ShardCell> shard_cells;
+  std::vector<double> s1_values;
+  for (size_t S : shard_counts) {
+    iim::core::IimOptions sopt = opt;
+    sopt.shards = S;
+    sopt.threads = S;  // per-shard parallel IngestBatch apply
+    auto sharded_r = iim::stream::ShardedOnlineIim::Create(
+        data.schema(), target, features, sopt);
+    if (!sharded_r.ok()) {
+      std::fprintf(stderr, "sharded create: %s\n",
+                   sharded_r.status().ToString().c_str());
+      return 1;
+    }
+    iim::stream::ShardedOnlineIim& sharded = *sharded_r.value();
+
+    ShardCell cell;
+    cell.shards = S;
+    iim::Stopwatch stimer;
+    std::vector<iim::data::RowView> chunk;
+    for (size_t i = 0; i < n; i += kChunk) {
+      chunk.clear();
+      for (size_t j = i; j < std::min(n, i + kChunk); ++j) {
+        chunk.push_back(data.Row(j));
+      }
+      for (const iim::Status& st : sharded.IngestBatch(chunk)) {
+        if (!st.ok()) {
+          std::fprintf(stderr, "sharded ingest: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    cell.ingest_seconds = stimer.ElapsedSeconds();
+    cell.rows_per_sec = cell.ingest_seconds > 0.0
+                            ? static_cast<double>(n) / cell.ingest_seconds
+                            : 0.0;
+    sharded.WaitForIndexRebuilds();
+
+    std::vector<double> probe_seconds;
+    std::vector<double> values;
+    probe_seconds.reserve(kShardProbes);
+    values.reserve(kShardProbes);
+    for (size_t p = 0; p < kShardProbes; ++p) {
+      std::vector<double> prow = data.Row(n + p % arrivals).ToVector();
+      prow[static_cast<size_t>(target)] =
+          std::numeric_limits<double>::quiet_NaN();
+      iim::data::RowView pv(prow.data(), prow.size());
+      timer.Restart();
+      iim::Result<double> v = sharded.ImputeOne(pv);
+      probe_seconds.push_back(timer.ElapsedSeconds());
+      if (!v.ok()) {
+        std::fprintf(stderr, "sharded impute: %s\n",
+                     v.status().ToString().c_str());
+        return 1;
+      }
+      values.push_back(v.value());
+    }
+    iim::LatencySummary probe_lat = iim::Summarize(probe_seconds);
+    cell.impute_p50 = probe_lat.p50;
+    cell.impute_p99 = probe_lat.p99;
+    if (S == 1) {
+      s1_values = values;
+    } else {
+      cell.identical = values == s1_values;  // bitwise
+    }
+    shard_cells.push_back(cell);
+  }
+  double shard_scaling = 0.0;
+  bool shard_identical = true;
+  for (const ShardCell& cell : shard_cells) {
+    if (cell.shards == 4 && shard_cells[0].rows_per_sec > 0.0) {
+      shard_scaling = cell.rows_per_sec / shard_cells[0].rows_per_sec;
+    }
+    shard_identical = shard_identical && cell.identical;
+  }
+  bool shard_scaling_ok = shard_scaling >= 1.3 && shard_identical;
+
   const auto& stats = online.stats();
   const auto& wstats = windowed.stats();
   iim::stream::DynamicIndex::Stats wistats = windowed.index().stats();
@@ -394,11 +499,26 @@ int main(int argc, char** argv) {
   std::printf("SHAPE CHECK: eviction >= 10x cheaper than window relearn and "
               "windowed matches batch refit ... %s\n",
               evict_fast_enough && windowed_matches ? "OK" : "DEVIATES");
+  std::printf("\nsharded ingestion (S = 1, 2, 4, 8; %zu-row chunks):\n",
+              kChunk);
+  for (const ShardCell& cell : shard_cells) {
+    std::printf("  S=%zu  ingest %8.3f s (%9.0f rows/s)  impute p50 "
+                "%8.4f ms  p99 %8.4f ms  results %s\n",
+                cell.shards, cell.ingest_seconds, cell.rows_per_sec,
+                cell.impute_p50 * 1e3, cell.impute_p99 * 1e3,
+                cell.identical ? "identical" : "DIVERGED");
+  }
+  std::printf("%-34s %12.2fx (work cut: each arrival scans only its own "
+              "shard's learning orders)\n",
+              "ingest throughput S=4 vs S=1", shard_scaling);
   std::printf("SHAPE CHECK: background rebuild shrinks the worst ingest "
               "critical section ... %s\n",
               !tail_check_applies ? "N/A (no in-lock rebuild at this n)"
               : tail_improved     ? "OK"
                                   : "DEVIATES");
+  std::printf("SHAPE CHECK: sharded ingest scales (S=4 >= 1.3x S=1) with "
+              "query results unchanged ... %s\n",
+              shard_scaling_ok ? "OK" : "DEVIATES");
 
   FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -461,8 +581,7 @@ int main(int argc, char** argv) {
                "  \"windowed_kdtree_swaps\": %zu,\n"
                "  \"windowed_tail_size\": %zu,\n"
                "  \"windowed_half_tail_size\": %zu,\n"
-               "  \"windowed_half_evictions\": %zu\n"
-               "}\n",
+               "  \"windowed_half_evictions\": %zu,\n",
                n, arrivals, built.total_seconds, inlock.total_seconds,
                ingest_inlock.p50, ingest_inlock.p99, ingest_inlock_p999,
                ingest_inlock.max, ingest_bg.p50, ingest_bg.p99,
@@ -486,10 +605,30 @@ int main(int argc, char** argv) {
                wstats.downdates, wstats.downdate_fallbacks, wstats.backfills,
                wstats.compactions, wstats.postings_edges, wistats.swaps,
                wistats.tail_size, histats.tail_size, hstats.evicted);
+  std::fprintf(out, "  \"sharding\": [\n");
+  for (size_t c = 0; c < shard_cells.size(); ++c) {
+    const ShardCell& cell = shard_cells[c];
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"ingest_seconds\": %.6f, "
+                 "\"ingest_rows_per_sec\": %.1f, "
+                 "\"impute_p50_seconds\": %.9f, "
+                 "\"impute_p99_seconds\": %.9f, "
+                 "\"results_identical_to_s1\": %s}%s\n",
+                 cell.shards, cell.ingest_seconds, cell.rows_per_sec,
+                 cell.impute_p50, cell.impute_p99,
+                 cell.identical ? "true" : "false",
+                 c + 1 < shard_cells.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"sharding_ingest_scaling_s4_vs_s1\": %.2f,\n"
+               "  \"sharding_results_identical\": %s\n"
+               "}\n",
+               shard_scaling, shard_identical ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return fast_enough && identical && evict_fast_enough && windowed_matches &&
-                 tail_improved
+                 tail_improved && shard_scaling_ok
              ? 0
              : 1;
 }

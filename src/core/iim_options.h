@@ -63,6 +63,21 @@ struct IimOptions {
   // stream::DynamicIndex::Options::background_rebuild). false rebuilds
   // inside the ingest under the writer lock — the tail-latency baseline.
   bool background_rebuild = true;
+  // Streaming index tuning, forwarded to stream::DynamicIndex::Options
+  // when nonzero (0 keeps that option's default). Results are identical
+  // at every setting — these move only WHEN trees are rebuilt and
+  // tombstones compacted. Tests and benches lower them so small-n
+  // schedules still cross KD-tree rebuilds and compactions.
+  size_t index_kdtree_threshold = 0;
+  size_t index_min_rebuild_tail = 0;
+  size_t index_min_compact_tombstones = 0;
+  // Shard count for stream::ShardedOnlineIim: arrivals are routed to
+  // `shards` independent engines by a pluggable partitioner and
+  // imputation queries scatter to every shard, merging per-shard
+  // candidates into a global top-k that is bit-identical to an unsharded
+  // engine over the union of the data. Plain OnlineIim and the batch
+  // imputer ignore it. 1 = unsharded.
+  size_t shards = 1;
 
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware

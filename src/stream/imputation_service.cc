@@ -8,11 +8,23 @@
 namespace iim::stream {
 
 ImputationService::ImputationService(OnlineIim* engine)
-    : ImputationService(engine, Options()) {}
+    : ImputationService(engine, nullptr, Options()) {}
 
 ImputationService::ImputationService(OnlineIim* engine,
                                      const Options& options)
-    : engine_(engine), options_(options) {
+    : ImputationService(engine, nullptr, options) {}
+
+ImputationService::ImputationService(ShardedOnlineIim* engine)
+    : ImputationService(nullptr, engine, Options()) {}
+
+ImputationService::ImputationService(ShardedOnlineIim* engine,
+                                     const Options& options)
+    : ImputationService(nullptr, engine, options) {}
+
+ImputationService::ImputationService(OnlineIim* engine,
+                                     ShardedOnlineIim* sharded,
+                                     const Options& options)
+    : engine_(engine), sharded_(sharded), options_(options) {
   server_ = std::thread([this] { ServeLoop(); });
 }
 
@@ -77,8 +89,20 @@ std::future<Status> ImputationService::SubmitEvict(uint64_t arrival) {
 }
 
 void ImputationService::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Stop the drain, then wait out the in-flight batch: counters and
+  // engine state no longer move once this returns (the regression this
+  // pins: a stats() snapshot taken "while paused" used to race the still-
+  // running batch and could disagree with a second snapshot).
+  std::unique_lock<std::mutex> lock(mu_);
   paused_ = true;
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  // The engine is quiescent here and the server cannot pop more work
+  // (paused_ is set, mu_ held), so this is the one place a paused
+  // per-shard snapshot is guaranteed fresh — a Pause() landing BETWEEN
+  // batches never passes through the server's own refresh.
+  if (sharded_ != nullptr) {
+    stats_.shard_stats = sharded_->stats().per_shard;
+  }
 }
 
 void ImputationService::Resume() {
@@ -101,6 +125,8 @@ ImputationService::Stats ImputationService::stats() const {
     // Only the copies happen under mu_ — the nth_element passes run
     // unlocked so a polling monitor cannot stall Submit or the serve
     // loop (and thereby inflate the very latencies being summarized).
+    // shard_stats is refreshed by the server thread under this same
+    // mutex, so the per-shard counters cohere with the service counters.
     std::lock_guard<std::mutex> lock(mu_);
     s = stats_;
     ingest_copy = ingest_seconds_;
@@ -130,15 +156,20 @@ void ImputationService::ServeLoop() {
         return shutdown_ || (!queue_.empty() && !paused_);
       });
       if (queue_.empty()) break;  // shutdown with nothing left to serve
-      if (queue_.front().kind != Kind::kImpute) {
-        // Ingests and evictions apply one at a time: later requests must
-        // see the relation exactly as their submission order implies.
+      Kind head = queue_.front().kind;
+      if (head == Kind::kEvict ||
+          (head == Kind::kIngest && sharded_ == nullptr)) {
+        // Applied one at a time: later requests must see the relation
+        // exactly as their submission order implies, and the unsharded
+        // engine has no batched mutation entry point.
         taken.push_back(std::move(queue_.front()));
         queue_.pop_front();
       } else {
-        // Coalesce the run of consecutive imputation requests at the head
-        // into one micro-batch.
-        while (!queue_.empty() && queue_.front().kind == Kind::kImpute &&
+        // Coalesce the run of same-kind requests at the head into one
+        // micro-batch: imputations for either engine, ingests for the
+        // sharded engine (which applies the run with per-shard
+        // parallelism while preserving sequential semantics).
+        while (!queue_.empty() && queue_.front().kind == head &&
                taken.size() < options_.max_batch) {
           taken.push_back(std::move(queue_.front()));
           queue_.pop_front();
@@ -150,19 +181,35 @@ void ImputationService::ServeLoop() {
     Kind kind = taken.front().kind;
     Stopwatch serve_timer;
     if (kind == Kind::kIngest) {
-      data::RowView row(taken.front().values.data(),
-                        taken.front().values.size());
-      taken.front().status_promise.set_value(engine_->Ingest(row));
+      if (sharded_ != nullptr) {
+        std::vector<data::RowView> rows;
+        rows.reserve(taken.size());
+        for (const Request& req : taken) {
+          rows.emplace_back(req.values.data(), req.values.size());
+        }
+        std::vector<Status> statuses = sharded_->IngestBatch(rows);
+        for (size_t i = 0; i < taken.size(); ++i) {
+          taken[i].status_promise.set_value(std::move(statuses[i]));
+        }
+      } else {
+        data::RowView row(taken.front().values.data(),
+                          taken.front().values.size());
+        taken.front().status_promise.set_value(engine_->Ingest(row));
+      }
     } else if (kind == Kind::kEvict) {
-      taken.front().status_promise.set_value(
-          engine_->Evict(taken.front().arrival));
+      Status st = sharded_ != nullptr
+                      ? sharded_->Evict(taken.front().arrival)
+                      : engine_->Evict(taken.front().arrival);
+      taken.front().status_promise.set_value(std::move(st));
     } else {
       std::vector<data::RowView> rows;
       rows.reserve(taken.size());
       for (const Request& req : taken) {
         rows.emplace_back(req.values.data(), req.values.size());
       }
-      std::vector<Result<double>> answers = engine_->ImputeBatch(rows);
+      std::vector<Result<double>> answers =
+          sharded_ != nullptr ? sharded_->ImputeBatch(rows)
+                              : engine_->ImputeBatch(rows);
       for (size_t i = 0; i < taken.size(); ++i) {
         taken[i].impute_promise.set_value(std::move(answers[i]));
       }
@@ -172,7 +219,12 @@ void ImputationService::ServeLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (kind == Kind::kIngest) {
-        ++stats_.ingests;
+        stats_.ingests += taken.size();
+        if (sharded_ != nullptr) {
+          ++stats_.ingest_batches;
+          stats_.largest_ingest_batch =
+              std::max(stats_.largest_ingest_batch, taken.size());
+        }
         RecordLatency(&ingest_seconds_, &ingest_next_, serve_seconds);
       } else if (kind == Kind::kEvict) {
         ++stats_.evictions;
@@ -182,8 +234,15 @@ void ImputationService::ServeLoop() {
         stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
         RecordLatency(&impute_seconds_, &impute_next_, serve_seconds);
       }
+      // The per-shard snapshot is only refreshed at quiesce points — the
+      // queue going idle here, or inside Pause() itself — not per served
+      // request: copying S stats structs under mu_ on every drain would
+      // tax the same lock Submit* and the latency rings contend on.
+      if (sharded_ != nullptr && queue_.empty()) {
+        stats_.shard_stats = sharded_->stats().per_shard;
+      }
       in_flight_ = 0;
-      if (queue_.empty()) idle_cv_.notify_all();
+      idle_cv_.notify_all();  // Drain (queue empty) and Pause (quiescent)
     }
   }
   // Unreachable requests would deadlock futures; the loop only exits with

@@ -1,4 +1,5 @@
-// ImputationService: an async micro-batching front end over one OnlineIim.
+// ImputationService: an async micro-batching front end over one streaming
+// engine — an OnlineIim, or a ShardedOnlineIim fanned out across shards.
 //
 // Producers enqueue arrivals without blocking on the engine:
 //
@@ -12,19 +13,25 @@
 // A single server thread drains the queue in submission order. Consecutive
 // imputation requests are coalesced into one micro-batch (up to
 // Options::max_batch) and answered by a single ThreadPool-backed
-// OnlineIim::ImputeBatch call; ingests and evictions apply one at a time
-// so every request observes exactly the relation state its submission
-// order implies. Because ImputeBatch is bit-identical to per-row
-// ImputeOne for every thread count, batching is purely a throughput knob:
-// results never depend on how arrivals happened to be grouped.
+// ImputeBatch call. Against an OnlineIim, ingests and evictions apply one
+// at a time; against a ShardedOnlineIim, consecutive INGESTS also
+// coalesce — the engine routes the run onto per-shard op queues and
+// applies them with per-shard parallelism (scatter), then the service
+// resolves every row's future (gather). Either way each request observes
+// exactly the relation state its submission order implies: batching is
+// purely a throughput knob, because ImputeBatch is bit-identical to
+// per-row ImputeOne and IngestBatch is bit-identical to sequential
+// Ingest calls for every thread count.
 //
 // Backpressure: the queue is bounded (Options::max_queue). A submission
 // that would exceed it is load-shed — its future resolves immediately to
 // StatusCode::kResourceExhausted and the engine never sees it — so a
 // producer outrunning the engine observes explicit overload instead of
-// unbounded memory growth. Pause()/Resume() stop and restart the drain
-// (e.g. to let a maintenance window pass); Drain() of a paused service
-// with queued work blocks until Resume().
+// unbounded memory growth. Pause() stops the drain AND blocks until the
+// in-flight batch (if any) has finished: after it returns the engine is
+// quiescent and stats() snapshots are stable until Resume(). Queued work
+// keeps accumulating (and shedding at the bound) while paused; Drain() of
+// a paused service with queued work blocks until Resume().
 
 #ifndef IIM_STREAM_IMPUTATION_SERVICE_H_
 #define IIM_STREAM_IMPUTATION_SERVICE_H_
@@ -39,13 +46,15 @@
 
 #include "common/percentile.h"
 #include "stream/online_iim.h"
+#include "stream/sharded_iim.h"
 
 namespace iim::stream {
 
 class ImputationService {
  public:
   struct Options {
-    // Most imputation requests drained into one engine call.
+    // Most imputation (or, sharded, ingestion) requests drained into one
+    // engine call.
     size_t max_batch = 64;
     // Most requests pending at once; submissions beyond it are rejected
     // with kResourceExhausted. 0 = unbounded (the pre-backpressure
@@ -60,19 +69,35 @@ class ImputationService {
     size_t evictions = 0;
     size_t batches = 0;       // engine ImputeBatch calls issued
     size_t largest_batch = 0;
+    size_t ingest_batches = 0;       // engine IngestBatch calls (sharded)
+    size_t largest_ingest_batch = 0;
     size_t rejected = 0;      // submissions shed at the queue bound
     // Engine-serve latency (seconds) over the most recent requests of
     // each kind (bounded reservoir of kLatencySamples): ingest is
-    // per-arrival — the tail the background index rebuild bounds —
-    // impute is per micro-batch.
+    // per-arrival — the tail the background index rebuild bounds — or
+    // per coalesced ingest micro-batch when sharded; impute is per
+    // micro-batch.
     LatencySummary ingest_latency;
     LatencySummary impute_latency;
+    // Sharded engine only: one OnlineIim::Stats per shard, refreshed at
+    // quiesce points (by Pause() once the engine is quiescent, and by
+    // the server thread when the queue goes idle) under the same mutex
+    // as the counters above — so a snapshot taken while Pause()d or
+    // after Drain() is both internally coherent and stable. Mid-stream
+    // reads may lag by the requests served since the last quiesce.
+    // Empty for an unsharded engine.
+    std::vector<OnlineIim::Stats> shard_stats;
   };
 
   // The engine must outlive the service; the service is the engine's only
-  // caller while running (OnlineIim is externally synchronized).
+  // caller while running (both engines are externally synchronized).
   explicit ImputationService(OnlineIim* engine);
   ImputationService(OnlineIim* engine, const Options& options);
+  // Sharded front end: consecutive ingests coalesce into per-shard
+  // parallel IngestBatch calls; imputations scatter/gather across shards
+  // inside the engine.
+  explicit ImputationService(ShardedOnlineIim* engine);
+  ImputationService(ShardedOnlineIim* engine, const Options& options);
   // Serves every request already submitted (resuming if paused), then
   // stops the server thread.
   ~ImputationService();
@@ -86,17 +111,21 @@ class ImputationService {
   // Enqueues an incomplete tuple for imputation.
   std::future<Result<double>> SubmitImpute(std::vector<double> tuple);
   // Enqueues an eviction of the `arrival`-th ingested tuple (see
-  // OnlineIim::Evict).
+  // OnlineIim::Evict / ShardedOnlineIim::Evict).
   std::future<Status> SubmitEvict(uint64_t arrival);
 
-  // Stops draining after the in-flight batch; queued requests keep
-  // accumulating (and shedding at the bound) until Resume().
+  // Stops draining and waits for the in-flight batch to finish: on
+  // return the engine is quiescent, and stats() reads are stable until
+  // Resume(). Queued requests keep accumulating (and shedding at the
+  // bound) until Resume().
   void Pause();
   void Resume();
 
   // Blocks until every request submitted so far has been served.
   void Drain();
 
+  // One coherent snapshot: counters, latency reservoirs and (sharded)
+  // per-shard engine stats are all copied under one lock acquisition.
   Stats stats() const;
 
  private:
@@ -114,6 +143,9 @@ class ImputationService {
   // summaries (a plain ring: old samples are overwritten).
   static constexpr size_t kLatencySamples = 4096;
 
+  ImputationService(OnlineIim* engine, ShardedOnlineIim* sharded,
+                    const Options& options);
+
   // Enqueues under the lock unless the queue is at the bound; returns
   // whether the request was accepted.
   bool TryEnqueue(Request req);
@@ -122,12 +154,13 @@ class ImputationService {
   static void RecordLatency(std::vector<double>* ring, size_t* next,
                             double seconds);
 
-  OnlineIim* engine_;
+  OnlineIim* engine_ = nullptr;          // exactly one of these is set
+  ShardedOnlineIim* sharded_ = nullptr;
   Options options_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // server waits for requests
-  std::condition_variable idle_cv_;  // Drain waits for an empty pipeline
+  std::condition_variable idle_cv_;  // Drain/Pause wait for in-flight == 0
   std::deque<Request> queue_;
   size_t in_flight_ = 0;  // requests popped but not yet answered
   bool paused_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "neighbors/distance.h"
 
@@ -17,6 +18,15 @@ constexpr size_t kBatchGrain = 16;
 DynamicIndex::Options IndexOptions(const core::IimOptions& options) {
   DynamicIndex::Options dopt;
   dopt.background_rebuild = options.background_rebuild;
+  if (options.index_kdtree_threshold > 0) {
+    dopt.kdtree_threshold = options.index_kdtree_threshold;
+  }
+  if (options.index_min_rebuild_tail > 0) {
+    dopt.min_rebuild_tail = options.index_min_rebuild_tail;
+  }
+  if (options.index_min_compact_tombstones > 0) {
+    dopt.min_compact_tombstones = options.index_min_compact_tombstones;
+  }
   return dopt;
 }
 
@@ -392,6 +402,50 @@ const data::Table& OnlineIim::table() const {
     live_cache_valid_ = true;
   }
   return live_cache_;
+}
+
+bool OnlineIim::IsLive(uint64_t arrival) const {
+  return slot_of_seq_.find(arrival) != slot_of_seq_.end();
+}
+
+data::RowView OnlineIim::RowByArrival(uint64_t arrival) const {
+  return table_.Row(slot_of_seq_.at(arrival));
+}
+
+const double* OnlineIim::FeaturesByArrival(uint64_t arrival) const {
+  auto it = slot_of_seq_.find(arrival);
+  return it == slot_of_seq_.end() ? nullptr : fb_.Features(it->second);
+}
+
+double OnlineIim::TargetByArrival(uint64_t arrival) const {
+  auto it = slot_of_seq_.find(arrival);
+  return it == slot_of_seq_.end()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : fb_.Target(it->second);
+}
+
+std::vector<neighbors::Neighbor> OnlineIim::QueryByArrival(
+    const data::RowView& tuple, size_t k, uint64_t exclude_arrival) const {
+  neighbors::QueryOptions qopt;
+  qopt.k = k;
+  if (exclude_arrival != kNoArrival) {
+    auto it = slot_of_seq_.find(exclude_arrival);
+    if (it != slot_of_seq_.end()) qopt.exclude = it->second;
+  }
+  std::vector<neighbors::Neighbor> nbrs = index_.Query(tuple, qopt);
+  // Live slots ascend in arrival order (compaction preserves it), so this
+  // remap keeps the list sorted by (distance, arrival).
+  for (neighbors::Neighbor& nb : nbrs) nb.index = seq_of_slot_[nb.index];
+  return nbrs;
+}
+
+std::vector<neighbors::Neighbor> OnlineIim::LearningOrderByArrival(
+    uint64_t arrival) const {
+  auto it = slot_of_seq_.find(arrival);
+  if (it == slot_of_seq_.end()) return {};
+  std::vector<neighbors::Neighbor> order = orders_[it->second];
+  for (neighbors::Neighbor& nb : order) nb.index = seq_of_slot_[nb.index];
+  return order;
 }
 
 Status OnlineIim::EnsureModel(size_t i) {

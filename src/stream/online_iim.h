@@ -129,6 +129,43 @@ class OnlineIim {
   // Incomplete tuple arrival (Algorithm 2 against the current relation).
   Result<double> ImputeOne(const data::RowView& tuple);
 
+  // --- Arrival-keyed accessors (cross-shard composition) ---------------
+  // ShardedOnlineIim addresses tuples across shards by arrival number —
+  // the only identifier stable across compaction; slots are private and
+  // move. All of these are read-only: safe to call concurrently with each
+  // other and with const queries, NOT with Ingest/Evict (the engine stays
+  // externally synchronized).
+
+  // Sentinel for "no exclusion" in QueryByArrival.
+  static constexpr uint64_t kNoArrival = static_cast<uint64_t>(-1);
+
+  // Whether the tuple of the `arrival`-th ingest is still live.
+  bool IsLive(uint64_t arrival) const;
+  // The live tuple's full row. The view is invalidated by the next Ingest
+  // or Evict; the arrival must be live.
+  data::RowView RowByArrival(uint64_t arrival) const;
+  // The live tuple's gathered feature projection (q contiguous values)
+  // and target — the exact values the engine's own folds consume, so a
+  // cross-shard fit sums bit-identical rows. nullptr / NaN if not live.
+  const double* FeaturesByArrival(uint64_t arrival) const;
+  double TargetByArrival(uint64_t arrival) const;
+  // The k nearest live tuples to `tuple`, identified by arrival number,
+  // ascending by (distance, arrival). Identical to an index Query plus a
+  // slot -> arrival remap: live slots ascend in arrival order, so the
+  // (distance, slot) tie order IS the (distance, arrival) tie order — a
+  // cross-shard merge over these lists reproduces the unsharded
+  // neighbor sets bit for bit. `exclude_arrival` removes one live tuple
+  // (a tuple querying for its own learning order excludes itself).
+  std::vector<neighbors::Neighbor> QueryByArrival(
+      const data::RowView& tuple, size_t k,
+      uint64_t exclude_arrival = kNoArrival) const;
+  // The live tuple's current learning order (self first, then neighbors
+  // ascending by (distance, arrival)) with entries remapped from slots to
+  // arrival numbers. Empty if the arrival is not live. Test hook for the
+  // sharded-vs-single differential harness.
+  std::vector<neighbors::Neighbor> LearningOrderByArrival(
+      uint64_t arrival) const;
+
   // Batched Algorithm 2: entry i answers rows[i]. Neighbor queries and
   // candidate aggregation fan out over options.threads workers; pending
   // model solves run once, serially, so results are bit-identical to

@@ -1,0 +1,498 @@
+#include "stream/sharded_iim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "core/iim_imputer.h"
+
+namespace iim::stream {
+
+namespace {
+
+// Same batch grain as OnlineIim::ImputeBatch: the fixed partition (and
+// therefore the result-order guarantees) stays aligned across engines.
+constexpr size_t kBatchGrain = 16;
+
+}  // namespace
+
+Partitioner RoundRobinPartitioner() {
+  return [](const data::RowView&, uint64_t arrival, size_t shards) {
+    return static_cast<size_t>(arrival % shards);
+  };
+}
+
+Partitioner KeyHashPartitioner(int column) {
+  return [column](const data::RowView& row, uint64_t, size_t shards) {
+    double v = row[static_cast<size_t>(column)];
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+    return static_cast<size_t>(h % shards);
+  };
+}
+
+Result<std::unique_ptr<ShardedOnlineIim>> ShardedOnlineIim::Create(
+    const data::Schema& schema, int target, std::vector<int> features,
+    const core::IimOptions& options, Partitioner partitioner) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument(
+        "ShardedOnlineIim: shards must be >= 1");
+  }
+  // Shard engines re-run the full OnlineIim::Create validation; probing
+  // one up front surfaces any argument error before the wrapper exists.
+  Result<std::unique_ptr<OnlineIim>> probe =
+      OnlineIim::Create(schema, target, features, options);
+  if (!probe.ok()) return probe.status();
+  if (partitioner == nullptr) partitioner = RoundRobinPartitioner();
+  return std::unique_ptr<ShardedOnlineIim>(new ShardedOnlineIim(
+      schema, target, std::move(features), options, std::move(partitioner)));
+}
+
+ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
+                                   std::vector<int> features,
+                                   const core::IimOptions& options,
+                                   Partitioner partitioner)
+    : schema_(schema),
+      target_(target),
+      features_(std::move(features)),
+      options_(options),
+      partitioner_(std::move(partitioner)),
+      q_(features_.size()),
+      ell_(std::max<size_t>(options.ell, 1)) {
+  // Shards run unwindowed (the wrapper owns the GLOBAL window) and
+  // single-threaded (the wrapper owns the fan-out); their own per-shard
+  // learning orders keep each shard independently servable and make the
+  // per-arrival maintenance loop O(resident count).
+  core::IimOptions sub = options_;
+  sub.window_size = 0;
+  sub.shards = 1;
+  sub.threads = 1;
+  shards_.reserve(options_.shards);
+  global_of_local_.resize(options_.shards);
+  next_local_.resize(options_.shards, 0);
+  for (size_t s = 0; s < options_.shards; ++s) {
+    Result<std::unique_ptr<OnlineIim>> shard =
+        OnlineIim::Create(schema_, target_, features_, sub);
+    assert(shard.ok() && "Create() pre-validated these arguments");
+    shards_.push_back(std::move(shard).value());
+  }
+}
+
+Status ShardedOnlineIim::CheckIngest(const data::RowView& row) const {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument("ShardedOnlineIim: tuple arity mismatch");
+  }
+  if (std::isnan(row[static_cast<size_t>(target_)])) {
+    return Status::InvalidArgument(
+        "ShardedOnlineIim: NaN target in ingested tuple");
+  }
+  for (int f : features_) {
+    if (std::isnan(row[static_cast<size_t>(f)])) {
+      return Status::InvalidArgument(
+          "ShardedOnlineIim: NaN feature in ingested tuple");
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedOnlineIim::CheckQuery(const data::RowView& tuple) const {
+  if (live_.empty()) {
+    return Status::FailedPrecondition("ShardedOnlineIim: no live tuples");
+  }
+  if (tuple.size() != schema_.size()) {
+    return Status::InvalidArgument("ShardedOnlineIim: tuple arity mismatch");
+  }
+  for (int f : features_) {
+    if (std::isnan(tuple[static_cast<size_t>(f)])) {
+      return Status::InvalidArgument(
+          "ShardedOnlineIim: NaN in complete attribute of tuple");
+    }
+  }
+  return Status::OK();
+}
+
+size_t ShardedOnlineIim::RouteOf(const data::RowView& row,
+                                 uint64_t arrival) const {
+  // Clamp misbehaving user partitioners into range rather than crashing.
+  return partitioner_(row, arrival, shards_.size()) % shards_.size();
+}
+
+uint64_t ShardedOnlineIim::Bookkeep(size_t s) {
+  uint64_t g = next_seq_++;
+  // The shard-local arrival number is the count of earlier ingests routed
+  // to s — exactly the value the shard's stats().ingested holds when the
+  // planned Ingest lands.
+  uint64_t local = next_local_[s]++;
+  global_of_local_[s].emplace(local, g);
+  live_.emplace(g, Route{s, local});
+  return g;
+}
+
+void ShardedOnlineIim::PlanWindowEvictions(
+    std::vector<std::vector<ShardOp>>* plan) {
+  if (options_.window_size == 0) return;
+  while (live_.size() > options_.window_size) {
+    auto oldest = live_.begin();
+    const Route r = oldest->second;
+    live_.erase(oldest);
+    global_of_local_[r.shard].erase(r.local_seq);
+    ++stats_.evicted;
+    if (plan != nullptr) {
+      ShardOp op;
+      op.is_ingest = false;
+      op.local_seq = r.local_seq;
+      (*plan)[r.shard].push_back(op);
+    } else {
+      Status st = shards_[r.shard]->Evict(r.local_seq);
+      (void)st;
+      assert(st.ok() && "window victim must be live in its shard");
+    }
+  }
+}
+
+Status ShardedOnlineIim::Ingest(const data::RowView& row) {
+  RETURN_IF_ERROR(CheckIngest(row));
+  size_t s = RouteOf(row, next_seq_);
+  RETURN_IF_ERROR(shards_[s]->Ingest(row));
+  Bookkeep(s);
+  ++stats_.ingested;
+  model_cache_.clear();
+  PlanWindowEvictions(nullptr);
+  return Status::OK();
+}
+
+std::vector<Status> ShardedOnlineIim::IngestBatch(
+    const std::vector<data::RowView>& rows) {
+  std::vector<Status> out(rows.size(), Status::OK());
+  const size_t S = shards_.size();
+
+  // Plan (serial): routing, global numbering and window-eviction choices
+  // are the semantics — they must evolve exactly as a sequential drive
+  // would. Each accepted row appends an ingest op to its shard; every
+  // window overflow appends an evict op to the victim's shard. A victim
+  // ingested earlier in this very batch already precedes its eviction in
+  // that shard's list, because ops are appended in global order.
+  std::vector<std::vector<ShardOp>> plan(S);
+  bool any = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status st = CheckIngest(rows[i]);
+    if (!st.ok()) {
+      out[i] = st;
+      continue;
+    }
+    size_t s = RouteOf(rows[i], next_seq_);
+    ShardOp op;
+    op.is_ingest = true;
+    op.row = i;
+    plan[s].push_back(op);
+    Bookkeep(s);
+    ++stats_.ingested;
+    any = true;
+    PlanWindowEvictions(&plan);
+  }
+  ++stats_.ingest_batches;
+  if (any) model_cache_.clear();
+
+  // Apply (parallel): shards share no mutable state, and each shard's op
+  // list replays in order, so any interleaving across shards produces the
+  // same global state a sequential drive reaches. Each block writes only
+  // its own rows' entries of `out` (disjoint), so the scatter is
+  // race-free. Shard-side failures are unreachable after CheckIngest
+  // (the shard re-runs the same validation); they are still captured.
+  ThreadPool pool(options_.threads);
+  pool.ParallelFor(S, 1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      for (const ShardOp& op : plan[s]) {
+        if (op.is_ingest) {
+          Status st = shards_[s]->Ingest(rows[op.row]);
+          if (!st.ok()) out[op.row] = st;
+        } else {
+          Status st = shards_[s]->Evict(op.local_seq);
+          (void)st;
+          assert(st.ok() && "planned eviction failed");
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Status ShardedOnlineIim::Evict(uint64_t arrival) {
+  auto it = live_.find(arrival);
+  if (it == live_.end()) {
+    return Status::NotFound(
+        "ShardedOnlineIim: arrival is not live (never ingested, or "
+        "already evicted)");
+  }
+  RETURN_IF_ERROR(shards_[it->second.shard]->Evict(it->second.local_seq));
+  global_of_local_[it->second.shard].erase(it->second.local_seq);
+  live_.erase(it);
+  ++stats_.evicted;
+  model_cache_.clear();
+  return Status::OK();
+}
+
+std::vector<neighbors::Neighbor> ShardedOnlineIim::MergedTopK(
+    const data::RowView& tuple, size_t k, uint64_t exclude_global) const {
+  // SCATTER: each shard reports its own top-k by (distance, local
+  // arrival). Within one shard local arrival order IS global arrival
+  // order (routing preserves it), so each list is already sorted by the
+  // global tie-break restricted to that shard.
+  // GATHER: the same bounded-heap insert the KD-tree leaf scan and the
+  // dynamic-index tail scan use, under (distance, global arrival) — the
+  // union's top-k, with ties breaking exactly as an unsharded index
+  // breaks them (live slots ascend in arrival order).
+  size_t exclude_shard = shards_.size();
+  uint64_t exclude_local = OnlineIim::kNoArrival;
+  if (exclude_global != OnlineIim::kNoArrival) {
+    auto it = live_.find(exclude_global);
+    if (it != live_.end()) {
+      exclude_shard = it->second.shard;
+      exclude_local = it->second.local_seq;
+    }
+  }
+  std::vector<neighbors::Neighbor> heap;
+  heap.reserve(k + 1);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::unordered_map<uint64_t, uint64_t>& to_global =
+        global_of_local_[s];
+    for (const neighbors::Neighbor& nb : shards_[s]->QueryByArrival(
+             tuple, k,
+             s == exclude_shard ? exclude_local : OnlineIim::kNoArrival)) {
+      neighbors::Neighbor global;
+      global.index = static_cast<size_t>(to_global.at(nb.index));
+      global.distance = nb.distance;
+      neighbors::PushNeighborHeap(&heap, k, global);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), neighbors::NeighborLess);
+  return heap;
+}
+
+Result<regress::LinearModel> ShardedOnlineIim::FitModel(uint64_t g) const {
+  const Route& r = live_.at(g);
+  const OnlineIim& sh = *shards_[r.shard];
+  size_t want = std::min(ell_, live_.size());  // self included
+  if (want <= 1) {
+    // Single-neighbor rule (Section III-A2): constant model of the
+    // tuple's own value — matches OnlineIim::EnsureModel at order size 1.
+    return regress::LinearModel::Constant(sh.TargetByArrival(r.local_seq),
+                                          q_);
+  }
+  std::vector<neighbors::Neighbor> nbrs =
+      MergedTopK(sh.RowByArrival(r.local_seq), want - 1, g);
+  // Fold the global learning order — self first, then neighbors ascending
+  // by (distance, arrival) — in the exact sequence the unsharded engine's
+  // lazy catch-up streams it, over the same gathered feature rows: the
+  // resulting U/V (and therefore the solved phi) are bit-identical to an
+  // unsharded restream.
+  regress::IncrementalRidge acc(q_);
+  acc.AddRow(sh.FeaturesByArrival(r.local_seq),
+             sh.TargetByArrival(r.local_seq));
+  for (const neighbors::Neighbor& nb : nbrs) {
+    const Route& rn = live_.at(nb.index);
+    const OnlineIim& shn = *shards_[rn.shard];
+    acc.AddRow(shn.FeaturesByArrival(rn.local_seq),
+               shn.TargetByArrival(rn.local_seq));
+  }
+  return acc.Solve(options_.alpha);
+}
+
+Result<const regress::LinearModel*> ShardedOnlineIim::EnsureModel(
+    uint64_t g) {
+  auto it = model_cache_.find(g);
+  if (it != model_cache_.end()) {
+    ++stats_.model_cache_hits;
+    return static_cast<const regress::LinearModel*>(&it->second);
+  }
+  Result<regress::LinearModel> model = FitModel(g);
+  if (!model.ok()) return model.status();
+  ++stats_.models_fitted;
+  stats_.shard_queries += shards_.size();
+  auto inserted = model_cache_.emplace(g, std::move(model).value());
+  return static_cast<const regress::LinearModel*>(&inserted.first->second);
+}
+
+Result<double> ShardedOnlineIim::AggregateClean(
+    const data::RowView& tuple, const std::vector<neighbors::Neighbor>& nbrs,
+    std::vector<double>* scratch) const {
+  scratch->resize(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    (*scratch)[j] = tuple[static_cast<size_t>(features_[j])];
+  }
+  std::vector<double> candidates;
+  candidates.reserve(nbrs.size());
+  for (const neighbors::Neighbor& nb : nbrs) {
+    // Formula 9 per neighbor, in merged order — the same candidate
+    // sequence (and therefore the same Formula 11-12 aggregation) as the
+    // unsharded AggregateClean.
+    candidates.push_back(
+        model_cache_.at(nb.index).Predict(scratch->data(), q_));
+  }
+  return core::CombineCandidates(candidates, options_.uniform_weights);
+}
+
+Result<double> ShardedOnlineIim::ImputeOne(const data::RowView& tuple) {
+  RETURN_IF_ERROR(CheckQuery(tuple));
+  std::vector<neighbors::Neighbor> nbrs =
+      MergedTopK(tuple, options_.k, OnlineIim::kNoArrival);
+  stats_.shard_queries += shards_.size();
+  ++stats_.merges;
+  if (nbrs.empty()) {
+    return Status::Internal("ShardedOnlineIim: no imputation neighbors");
+  }
+  for (const neighbors::Neighbor& nb : nbrs) {
+    Result<const regress::LinearModel*> model =
+        EnsureModel(static_cast<uint64_t>(nb.index));
+    if (!model.ok()) return model.status();
+  }
+  ++stats_.imputed;
+  std::vector<double> scratch;
+  return AggregateClean(tuple, nbrs, &scratch);
+}
+
+std::vector<Result<double>> ShardedOnlineIim::ImputeBatch(
+    const std::vector<data::RowView>& rows) {
+  std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
+
+  // Phase 1 (serial): validate, collect the queryable rows.
+  std::vector<size_t> row_of_query;
+  row_of_query.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status st = CheckQuery(rows[i]);
+    if (st.ok()) {
+      row_of_query.push_back(i);
+    } else {
+      out[i] = st;
+    }
+  }
+
+  // Phase 2 (parallel, read-only): scatter/gather merges fan out; the
+  // fixed block partition keeps result order thread-count independent.
+  ThreadPool pool(options_.threads);
+  std::vector<std::vector<neighbors::Neighbor>> nbrs(row_of_query.size());
+  pool.ParallelFor(
+      row_of_query.size(), kBatchGrain, [&](size_t begin, size_t end) {
+        for (size_t b = begin; b < end; ++b) {
+          nbrs[b] = MergedTopK(rows[row_of_query[b]], options_.k,
+                               OnlineIim::kNoArrival);
+        }
+      });
+  stats_.shard_queries += row_of_query.size() * shards_.size();
+  stats_.merges += row_of_query.size();
+
+  // Phase 3 (serial): fit every needed model exactly once, in ascending
+  // global-arrival order. A fit failure is recorded per model, not
+  // broadcast — rows whose own neighborhoods fitted fine still get
+  // answers, exactly as a per-row ImputeOne sequence would.
+  std::vector<size_t> needed;
+  for (const std::vector<neighbors::Neighbor>& list : nbrs) {
+    for (const neighbors::Neighbor& nb : list) {
+      if (model_cache_.find(nb.index) == model_cache_.end()) {
+        needed.push_back(nb.index);
+      }
+    }
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<std::pair<size_t, Status>> failures;  // sorted by model id
+  for (size_t id : needed) {
+    Result<const regress::LinearModel*> model =
+        EnsureModel(static_cast<uint64_t>(id));
+    if (!model.ok()) failures.emplace_back(id, model.status());
+  }
+
+  // Phase 4 (parallel, read-only): aggregate candidates per row out of
+  // the now-quiescent model cache. A row inherits the error of its first
+  // failed neighbor model (ImputeOne's neighbor-order semantics).
+  pool.ParallelFor(
+      row_of_query.size(), kBatchGrain, [&](size_t begin, size_t end) {
+        std::vector<double> scratch;
+        for (size_t b = begin; b < end; ++b) {
+          size_t i = row_of_query[b];
+          if (nbrs[b].empty()) {
+            out[i] =
+                Status::Internal("ShardedOnlineIim: no imputation neighbors");
+            continue;
+          }
+          const Status* failed = nullptr;
+          for (const neighbors::Neighbor& nb : nbrs[b]) {
+            auto it = std::lower_bound(
+                failures.begin(), failures.end(), nb.index,
+                [](const std::pair<size_t, Status>& f, size_t id) {
+                  return f.first < id;
+                });
+            if (it != failures.end() && it->first == nb.index) {
+              failed = &it->second;
+              break;
+            }
+          }
+          out[i] = failed != nullptr ? Result<double>(*failed)
+                                     : AggregateClean(rows[i], nbrs[b],
+                                                      &scratch);
+        }
+      });
+  // Mirror ImputeOne's accounting: only answered rows count as served.
+  for (size_t b = 0; b < row_of_query.size(); ++b) {
+    if (out[row_of_query[b]].ok()) ++stats_.imputed;
+  }
+  return out;
+}
+
+std::vector<neighbors::Neighbor> ShardedOnlineIim::LearningOrderByArrival(
+    uint64_t arrival) const {
+  auto it = live_.find(arrival);
+  if (it == live_.end()) return {};
+  const Route& r = it->second;
+  std::vector<neighbors::Neighbor> order;
+  size_t want = std::min(ell_, live_.size());
+  order.reserve(want);
+  neighbors::Neighbor self;
+  self.index = static_cast<size_t>(arrival);
+  self.distance = 0.0;
+  order.push_back(self);
+  if (want > 1) {
+    for (const neighbors::Neighbor& nb : MergedTopK(
+             shards_[r.shard]->RowByArrival(r.local_seq), want - 1,
+             arrival)) {
+      order.push_back(nb);
+    }
+  }
+  return order;
+}
+
+data::Table ShardedOnlineIim::Window() const {
+  data::Table out(schema_);
+  for (const auto& entry : live_) {
+    const Route& r = entry.second;
+    Status st = out.AppendRow(
+        shards_[r.shard]->RowByArrival(r.local_seq).ToVector());
+    (void)st;
+    assert(st.ok());
+  }
+  return out;
+}
+
+void ShardedOnlineIim::WaitForIndexRebuilds() {
+  for (const std::unique_ptr<OnlineIim>& sh : shards_) {
+    sh->WaitForIndexRebuild();
+  }
+}
+
+ShardedOnlineIim::Stats ShardedOnlineIim::stats() const {
+  Stats s = stats_;
+  s.per_shard.clear();
+  s.per_shard.reserve(shards_.size());
+  for (const std::unique_ptr<OnlineIim>& sh : shards_) {
+    s.per_shard.push_back(sh->stats());
+  }
+  return s;
+}
+
+}  // namespace iim::stream

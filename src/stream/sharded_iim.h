@@ -1,0 +1,232 @@
+// ShardedOnlineIim: S independent OnlineIim shards behind one engine
+// facade, with a bit-identical cross-shard top-k merge.
+//
+// The paper's individual models are embarrassingly partitionable — each
+// model is a ridge fit over one tuple's l nearest neighbors — but the
+// *neighborhoods* are global: an imputation served from a shard that only
+// saw its own arrivals would silently learn from the wrong neighbor sets
+// (the masking-one-out literature's warning: quality claims hold only for
+// the true global neighborhood). This engine therefore splits only the
+// DATA, never the SEMANTICS:
+//
+//   Ingest(t)      a pluggable partitioner routes t to one shard, which
+//                  maintains its own DynamicIndex, learning orders and
+//                  windowed storage over just its residents — the O(n)
+//                  arrival maintenance loop shrinks to O(n/S) per shard;
+//   ImputeOne(t)   SCATTER: every shard answers NN(t, F, k) over its
+//                  residents by arrival number;
+//                  GATHER: the per-shard candidate lists merge through
+//                  the same PushNeighborHeap the KD-tree leaf scan uses,
+//                  under the same (distance, arrival) tie order, into a
+//                  global top-k — provably the unsharded neighbor set,
+//                  bit for bit;
+//                  then the individual model of each global neighbor is
+//                  fitted over the neighbor's own GLOBAL learning order
+//                  (scatter/gather again, self excluded) by streaming the
+//                  gathered rows through IncrementalRidge in the same
+//                  sequence the unsharded engine folds them;
+//   Evict(a)       retirement by global arrival number, routed to the
+//                  owning shard.
+//
+// FIFO windowing is global: options.window_size counts LIVE TUPLES ACROSS
+// ALL SHARDS, and the wrapper — which alone knows the global arrival
+// order — retires the globally-oldest live tuple from whichever shard
+// holds it. Shards run unwindowed; per-shard tombstoning and compaction
+// still happen locally (slot moves never escape a shard: the wrapper
+// addresses residents by arrival number, which compaction preserves).
+//
+// Contract (asserted by tests/stream_shard_test.cc): for every arrival /
+// evict / impute schedule, every shard count and every thread count,
+// learning orders, neighbor sets and imputed values are bit-identical to
+// a single OnlineIim driven with the same schedule — across shard
+// compactions and background KD-tree rebuilds — whenever the single
+// engine is on its restream path (options.downdate == false), and within
+// tight relative tolerance when it down-dates accumulators in place (the
+// wrapper always fits from a fresh fold; a down-dated accumulator is
+// algebraically equal but reorders the floating-point summation).
+//
+// IngestBatch applies a planned run of arrivals with per-shard
+// parallelism: routing, arrival numbering and window-eviction planning
+// run serially (they are cheap bookkeeping and define the semantics),
+// then each shard applies its private op list on a ThreadPool worker —
+// shards share no mutable state, so the interleaving cannot change
+// results. Thread-safety otherwise matches OnlineIim: externally
+// synchronized; ImputeBatch parallelizes internally (deterministically).
+
+#ifndef IIM_STREAM_SHARDED_IIM_H_
+#define IIM_STREAM_SHARDED_IIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/online_iim.h"
+
+namespace iim::stream {
+
+// Routes one arrival to a shard in [0, shards). Must be deterministic —
+// replaying a schedule must reproduce the same placement. `arrival` is
+// the global 0-based arrival number.
+using Partitioner = std::function<size_t(
+    const data::RowView& row, uint64_t arrival, size_t shards)>;
+
+// arrival % shards: perfectly balanced, content-oblivious. The default.
+Partitioner RoundRobinPartitioner();
+// FNV-1a over the bit pattern of one column: co-locates tuples sharing a
+// key (e.g. a sensor id column) so per-key scans stay shard-local.
+Partitioner KeyHashPartitioner(int column);
+
+class ShardedOnlineIim {
+ public:
+  struct Stats {
+    uint64_t ingested = 0;
+    size_t imputed = 0;
+    size_t evicted = 0;         // window + explicit, across all shards
+    size_t ingest_batches = 0;  // IngestBatch calls
+    size_t shard_queries = 0;   // per-shard candidate queries scattered
+    size_t merges = 0;          // cross-shard top-k gathers
+    size_t models_fitted = 0;   // wrapper-side global-order ridge fits
+    size_t model_cache_hits = 0;
+    // Each shard's own engine counters (entry s = shard s).
+    std::vector<OnlineIim::Stats> per_shard;
+  };
+
+  // Validates like OnlineIim::Create; additionally options.shards >= 1.
+  // A null partitioner means RoundRobinPartitioner(). options.window_size
+  // bounds the GLOBAL live count; shards are created unwindowed.
+  static Result<std::unique_ptr<ShardedOnlineIim>> Create(
+      const data::Schema& schema, int target, std::vector<int> features,
+      const core::IimOptions& options, Partitioner partitioner = nullptr);
+
+  ShardedOnlineIim(const ShardedOnlineIim&) = delete;
+  ShardedOnlineIim& operator=(const ShardedOnlineIim&) = delete;
+
+  // Complete tuple arrival: validated, routed, then the global FIFO
+  // window retires the oldest live tuple(s) — from whichever shard owns
+  // them — exactly as an unsharded engine would.
+  Status Ingest(const data::RowView& row);
+
+  // A run of arrivals applied with per-shard parallelism (semantics
+  // identical to calling Ingest in order; entry i answers rows[i]). Rows
+  // failing validation are skipped — later rows still apply, matching a
+  // sequential drive that ignores individual rejections.
+  std::vector<Status> IngestBatch(const std::vector<data::RowView>& rows);
+
+  // Retires the tuple of the `arrival`-th successful global ingest.
+  // NotFound if it was never ingested or is already gone.
+  Status Evict(uint64_t arrival);
+
+  // Algorithm 2 against the union of all shards (scatter/gather; see the
+  // header comment).
+  Result<double> ImputeOne(const data::RowView& tuple);
+
+  // Batched Algorithm 2: entry i answers rows[i]. Per-row scatter/gather
+  // merges fan out over options.threads workers; model fits run once,
+  // serially — results are bit-identical to per-row ImputeOne calls for
+  // every thread count.
+  std::vector<Result<double>> ImputeBatch(
+      const std::vector<data::RowView>& rows);
+
+  // The live tuple's global learning order (self first, then neighbors
+  // ascending by (distance, arrival)) — the order its individual model is
+  // fitted over. Empty if the arrival is not live. Bit-identical to the
+  // unsharded OnlineIim::LearningOrderByArrival under the same schedule.
+  std::vector<neighbors::Neighbor> LearningOrderByArrival(
+      uint64_t arrival) const;
+
+  // The global live window as one table, in arrival order — bit-identical
+  // to an unsharded engine's table() under the same schedule (a batch
+  // IimImputer fitted on it reproduces this engine's imputations, per the
+  // contract above). Materialized by value: rows are gathered out of the
+  // owning shards.
+  data::Table Window() const;
+
+  // Global live tuples.
+  size_t size() const { return live_.size(); }
+  size_t shards() const { return shards_.size(); }
+  const OnlineIim& shard(size_t s) const { return *shards_[s]; }
+  const core::IimOptions& options() const { return options_; }
+  // Flushes every shard's background index rebuild (tests/benches;
+  // queries never require it).
+  void WaitForIndexRebuilds();
+  // Aggregate counters plus one OnlineIim::Stats per shard.
+  Stats stats() const;
+
+ private:
+  // Where a live tuple resides: its shard and its arrival number WITHIN
+  // that shard (stable across shard compaction).
+  struct Route {
+    size_t shard = 0;
+    uint64_t local_seq = 0;
+  };
+  // One planned per-shard operation of an IngestBatch.
+  struct ShardOp {
+    bool is_ingest = false;
+    size_t row = 0;           // rows[] entry (ingest)
+    uint64_t local_seq = 0;   // shard-local victim (evict)
+  };
+
+  ShardedOnlineIim(const data::Schema& schema, int target,
+                   std::vector<int> features,
+                   const core::IimOptions& options, Partitioner partitioner);
+
+  Status CheckIngest(const data::RowView& row) const;
+  Status CheckQuery(const data::RowView& tuple) const;
+  size_t RouteOf(const data::RowView& row, uint64_t arrival) const;
+  // Bookkeeps one accepted arrival into shard s, returning its global
+  // sequence number.
+  uint64_t Bookkeep(size_t s);
+  // Pops the globally-oldest live tuples past the window into per-shard
+  // evict plans (or applies them directly when plan == nullptr).
+  void PlanWindowEvictions(std::vector<std::vector<ShardOp>>* plan);
+  // SCATTER per-shard NN(tuple, F, k) by arrival, GATHER through
+  // PushNeighborHeap into the global top-k, ascending by (distance,
+  // global arrival). `exclude_global` removes one live tuple.
+  std::vector<neighbors::Neighbor> MergedTopK(const data::RowView& tuple,
+                                              size_t k,
+                                              uint64_t exclude_global) const;
+  // Fits the individual model of live tuple `g` over its global learning
+  // order — the same summation sequence the unsharded engine's
+  // accumulator folds.
+  Result<regress::LinearModel> FitModel(uint64_t g) const;
+  // Cache-through FitModel; the cache is cleared by every mutation.
+  Result<const regress::LinearModel*> EnsureModel(uint64_t g);
+  Result<double> AggregateClean(const data::RowView& tuple,
+                                const std::vector<neighbors::Neighbor>& nbrs,
+                                std::vector<double>* scratch) const;
+
+  data::Schema schema_;
+  int target_;
+  std::vector<int> features_;
+  core::IimOptions options_;
+  Partitioner partitioner_;
+  size_t q_;    // |F|
+  size_t ell_;  // learning-neighbor budget, >= 1
+
+  std::vector<std::unique_ptr<OnlineIim>> shards_;
+  // Global arrival -> residence, live tuples only; ordered so begin() is
+  // the globally-oldest live tuple (the FIFO window victim).
+  std::map<uint64_t, Route> live_;
+  // Per shard: local arrival number -> global arrival number, LIVE
+  // tuples only (entries leave with their tuple, so a windowed
+  // deployment stays bounded by the window, not the stream length).
+  std::vector<std::unordered_map<uint64_t, uint64_t>> global_of_local_;
+  // Per shard: local arrival numbers handed out so far.
+  std::vector<uint64_t> next_local_;
+  uint64_t next_seq_ = 0;  // global arrivals so far
+
+  // Individual models fitted since the last mutation, keyed by global
+  // arrival. Any Ingest/Evict can displace a learning order, so every
+  // mutation clears it; within one quiescent span (e.g. one ImputeBatch)
+  // each model is fitted at most once.
+  std::unordered_map<uint64_t, regress::LinearModel> model_cache_;
+
+  Stats stats_;
+};
+
+}  // namespace iim::stream
+
+#endif  // IIM_STREAM_SHARDED_IIM_H_

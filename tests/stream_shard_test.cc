@@ -1,0 +1,416 @@
+// Sharded streaming ingestion: the sharded-vs-single differential
+// harness.
+//
+// A sharded engine's imputation quality claims only hold if its
+// cross-shard merge reproduces the TRUE global neighborhoods — per-shard
+// neighbor sets are not evidence (the masking-one-out lesson: evaluate
+// against the real neighborhood or the numbers mean nothing). So this
+// suite drives IDENTICAL arrival/evict/impute schedules through a
+// ShardedOnlineIim and a single OnlineIim and asserts, at every
+// checkpoint, bitwise equality of:
+//
+//   - the live window (row for row, in global arrival order),
+//   - every live tuple's learning order (member arrivals AND distances),
+//   - imputed values, per-row and batched, at thread counts 1 and 4,
+//
+// across seeds x shard counts x thread counts, with FIFO windowing,
+// shard-local compaction and background KD-tree rebuilds all enabled
+// (index thresholds are lowered so both actually fire at this n). The
+// single engine runs its restream path (downdate = false) for the
+// bitwise cells; a downdate = true cell pins the documented tight-
+// tolerance contract instead. A placement-obliviousness test swaps the
+// round-robin partitioner for a content-hash partitioner and expects the
+// SAME bits — the merge, not the placement, defines the semantics.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/iim_imputer.h"
+#include "stream/online_iim.h"
+#include "stream/sharded_iim.h"
+#include "stream_test_util.h"
+
+namespace iim::stream {
+namespace {
+
+core::IimOptions ShardOptions(size_t shards, size_t threads, bool downdate) {
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 8;
+  opt.threads = threads;
+  opt.downdate = downdate;
+  opt.shards = shards;
+  opt.window_size = 90;
+  // Lowered so this small-n schedule still crosses KD-tree background
+  // rebuilds and tombstone compactions inside every shard (results are
+  // identical at any setting — that is exactly what is under test).
+  opt.index_kdtree_threshold = 16;
+  opt.index_min_rebuild_tail = 8;
+  opt.index_min_compact_tombstones = 12;
+  return opt;
+}
+
+// Bitwise learning-order equality for one live tuple.
+void ExpectSameOrder(const OnlineIim& single, const ShardedOnlineIim& sharded,
+                     uint64_t arrival, const char* where) {
+  std::vector<neighbors::Neighbor> want =
+      single.LearningOrderByArrival(arrival);
+  std::vector<neighbors::Neighbor> got =
+      sharded.LearningOrderByArrival(arrival);
+  ASSERT_EQ(got.size(), want.size()) << where << " arrival " << arrival;
+  for (size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].index, want[j].index)
+        << where << " arrival " << arrival << " pos " << j;
+    EXPECT_EQ(got[j].distance, want[j].distance)
+        << where << " arrival " << arrival << " pos " << j;
+  }
+}
+
+// The harness proper. One run = one (seed, shards, threads, downdate)
+// cell; `partitioner` defaults to round robin.
+void RunShardDifferential(uint64_t seed, size_t shards, size_t threads,
+                          bool downdate, Partitioner partitioner = nullptr) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(420, 3, seed);
+  core::IimOptions opt = ShardOptions(shards, threads, downdate);
+
+  Result<std::unique_ptr<OnlineIim>> single_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(single_r.ok());
+  OnlineIim& single = *single_r.value();
+  Result<std::unique_ptr<ShardedOnlineIim>> sharded_r = ShardedOnlineIim::Create(
+      full.schema(), target, features, opt, std::move(partitioner));
+  ASSERT_TRUE(sharded_r.ok());
+  ShardedOnlineIim& sharded = *sharded_r.value();
+
+  data::Table probes(data::Schema::Default(3));
+  for (size_t i = 380; i < 405; ++i) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, i, target)).ok());
+  }
+  std::vector<data::RowView> probe_rows;
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    probe_rows.push_back(probes.Row(p));
+  }
+
+  // Reference bookkeeping: which arrivals SHOULD be live (explicit
+  // evictions + the FIFO window), and which source row each carries.
+  std::deque<uint64_t> expected_live;
+  std::unordered_map<uint64_t, size_t> src_of_arrival;
+
+  std::vector<ScheduleOp> ops =
+      MakeSchedule(seed * 1000 + shards * 10 + threads, 380,
+                   /*min_live=*/12, /*evict_p=*/0.3, /*impute_every=*/23);
+  size_t checked = 0;
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const ScheduleOp& op = ops[step];
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(single.Ingest(full.Row(op.src_row)).ok());
+      ASSERT_TRUE(sharded.Ingest(full.Row(op.src_row)).ok());
+      src_of_arrival[op.arrival] = op.src_row;
+      expected_live.push_back(op.arrival);
+      while (expected_live.size() > opt.window_size) {
+        expected_live.pop_front();
+      }
+    } else if (op.kind == ScheduleOp::kEvict) {
+      // The schedule can name a victim the window already retired; both
+      // engines must agree on that too (OK/OK or NotFound/NotFound).
+      Status got_single = single.Evict(op.arrival);
+      Status got_sharded = sharded.Evict(op.arrival);
+      ASSERT_EQ(got_single.code(), got_sharded.code())
+          << "step " << step << " victim " << op.arrival;
+      if (got_single.ok()) {
+        for (auto it = expected_live.begin(); it != expected_live.end();
+             ++it) {
+          if (*it == op.arrival) {
+            expected_live.erase(it);
+            break;
+          }
+        }
+      }
+    } else {
+      Result<double> want = single.ImputeOne(probes.Row(0));
+      Result<double> got = sharded.ImputeOne(probes.Row(0));
+      ASSERT_EQ(want.ok(), got.ok()) << "step " << step;
+      if (want.ok()) {
+        if (!downdate) {
+          EXPECT_EQ(got.value(), want.value()) << "step " << step;
+        } else {
+          double scale = std::max(1.0, std::fabs(want.value()));
+          EXPECT_NEAR(got.value(), want.value(), 1e-7 * scale)
+              << "step " << step;
+        }
+      }
+    }
+
+    if (step % 70 != 0 && step + 1 != ops.size()) continue;
+    ++checked;
+
+    // The global window: same size, same rows, same order.
+    ASSERT_EQ(single.size(), expected_live.size()) << "step " << step;
+    ASSERT_EQ(sharded.size(), expected_live.size()) << "step " << step;
+    data::Table window = sharded.Window();
+    const data::Table& want_window = single.table();
+    ASSERT_EQ(window.NumRows(), want_window.NumRows());
+    for (size_t r = 0; r < window.NumRows(); ++r) {
+      size_t src = src_of_arrival[expected_live[r]];
+      for (size_t c = 0; c < window.NumCols(); ++c) {
+        ASSERT_EQ(window.At(r, c), want_window.At(r, c))
+            << "step " << step << " row " << r << " col " << c;
+        ASSERT_EQ(window.At(r, c), full.At(src, c))
+            << "step " << step << " row " << r << " col " << c;
+      }
+    }
+
+    // Every live tuple's learning order, bit for bit — members and
+    // distances; this is the neighbor-set proof, not just the imputed
+    // values downstream of it.
+    for (uint64_t arrival : expected_live) {
+      ExpectSameOrder(single, sharded, arrival, "checkpoint");
+    }
+
+    // Batched imputations agree with the single engine (which the window
+    // harness already pins to a from-scratch batch refit).
+    if (expected_live.empty()) continue;
+    std::vector<Result<double>> want = single.ImputeBatch(probe_rows);
+    std::vector<Result<double>> got = sharded.ImputeBatch(probe_rows);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t p = 0; p < got.size(); ++p) {
+      ASSERT_TRUE(want[p].ok()) << "probe " << p;
+      ASSERT_TRUE(got[p].ok()) << "probe " << p;
+      if (!downdate) {
+        EXPECT_EQ(got[p].value(), want[p].value())
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads << " step " << step << " probe " << p;
+      } else {
+        double scale = std::max(1.0, std::fabs(want[p].value()));
+        EXPECT_NEAR(got[p].value(), want[p].value(), 1e-7 * scale)
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads << " step " << step << " probe " << p;
+      }
+    }
+  }
+  ASSERT_GE(checked, 4u) << "schedule too short to mean anything";
+
+  // The schedule really exercised the machinery it claims to pin: FIFO
+  // window evictions, shard-local compactions and background KD-tree
+  // rebuilds all fired.
+  sharded.WaitForIndexRebuilds();
+  ShardedOnlineIim::Stats stats = sharded.stats();
+  ASSERT_EQ(stats.per_shard.size(), shards);
+  uint64_t shard_ingested = 0;
+  size_t shard_compactions = 0;
+  size_t shard_rebuilds = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    shard_ingested += stats.per_shard[s].ingested;
+    shard_compactions += stats.per_shard[s].compactions;
+    shard_rebuilds += sharded.shard(s).index().stats().rebuilds;
+    EXPECT_TRUE(sharded.shard(s).VerifyPostings()) << "shard " << s;
+  }
+  EXPECT_EQ(stats.ingested, 380u);
+  EXPECT_EQ(shard_ingested, 380u);
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_GT(shard_compactions, 0u) << "no shard ever compacted";
+  EXPECT_GT(shard_rebuilds, 0u) << "no shard ever built a KD-tree";
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GT(stats.models_fitted, 0u);
+}
+
+class ShardDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, size_t>> {
+};
+
+TEST_P(ShardDifferentialTest, BitIdenticalToSingleEngineOnRestreamPath) {
+  auto [seed, shards, threads] = GetParam();
+  RunShardDifferential(seed, shards, threads, /*downdate=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsShardsThreads, ShardDifferentialTest,
+    ::testing::Combine(::testing::Values(uint64_t{11}, uint64_t{23},
+                                         uint64_t{47}),
+                       ::testing::Values(size_t{2}, size_t{4}),
+                       ::testing::Values(size_t{1}, size_t{4})),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, size_t, size_t>>&
+           info) {
+      return "S" + std::to_string(std::get<1>(info.param)) + "T" +
+             std::to_string(std::get<2>(info.param)) + "Seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+// The single engine's rank-1 down-dates reorder its floating-point
+// summations; the sharded engine always fits from a fresh fold. The
+// documented contract is tight relative tolerance, pinned here at S4.
+TEST(ShardDifferentialDowndateTest, S4MatchesDowndatingSingleEngineTightly) {
+  RunShardDifferential(31, 4, 2, /*downdate=*/true);
+}
+
+// Placement does not define semantics: a content-hash partitioner (keyed
+// on an attribute, producing skewed shard sizes) must produce the same
+// bits as round robin — the cross-shard merge is the only arbiter. S4 in
+// the name keeps this in the CI shard leg's filter.
+TEST(ShardDifferentialPartitionerTest, S4KeyHashPlacementSameBits) {
+  RunShardDifferential(59, 4, 1, /*downdate=*/false,
+                       KeyHashPartitioner(/*column=*/0));
+}
+
+// Evicting the whole sharded relation is allowed; imputations then fail
+// with FailedPrecondition (exactly like the single engine) until the
+// next ingest revives it, with fresh global arrival numbers.
+TEST(ShardedOnlineIimTest, EvictToEmptyThenRevive) {
+  data::Table full = HeterogeneousTable(30, 3, 3);
+  core::IimOptions opt = ShardOptions(3, 1, true);
+  opt.window_size = 0;
+  Result<std::unique_ptr<ShardedOnlineIim>> engine =
+      ShardedOnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  ShardedOnlineIim& sharded = *engine.value();
+
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sharded.Ingest(full.Row(i)).ok());
+  }
+  for (uint64_t a = 0; a < 10; ++a) {
+    ASSERT_TRUE(sharded.Evict(a).ok());
+  }
+  EXPECT_EQ(sharded.size(), 0u);
+  EXPECT_EQ(sharded.Window().NumRows(), 0u);
+  EXPECT_EQ(sharded.Evict(3).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.Evict(99).code(), StatusCode::kNotFound);
+
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow(Probe(full, 20, 2)).ok());
+  EXPECT_EQ(sharded.ImputeOne(probe.Row(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  for (size_t i = 10; i < 16; ++i) {
+    ASSERT_TRUE(sharded.Ingest(full.Row(i)).ok());
+  }
+  EXPECT_EQ(sharded.size(), 6u);
+  Result<double> got = sharded.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(got.ok());
+
+  // No eviction ever touched a fold that survived, so the sharded answer
+  // is bit-identical to a batch refit on the live window. (The snapshot
+  // must outlive the fitted imputer, which retains a reference to it.)
+  data::Table snapshot = sharded.Window();
+  core::IimImputer batch(opt);
+  ASSERT_TRUE(batch.Fit(snapshot, 2, {0, 1}).ok());
+  Result<double> want = batch.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got.value(), want.value());
+}
+
+// IngestBatch is a pure throughput knob: applying a run with per-shard
+// parallelism must produce the same engine state (orders, window,
+// imputations — bit for bit) as one-at-a-time Ingest calls, for every
+// thread count, including when the batch itself overflows the window.
+TEST(ShardedOnlineIimTest, IngestBatchBitIdenticalToSequentialIngests) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(160, 3, 91);
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow(Probe(full, 150, target)).ok());
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    core::IimOptions opt = ShardOptions(4, threads, false);
+    opt.window_size = 60;
+    Result<std::unique_ptr<ShardedOnlineIim>> a =
+        ShardedOnlineIim::Create(full.schema(), target, features, opt);
+    Result<std::unique_ptr<ShardedOnlineIim>> b =
+        ShardedOnlineIim::Create(full.schema(), target, features, opt);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+
+    std::vector<data::RowView> batch;
+    for (size_t i = 0; i < 140; ++i) {
+      ASSERT_TRUE(a.value()->Ingest(full.Row(i)).ok());
+      batch.push_back(full.Row(i));
+    }
+    std::vector<Status> statuses = b.value()->IngestBatch(batch);
+    for (const Status& st : statuses) ASSERT_TRUE(st.ok());
+
+    ASSERT_EQ(a.value()->size(), b.value()->size());
+    data::Table wa = a.value()->Window();
+    data::Table wb = b.value()->Window();
+    ASSERT_EQ(wa.NumRows(), wb.NumRows());
+    for (size_t r = 0; r < wa.NumRows(); ++r) {
+      for (size_t c = 0; c < wa.NumCols(); ++c) {
+        ASSERT_EQ(wa.At(r, c), wb.At(r, c));
+      }
+    }
+    for (uint64_t arrival = 80; arrival < 140; ++arrival) {
+      std::vector<neighbors::Neighbor> oa =
+          a.value()->LearningOrderByArrival(arrival);
+      std::vector<neighbors::Neighbor> ob =
+          b.value()->LearningOrderByArrival(arrival);
+      ASSERT_EQ(oa.size(), ob.size()) << "arrival " << arrival;
+      for (size_t j = 0; j < oa.size(); ++j) {
+        EXPECT_EQ(oa[j].index, ob[j].index);
+        EXPECT_EQ(oa[j].distance, ob[j].distance);
+      }
+    }
+    Result<double> va = a.value()->ImputeOne(probe.Row(0));
+    Result<double> vb = b.value()->ImputeOne(probe.Row(0));
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(vb.ok());
+    EXPECT_EQ(va.value(), vb.value()) << "threads " << threads;
+
+    // A mid-batch rejection skips that row but not the rows after it.
+    std::vector<double> bad = full.Row(150).ToVector();
+    bad[static_cast<size_t>(target)] =
+        std::numeric_limits<double>::quiet_NaN();
+    std::vector<data::RowView> mixed;
+    mixed.push_back(full.Row(140));
+    mixed.emplace_back(bad.data(), bad.size());
+    mixed.push_back(full.Row(141));
+    std::vector<Status> mixed_status = b.value()->IngestBatch(mixed);
+    EXPECT_TRUE(mixed_status[0].ok());
+    EXPECT_EQ(mixed_status[1].code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(mixed_status[2].ok());
+    EXPECT_EQ(b.value()->stats().ingested, 142u);
+  }
+}
+
+TEST(ShardedOnlineIimTest, ValidatesArguments) {
+  data::Table full = HeterogeneousTable(10, 3, 1);
+  core::IimOptions opt;
+  opt.shards = 0;
+  EXPECT_FALSE(
+      ShardedOnlineIim::Create(full.schema(), 2, {0, 1}, opt).ok());
+  opt.shards = 2;
+  opt.adaptive = true;
+  EXPECT_FALSE(
+      ShardedOnlineIim::Create(full.schema(), 2, {0, 1}, opt).ok());
+  opt.adaptive = false;
+  EXPECT_FALSE(ShardedOnlineIim::Create(full.schema(), 5, {0, 1}, opt).ok());
+  EXPECT_FALSE(ShardedOnlineIim::Create(full.schema(), 2, {}, opt).ok());
+  EXPECT_FALSE(ShardedOnlineIim::Create(full.schema(), 2, {2}, opt).ok());
+
+  Result<std::unique_ptr<ShardedOnlineIim>> engine =
+      ShardedOnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+  ShardedOnlineIim& sharded = *engine.value();
+  EXPECT_EQ(sharded.shards(), 2u);
+  // Arity and NaN validation mirror the single engine.
+  data::Table short_row(data::Schema::Default(2));
+  ASSERT_TRUE(short_row.AppendRow({1.0, 2.0}).ok());
+  EXPECT_EQ(sharded.Ingest(short_row.Row(0)).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> nan_target = full.Row(0).ToVector();
+  nan_target[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sharded
+                .Ingest(data::RowView(nan_target.data(), nan_target.size()))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sharded.Evict(0).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace iim::stream

@@ -4,6 +4,7 @@
 
 #include "stream/online_iim.h"
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <limits>
@@ -465,6 +466,143 @@ TEST(ImputationServiceTest, CoalescesConsecutiveImputations) {
   // micro-batches.
   EXPECT_EQ(stats.batches, 3u);
   EXPECT_EQ(stats.largest_batch, 16u);
+}
+
+// Regression: stats read while paused used to race the in-flight batch —
+// Pause() returned as soon as the drain flag was set, so a "paused"
+// snapshot could have counters still moving under it (two consecutive
+// reads disagreed). Pause() now blocks until the in-flight work
+// finishes; while paused, every counter is stable and the books balance:
+// each submitted request is either served (counted, future ready),
+// rejected (counted, future ready), or still queued (uncounted, future
+// pending).
+TEST(ImputationServiceTest, StatsSnapshotStableAndCoherentWhilePaused) {
+  data::Table full = HeterogeneousTable(160, 3, 97);
+  core::IimOptions opt = StreamOptions(2);
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+
+  ImputationService::Options sopt;
+  sopt.max_batch = 8;
+  ImputationService service(engine.value().get(), sopt);
+
+  std::vector<std::future<Status>> status_futures;
+  std::vector<std::future<Result<double>>> impute_futures;
+  for (size_t i = 0; i < 100; ++i) {
+    status_futures.push_back(service.SubmitIngest(full.Row(i).ToVector()));
+    if (i >= 30 && i % 3 == 0) {
+      impute_futures.push_back(service.SubmitImpute(Probe(full, 120, 2)));
+    }
+    if (i == 60) {
+      // Pause mid-stream, very likely mid-batch: the snapshot pair below
+      // is exactly the read the fix protects.
+      service.Pause();
+
+      ImputationService::Stats s1 = service.stats();
+      ImputationService::Stats s2 = service.stats();
+      EXPECT_EQ(s1.ingests, s2.ingests);
+      EXPECT_EQ(s1.imputations, s2.imputations);
+      EXPECT_EQ(s1.evictions, s2.evictions);
+      EXPECT_EQ(s1.batches, s2.batches);
+      EXPECT_EQ(s1.rejected, s2.rejected);
+
+      size_t ready = 0;
+      for (auto& f : status_futures) {
+        if (f.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          ++ready;
+        }
+      }
+      for (auto& f : impute_futures) {
+        if (f.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          ++ready;
+        }
+      }
+      EXPECT_EQ(ready, s1.ingests + s1.imputations + s1.evictions +
+                           s1.rejected);
+      service.Resume();
+    }
+  }
+  service.Drain();
+  for (auto& f : status_futures) EXPECT_TRUE(f.get().ok());
+  for (auto& f : impute_futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(service.stats().ingests, 100u);
+}
+
+// The sharded front end: consecutive ingests coalesce into per-shard
+// parallel IngestBatch calls, imputations scatter/gather across shards —
+// and every answer is bit-identical to an UNSHARDED engine driven
+// synchronously with the same sequence. Aggregated per-shard stats ride
+// along in the same coherent snapshot.
+TEST(ImputationServiceTest, ShardedServiceMatchesUnshardedDirectDrive) {
+  data::Table full = HeterogeneousTable(200, 3, 89);
+  core::IimOptions opt = StreamOptions(2);
+
+  // Reference: one UNSHARDED engine, driven synchronously.
+  Result<std::unique_ptr<OnlineIim>> ref =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(ref.ok());
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(ref.value()->Ingest(full.Row(i)).ok());
+  }
+  std::vector<double> want;
+  data::Table probes(data::Schema::Default(3));
+  for (size_t p = 0; p < 10; ++p) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, 150 + p, 2)).ok());
+  }
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    Result<double> v = ref.value()->ImputeOne(probes.Row(p));
+    ASSERT_TRUE(v.ok());
+    want.push_back(v.value());
+  }
+
+  core::IimOptions sharded_opt = opt;
+  sharded_opt.shards = 3;
+  Result<std::unique_ptr<ShardedOnlineIim>> engine = ShardedOnlineIim::Create(
+      full.schema(), 2, {0, 1}, sharded_opt);
+  ASSERT_TRUE(engine.ok());
+
+  ImputationService::Options sopt;
+  sopt.max_batch = 16;
+  ImputationService service(engine.value().get(), sopt);
+  // Park the server so the queue holds one long run of ingests followed
+  // by a run of imputations: the drain must coalesce 120 consecutive
+  // ingests into exactly ceil(120/16) per-shard-parallel batches.
+  service.Pause();
+  std::vector<std::future<Status>> ingests;
+  for (size_t i = 0; i < 120; ++i) {
+    ingests.push_back(service.SubmitIngest(full.Row(i).ToVector()));
+  }
+  std::vector<std::future<Result<double>>> futures;
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    futures.push_back(service.SubmitImpute(Probe(full, 150 + p, 2)));
+  }
+  service.Resume();
+  service.Drain();
+
+  for (auto& f : ingests) EXPECT_TRUE(f.get().ok());
+  ASSERT_EQ(futures.size(), want.size());
+  for (size_t p = 0; p < futures.size(); ++p) {
+    Result<double> got = futures[p].get();
+    ASSERT_TRUE(got.ok()) << p;
+    EXPECT_EQ(got.value(), want[p]) << p;
+  }
+
+  service.Pause();  // stats below are stable and coherent
+  ImputationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.ingests, 120u);
+  EXPECT_EQ(stats.ingest_batches, 8u);  // ceil(120 / 16)
+  EXPECT_EQ(stats.largest_ingest_batch, 16u);
+  EXPECT_EQ(stats.imputations, futures.size());
+  ASSERT_EQ(stats.shard_stats.size(), 3u);
+  uint64_t shard_ingested = 0;
+  for (const OnlineIim::Stats& s : stats.shard_stats) {
+    shard_ingested += s.ingested;
+  }
+  EXPECT_EQ(shard_ingested, 120u);
+  EXPECT_EQ(engine.value()->size(), 120u);
 }
 
 }  // namespace

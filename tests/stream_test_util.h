@@ -1,7 +1,9 @@
-// Shared fixtures for the streaming test suites (tests/stream_test.cc and
-// tests/stream_window_test.cc): one heterogeneous-relation generator so
-// both suites agree on what a hard multi-regime table looks like, and the
-// incomplete-probe constructor.
+// Shared fixtures for the streaming test suites (tests/stream_test.cc,
+// tests/stream_window_test.cc and tests/stream_shard_test.cc): one
+// heterogeneous-relation generator so the suites agree on what a hard
+// multi-regime table looks like, the incomplete-probe constructor, and a
+// randomized arrival/evict/impute schedule generator whose ops can be
+// shard-tagged for the sharded-engine suites.
 
 #ifndef IIM_TESTS_STREAM_TEST_UTIL_H_
 #define IIM_TESTS_STREAM_TEST_UTIL_H_
@@ -13,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "data/table.h"
 #include "datasets/generator.h"
 
@@ -39,6 +42,75 @@ inline std::vector<double> Probe(const data::Table& source, size_t row,
   values[static_cast<size_t>(target)] =
       std::numeric_limits<double>::quiet_NaN();
   return values;
+}
+
+// One step of a randomized streaming schedule. Evictions name the victim
+// by GLOBAL arrival number (the numbering every engine shares); imputes
+// mark points where the driving test should serve a probe. `shard_tag`
+// is filled by TagShards for the sharded suites: the shard a round-robin
+// partitioner routes the ingest to (and, for evictions, the shard that
+// owns the victim) — so a stress test can assert the router really
+// placed every op where the schedule says.
+struct ScheduleOp {
+  enum Kind { kIngest, kEvict, kImpute };
+  Kind kind = kIngest;
+  size_t src_row = 0;       // ingest: source-table row
+  uint64_t arrival = 0;     // ingest: assigned / evict: victim
+  size_t shard_tag = 0;     // TagShards output
+};
+
+// Generates the randomized arrival/evict/impute shape the windowed
+// differential harness drives inline: ingest-heavy with explicit
+// evictions of uniformly random LIVE tuples once `min_live` tuples are
+// up, and an impute marker every `impute_every` steps. Deterministic in
+// `seed`; ingests consume source rows [0, n_src) in order, and arrival
+// numbers are assigned exactly as every engine assigns them (0-based
+// count of ingests).
+inline std::vector<ScheduleOp> MakeSchedule(uint64_t seed, size_t n_src,
+                                            size_t min_live, double evict_p,
+                                            size_t impute_every) {
+  Rng rng(seed);
+  std::vector<ScheduleOp> ops;
+  std::vector<uint64_t> live;
+  uint64_t arrivals = 0;
+  size_t next_src = 0;
+  size_t steps = 0;
+  while (next_src < n_src) {
+    ++steps;
+    ScheduleOp op;
+    if (live.size() > min_live && rng.Bernoulli(evict_p)) {
+      size_t v = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      op.kind = ScheduleOp::kEvict;
+      op.arrival = live[v];
+      live.erase(live.begin() + static_cast<long>(v));
+    } else {
+      op.kind = ScheduleOp::kIngest;
+      op.src_row = next_src++;
+      op.arrival = arrivals;
+      live.push_back(arrivals++);
+    }
+    ops.push_back(op);
+    if (impute_every > 0 && steps % impute_every == 0 && !live.empty()) {
+      ScheduleOp probe;
+      probe.kind = ScheduleOp::kImpute;
+      ops.push_back(probe);
+    }
+  }
+  return ops;
+}
+
+// Tags each op with its shard under a round-robin partitioner over
+// `shards`: ingests go to arrival % shards, and an eviction is owned by
+// the shard its victim was routed to. (A FIFO window evicting extra
+// tuples inside the engine does not disturb the tags — arrival numbers
+// are assigned by ingest order alone.)
+inline void TagShards(std::vector<ScheduleOp>* ops, size_t shards) {
+  for (ScheduleOp& op : *ops) {
+    if (op.kind != ScheduleOp::kImpute) {
+      op.shard_tag = static_cast<size_t>(op.arrival % shards);
+    }
+  }
 }
 
 }  // namespace iim::stream
