@@ -34,16 +34,26 @@
 // (the merge reproduces the global neighbor sets bit for bit; query
 // latency honestly pays the fan-out + per-query model fits).
 //
+// Phase 4 measures the durability tax: the same n-row ingest with the
+// write-ahead log and periodic background snapshots on, compared at
+// p50/p99 against the persistence-off profile (the checkpoint "pause" is
+// only the in-memory serialize — the file write is backgrounded), plus
+// recovery wall-clock cells at three log-tail lengths (~n/10, ~n/2, n)
+// showing recovery scales with the tail, not the total history.
+//
 // The acceptance bars at n = 10k: >= 10x per-arrival advantage,
 // per-eviction >= 10x cheaper than a window relearn, (whenever the
 // baseline actually rebuilt in-lock) a smaller worst-case ingest with
 // the background builder, sharded ingest at S=4 >= 1.3x the S=1
-// throughput, and sharded query results bitwise unchanged across S.
+// throughput, sharded query results bitwise unchanged across S, and
+// ingest p99 with checkpointing within 2x of checkpointing off.
 // Results are written as JSON for BENCH_streaming.json.
 //
 //   ./bench_streaming [n] [arrivals] [out.json]
 //
 // Exit status: 0 when the shape checks hold, 1 otherwise.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
@@ -51,6 +61,7 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/percentile.h"
@@ -58,6 +69,7 @@
 #include "core/iim_imputer.h"
 #include "datasets/generator.h"
 #include "stream/online_iim.h"
+#include "stream/persist/io.h"
 #include "stream/sharded_iim.h"
 
 namespace {
@@ -107,6 +119,27 @@ void PrintLatency(const char* label, const std::vector<double>& seconds) {
   std::printf("%-34s p50 %9.4f  p99 %9.4f  p99.9 %9.4f  max %9.4f ms\n",
               label, s.p50 * 1e3, s.p99 * 1e3,
               iim::Percentile(seconds, 99.9) * 1e3, s.max * 1e3);
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/iim_bench_persist_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return tmpl;
+}
+
+// Removes the snapshot/log files a StateStore left in `dir`, then the
+// directory itself.
+void WipeStoreDir(const std::string& dir) {
+  auto names = iim::stream::persist::ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      (void)iim::stream::persist::RemoveFile(dir + "/" + name);
+    }
+  }
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace
@@ -441,6 +474,98 @@ int main(int argc, char** argv) {
   }
   bool shard_scaling_ok = shard_scaling >= 1.3 && shard_identical;
 
+  // Phase 4: checkpoint pauses and recovery. The same n-row stream is
+  // ingested with durability on — every arrival appended to the
+  // write-ahead log, a snapshot every n/10 ops — and the per-arrival
+  // percentiles are compared against the persistence-off background-
+  // rebuild profile from phase 0. Only the in-memory serialize runs on
+  // the ingest thread (the file write is backgrounded), so the p99 with
+  // checkpointing on must stay within 2x of the p99 with it off (a small
+  // absolute floor absorbs machines where both p99s are a few
+  // microseconds and the ratio is pure noise). Recovery wall-clock is
+  // then measured against the log-tail length: stores checkpointed at
+  // different cadences leave tails of ~n, ~n/2 and ~n/10 records, and
+  // recovery = newest snapshot restore + tail replay, so the wall-clock
+  // must follow the tail, not the total op count.
+  size_t snap_every = std::max<size_t>(1, n / 10);
+  std::string persist_root = MakeTempDir();
+
+  struct RecoveryCell {
+    size_t snapshot_every = 0;
+    uint64_t log_tail_ops = 0;
+    size_t snapshots_loaded = 0;
+    double recovery_seconds = 0.0;
+  };
+  std::vector<RecoveryCell> recovery_cells;
+
+  iim::core::IimOptions popt = opt;
+  popt.persist_dir = persist_root + "/every-" + std::to_string(snap_every);
+  popt.snapshot_every = snap_every;
+  IngestProfile persisted = BuildEngine(data, target, features, popt, n);
+  iim::Status flush_st = persisted.engine->FlushPersistence();
+  if (!flush_st.ok()) {
+    std::fprintf(stderr, "flush: %s\n", flush_st.ToString().c_str());
+    return 1;
+  }
+  iim::stream::OnlineIim::Stats persist_stats = persisted.engine->stats();
+  persisted.engine.reset();  // "crash": only the files survive
+
+  WipeStoreDir(popt.persist_dir);
+
+  iim::LatencySummary ingest_persist = iim::Summarize(persisted.seconds);
+  double ingest_persist_p999 = iim::Percentile(persisted.seconds, 99.9);
+  const double kCheckpointFloorSeconds = 0.00025;  // 0.25 ms
+  bool checkpoint_ok =
+      ingest_persist.p99 <=
+      std::max(2.0 * ingest_bg.p99, kCheckpointFloorSeconds);
+
+  // Recovery cells at three cadences. The +1 offsets keep the cadence
+  // from dividing n exactly — a snapshot landing on the very last op
+  // would leave a zero-length tail and say nothing about replay cost.
+  std::vector<size_t> cadences = {std::max<size_t>(1, n / 10) + 1,
+                                  std::max<size_t>(1, n / 2) + 1, 0};
+  for (size_t cadence : cadences) {
+    iim::core::IimOptions ropt = opt;
+    ropt.persist_dir =
+        persist_root + "/every-" + std::to_string(cadence);
+    ropt.snapshot_every = cadence;
+    {
+      IngestProfile rp = BuildEngine(data, target, features, ropt, n);
+      iim::Status st = rp.engine->FlushPersistence();
+      if (!st.ok()) {
+        std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      rp.engine.reset();
+    }
+    timer.Restart();
+    auto recovered =
+        iim::stream::OnlineIim::Create(data.schema(), target, features, ropt);
+    double recovery_seconds = timer.ElapsedSeconds();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recover: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    RecoveryCell cell;
+    cell.snapshot_every = cadence;
+    cell.log_tail_ops = recovered.value()->stats().log_records_replayed;
+    cell.snapshots_loaded = recovered.value()->stats().snapshots_loaded;
+    cell.recovery_seconds = recovery_seconds;
+    if (recovered.value()->size() != n ||
+        recovered.value()->durable_ops() != n) {
+      std::fprintf(stderr, "recovery lost state: size %zu durable %llu\n",
+                   recovered.value()->size(),
+                   static_cast<unsigned long long>(
+                       recovered.value()->durable_ops()));
+      return 1;
+    }
+    recovered.value().reset();
+    recovery_cells.push_back(cell);
+    WipeStoreDir(ropt.persist_dir);
+  }
+  ::rmdir(persist_root.c_str());
+
   const auto& stats = online.stats();
   const auto& wstats = windowed.stats();
   iim::stream::DynamicIndex::Stats wistats = windowed.index().stats();
@@ -519,6 +644,26 @@ int main(int argc, char** argv) {
   std::printf("SHAPE CHECK: sharded ingest scales (S=4 >= 1.3x S=1) with "
               "query results unchanged ... %s\n",
               shard_scaling_ok ? "OK" : "DEVIATES");
+  std::printf("\ncheckpointing (WAL every arrival, snapshot every %zu ops):\n",
+              snap_every);
+  PrintLatency("  ingest, persistence off", built.seconds);
+  PrintLatency("  ingest, persistence on", persisted.seconds);
+  std::printf("%-34s %zu written, %zu failed; worst serialize pause "
+              "%.4f ms\n",
+              "snapshots", persist_stats.snapshots_written,
+              persist_stats.snapshot_write_failures,
+              persist_stats.max_snapshot_serialize_seconds * 1e3);
+  std::printf("recovery wall-clock vs log-tail length:\n");
+  for (const RecoveryCell& cell : recovery_cells) {
+    std::printf("  snapshot_every=%-6zu tail %6llu records, %zu snapshot "
+                "loaded -> recovery %8.3f ms\n",
+                cell.snapshot_every,
+                static_cast<unsigned long long>(cell.log_tail_ops),
+                cell.snapshots_loaded, cell.recovery_seconds * 1e3);
+  }
+  std::printf("SHAPE CHECK: ingest p99 with checkpointing within 2x of "
+              "persistence-off ... %s\n",
+              checkpoint_ok ? "OK" : "DEVIATES");
 
   FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -605,6 +750,35 @@ int main(int argc, char** argv) {
                wstats.downdates, wstats.downdate_fallbacks, wstats.backfills,
                wstats.compactions, wstats.postings_edges, wistats.swaps,
                wistats.tail_size, histats.tail_size, hstats.evicted);
+  std::fprintf(out,
+               "  \"checkpoint_snapshot_every\": %zu,\n"
+               "  \"ingest_p50_seconds_persist\": %.9f,\n"
+               "  \"ingest_p99_seconds_persist\": %.9f,\n"
+               "  \"ingest_p999_seconds_persist\": %.9f,\n"
+               "  \"ingest_max_seconds_persist\": %.9f,\n"
+               "  \"snapshots_written\": %zu,\n"
+               "  \"snapshot_write_failures\": %zu,\n"
+               "  \"snapshot_serialize_max_seconds\": %.9f,\n"
+               "  \"checkpoint_p99_within_2x\": %s,\n",
+               snap_every, ingest_persist.p50, ingest_persist.p99,
+               ingest_persist_p999, ingest_persist.max,
+               persist_stats.snapshots_written,
+               persist_stats.snapshot_write_failures,
+               persist_stats.max_snapshot_serialize_seconds,
+               checkpoint_ok ? "true" : "false");
+  std::fprintf(out, "  \"recovery\": [\n");
+  for (size_t c = 0; c < recovery_cells.size(); ++c) {
+    const RecoveryCell& cell = recovery_cells[c];
+    std::fprintf(out,
+                 "    {\"snapshot_every\": %zu, \"log_tail_ops\": %llu, "
+                 "\"snapshots_loaded\": %zu, "
+                 "\"recovery_seconds\": %.6f}%s\n",
+                 cell.snapshot_every,
+                 static_cast<unsigned long long>(cell.log_tail_ops),
+                 cell.snapshots_loaded, cell.recovery_seconds,
+                 c + 1 < recovery_cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"sharding\": [\n");
   for (size_t c = 0; c < shard_cells.size(); ++c) {
     const ShardCell& cell = shard_cells[c];
@@ -628,7 +802,7 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return fast_enough && identical && evict_fast_enough && windowed_matches &&
-                 tail_improved && shard_scaling_ok
+                 tail_improved && shard_scaling_ok && checkpoint_ok
              ? 0
              : 1;
 }

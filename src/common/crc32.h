@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for the durability layer's
+// on-disk integrity checks: every write-ahead-log record and every
+// snapshot section carries a checksum, so recovery can tell a torn or
+// bit-flipped tail from valid data and stop at exactly the last good
+// byte.
+
+#ifndef IIM_COMMON_CRC32_H_
+#define IIM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iim {
+
+// CRC of `len` bytes starting at `data`. `seed` chains incremental
+// computations: Crc32(b, n1+n2) == Crc32(b + n1, n2, Crc32(b, n1)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace iim
+
+#endif  // IIM_COMMON_CRC32_H_

@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotSupported = 6,
   kIoError = 7,
   kResourceExhausted = 8,
+  kShutdown = 9,
 };
 
 // Value-semantic status object. Ok statuses carry no message and are cheap
@@ -62,6 +63,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Shutdown(std::string msg) {
+    return Status(StatusCode::kShutdown, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,7 @@ class Status {
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kShutdown: return "Shutdown";
     }
     return "Unknown";
   }

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace iim::core {
 
@@ -78,6 +79,26 @@ struct IimOptions {
   // engine over the union of the data. Plain OnlineIim and the batch
   // imputer ignore it. 1 = unsharded.
   size_t shards = 1;
+
+  // --- Durability (stream engines; the batch imputer ignores these) ---
+  // Directory for snapshots and the write-ahead arrival log. Empty
+  // disables persistence. When set, Create() first recovers from the
+  // newest valid snapshot plus the log tail (falling back to a cold
+  // engine if the directory is empty or unusable), then logs every
+  // explicit Ingest/Evict before applying it.
+  std::string persist_dir;
+  // Trigger a background snapshot once this many logged ops accumulated
+  // since the last checkpoint (0 = only explicit SaveSnapshot calls and
+  // service shutdown). Serialization happens synchronously on the engine
+  // thread; the file write never blocks ingest.
+  size_t snapshot_every = 0;
+  // Write-ahead log fsync policy: 0 syncs only at rotation/shutdown (a
+  // crash can lose the OS-buffered tail); N additionally fsyncs every
+  // Nth record (1 = synchronous WAL, nothing acknowledged is lost).
+  size_t wal_fsync_every = 0;
+  // Snapshots retained on disk (older ones and their fully-covered log
+  // segments are garbage-collected; min 1).
+  size_t keep_snapshots = 2;
 
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware

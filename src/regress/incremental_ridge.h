@@ -52,6 +52,15 @@ class IncrementalRidge {
   // phi = (U + alpha E)^{-1} V (Formula 19). Fails if no rows were added.
   Result<LinearModel> Solve(double alpha = 1e-6) const;
 
+  // Overwrites the accumulator with externally saved state (snapshot
+  // restore). `u` must be (p+1) x (p+1) and `v` length p+1 for the p this
+  // accumulator was built with; `rows` is the count the state had folded
+  // in. Bitwise: restoring the exact bytes U()/V()/num_rows() produced
+  // yields an accumulator indistinguishable from the original — including
+  // one whose last RemoveRow was refused by the conditioning guard.
+  Status RestoreState(const linalg::Matrix& u, const linalg::Vector& v,
+                      size_t rows);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_features() const { return p_; }
   const linalg::Matrix& U() const { return u_; }

@@ -199,6 +199,58 @@ void DynamicIndex::WaitForRebuild() {
   }
 }
 
+void DynamicIndex::SnapshotState(std::vector<double>* points,
+                                 std::vector<uint8_t>* alive) const {
+  Stopwatch hold;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    points->assign(points_.begin(),
+                   points_.begin() + static_cast<long>(n_ * cols_.size()));
+    alive->assign(alive_.begin(), alive_.begin() + static_cast<long>(n_));
+  }
+  double held = hold.ElapsedSeconds();
+  // Counters are written under the writer lock like every other mutation;
+  // taking it after the copy keeps the read-side hold (what the stat
+  // measures) free of the bookkeeping.
+  auto* self = const_cast<DynamicIndex*>(this);
+  std::unique_lock<std::shared_mutex> lock(self->mu_);
+  ++self->state_snapshots_;
+  self->max_snapshot_hold_seconds_ =
+      std::max(self->max_snapshot_hold_seconds_, held);
+}
+
+Status DynamicIndex::RestoreState(std::vector<double> points,
+                                  std::vector<uint8_t> alive) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t d = cols_.size();
+  if (points.size() != alive.size() * d) {
+    return Status::InvalidArgument(
+        "DynamicIndex::RestoreState: point buffer does not match the alive "
+        "bitmap times the indexed dimensionality");
+  }
+  if (n_ != 0) {
+    return Status::FailedPrecondition(
+        "DynamicIndex::RestoreState: index is not empty");
+  }
+  points_ = std::move(points);
+  alive_ = std::move(alive);
+  n_ = alive_.size();
+  dead_ = 0;
+  for (uint8_t a : alive_) {
+    if (a == 0) ++dead_;
+  }
+  ++state_restores_;
+  if (n_ - dead_ >= options_.kdtree_threshold && n_ > 0) {
+    if (options_.background_rebuild) {
+      LaunchRebuildLocked();
+    } else {
+      tree_.Build(points_.data(), n_, d);
+      ++rebuilds_;
+    }
+  }
+  return Status::OK();
+}
+
 void DynamicIndex::Collect(const std::vector<double>& q,
                            const neighbors::QueryOptions& options,
                            std::vector<neighbors::Neighbor>* heap) const {
@@ -278,6 +330,9 @@ DynamicIndex::Stats DynamicIndex::stats() const {
   s.rebuild_in_flight = pending_ != nullptr;
   s.max_append_hold_seconds = max_append_hold_seconds_;
   s.max_compact_hold_seconds = max_compact_hold_seconds_;
+  s.state_snapshots = state_snapshots_;
+  s.state_restores = state_restores_;
+  s.max_snapshot_hold_seconds = max_snapshot_hold_seconds_;
   return s;
 }
 

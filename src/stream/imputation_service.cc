@@ -28,34 +28,77 @@ ImputationService::ImputationService(OnlineIim* engine,
   server_ = std::thread([this] { ServeLoop(); });
 }
 
-ImputationService::~ImputationService() {
+ImputationService::~ImputationService() { Shutdown(); }
+
+void ImputationService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
     shutdown_ = true;
     paused_ = false;  // a paused service still serves its backlog on exit
   }
   work_cv_.notify_all();
   server_.join();
+  std::deque<Request> stragglers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_ = true;  // later calls return at the check above
+    stragglers.swap(queue_);
+    RefreshEngineStats();
+  }
+  // The serve loop only exits with an empty queue, so this is normally a
+  // no-op — but it is the backstop that upholds the "no future is ever
+  // abandoned" contract if that invariant ever regresses.
+  Status gone = Status::Shutdown(
+      "ImputationService: shut down before this request was served");
+  for (Request& req : stragglers) {
+    if (req.kind == Kind::kImpute) {
+      req.impute_promise.set_value(gone);
+    } else {
+      req.status_promise.set_value(gone);
+    }
+  }
+  // Every acknowledged request is applied; make it durable (no-op for
+  // engines without a persist_dir).
+  if (engine_ != nullptr) {
+    engine_->FlushPersistence();
+  } else {
+    sharded_->FlushPersistence();
+  }
 }
 
 bool ImputationService::TryEnqueue(Request req) {
+  bool is_shutdown = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (options_.max_queue == 0 || queue_.size() < options_.max_queue) {
+    if (shutdown_) {
+      // After Shutdown() the server no longer drains: accepting would
+      // abandon the future. Distinct status from the overload path so
+      // callers can tell "retry later" from "stop submitting".
+      is_shutdown = true;
+      ++stats_.shutdown_rejected;
+    } else if (options_.max_queue == 0 ||
+               queue_.size() < options_.max_queue) {
       queue_.push_back(std::move(req));
       return true;
+    } else {
+      ++stats_.rejected;
     }
-    ++stats_.rejected;
   }
-  // Load-shed outside the lock: the engine never sees the request; its
-  // future resolves immediately to the explicit overload status.
-  Status overload = Status::ResourceExhausted(
-      "ImputationService: request queue full (Options::max_queue); the "
-      "producer is outrunning the engine");
+  // Reject outside the lock: the engine never sees the request; its
+  // future resolves immediately to the explicit status.
+  Status st = is_shutdown
+                  ? Status::Shutdown(
+                        "ImputationService: shut down; no further requests "
+                        "are served")
+                  : Status::ResourceExhausted(
+                        "ImputationService: request queue full "
+                        "(Options::max_queue); the producer is outrunning "
+                        "the engine");
   if (req.kind == Kind::kImpute) {
-    req.impute_promise.set_value(std::move(overload));
+    req.impute_promise.set_value(std::move(st));
   } else {
-    req.status_promise.set_value(std::move(overload));
+    req.status_promise.set_value(std::move(st));
   }
   return false;
 }
@@ -98,11 +141,9 @@ void ImputationService::Pause() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
   // The engine is quiescent here and the server cannot pop more work
   // (paused_ is set, mu_ held), so this is the one place a paused
-  // per-shard snapshot is guaranteed fresh — a Pause() landing BETWEEN
-  // batches never passes through the server's own refresh.
-  if (sharded_ != nullptr) {
-    stats_.shard_stats = sharded_->stats().per_shard;
-  }
+  // engine-stats snapshot is guaranteed fresh — a Pause() landing
+  // BETWEEN batches never passes through the server's own refresh.
+  RefreshEngineStats();
 }
 
 void ImputationService::Resume() {
@@ -135,6 +176,21 @@ ImputationService::Stats ImputationService::stats() const {
   s.ingest_latency = Summarize(ingest_copy);
   s.impute_latency = Summarize(impute_copy);
   return s;
+}
+
+void ImputationService::RefreshEngineStats() {
+  if (sharded_ != nullptr) {
+    ShardedOnlineIim::Stats es = sharded_->stats();
+    stats_.snapshots_written = es.snapshots_written;
+    stats_.snapshots_loaded = es.snapshots_loaded;
+    stats_.log_records_replayed = es.log_records_replayed;
+    stats_.shard_stats = std::move(es.per_shard);
+  } else {
+    const OnlineIim::Stats& es = engine_->stats();
+    stats_.snapshots_written = es.snapshots_written;
+    stats_.snapshots_loaded = es.snapshots_loaded;
+    stats_.log_records_replayed = es.log_records_replayed;
+  }
 }
 
 void ImputationService::RecordLatency(std::vector<double>* ring,
@@ -234,13 +290,11 @@ void ImputationService::ServeLoop() {
         stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
         RecordLatency(&impute_seconds_, &impute_next_, serve_seconds);
       }
-      // The per-shard snapshot is only refreshed at quiesce points — the
-      // queue going idle here, or inside Pause() itself — not per served
+      // Engine stats are only refreshed at quiesce points — the queue
+      // going idle here, or inside Pause() itself — not per served
       // request: copying S stats structs under mu_ on every drain would
       // tax the same lock Submit* and the latency rings contend on.
-      if (sharded_ != nullptr && queue_.empty()) {
-        stats_.shard_stats = sharded_->stats().per_shard;
-      }
+      if (queue_.empty()) RefreshEngineStats();
       in_flight_ = 0;
       idle_cv_.notify_all();  // Drain (queue empty) and Pause (quiescent)
     }

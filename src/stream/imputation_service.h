@@ -72,6 +72,12 @@ class ImputationService {
     size_t ingest_batches = 0;       // engine IngestBatch calls (sharded)
     size_t largest_ingest_batch = 0;
     size_t rejected = 0;      // submissions shed at the queue bound
+    size_t shutdown_rejected = 0;  // submissions after Shutdown()
+    // Engine durability counters (see OnlineIim::Stats), refreshed at the
+    // same quiesce points as shard_stats — for BOTH engine kinds.
+    size_t snapshots_written = 0;
+    size_t snapshots_loaded = 0;
+    size_t log_records_replayed = 0;
     // Engine-serve latency (seconds) over the most recent requests of
     // each kind (bounded reservoir of kLatencySamples): ingest is
     // per-arrival — the tail the background index rebuild bounds — or
@@ -98,8 +104,7 @@ class ImputationService {
   // inside the engine.
   explicit ImputationService(ShardedOnlineIim* engine);
   ImputationService(ShardedOnlineIim* engine, const Options& options);
-  // Serves every request already submitted (resuming if paused), then
-  // stops the server thread.
+  // Calls Shutdown().
   ~ImputationService();
 
   ImputationService(const ImputationService&) = delete;
@@ -113,6 +118,15 @@ class ImputationService {
   // Enqueues an eviction of the `arrival`-th ingested tuple (see
   // OnlineIim::Evict / ShardedOnlineIim::Evict).
   std::future<Status> SubmitEvict(uint64_t arrival);
+
+  // Orderly stop, idempotent. Serves every request already submitted
+  // (resuming if paused), joins the server thread, resolves any
+  // stragglers with StatusCode::kShutdown — no future is ever abandoned
+  // to a broken_promise — and flushes the engine's persistence (in-flight
+  // snapshot write + write-ahead log tail). Submissions from this point
+  // resolve immediately to kShutdown, distinct from the kResourceExhausted
+  // overload path.
+  void Shutdown();
 
   // Stops draining and waits for the in-flight batch to finish: on
   // return the engine is quiescent, and stats() reads are stable until
@@ -146,10 +160,13 @@ class ImputationService {
   ImputationService(OnlineIim* engine, ShardedOnlineIim* sharded,
                     const Options& options);
 
-  // Enqueues under the lock unless the queue is at the bound; returns
-  // whether the request was accepted.
+  // Enqueues under the lock unless the queue is at the bound or the
+  // service is shut down; returns whether the request was accepted.
   bool TryEnqueue(Request req);
   void ServeLoop();
+  // Copies the engine's durability counters (and, sharded, per-shard
+  // stats) into stats_ — caller holds mu_ at a quiesce point.
+  void RefreshEngineStats();
   // Appends one serve duration to a bounded ring (caller holds mu_).
   static void RecordLatency(std::vector<double>* ring, size_t* next,
                             double seconds);
@@ -165,6 +182,7 @@ class ImputationService {
   size_t in_flight_ = 0;  // requests popped but not yet answered
   bool paused_ = false;
   bool shutdown_ = false;
+  bool joined_ = false;  // Shutdown() already ran to completion
   Stats stats_;
   std::vector<double> ingest_seconds_;  // bounded rings, guarded by mu_
   size_t ingest_next_ = 0;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "common/stopwatch.h"
 #include "neighbors/distance.h"
+#include "stream/persist/snapshot.h"
 
 namespace iim::stream {
 
@@ -61,8 +64,12 @@ Result<std::unique_ptr<OnlineIim>> OnlineIim::Create(
         "OnlineIim: adaptive per-tuple l is not supported online (the "
         "validation lists change with every arrival); use a fixed ell");
   }
-  return std::unique_ptr<OnlineIim>(
+  std::unique_ptr<OnlineIim> engine(
       new OnlineIim(schema, target, std::move(features), options));
+  if (!options.persist_dir.empty()) {
+    RETURN_IF_ERROR(engine->InitPersistence());
+  }
+  return engine;
 }
 
 OnlineIim::OnlineIim(const data::Schema& schema, int target,
@@ -89,6 +96,14 @@ Status OnlineIim::Ingest(const data::RowView& row) {
       return Status::InvalidArgument(
           "OnlineIim: NaN feature in ingested tuple");
     }
+  }
+
+  // Log-then-apply: the arrival becomes durable before any state changes.
+  // A log failure (full disk, broken segment) rejects the op unapplied,
+  // so the recovered timeline always equals the acknowledged one. Replay
+  // skips this — the records being re-applied are already on disk.
+  if (store_ != nullptr && !replaying_) {
+    RETURN_IF_ERROR(store_->LogIngest(row.data(), row.size()));
   }
 
   size_t id = n_;
@@ -187,6 +202,7 @@ Status OnlineIim::Ingest(const data::RowView& row) {
     }
     MaybeCompact();
   }
+  MaybeSnapshot();
   return Status::OK();
 }
 
@@ -197,8 +213,14 @@ Status OnlineIim::Evict(uint64_t arrival) {
         "OnlineIim: arrival is not live (never ingested, or already "
         "evicted)");
   }
+  // Liveness is checked BEFORE logging: a NotFound evict returns above
+  // without a log record, so replay never sees an evict it cannot apply.
+  if (store_ != nullptr && !replaying_) {
+    RETURN_IF_ERROR(store_->LogEvict(arrival));
+  }
   EvictSlot(it->second);
   MaybeCompact();
+  MaybeSnapshot();
   return Status::OK();
 }
 
@@ -597,6 +619,370 @@ std::vector<Result<double>> OnlineIim::ImputeBatch(
     if (out[row_of_query[b]].ok()) ++stats_.imputed;
   }
   return out;
+}
+
+std::string OnlineIim::SerializeSnapshot() {
+  // The index's slot state is byte-for-byte derivable from the table
+  // rows, so only the rows go into the image. SnapshotState is still
+  // taken — it is the one timed reader-lock hold of the checkpoint path
+  // (the stat the index surfaces), and debug builds cross-check it
+  // against the feature block to catch index/table divergence.
+  {
+    std::vector<double> pts;
+    std::vector<uint8_t> alive;
+    index_.SnapshotState(&pts, &alive);
+#ifndef NDEBUG
+    assert(alive.size() == n_ && pts.size() == n_ * q_);
+    for (size_t i = 0; i < n_; ++i) {
+      assert(alive[i] == alive_[i]);
+      assert(std::memcmp(pts.data() + i * q_, fb_.Features(i),
+                         q_ * sizeof(double)) == 0);
+    }
+#endif
+  }
+
+  size_t m = table_.NumCols();
+  persist::SnapshotBuilder b(store_ == nullptr ? 0 : store_->ops_logged());
+
+  // Config fingerprint: everything that shapes results. Restoring under
+  // different values would silently change answers, so Restore hard-fails
+  // on any mismatch.
+  b.BeginSection(persist::kSecMeta);
+  b.PutU32(1);  // engine layout version within the container
+  b.PutU64(m);
+  b.PutU32(static_cast<uint32_t>(target_));
+  b.PutU64(q_);
+  for (int f : features_) b.PutU32(static_cast<uint32_t>(f));
+  b.PutU64(options_.k);
+  b.PutU64(ell_);
+  b.PutF64(options_.alpha);
+  b.PutU8(options_.uniform_weights ? 1 : 0);
+  b.PutU64(options_.window_size);
+  b.PutU8(options_.downdate ? 1 : 0);
+
+  b.BeginSection(persist::kSecEngine);
+  b.PutU64(n_);
+  b.PutU64(live_);
+  b.PutU64(oldest_cursor_);
+  b.PutU64(stats_.ingested);
+  b.PutU64(stats_.imputed);
+  b.PutU64(stats_.evicted);
+  b.PutU64(stats_.fast_path_appends);
+  b.PutU64(stats_.models_invalidated);
+  b.PutU64(stats_.models_solved);
+  b.PutU64(stats_.downdates);
+  b.PutU64(stats_.downdate_fallbacks);
+  b.PutU64(stats_.backfills);
+  b.PutU64(stats_.compactions);
+  b.PutU64(stats_.postings_edges);
+
+  // Columnar rows over ALL slots (tombstones keep their payload until
+  // compaction, and the restored index needs the same slot geometry).
+  b.BeginSection(persist::kSecRows);
+  b.PutU64(n_);
+  b.PutU64(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n_; ++i) b.PutF64(table_.At(i, j));
+  }
+
+  b.BeginSection(persist::kSecSlots);
+  for (size_t i = 0; i < n_; ++i) b.PutU64(seq_of_slot_[i]);
+  for (size_t i = 0; i < n_; ++i) b.PutU8(alive_[i]);
+
+  b.BeginSection(persist::kSecOrders);
+  for (size_t i = 0; i < n_; ++i) {
+    const std::vector<neighbors::Neighbor>& order = orders_[i];
+    b.PutU32(static_cast<uint32_t>(order.size()));
+    for (const neighbors::Neighbor& nb : order) {
+      b.PutU64(nb.index);
+      b.PutF64(nb.distance);
+    }
+  }
+
+  // Ridge accumulators as exact U/V bytes: restoring them reproduces the
+  // engine's floating-point state — including a fold a refused down-date
+  // left behind — without re-running any summation.
+  b.BeginSection(persist::kSecModels);
+  size_t p1 = q_ + 1;
+  for (size_t i = 0; i < n_; ++i) {
+    b.PutU64(consumed_[i]);
+    b.PutU8(dirty_[i]);
+    b.PutU64(accums_[i].num_rows());
+    for (size_t r = 0; r < p1; ++r) b.PutDoubles(accums_[i].U().RowPtr(r), p1);
+    b.PutDoubles(accums_[i].V().data(), p1);
+    b.PutU32(static_cast<uint32_t>(models_[i].phi.size()));
+    b.PutDoubles(models_[i].phi.data(), models_[i].phi.size());
+  }
+
+  return b.Finish();
+}
+
+Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
+  if (n_ != 0 || stats_.ingested != 0) {
+    return Status::FailedPrecondition(
+        "OnlineIim: snapshots restore into an empty engine only");
+  }
+  ASSIGN_OR_RETURN(persist::SnapshotView view,
+                   persist::SnapshotView::Parse(bytes));
+  auto mismatch = [](const char* what) {
+    return Status::InvalidArgument(
+        std::string("OnlineIim: snapshot was written under a different ") +
+        what + "; refusing to restore state that would answer differently");
+  };
+
+  ASSIGN_OR_RETURN(persist::SectionReader meta,
+                   view.Section(persist::kSecMeta));
+  size_t m = table_.NumCols();
+  if (meta.U32() != 1) return mismatch("engine layout version");
+  if (meta.U64() != m) return mismatch("schema arity");
+  if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
+  if (meta.U64() != q_) return mismatch("feature set");
+  for (int f : features_) {
+    if (meta.U32() != static_cast<uint32_t>(f)) return mismatch("feature set");
+  }
+  if (meta.U64() != options_.k) return mismatch("k");
+  if (meta.U64() != ell_) return mismatch("ell");
+  double alpha = meta.F64();
+  if (std::memcmp(&alpha, &options_.alpha, sizeof(double)) != 0) {
+    return mismatch("alpha");
+  }
+  if ((meta.U8() != 0) != options_.uniform_weights) {
+    return mismatch("weighting mode");
+  }
+  if (meta.U64() != options_.window_size) return mismatch("window size");
+  if ((meta.U8() != 0) != options_.downdate) return mismatch("downdate mode");
+  RETURN_IF_ERROR(meta.status());
+
+  ASSIGN_OR_RETURN(persist::SectionReader eng,
+                   view.Section(persist::kSecEngine));
+  size_t n = eng.U64();
+  size_t live = eng.U64();
+  size_t oldest = eng.U64();
+  Stats st;
+  st.ingested = eng.U64();
+  st.imputed = eng.U64();
+  st.evicted = eng.U64();
+  st.fast_path_appends = eng.U64();
+  st.models_invalidated = eng.U64();
+  st.models_solved = eng.U64();
+  st.downdates = eng.U64();
+  st.downdate_fallbacks = eng.U64();
+  st.backfills = eng.U64();
+  st.compactions = eng.U64();
+  st.postings_edges = eng.U64();
+  RETURN_IF_ERROR(eng.status());
+  if (live > n || oldest > n || st.ingested < live) {
+    return Status::IoError("OnlineIim: snapshot counters are inconsistent");
+  }
+
+  ASSIGN_OR_RETURN(persist::SectionReader rows,
+                   view.Section(persist::kSecRows));
+  if (rows.U64() != n || rows.U64() != m) {
+    return Status::IoError("OnlineIim: snapshot row block shape mismatch");
+  }
+  std::vector<double> cells(n * m);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) cells[i * m + j] = rows.F64();
+  }
+  RETURN_IF_ERROR(rows.status());
+
+  ASSIGN_OR_RETURN(persist::SectionReader slots,
+                   view.Section(persist::kSecSlots));
+  std::vector<uint64_t> seqs(n);
+  std::vector<uint8_t> alive(n);
+  for (size_t i = 0; i < n; ++i) seqs[i] = slots.U64();
+  for (size_t i = 0; i < n; ++i) alive[i] = slots.U8();
+  RETURN_IF_ERROR(slots.status());
+
+  ASSIGN_OR_RETURN(persist::SectionReader ords,
+                   view.Section(persist::kSecOrders));
+  std::vector<std::vector<neighbors::Neighbor>> orders(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t len = ords.U32();
+    if (!ords.ok() || len > n) {
+      return Status::IoError("OnlineIim: snapshot learning order overruns");
+    }
+    orders[i].resize(len);
+    for (uint32_t e = 0; e < len; ++e) {
+      orders[i][e].index = ords.U64();
+      orders[i][e].distance = ords.F64();
+      if (orders[i][e].index >= n) {
+        return Status::IoError("OnlineIim: snapshot learning order overruns");
+      }
+    }
+  }
+  RETURN_IF_ERROR(ords.status());
+
+  ASSIGN_OR_RETURN(persist::SectionReader mods,
+                   view.Section(persist::kSecModels));
+  size_t p1 = q_ + 1;
+  std::vector<regress::IncrementalRidge> accums;
+  accums.reserve(n);
+  std::vector<size_t> consumed(n);
+  std::vector<regress::LinearModel> models(n);
+  std::vector<uint8_t> dirty(n);
+  for (size_t i = 0; i < n; ++i) {
+    consumed[i] = mods.U64();
+    dirty[i] = mods.U8();
+    size_t acc_rows = mods.U64();
+    linalg::Matrix u(p1, p1);
+    for (size_t r = 0; r < p1; ++r) mods.Doubles(u.RowPtr(r), p1);
+    linalg::Vector v(p1);
+    mods.Doubles(v.data(), p1);
+    accums.emplace_back(q_);
+    RETURN_IF_ERROR(accums.back().RestoreState(u, v, acc_rows));
+    uint32_t philen = mods.U32();
+    if (!mods.ok() || philen > p1) {
+      return Status::IoError("OnlineIim: snapshot model block overruns");
+    }
+    models[i].phi.resize(philen);
+    mods.Doubles(models[i].phi.data(), philen);
+    if (consumed[i] > orders[i].size()) {
+      return Status::IoError("OnlineIim: snapshot counters are inconsistent");
+    }
+  }
+  RETURN_IF_ERROR(mods.status());
+
+  // Everything decoded and validated: install. The table, feature block
+  // and index are re-gathered from the row bytes — byte-identical to the
+  // structures the writer held, since they were gathered from the same
+  // rows there.
+  for (size_t i = 0; i < n; ++i) {
+    RETURN_IF_ERROR(table_.AppendRow(std::vector<double>(
+        cells.begin() + static_cast<long>(i * m),
+        cells.begin() + static_cast<long>((i + 1) * m))));
+  }
+  std::vector<double> pts(n * q_);
+  fb_ = data::FeatureBlock(q_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < q_; ++j) {
+      pts[i * q_ + j] = cells[i * m + static_cast<size_t>(features_[j])];
+    }
+    fb_.Append(pts.data() + i * q_,
+               cells[i * m + static_cast<size_t>(target_)]);
+  }
+  RETURN_IF_ERROR(index_.RestoreState(std::move(pts), alive));
+
+  // Reverse postings are derivable: holder i lists every non-self entry
+  // of its order. Ascending i reproduces the ascending-holder layout a
+  // fresh engine maintains.
+  postings_.assign(n, {});
+  size_t edges = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i] == 0) continue;
+    for (const neighbors::Neighbor& nb : orders[i]) {
+      if (nb.index != i) {
+        postings_[nb.index].push_back(i);
+        ++edges;
+      }
+    }
+  }
+  if (edges != st.postings_edges) {
+    return Status::IoError("OnlineIim: snapshot counters are inconsistent");
+  }
+
+  orders_ = std::move(orders);
+  accums_ = std::move(accums);
+  consumed_ = std::move(consumed);
+  models_ = std::move(models);
+  dirty_ = std::move(dirty);
+  alive_ = std::move(alive);
+  seq_of_slot_ = std::move(seqs);
+  slot_of_seq_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (alive_[i] != 0) slot_of_seq_.emplace(seq_of_slot_[i], i);
+  }
+  n_ = n;
+  live_ = live;
+  oldest_cursor_ = oldest;
+  live_cache_valid_ = false;
+  size_t io_written = stats_.snapshots_written;
+  size_t io_failed = stats_.snapshot_write_failures;
+  stats_ = st;
+  stats_.snapshots_written = io_written;
+  stats_.snapshot_write_failures = io_failed;
+  stats_.snapshots_loaded = 1;
+  assert(VerifyPostings());
+  return Status::OK();
+}
+
+Status OnlineIim::InitPersistence() {
+  persist::StoreOptions sopt;
+  sopt.dir = options_.persist_dir;
+  sopt.snapshot_every = options_.snapshot_every;
+  sopt.wal_fsync_every = options_.wal_fsync_every;
+  sopt.keep_snapshots = options_.keep_snapshots;
+  ASSIGN_OR_RETURN(store_, persist::StateStore::Open(sopt));
+
+  uint64_t base = 0;
+  if (store_->has_snapshot()) {
+    // The bytes already passed every checksum; a decode failure here is a
+    // format bug or an options mismatch — both hard errors, never silent
+    // divergence.
+    RETURN_IF_ERROR(RestoreFromSnapshot(store_->snapshot_bytes()));
+    base = store_->snapshot_ops();
+  }
+
+  // Replay the log tail through the normal mutation path: window
+  // evictions, compactions and rebuild timing are all deterministic, so
+  // the replayed engine is bitwise the acknowledged one.
+  replaying_ = true;
+  uint64_t applied = 0;
+  for (const persist::WalRecord& rec : store_->ReplayTail()) {
+    Status st = rec.kind == persist::WalRecord::kIngest
+                    ? Ingest(data::RowView(rec.row.data(), rec.row.size()))
+                    : Evict(rec.arrival);
+    if (!st.ok()) break;  // diverged record: the usable prefix ends here
+    ++applied;
+  }
+  replaying_ = false;
+  stats_.log_records_replayed = applied;
+  return store_->StartLogging(base + applied);
+}
+
+void OnlineIim::MaybeSnapshot() {
+  if (store_ == nullptr || replaying_) return;
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  if (!store_->snapshot_due()) return;
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  // A failed rotation/handoff is counted, not fatal: the engine keeps
+  // answering and logging; the previous checkpoint still covers recovery.
+  if (!store_->BeginSnapshot(std::move(bytes)).ok()) {
+    ++stats_.snapshot_write_failures;
+  }
+}
+
+Status OnlineIim::SaveSnapshot() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "OnlineIim: no persist_dir was configured");
+  }
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  Status st = store_->WriteSnapshotBlocking(std::move(bytes));
+  if (!st.ok()) {
+    ++stats_.snapshot_write_failures;
+    return st;
+  }
+  ++stats_.snapshots_written;
+  return Status::OK();
+}
+
+Status OnlineIim::FlushPersistence() {
+  if (store_ == nullptr) return Status::OK();
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  return Status::OK();
 }
 
 }  // namespace iim::stream

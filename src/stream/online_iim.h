@@ -69,6 +69,7 @@
 #include "data/table.h"
 #include "regress/incremental_ridge.h"
 #include "stream/dynamic_index.h"
+#include "stream/persist/state_store.h"
 
 namespace iim::stream {
 
@@ -99,6 +100,19 @@ class OnlineIim {
     // edge, self-edges excluded) — the gauge EvictSlot's O(l) bound rides
     // on.
     size_t postings_edges = 0;
+    // --- Durability (persist_dir engines; never serialized into
+    // snapshots — each incarnation counts its own I/O) ---
+    // Snapshot files durably published (background writes harvested +
+    // blocking SaveSnapshot calls) and writes that failed.
+    size_t snapshots_written = 0;
+    size_t snapshot_write_failures = 0;
+    // 1 when this engine was restored from a snapshot at Create.
+    size_t snapshots_loaded = 0;
+    // Write-ahead records replayed through Ingest/Evict at Create.
+    size_t log_records_replayed = 0;
+    // Longest in-memory serialize — the only part of checkpointing that
+    // runs on the engine thread and thus the checkpoint "pause".
+    double max_snapshot_serialize_seconds = 0.0;
   };
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
@@ -192,6 +206,29 @@ class OnlineIim {
   void WaitForIndexRebuild() { index_.WaitForRebuild(); }
   const Stats& stats() const { return stats_; }
 
+  // --- Durability (options().persist_dir engines) ----------------------
+  // Serializes the full engine state (window rows, arrival numbers,
+  // learning orders, ridge accumulators, counters) into the sectioned
+  // snapshot container; the image covers durable_ops() logged ops. Also
+  // usable without a persist_dir (the sharded wrapper embeds per-shard
+  // images in its own snapshot).
+  std::string SerializeSnapshot();
+  // Installs a serialized image into an EMPTY engine (same schema,
+  // target, features and the options that shape results — mismatches are
+  // InvalidArgument). Restored state is bitwise the serialized state.
+  Status RestoreFromSnapshot(const std::string& bytes);
+  // Writes a snapshot synchronously (waits out any background write
+  // first) and runs retention. FailedPrecondition without a persist_dir.
+  Status SaveSnapshot();
+  // Waits out any in-flight background snapshot write and fsyncs the
+  // write-ahead log tail. No-op without a persist_dir.
+  Status FlushPersistence();
+  // Ops (explicit ingests + evicts) durably logged since the store's
+  // birth; 0 without a persist_dir.
+  uint64_t durable_ops() const {
+    return store_ == nullptr ? 0 : store_->ops_logged();
+  }
+
   // Verifies the reverse-neighbor postings against a full recomputation
   // from the learning orders (the invariant the O(l) eviction path rides
   // on): postings_[s] must hold exactly the live tuples i != s with s in
@@ -227,6 +264,13 @@ class OnlineIim {
   // Replays the index's compaction remap over every slot-indexed
   // structure once the tombstone pile crosses the index's threshold.
   void MaybeCompact();
+  // Opens the state store, restores the newest valid snapshot, replays
+  // the log tail through Ingest/Evict, and starts logging.
+  Status InitPersistence();
+  // Harvests finished background snapshot writes and, when the op count
+  // says one is due, serializes (on this thread, timed) and hands the
+  // bytes to the background writer. Called at the end of Ingest/Evict.
+  void MaybeSnapshot();
 
   int target_;
   std::vector<int> features_;
@@ -269,6 +313,12 @@ class OnlineIim {
   // table() materialization cache while tombstones are present.
   mutable data::Table live_cache_;
   mutable bool live_cache_valid_ = false;
+
+  // Durability: null unless options.persist_dir is set. While replaying_
+  // the recovered log tail, Ingest/Evict skip logging and checkpointing
+  // (the records being applied are already durable).
+  std::unique_ptr<persist::StateStore> store_;
+  bool replaying_ = false;
 
   Stats stats_;
 };

@@ -1,0 +1,185 @@
+#include "stream/persist/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace iim::stream::persist {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+class PosixWriter final : public Writer {
+ public:
+  PosixWriter(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWriter() override {
+    // No sync: destruction without Close() models the crash path.
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t len) override {
+    const char* p = static_cast<const char*>(data);
+    size_t done = 0;
+    while (done < len) {
+      ssize_t w = ::write(fd_, p + done, len - done);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        size_ += done;  // the partial suffix is on disk
+        return Errno("write", path_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    size_ += done;
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate", path_);
+    }
+    if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+      return Errno("lseek", path_);
+    }
+    size_ = size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    Status st = Sync();
+    if (::close(fd_) != 0 && st.ok()) st = Errno("close", path_);
+    fd_ = -1;
+    return st;
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+WriterFactory& FactoryOverride() {
+  static WriterFactory factory;  // null = default POSIX
+  return factory;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Writer>> OpenPosixWriter(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", path);
+  return std::unique_ptr<Writer>(new PosixWriter(fd, path));
+}
+
+Result<std::unique_ptr<Writer>> OpenWriter(const std::string& path) {
+  WriterFactory& factory = FactoryOverride();
+  if (factory) return factory(path);
+  return OpenPosixWriter(path);
+}
+
+void SetWriterFactoryForTest(WriterFactory factory) {
+  FactoryOverride() = std::move(factory);
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", dir);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return names;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", dir);
+  Status st;
+  if (::fsync(fd) != 0) st = Errno("fsync(dir)", dir);
+  ::close(fd);
+  return st;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    Result<std::unique_ptr<Writer>> w = OpenWriter(tmp);
+    if (!w.ok()) return w.status();
+    st = w.value()->Append(bytes.data(), bytes.size());
+    if (st.ok()) st = w.value()->Close();  // Close syncs
+  }
+  if (!st.ok()) {
+    (void)RemoveFile(tmp);  // never leave a torn .tmp behind
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status rn = Errno("rename", tmp);
+    (void)RemoveFile(tmp);
+    return rn;
+  }
+  size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? std::string(".")
+                                            : path.substr(0, slash));
+}
+
+}  // namespace iim::stream::persist

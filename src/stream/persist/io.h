@@ -1,0 +1,89 @@
+// Low-level file plumbing for the durability layer (src/stream/persist).
+//
+// Every byte the write-ahead log and the snapshot writer put on disk goes
+// through the Writer interface, created by an injectable process-global
+// factory — which is how tests/stream_recovery_test.cc simulates disk-full
+// and short-write failures without touching the filesystem layer itself.
+// Reads are plain (corruption is simulated by editing real files).
+//
+// POSIX only, deliberately: the durability contract needs fsync on both
+// the file AND its directory (a rename is not durable until the directory
+// entry is), which std::filesystem cannot express.
+
+#ifndef IIM_STREAM_PERSIST_IO_H_
+#define IIM_STREAM_PERSIST_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iim::stream::persist {
+
+// A sequential byte sink over one file. Not thread-safe; each instance
+// has exactly one writer (the WAL appender or the snapshot task).
+class Writer {
+ public:
+  virtual ~Writer() = default;
+
+  // Appends `len` bytes at the current end. A failure may leave a partial
+  // suffix on disk (a short write); callers that need all-or-nothing
+  // records follow up with Truncate back to the pre-append offset.
+  virtual Status Append(const void* data, size_t len) = 0;
+  // Durably flushes everything appended so far (fsync).
+  virtual Status Sync() = 0;
+  // Discards every byte past `size`; subsequent appends continue there.
+  virtual Status Truncate(uint64_t size) = 0;
+  // Sync + close. The destructor closes WITHOUT syncing (the crash path).
+  virtual Status Close() = 0;
+  // Logical bytes successfully appended so far.
+  virtual uint64_t size() const = 0;
+};
+
+// Creates a Writer over a fresh file at `path` (created or truncated).
+using WriterFactory =
+    std::function<Result<std::unique_ptr<Writer>>(const std::string& path)>;
+
+// Creates a Writer through the installed factory (the POSIX one unless a
+// test overrode it).
+Result<std::unique_ptr<Writer>> OpenWriter(const std::string& path);
+
+// Installs `factory` for every subsequent OpenWriter; nullptr restores
+// the default POSIX factory. Test-only: the harness wraps the real
+// writer with budgeted fault injection. Not thread-safe against
+// concurrent OpenWriter calls from background snapshot tasks — install
+// only while the engines under test are quiescent.
+void SetWriterFactoryForTest(WriterFactory factory);
+
+// The default factory's writer, exposed so fault-injecting wrappers can
+// delegate to the real file underneath.
+Result<std::unique_ptr<Writer>> OpenPosixWriter(const std::string& path);
+
+// Creates `dir` if missing (one level; parents must exist).
+Status EnsureDir(const std::string& dir);
+
+// Entry names in `dir` ("." and ".." excluded), unsorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+// Whole-file read; NotFound if absent.
+Result<std::string> ReadFileToString(const std::string& path);
+
+Status RemoveFile(const std::string& path);
+
+// fsyncs the directory itself, making renames/creates/removals in it
+// durable.
+Status SyncDir(const std::string& dir);
+
+// Crash-atomic whole-file publication: writes `bytes` to `path`.tmp
+// (through OpenWriter, so fault injection applies), fsyncs it, renames it
+// over `path`, and fsyncs the directory. After a crash either the old
+// file, no file, or the complete new file exists — never a torn one.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+}  // namespace iim::stream::persist
+
+#endif  // IIM_STREAM_PERSIST_IO_H_

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/stopwatch.h"
 #include "core/iim_imputer.h"
+#include "stream/persist/snapshot.h"
 
 namespace iim::stream {
 
@@ -46,12 +48,21 @@ Result<std::unique_ptr<ShardedOnlineIim>> ShardedOnlineIim::Create(
   }
   // Shard engines re-run the full OnlineIim::Create validation; probing
   // one up front surfaces any argument error before the wrapper exists.
+  // Persistence is stripped: the wrapper alone owns the store, and a
+  // probe opening it would misread the wrapper-format snapshot.
+  core::IimOptions probe_opt = options;
+  probe_opt.persist_dir.clear();
+  probe_opt.snapshot_every = 0;
   Result<std::unique_ptr<OnlineIim>> probe =
-      OnlineIim::Create(schema, target, features, options);
+      OnlineIim::Create(schema, target, features, probe_opt);
   if (!probe.ok()) return probe.status();
   if (partitioner == nullptr) partitioner = RoundRobinPartitioner();
-  return std::unique_ptr<ShardedOnlineIim>(new ShardedOnlineIim(
+  std::unique_ptr<ShardedOnlineIim> engine(new ShardedOnlineIim(
       schema, target, std::move(features), options, std::move(partitioner)));
+  if (!options.persist_dir.empty()) {
+    RETURN_IF_ERROR(engine->InitPersistence());
+  }
+  return engine;
 }
 
 ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
@@ -73,6 +84,11 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
   sub.window_size = 0;
   sub.shards = 1;
   sub.threads = 1;
+  // The wrapper is the single durability authority: shard state is
+  // embedded in the wrapper snapshot and global ops in the wrapper log,
+  // so shards never open stores of their own.
+  sub.persist_dir.clear();
+  sub.snapshot_every = 0;
   shards_.reserve(options_.shards);
   global_of_local_.resize(options_.shards);
   next_local_.resize(options_.shards, 0);
@@ -158,12 +174,18 @@ void ShardedOnlineIim::PlanWindowEvictions(
 
 Status ShardedOnlineIim::Ingest(const data::RowView& row) {
   RETURN_IF_ERROR(CheckIngest(row));
+  // Log-then-apply after validation (see OnlineIim::Ingest): a log
+  // failure rejects the arrival before any routing or shard state moves.
+  if (store_ != nullptr && !replaying_) {
+    RETURN_IF_ERROR(store_->LogIngest(row.data(), row.size()));
+  }
   size_t s = RouteOf(row, next_seq_);
   RETURN_IF_ERROR(shards_[s]->Ingest(row));
   Bookkeep(s);
   ++stats_.ingested;
   model_cache_.clear();
   PlanWindowEvictions(nullptr);
+  MaybeSnapshot();
   return Status::OK();
 }
 
@@ -185,6 +207,16 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
     if (!st.ok()) {
       out[i] = st;
       continue;
+    }
+    // Logged in plan order = global arrival order, before the row enters
+    // the plan: a row the log rejects is skipped whole (not planned, not
+    // numbered), like any other per-row rejection.
+    if (store_ != nullptr && !replaying_) {
+      st = store_->LogIngest(rows[i].data(), rows[i].size());
+      if (!st.ok()) {
+        out[i] = st;
+        continue;
+      }
     }
     size_t s = RouteOf(rows[i], next_seq_);
     ShardOp op;
@@ -220,6 +252,7 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
       }
     }
   });
+  MaybeSnapshot();
   return out;
 }
 
@@ -230,11 +263,17 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
         "ShardedOnlineIim: arrival is not live (never ingested, or "
         "already evicted)");
   }
+  // Liveness checked before logging: replay never sees an unappliable
+  // evict record.
+  if (store_ != nullptr && !replaying_) {
+    RETURN_IF_ERROR(store_->LogEvict(arrival));
+  }
   RETURN_IF_ERROR(shards_[it->second.shard]->Evict(it->second.local_seq));
   global_of_local_[it->second.shard].erase(it->second.local_seq);
   live_.erase(it);
   ++stats_.evicted;
   model_cache_.clear();
+  MaybeSnapshot();
   return Status::OK();
 }
 
@@ -493,6 +532,223 @@ ShardedOnlineIim::Stats ShardedOnlineIim::stats() const {
     s.per_shard.push_back(sh->stats());
   }
   return s;
+}
+
+std::string ShardedOnlineIim::SerializeSnapshot() {
+  size_t S = shards_.size();
+  persist::SnapshotBuilder b(store_ == nullptr ? 0 : store_->ops_logged());
+
+  b.BeginSection(persist::kSecMeta);
+  b.PutU32(1);  // wrapper layout version within the container
+  b.PutU64(schema_.size());
+  b.PutU32(static_cast<uint32_t>(target_));
+  b.PutU64(q_);
+  for (int f : features_) b.PutU32(static_cast<uint32_t>(f));
+  b.PutU64(options_.k);
+  b.PutU64(ell_);
+  b.PutF64(options_.alpha);
+  b.PutU8(options_.uniform_weights ? 1 : 0);
+  b.PutU64(options_.window_size);
+  b.PutU8(options_.downdate ? 1 : 0);
+  b.PutU64(S);
+
+  b.BeginSection(persist::kSecShardMeta);
+  b.PutU64(next_seq_);
+  b.PutU64(stats_.ingested);
+  b.PutU64(stats_.imputed);
+  b.PutU64(stats_.evicted);
+  b.PutU64(stats_.ingest_batches);
+  b.PutU64(stats_.shard_queries);
+  b.PutU64(stats_.merges);
+  b.PutU64(stats_.models_fitted);
+  b.PutU64(stats_.model_cache_hits);
+  for (size_t s = 0; s < S; ++s) b.PutU64(next_local_[s]);
+  b.PutU64(live_.size());
+  for (const auto& entry : live_) {
+    b.PutU64(entry.first);
+    b.PutU64(entry.second.shard);
+    b.PutU64(entry.second.local_seq);
+  }
+
+  // One complete nested engine image per shard, in shard order. Each is
+  // a full snapshot container of its own — shards restore through the
+  // same code path a standalone engine uses.
+  for (size_t s = 0; s < S; ++s) {
+    b.BeginSection(persist::kSecShardEngine);
+    b.PutBytes(shards_[s]->SerializeSnapshot());
+  }
+  return b.Finish();
+}
+
+Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
+  if (next_seq_ != 0) {
+    return Status::FailedPrecondition(
+        "ShardedOnlineIim: snapshots restore into an empty engine only");
+  }
+  ASSIGN_OR_RETURN(persist::SnapshotView view,
+                   persist::SnapshotView::Parse(bytes));
+  auto mismatch = [](const char* what) {
+    return Status::InvalidArgument(
+        std::string(
+            "ShardedOnlineIim: snapshot was written under a different ") +
+        what + "; refusing to restore state that would answer differently");
+  };
+
+  size_t S = shards_.size();
+  ASSIGN_OR_RETURN(persist::SectionReader meta,
+                   view.Section(persist::kSecMeta));
+  if (meta.U32() != 1) return mismatch("wrapper layout version");
+  if (meta.U64() != schema_.size()) return mismatch("schema arity");
+  if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
+  if (meta.U64() != q_) return mismatch("feature set");
+  for (int f : features_) {
+    if (meta.U32() != static_cast<uint32_t>(f)) return mismatch("feature set");
+  }
+  if (meta.U64() != options_.k) return mismatch("k");
+  if (meta.U64() != ell_) return mismatch("ell");
+  double alpha = meta.F64();
+  if (std::memcmp(&alpha, &options_.alpha, sizeof(double)) != 0) {
+    return mismatch("alpha");
+  }
+  if ((meta.U8() != 0) != options_.uniform_weights) {
+    return mismatch("weighting mode");
+  }
+  if (meta.U64() != options_.window_size) return mismatch("window size");
+  if ((meta.U8() != 0) != options_.downdate) return mismatch("downdate mode");
+  if (meta.U64() != S) return mismatch("shard count");
+  RETURN_IF_ERROR(meta.status());
+
+  ASSIGN_OR_RETURN(persist::SectionReader sm,
+                   view.Section(persist::kSecShardMeta));
+  uint64_t next_seq = sm.U64();
+  Stats st;
+  st.ingested = sm.U64();
+  st.imputed = sm.U64();
+  st.evicted = sm.U64();
+  st.ingest_batches = sm.U64();
+  st.shard_queries = sm.U64();
+  st.merges = sm.U64();
+  st.models_fitted = sm.U64();
+  st.model_cache_hits = sm.U64();
+  std::vector<uint64_t> next_local(S);
+  for (size_t s = 0; s < S; ++s) next_local[s] = sm.U64();
+  uint64_t nlive = sm.U64();
+  if (!sm.ok() || nlive > next_seq) {
+    return Status::IoError(
+        "ShardedOnlineIim: snapshot routing table is inconsistent");
+  }
+  std::map<uint64_t, Route> live;
+  std::vector<std::unordered_map<uint64_t, uint64_t>> g_of_l(S);
+  for (uint64_t e = 0; e < nlive; ++e) {
+    uint64_t g = sm.U64();
+    uint64_t shard = sm.U64();
+    uint64_t local = sm.U64();
+    if (!sm.ok() || shard >= S) {
+      return Status::IoError(
+          "ShardedOnlineIim: snapshot routing table is inconsistent");
+    }
+    live.emplace(g, Route{static_cast<size_t>(shard), local});
+    g_of_l[shard].emplace(local, g);
+  }
+  RETURN_IF_ERROR(sm.status());
+
+  std::vector<persist::SectionReader> nested =
+      view.Sections(persist::kSecShardEngine);
+  if (nested.size() != S) {
+    return Status::IoError(
+        "ShardedOnlineIim: snapshot shard image count mismatch");
+  }
+  for (size_t s = 0; s < S; ++s) {
+    std::string image = nested[s].Bytes(nested[s].remaining());
+    RETURN_IF_ERROR(shards_[s]->RestoreFromSnapshot(image));
+  }
+
+  next_seq_ = next_seq;
+  next_local_ = std::move(next_local);
+  live_ = std::move(live);
+  global_of_local_ = std::move(g_of_l);
+  model_cache_.clear();
+  size_t io_written = stats_.snapshots_written;
+  size_t io_failed = stats_.snapshot_write_failures;
+  stats_ = st;
+  stats_.snapshots_written = io_written;
+  stats_.snapshot_write_failures = io_failed;
+  stats_.snapshots_loaded = 1;
+  return Status::OK();
+}
+
+Status ShardedOnlineIim::InitPersistence() {
+  persist::StoreOptions sopt;
+  sopt.dir = options_.persist_dir;
+  sopt.snapshot_every = options_.snapshot_every;
+  sopt.wal_fsync_every = options_.wal_fsync_every;
+  sopt.keep_snapshots = options_.keep_snapshots;
+  ASSIGN_OR_RETURN(store_, persist::StateStore::Open(sopt));
+
+  uint64_t base = 0;
+  if (store_->has_snapshot()) {
+    RETURN_IF_ERROR(RestoreFromSnapshot(store_->snapshot_bytes()));
+    base = store_->snapshot_ops();
+  }
+
+  // Replay re-routes every logged arrival through the (deterministic)
+  // partitioner, reproducing placement, window evictions and per-shard
+  // state exactly.
+  replaying_ = true;
+  uint64_t applied = 0;
+  for (const persist::WalRecord& rec : store_->ReplayTail()) {
+    Status st = rec.kind == persist::WalRecord::kIngest
+                    ? Ingest(data::RowView(rec.row.data(), rec.row.size()))
+                    : Evict(rec.arrival);
+    if (!st.ok()) break;
+    ++applied;
+  }
+  replaying_ = false;
+  stats_.log_records_replayed = applied;
+  return store_->StartLogging(base + applied);
+}
+
+void ShardedOnlineIim::MaybeSnapshot() {
+  if (store_ == nullptr || replaying_) return;
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  if (!store_->snapshot_due()) return;
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  if (!store_->BeginSnapshot(std::move(bytes)).ok()) {
+    ++stats_.snapshot_write_failures;
+  }
+}
+
+Status ShardedOnlineIim::SaveSnapshot() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardedOnlineIim: no persist_dir was configured");
+  }
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  Status st = store_->WriteSnapshotBlocking(std::move(bytes));
+  if (!st.ok()) {
+    ++stats_.snapshot_write_failures;
+    return st;
+  }
+  ++stats_.snapshots_written;
+  return Status::OK();
+}
+
+Status ShardedOnlineIim::FlushPersistence() {
+  if (store_ == nullptr) return Status::OK();
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  return Status::OK();
 }
 
 }  // namespace iim::stream

@@ -90,6 +90,14 @@ class ShardedOnlineIim {
     size_t merges = 0;          // cross-shard top-k gathers
     size_t models_fitted = 0;   // wrapper-side global-order ridge fits
     size_t model_cache_hits = 0;
+    // --- Durability (persist_dir deployments; see OnlineIim::Stats) ---
+    // The wrapper owns ONE store: shard state rides inside the wrapper
+    // snapshot, so these counters live here, not per shard.
+    size_t snapshots_written = 0;
+    size_t snapshot_write_failures = 0;
+    size_t snapshots_loaded = 0;
+    size_t log_records_replayed = 0;
+    double max_snapshot_serialize_seconds = 0.0;
     // Each shard's own engine counters (entry s = shard s).
     std::vector<OnlineIim::Stats> per_shard;
   };
@@ -155,6 +163,22 @@ class ShardedOnlineIim {
   // Aggregate counters plus one OnlineIim::Stats per shard.
   Stats stats() const;
 
+  // --- Durability (options().persist_dir deployments) ------------------
+  // The wrapper owns ONE state store: its snapshot embeds the routing
+  // tables plus one complete nested engine image per shard, and its
+  // write-ahead log records GLOBAL ops (full arrival rows + global evict
+  // numbers). Replay re-routes each arrival through the partitioner —
+  // which must therefore be deterministic (the Partitioner contract; both
+  // built-ins qualify) — reproducing the exact placement, window
+  // evictions and per-shard state of the crashed process.
+  std::string SerializeSnapshot();
+  Status RestoreFromSnapshot(const std::string& bytes);
+  Status SaveSnapshot();
+  Status FlushPersistence();
+  uint64_t durable_ops() const {
+    return store_ == nullptr ? 0 : store_->ops_logged();
+  }
+
  private:
   // Where a live tuple resides: its shard and its arrival number WITHIN
   // that shard (stable across shard compaction).
@@ -197,6 +221,8 @@ class ShardedOnlineIim {
   Result<double> AggregateClean(const data::RowView& tuple,
                                 const std::vector<neighbors::Neighbor>& nbrs,
                                 std::vector<double>* scratch) const;
+  Status InitPersistence();
+  void MaybeSnapshot();
 
   data::Schema schema_;
   int target_;
@@ -223,6 +249,11 @@ class ShardedOnlineIim {
   // mutation clears it; within one quiescent span (e.g. one ImputeBatch)
   // each model is fitted at most once.
   std::unordered_map<uint64_t, regress::LinearModel> model_cache_;
+
+  // Durability: null unless options.persist_dir is set (shards get their
+  // persist_dir cleared — the wrapper's store is the single authority).
+  std::unique_ptr<persist::StateStore> store_;
+  bool replaying_ = false;
 
   Stats stats_;
 };

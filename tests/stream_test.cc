@@ -605,5 +605,52 @@ TEST(ImputationServiceTest, ShardedServiceMatchesUnshardedDirectDrive) {
   EXPECT_EQ(engine.value()->size(), 120u);
 }
 
+TEST(ImputationServiceTest, ShutdownDrainsBacklogAndRejectsLateSubmits) {
+  data::Table full = HeterogeneousTable(80, 3, 71);
+  core::IimOptions opt = StreamOptions(1);
+  Result<std::unique_ptr<OnlineIim>> engine =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine.ok());
+
+  ImputationService service(engine.value().get());
+  // Park the server and pile up a backlog of every request kind: the
+  // regression this pins is a shutdown that abandoned queued promises
+  // (std::future_error / broken_promise on get()).
+  service.Pause();
+  std::vector<std::future<Status>> ingests;
+  for (size_t i = 0; i < 40; ++i) {
+    ingests.push_back(service.SubmitIngest(full.Row(i).ToVector()));
+  }
+  std::future<Result<double>> impute = service.SubmitImpute(Probe(full, 50, 2));
+  std::future<Status> evict = service.SubmitEvict(0);
+
+  // Shutdown must serve the whole paused backlog, not abandon it.
+  service.Shutdown();
+  for (auto& f : ingests) EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(impute.get().ok());
+  EXPECT_TRUE(evict.get().ok());
+  EXPECT_EQ(engine.value()->size(), 39u);  // 40 ingested, 1 evicted
+
+  // From here on every submission resolves immediately to the distinct
+  // kShutdown status — not the kResourceExhausted overload path.
+  std::future<Status> late_ingest =
+      service.SubmitIngest(full.Row(41).ToVector());
+  std::future<Result<double>> late_impute =
+      service.SubmitImpute(Probe(full, 51, 2));
+  std::future<Status> late_evict = service.SubmitEvict(1);
+  EXPECT_EQ(late_ingest.get().code(), StatusCode::kShutdown);
+  EXPECT_EQ(late_impute.get().status().code(), StatusCode::kShutdown);
+  EXPECT_EQ(late_evict.get().code(), StatusCode::kShutdown);
+
+  ImputationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.ingests, 40u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shutdown_rejected, 3u);
+  EXPECT_EQ(engine.value()->size(), 39u);  // late submits never applied
+
+  service.Shutdown();  // idempotent; the destructor calls it once more
+}
+
 }  // namespace
 }  // namespace iim::stream
