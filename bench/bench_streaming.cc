@@ -31,8 +31,13 @@
 // with S even on one core — each arrival's learning-order maintenance
 // loop scans only its own shard's residents, an O(n/S) work cut, not a
 // parallelism trick — while query results must be IDENTICAL at every S
-// (the merge reproduces the global neighbor sets bit for bit; query
-// latency honestly pays the fan-out + per-query model fits).
+// and to a plain OnlineIim over the same rows (the merge reproduces the
+// global neighbor sets bit for bit). Steady-state query latency is
+// compared against that single engine: the wrapper's global models are
+// maintained incrementally by its order-maintenance core, so a sharded
+// query pays only the fan-out + merge on top of the same clean-model
+// predicts — NOT a refit of every neighbor model per quiescent span (the
+// regression this gate pins at p50 <= 3x the single engine).
 //
 // Phase 4 measures the durability tax: the same n-row ingest with the
 // write-ahead log and periodic background snapshots on, compared at
@@ -45,7 +50,8 @@
 // per-eviction >= 10x cheaper than a window relearn, (whenever the
 // baseline actually rebuilt in-lock) a smaller worst-case ingest with
 // the background builder, sharded ingest at S=4 >= 1.3x the S=1
-// throughput, sharded query results bitwise unchanged across S, and
+// throughput, sharded query results bitwise unchanged across S, sharded
+// steady-state query p50 at S=4 within 3x of the single engine, and
 // ingest p99 with checkpointing within 2x of checkpointing off.
 // Results are written as JSON for BENCH_streaming.json.
 //
@@ -392,13 +398,67 @@ int main(int argc, char** argv) {
     double rows_per_sec = 0.0;
     double impute_p50 = 0.0;
     double impute_p99 = 0.0;
+    double query_gap = 0.0;  // impute_p50 / single-engine impute_p50
     bool identical = true;
   };
   const size_t shard_counts[] = {1, 2, 4, 8};
   const size_t kChunk = 512;
   const size_t kShardProbes = 64;
+
+  auto make_probe = [&](size_t p, std::vector<double>* prow) {
+    *prow = data.Row(n + p % arrivals).ToVector();
+    (*prow)[static_cast<size_t>(target)] =
+        std::numeric_limits<double>::quiet_NaN();
+  };
+
+  // The query-gap gate runs on a level index footing: the single
+  // baseline and the gate's S=4 wrapper share a lowered KD-tree
+  // threshold, so n/S-resident shards sit on the same side of the
+  // tree/brute boundary as the n-resident single engine. With the
+  // default 4096-point threshold the gap conflates two unrelated
+  // effects: the fan-out + merge over maintained global models (what
+  // the gate pins) and a tree-vs-brute-scan constant for whichever
+  // engine happens to straddle the threshold. The throughput cells
+  // below keep the default threshold — the O(n/S) maintenance work cut
+  // is a brute-tail property, and lowering the threshold everywhere
+  // would shrink the very scan the scaling gate measures.
+  iim::core::IimOptions qopt = opt;
+  qopt.index_kdtree_threshold = 256;
+
+  // The single-engine query baseline the sharded gap is gated against: a
+  // plain OnlineIim over the same n rows, probed twice — the first pass
+  // pays the lazy model solves (every engine below gets the same warm-up),
+  // the second measures steady-state queries against clean maintained
+  // models. The gap under test is therefore the scatter/gather fan-out
+  // and merge, not first-touch solve cost.
+  std::vector<double> single_query_seconds;
+  std::vector<double> single_values;
+  {
+    IngestProfile sp = BuildEngine(data, target, features, qopt, n);
+    sp.engine->WaitForIndexRebuild();
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t p = 0; p < kShardProbes; ++p) {
+        std::vector<double> prow;
+        make_probe(p, &prow);
+        iim::data::RowView pv(prow.data(), prow.size());
+        timer.Restart();
+        iim::Result<double> v = sp.engine->ImputeOne(pv);
+        double seconds = timer.ElapsedSeconds();
+        if (!v.ok()) {
+          std::fprintf(stderr, "single impute: %s\n",
+                       v.status().ToString().c_str());
+          return 1;
+        }
+        if (pass == 1) {
+          single_query_seconds.push_back(seconds);
+          single_values.push_back(v.value());
+        }
+      }
+    }
+  }
+  iim::LatencySummary single_query = iim::Summarize(single_query_seconds);
+
   std::vector<ShardCell> shard_cells;
-  std::vector<double> s1_values;
   for (size_t S : shard_counts) {
     iim::core::IimOptions sopt = opt;
     sopt.shards = S;
@@ -439,29 +499,32 @@ int main(int argc, char** argv) {
     std::vector<double> values;
     probe_seconds.reserve(kShardProbes);
     values.reserve(kShardProbes);
-    for (size_t p = 0; p < kShardProbes; ++p) {
-      std::vector<double> prow = data.Row(n + p % arrivals).ToVector();
-      prow[static_cast<size_t>(target)] =
-          std::numeric_limits<double>::quiet_NaN();
-      iim::data::RowView pv(prow.data(), prow.size());
-      timer.Restart();
-      iim::Result<double> v = sharded.ImputeOne(pv);
-      probe_seconds.push_back(timer.ElapsedSeconds());
-      if (!v.ok()) {
-        std::fprintf(stderr, "sharded impute: %s\n",
-                     v.status().ToString().c_str());
-        return 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t p = 0; p < kShardProbes; ++p) {
+        std::vector<double> prow;
+        make_probe(p, &prow);
+        iim::data::RowView pv(prow.data(), prow.size());
+        timer.Restart();
+        iim::Result<double> v = sharded.ImputeOne(pv);
+        double seconds = timer.ElapsedSeconds();
+        if (!v.ok()) {
+          std::fprintf(stderr, "sharded impute: %s\n",
+                       v.status().ToString().c_str());
+          return 1;
+        }
+        if (pass == 1) {
+          probe_seconds.push_back(seconds);
+          values.push_back(v.value());
+        }
       }
-      values.push_back(v.value());
     }
     iim::LatencySummary probe_lat = iim::Summarize(probe_seconds);
     cell.impute_p50 = probe_lat.p50;
     cell.impute_p99 = probe_lat.p99;
-    if (S == 1) {
-      s1_values = values;
-    } else {
-      cell.identical = values == s1_values;  // bitwise
-    }
+    // Bitwise at EVERY S — and across index configs: the single baseline
+    // above runs a different KD-tree threshold, and exactness must not
+    // depend on where the tree/brute boundary falls.
+    cell.identical = values == single_values;
     shard_cells.push_back(cell);
   }
   double shard_scaling = 0.0;
@@ -473,6 +536,76 @@ int main(int argc, char** argv) {
     shard_identical = shard_identical && cell.identical;
   }
   bool shard_scaling_ok = shard_scaling >= 1.3 && shard_identical;
+
+  // The query-gap gate cell: an S=4 wrapper on the same index footing as
+  // the single baseline. The maintained global core keeps sharded
+  // queries at fan-out + merge cost over the same clean-model predicts
+  // as the single engine — the old wrapper refit every global model per
+  // quiescent span and sat ~40x over the baseline here. A small absolute
+  // escape hatch keeps the gate meaningful on machines where both p50s
+  // are a few microseconds and the ratio is scheduling noise.
+  double shard_query_p50_s4 = 0.0;
+  double shard_query_p99_s4 = 0.0;
+  bool shard_query_identical = true;
+  {
+    iim::core::IimOptions gopt = qopt;
+    gopt.shards = 4;
+    gopt.threads = 4;
+    auto gated_r = iim::stream::ShardedOnlineIim::Create(
+        data.schema(), target, features, gopt);
+    if (!gated_r.ok()) {
+      std::fprintf(stderr, "gate-cell create: %s\n",
+                   gated_r.status().ToString().c_str());
+      return 1;
+    }
+    iim::stream::ShardedOnlineIim& gated = *gated_r.value();
+    std::vector<iim::data::RowView> chunk;
+    for (size_t i = 0; i < n; i += kChunk) {
+      chunk.clear();
+      for (size_t j = i; j < std::min(n, i + kChunk); ++j) {
+        chunk.push_back(data.Row(j));
+      }
+      for (const iim::Status& st : gated.IngestBatch(chunk)) {
+        if (!st.ok()) {
+          std::fprintf(stderr, "gate-cell ingest: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    gated.WaitForIndexRebuilds();
+    std::vector<double> gate_seconds;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t p = 0; p < kShardProbes; ++p) {
+        std::vector<double> prow;
+        make_probe(p, &prow);
+        iim::data::RowView pv(prow.data(), prow.size());
+        timer.Restart();
+        iim::Result<double> v = gated.ImputeOne(pv);
+        double seconds = timer.ElapsedSeconds();
+        if (!v.ok()) {
+          std::fprintf(stderr, "gate-cell impute: %s\n",
+                       v.status().ToString().c_str());
+          return 1;
+        }
+        if (pass == 1) {
+          gate_seconds.push_back(seconds);
+          shard_query_identical =
+              shard_query_identical && v.value() == single_values[p];
+        }
+      }
+    }
+    iim::LatencySummary gate_lat = iim::Summarize(gate_seconds);
+    shard_query_p50_s4 = gate_lat.p50;
+    shard_query_p99_s4 = gate_lat.p99;
+  }
+  double shard_query_gap =
+      single_query.p50 > 0.0 ? shard_query_p50_s4 / single_query.p50 : 0.0;
+  const double kQueryGapFloorSeconds = 0.0005;  // 0.5 ms
+  bool shard_query_ok =
+      (shard_query_gap <= 3.0 ||
+       shard_query_p50_s4 <= kQueryGapFloorSeconds) &&
+      shard_query_identical;
 
   // Phase 4: checkpoint pauses and recovery. The same n-row stream is
   // ingested with durability on — every arrival appended to the
@@ -633,6 +766,16 @@ int main(int argc, char** argv) {
                 cell.impute_p50 * 1e3, cell.impute_p99 * 1e3,
                 cell.identical ? "identical" : "DIVERGED");
   }
+  std::printf("steady-state query gap on a level index footing (KD-tree "
+              "threshold %zu for both):\n",
+              qopt.index_kdtree_threshold);
+  std::printf("  single engine p50 %8.4f ms  p99 %8.4f ms\n",
+              single_query.p50 * 1e3, single_query.p99 * 1e3);
+  std::printf("  S=4 wrapper   p50 %8.4f ms  p99 %8.4f ms  gap %5.2fx  "
+              "results %s\n",
+              shard_query_p50_s4 * 1e3, shard_query_p99_s4 * 1e3,
+              shard_query_gap,
+              shard_query_identical ? "identical" : "DIVERGED");
   std::printf("%-34s %12.2fx (work cut: each arrival scans only its own "
               "shard's learning orders)\n",
               "ingest throughput S=4 vs S=1", shard_scaling);
@@ -644,6 +787,11 @@ int main(int argc, char** argv) {
   std::printf("SHAPE CHECK: sharded ingest scales (S=4 >= 1.3x S=1) with "
               "query results unchanged ... %s\n",
               shard_scaling_ok ? "OK" : "DEVIATES");
+  std::printf("SHAPE CHECK: sharded steady-state query p50 at S=4 within "
+              "3x of the single engine (or under %.2f ms absolute), "
+              "results identical ... %s\n",
+              kQueryGapFloorSeconds * 1e3,
+              shard_query_ok ? "OK" : "DEVIATES");
   std::printf("\ncheckpointing (WAL every arrival, snapshot every %zu ops):\n",
               snap_every);
   PrintLatency("  ingest, persistence off", built.seconds);
@@ -787,7 +935,7 @@ int main(int argc, char** argv) {
                  "\"ingest_rows_per_sec\": %.1f, "
                  "\"impute_p50_seconds\": %.9f, "
                  "\"impute_p99_seconds\": %.9f, "
-                 "\"results_identical_to_s1\": %s}%s\n",
+                 "\"results_identical_to_single\": %s}%s\n",
                  cell.shards, cell.ingest_seconds, cell.rows_per_sec,
                  cell.impute_p50, cell.impute_p99,
                  cell.identical ? "true" : "false",
@@ -796,13 +944,24 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  ],\n"
                "  \"sharding_ingest_scaling_s4_vs_s1\": %.2f,\n"
-               "  \"sharding_results_identical\": %s\n"
+               "  \"sharding_results_identical\": %s,\n"
+               "  \"query_gap_kdtree_threshold\": %zu,\n"
+               "  \"single_query_p50_seconds\": %.9f,\n"
+               "  \"single_query_p99_seconds\": %.9f,\n"
+               "  \"sharded_query_p50_seconds_s4\": %.9f,\n"
+               "  \"sharded_query_p99_seconds_s4\": %.9f,\n"
+               "  \"sharding_query_gap_s4_vs_single\": %.2f,\n"
+               "  \"sharding_query_gap_within_3x\": %s\n"
                "}\n",
-               shard_scaling, shard_identical ? "true" : "false");
+               shard_scaling, shard_identical ? "true" : "false",
+               qopt.index_kdtree_threshold, single_query.p50,
+               single_query.p99, shard_query_p50_s4, shard_query_p99_s4,
+               shard_query_gap, shard_query_ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return fast_enough && identical && evict_fast_enough && windowed_matches &&
-                 tail_improved && shard_scaling_ok && checkpoint_ok
+                 tail_improved && shard_scaling_ok && shard_query_ok &&
+                 checkpoint_ok
              ? 0
              : 1;
 }

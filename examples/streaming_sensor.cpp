@@ -38,6 +38,14 @@
 // log tail, and answers every probe bit-for-bit as the engine that never
 // crashed.
 //
+// Act five lets every reading choose its own neighborhood size l
+// (IimOptions::adaptive — the paper's Algorithm 3), online: each arrival
+// re-validates only the tuples whose validation lists it actually
+// enters, the per-tuple l is re-determined lazily at the next query that
+// needs the model, and the chosen values drift as the window slides off
+// old regimes — yet the imputations stay bit-identical to a batch
+// Algorithm 3 refit on the live window.
+//
 //   ./examples/streaming_sensor
 
 #include <unistd.h>
@@ -337,9 +345,10 @@ int main() {
     std::printf("%s%zu", s == 0 ? "residents " : " / ",
                 sharded.shard(s).size());
   }
-  std::printf("; %zu cross-shard merges, %zu global model fits (%zu cache "
-              "hits)\n",
-              sstats.merges, sstats.models_fitted, sstats.model_cache_hits);
+  std::printf("; %zu cross-shard merges; global order core: %zu model "
+              "solves, %zu served clean, %zu holders dirtied by arrivals\n",
+              sstats.merges, sstats.models_fitted, sstats.global_fits_reused,
+              sstats.holders_invalidated);
   std::printf("Sharded-vs-unsharded agreement: %s\n",
               smismatches == 0
                   ? "bit-identical (the merge reproduces the global "
@@ -437,5 +446,108 @@ int main() {
   }
   ::rmdir(persist_dir.c_str());
   ::rmdir(tmpl);
-  return dmismatches == 0 ? 0 : 1;
+  if (dmismatches != 0) return 1;
+
+  // Act five: adaptive neighborhood sizes, online. A fixed l treats every
+  // room alike; Algorithm 3 instead validates candidate prefixes of each
+  // reading's learning order against its nearest neighbors and keeps the
+  // cheapest. With options.adaptive the engine maintains that machinery
+  // on the stream: an arrival re-validates only the tuples whose
+  // validation lists it enters, and a tuple's l is re-determined lazily
+  // the next time a query needs its model — so the chosen values drift
+  // as the window slides off old regimes, at per-arrival cost.
+  iim::core::IimOptions aopt = opt;
+  aopt.window_size = 500;
+  aopt.adaptive = true;
+  aopt.max_ell = 24;
+  aopt.step_h = 4;
+  aopt.validation_k = 5;
+  auto aengine_r = iim::stream::OnlineIim::Create(readings.schema(), target,
+                                                  features, aopt);
+  if (!aengine_r.ok()) {
+    std::fprintf(stderr, "adaptive create: %s\n",
+                 aengine_r.status().ToString().c_str());
+    return 1;
+  }
+  iim::stream::OnlineIim& adaptive = *aengine_r.value();
+
+  // Spread of the CURRENT per-tuple l over the live window. A reading
+  // reports 0 until some query has forced its sweep, so the count also
+  // shows how lazy the determination really is.
+  auto print_chosen_spread = [&](const char* when) {
+    size_t total = adaptive.stats().ingested;
+    size_t live = adaptive.size();
+    std::vector<size_t> ls;
+    for (uint64_t a = total - live; a < total; ++a) {
+      size_t l = adaptive.ChosenEllByArrival(a);
+      if (l > 0) ls.push_back(l);
+    }
+    std::sort(ls.begin(), ls.end());
+    if (ls.empty()) {
+      std::printf("  %s: no reading has a determined l yet\n", when);
+      return;
+    }
+    std::printf("  %s: %zu/%zu readings hold a current l; min %zu / median "
+                "%zu / max %zu\n",
+                when, ls.size(), live, ls.front(), ls[ls.size() / 2],
+                ls.back());
+  };
+
+  std::printf("\nAdaptive per-reading l (window %zu, candidates 1..%zu step "
+              "%zu):\n",
+              aopt.window_size, aopt.max_ell, aopt.step_h);
+  for (size_t i = 0; i < readings.NumRows(); ++i) {
+    iim::Status st = adaptive.Ingest(readings.Row(i));
+    if (!st.ok()) {
+      std::fprintf(stderr, "adaptive ingest %zu: %s\n", i,
+                   st.ToString().c_str());
+      return 1;
+    }
+    // Steady probe traffic: every served imputation re-determines l for
+    // the models the preceding arrivals dirtied.
+    if (i > 60 && i % 8 == 0) {
+      std::vector<double> lost = readings.Row(i - 1).ToVector();
+      lost[static_cast<size_t>(target)] =
+          std::numeric_limits<double>::quiet_NaN();
+      iim::data::RowView lost_view(lost.data(), lost.size());
+      if (!adaptive.ImputeOne(lost_view).ok()) {
+        std::fprintf(stderr, "adaptive impute %zu failed\n", i);
+        return 1;
+      }
+    }
+    if (i == 900) print_chosen_spread("mid-stream");
+  }
+  print_chosen_spread("end of stream");
+  const auto& astats = adaptive.stats();
+  std::printf("  maintenance: %zu sweeps solved, %zu served clean, %zu "
+              "holders dirtied by arrivals, %zu readings changed their l\n",
+              astats.models_solved, astats.global_fits_reused,
+              astats.holders_invalidated, astats.adaptive_l_changes);
+
+  // The adaptive guarantee: a batch Algorithm 3 on the live window agrees
+  // bitwise — adaptive sweeps always restream a fresh accumulator, so
+  // this holds even with down-dating on.
+  iim::core::IimImputer abatch(aopt);
+  iim::Status afit = abatch.Fit(adaptive.table(), target, features);
+  if (!afit.ok()) {
+    std::fprintf(stderr, "adaptive batch fit: %s\n",
+                 afit.ToString().c_str());
+    return 1;
+  }
+  size_t amismatches = 0;
+  for (size_t i = 0; i < readings.NumRows(); i += 97) {
+    std::vector<double> row = readings.Row(i).ToVector();
+    row[static_cast<size_t>(target)] =
+        std::numeric_limits<double>::quiet_NaN();
+    iim::data::RowView view(row.data(), row.size());
+    iim::Result<double> got = adaptive.ImputeOne(view);
+    iim::Result<double> want = abatch.ImputeOne(view);
+    if (!got.ok() || !want.ok() || got.value() != want.value())
+      ++amismatches;
+  }
+  std::printf("Adaptive batch-refit agreement: %s\n",
+              amismatches == 0
+                  ? "bit-identical (per-tuple l costs no accuracy online)"
+                  : "MISMATCH");
+  return amismatches == 0 ? 0 : 1;
 }

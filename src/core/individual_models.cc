@@ -41,6 +41,17 @@ std::vector<size_t> LearningOrder(const neighbors::NeighborIndex& index,
   return order;
 }
 
+// First error of a per-block status array, in block order (deterministic
+// regardless of which thread hit its error first).
+Status FirstError(const std::vector<Status>& block_status) {
+  for (const Status& st : block_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 // Fits the model over the first `ell` tuples of `order` (from scratch),
 // reading the gathered features from the contiguous block.
 Result<regress::LinearModel> FitOverPrefix(const data::FeatureBlock& fb,
@@ -63,17 +74,6 @@ Result<regress::LinearModel> FitOverPrefix(const data::FeatureBlock& fb,
   ropt.alpha = alpha;
   return regress::FitRidge(x, y, ropt);
 }
-
-// First error of a per-block status array, in block order (deterministic
-// regardless of which thread hit its error first).
-Status FirstError(const std::vector<Status>& block_status) {
-  for (const Status& st : block_status) {
-    if (!st.ok()) return st;
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 std::vector<size_t> CandidateEllValues(size_t n, size_t step_h,
                                        size_t max_ell) {
@@ -146,7 +146,6 @@ Result<IndividualModels> IndividualModels::LearnAdaptive(
   // plateaus, so k > 10 judges add cost but no signal. The n queries are
   // independent and fan out over the pool; the merge below runs serially
   // in validator order so the lists are identical for any thread count.
-  constexpr size_t kMaxValidationK = 10;
   std::vector<std::vector<size_t>> validated_by(n);
   size_t vk = options.validation_k > 0 ? options.validation_k : options.k;
   vk = std::clamp<size_t>(vk, 1, kMaxValidationK);

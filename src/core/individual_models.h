@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "core/iim_options.h"
+#include "data/feature_block.h"
 #include "data/table.h"
 #include "neighbors/knn.h"
 #include "regress/linear_model.h"
@@ -70,6 +71,21 @@ class IndividualModels {
 // The candidate l sequence {1, 1+h, 1+2h, ...} clamped to [1, max_ell].
 std::vector<size_t> CandidateEllValues(size_t n, size_t step_h,
                                        size_t max_ell);
+
+// Validation fan-out cap shared by the batch learner and the streaming
+// order-maintenance core: with very large imputation k the validation cost
+// grows as n * |L| * k while the selection quality plateaus, so more than
+// 10 judges per model add cost but no signal.
+constexpr size_t kMaxValidationK = 10;
+
+// Fits the model over the first `ell` tuples of `order` from scratch (a
+// plain ridge over the gathered prefix; ell == 1 applies the
+// single-neighbor rule of Section III-A2). Shared by Learn/LearnAdaptive
+// and the streaming adaptive path's orphan fallback, which must reproduce
+// this exact summation to stay bit-identical to a batch refit.
+Result<regress::LinearModel> FitOverPrefix(const data::FeatureBlock& fb,
+                                           const std::vector<size_t>& order,
+                                           size_t ell, double alpha);
 
 }  // namespace iim::core
 

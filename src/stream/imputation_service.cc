@@ -184,12 +184,18 @@ void ImputationService::RefreshEngineStats() {
     stats_.snapshots_written = es.snapshots_written;
     stats_.snapshots_loaded = es.snapshots_loaded;
     stats_.log_records_replayed = es.log_records_replayed;
+    stats_.holders_invalidated = es.holders_invalidated;
+    stats_.global_fits_reused = es.global_fits_reused;
+    stats_.adaptive_l_changes = es.adaptive_l_changes;
     stats_.shard_stats = std::move(es.per_shard);
   } else {
-    const OnlineIim::Stats& es = engine_->stats();
+    const OnlineIim::Stats es = engine_->stats();
     stats_.snapshots_written = es.snapshots_written;
     stats_.snapshots_loaded = es.snapshots_loaded;
     stats_.log_records_replayed = es.log_records_replayed;
+    stats_.holders_invalidated = es.holders_invalidated;
+    stats_.global_fits_reused = es.global_fits_reused;
+    stats_.adaptive_l_changes = es.adaptive_l_changes;
   }
 }
 

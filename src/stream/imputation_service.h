@@ -78,6 +78,13 @@ class ImputationService {
     size_t snapshots_written = 0;
     size_t snapshots_loaded = 0;
     size_t log_records_replayed = 0;
+    // Engine model-maintenance counters (see OnlineIim::Stats), refreshed
+    // at the same quiesce points — for BOTH engine kinds. Together they
+    // gauge how often a served model was a still-clean cached fit versus
+    // how much churn arrivals inflicted on the maintained orders.
+    size_t holders_invalidated = 0;
+    size_t global_fits_reused = 0;
+    size_t adaptive_l_changes = 0;
     // Engine-serve latency (seconds) over the most recent requests of
     // each kind (bounded reservoir of kLatencySamples): ingest is
     // per-arrival — the tail the background index rebuild bounds — or

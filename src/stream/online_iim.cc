@@ -7,7 +7,6 @@
 #include <limits>
 
 #include "common/stopwatch.h"
-#include "neighbors/distance.h"
 #include "stream/persist/snapshot.h"
 
 namespace iim::stream {
@@ -17,21 +16,6 @@ namespace {
 // Same batch grain as ParallelImputeBatch: keeps the fixed partition (and
 // therefore the result order guarantees) aligned with the batch engine.
 constexpr size_t kBatchGrain = 16;
-
-DynamicIndex::Options IndexOptions(const core::IimOptions& options) {
-  DynamicIndex::Options dopt;
-  dopt.background_rebuild = options.background_rebuild;
-  if (options.index_kdtree_threshold > 0) {
-    dopt.kdtree_threshold = options.index_kdtree_threshold;
-  }
-  if (options.index_min_rebuild_tail > 0) {
-    dopt.min_rebuild_tail = options.index_min_rebuild_tail;
-  }
-  if (options.index_min_compact_tombstones > 0) {
-    dopt.min_compact_tombstones = options.index_min_compact_tombstones;
-  }
-  return dopt;
-}
 
 }  // namespace
 
@@ -60,9 +44,27 @@ Result<std::unique_ptr<OnlineIim>> OnlineIim::Create(
     return Status::InvalidArgument("OnlineIim: k must be positive");
   }
   if (options.adaptive) {
-    return Status::InvalidArgument(
-        "OnlineIim: adaptive per-tuple l is not supported online (the "
-        "validation lists change with every arrival); use a fixed ell");
+    // Adaptive per-tuple l is supported online, but only combinations
+    // whose batch semantics survive a stream: the candidate budget must
+    // be bounded, the fold incremental, and validation exhaustive.
+    if (options.max_ell == 0) {
+      return Status::InvalidArgument(
+          "OnlineIim: adaptive per-tuple l requires max_ell > 0 online — "
+          "with no cap the candidate budget (and every learning order) "
+          "grows unboundedly with the stream");
+    }
+    if (!options.incremental) {
+      return Status::InvalidArgument(
+          "OnlineIim: adaptive per-tuple l online supports only the "
+          "incremental fold (options.incremental); the from-scratch "
+          "ablation is batch-only");
+    }
+    if (options.validation_sample > 0) {
+      return Status::InvalidArgument(
+          "OnlineIim: adaptive per-tuple l online validates with every "
+          "live tuple; validation_sample is tied to a frozen relation "
+          "and cannot follow a sliding window");
+    }
   }
   std::unique_ptr<OnlineIim> engine(
       new OnlineIim(schema, target, std::move(features), options));
@@ -79,10 +81,8 @@ OnlineIim::OnlineIim(const data::Schema& schema, int target,
       features_(std::move(features)),
       options_(options),
       q_(features_.size()),
-      ell_(std::max<size_t>(options.ell, 1)),
       table_(schema),
-      index_(features_, IndexOptions(options)),
-      fb_(q_) {}
+      core_(MakeOrderCoreConfig(options, features_.size())) {}
 
 Status OnlineIim::Ingest(const data::RowView& row) {
   if (row.size() != table_.NumCols()) {
@@ -106,99 +106,24 @@ Status OnlineIim::Ingest(const data::RowView& row) {
     RETURN_IF_ERROR(store_->LogIngest(row.data(), row.size()));
   }
 
-  size_t id = n_;
   std::vector<double> f_new(q_);
   for (size_t j = 0; j < q_; ++j) {
     f_new[j] = row[static_cast<size_t>(features_[j])];
   }
   double y_new = row[static_cast<size_t>(target_)];
 
-  // How the arrival lands in each live tuple's learning order. The new
-  // point carries the largest slot, so it loses every distance tie — the
-  // insertion point is after all entries with distance <= d. Every tuple
-  // that adopts the arrival is also recorded as a holder in the new
-  // slot's reverse-neighbor postings.
-  std::vector<size_t> holders_of_new;
-  for (size_t i = 0; i < n_; ++i) {
-    if (alive_[i] == 0) continue;
-    double d = neighbors::NormalizedEuclidean(fb_.Features(i),
-                                              f_new.data(), q_);
-    std::vector<neighbors::Neighbor>& order = orders_[i];
-    auto pos = std::upper_bound(
-        order.begin(), order.end(), d,
-        [](double dv, const neighbors::Neighbor& nb) {
-          return dv < nb.distance;
-        });
-    if (pos == order.end()) {
-      if (order.size() < ell_) {
-        // Prefix grows at the end: the accumulated fold stays valid and
-        // the new row is caught up lazily (Proposition 3).
-        order.push_back(neighbors::Neighbor{id, d});
-        holders_of_new.push_back(i);
-        dirty_[i] = 1;
-        ++stats_.fast_path_appends;
-      }
-      // else: strictly farther than the current worst — unaffected.
-    } else {
-      order.insert(pos, neighbors::Neighbor{id, d});
-      holders_of_new.push_back(i);
-      if (order.size() > ell_) {
-        // The displaced worst neighbor leaves i's order — and i leaves
-        // its postings.
-        PostingsRemove(order.back().index, i);
-        order.pop_back();
-      }
-      // The fold's summation sequence changed; a rank-1 update cannot
-      // remove the displaced row, so restream from scratch on next use.
-      accums_[i].Reset();
-      consumed_[i] = 0;
-      dirty_[i] = 1;
-      ++stats_.models_invalidated;
-    }
-  }
-
-  // The new tuple's own order: itself first, then up to ell_ - 1 nearest
-  // live tuples (the index does not contain `id` yet, so no exclusion is
-  // needed — same set LearningOrder retrieves with exclude = id).
-  std::vector<neighbors::Neighbor> order_new;
-  order_new.reserve(std::min(ell_, live_ + 1));
-  order_new.push_back(neighbors::Neighbor{id, 0.0});
-  if (ell_ > 1 && live_ > 0) {
-    neighbors::QueryOptions qopt;
-    qopt.k = std::min(ell_ - 1, live_);
-    for (const neighbors::Neighbor& nb : index_.Query(row, qopt)) {
-      order_new.push_back(nb);
-    }
-  }
-
+  // The fallible append runs before the core's (infallible) arrival scan
+  // so a failure leaves the engine unchanged.
   RETURN_IF_ERROR(table_.AppendRow(row.ToVector()));
-  index_.Append(row);
-  fb_.Append(f_new.data(), y_new);
-  // The new tuple holds its own neighbors; its holders were collected in
-  // the arrival loop above.
-  for (const neighbors::Neighbor& nb : order_new) {
-    if (nb.index != id) PostingsAdd(nb.index, id);
-  }
-  stats_.postings_edges += holders_of_new.size();
-  postings_.push_back(std::move(holders_of_new));
-  orders_.push_back(std::move(order_new));
-  accums_.emplace_back(q_);
-  consumed_.push_back(0);
-  models_.emplace_back();
-  dirty_.push_back(1);
-  alive_.push_back(1);
-  seq_of_slot_.push_back(stats_.ingested);
-  slot_of_seq_.emplace(stats_.ingested, id);
-  ++n_;
-  ++live_;
+  core_.Arrive(f_new.data(), y_new, stats_.ingested);
   ++stats_.ingested;
   live_cache_valid_ = false;
 
   // Sliding window: retire the oldest live tuple(s) the arrival pushed
   // out. The arrival itself is the newest, so it never self-evicts.
   if (options_.window_size > 0) {
-    while (live_ > options_.window_size) {
-      EvictSlot(OldestLiveSlot());
+    while (core_.live() > options_.window_size) {
+      core_.EvictSlot(core_.OldestLiveSlot());
     }
     MaybeCompact();
   }
@@ -207,8 +132,8 @@ Status OnlineIim::Ingest(const data::RowView& row) {
 }
 
 Status OnlineIim::Evict(uint64_t arrival) {
-  auto it = slot_of_seq_.find(arrival);
-  if (it == slot_of_seq_.end()) {
+  size_t slot = core_.SlotOf(arrival);
+  if (slot == OrderCore::kNoSlot) {
     return Status::NotFound(
         "OnlineIim: arrival is not live (never ingested, or already "
         "evicted)");
@@ -218,207 +143,35 @@ Status OnlineIim::Evict(uint64_t arrival) {
   if (store_ != nullptr && !replaying_) {
     RETURN_IF_ERROR(store_->LogEvict(arrival));
   }
-  EvictSlot(it->second);
+  core_.EvictSlot(slot);
+  live_cache_valid_ = false;
   MaybeCompact();
   MaybeSnapshot();
   return Status::OK();
 }
 
-size_t OnlineIim::OldestLiveSlot() {
-  while (oldest_cursor_ < n_ && alive_[oldest_cursor_] == 0) {
-    ++oldest_cursor_;
-  }
-  return oldest_cursor_;
-}
-
-void OnlineIim::PostingsAdd(size_t s, size_t holder) {
-  postings_[s].push_back(holder);
-  ++stats_.postings_edges;
-}
-
-void OnlineIim::PostingsRemove(size_t s, size_t holder) {
-  std::vector<size_t>& v = postings_[s];
-  for (size_t& h : v) {
-    if (h == holder) {
-      h = v.back();  // unordered: swap-pop keeps removal O(1)
-      v.pop_back();
-      --stats_.postings_edges;
-      return;
-    }
-  }
-  assert(false && "reverse-neighbor postings entry missing");
-}
-
-void OnlineIim::EvictSlot(size_t gone) {
-  // Detach the departing tuple: tombstone it everywhere and release its
-  // own model state (the slot lingers until compaction, its payload need
-  // not). It also stops holding its own neighbors.
-  alive_[gone] = 0;
-  slot_of_seq_.erase(seq_of_slot_[gone]);
-  index_.Remove(gone);
-  --live_;
-  ++stats_.evicted;
-  live_cache_valid_ = false;
-  for (const neighbors::Neighbor& nb : orders_[gone]) {
-    if (nb.index != gone) PostingsRemove(nb.index, gone);
-  }
-  orders_[gone].clear();
-  orders_[gone].shrink_to_fit();
-  accums_[gone].Reset();
-  consumed_[gone] = 0;
-  models_[gone] = regress::LinearModel();
-  dirty_[gone] = 1;
-
-  // The survivors whose learning order contained the departed tuple are
-  // exactly its reverse-neighbor postings — the ~l affected tuples, read
-  // in O(l) instead of scanning all n live orders. Sorted so the repairs
-  // run in ascending-slot order, the order the old full scan used.
-  std::vector<size_t> affected = std::move(postings_[gone]);
-  postings_[gone] = std::vector<size_t>();
-  stats_.postings_edges -= affected.size();
-  std::sort(affected.begin(), affected.end());
-#ifndef NDEBUG
-  {
-    // Differential check against the old full scan: the maintained
-    // postings must name exactly the live orders that contain `gone`.
-    std::vector<size_t> scan;
-    for (size_t i = 0; i < n_; ++i) {
-      if (alive_[i] == 0) continue;
-      for (const neighbors::Neighbor& nb : orders_[i]) {
-        if (nb.index == gone) {
-          scan.push_back(i);
-          break;
-        }
-      }
-    }
-    assert(scan == affected &&
-           "reverse-neighbor postings disagree with full scan");
-  }
-#endif
-
-  // Repair each affected learning order — the arrival-displacement logic
-  // in reverse. Cutting an entry out of the folded prefix is undone by a
-  // rank-1 down-date when the conditioning guard allows; otherwise the
-  // accumulator restreams the new prefix on next use. The survivor's
-  // order then grew a vacancy: the next nearest live tuple enters at the
-  // end (it ranked behind every remaining entry in (distance, slot)
-  // order, or it would already be a member), which is the same fast-path
-  // append an arrival takes.
-  for (size_t i : affected) {
-    std::vector<neighbors::Neighbor>& order = orders_[i];
-    size_t p = 0;
-    while (p < order.size() && order[p].index != gone) ++p;
-    if (p == order.size()) continue;  // unreachable under the invariant
-    order.erase(order.begin() + static_cast<long>(p));
-    if (p < consumed_[i]) {
-      bool downdated =
-          options_.downdate &&
-          accums_[i].RemoveRow(fb_.Features(gone), fb_.Target(gone));
-      if (downdated) {
-        --consumed_[i];
-        ++stats_.downdates;
-      } else {
-        accums_[i].Reset();
-        consumed_[i] = 0;
-        ++stats_.downdate_fallbacks;
-      }
-    }
-    size_t want = std::min(ell_, live_);  // self included
-    if (order.size() < want) {
-      neighbors::QueryOptions qopt;
-      qopt.k = want - 1;
-      qopt.exclude = i;
-      std::vector<neighbors::Neighbor> nn = index_.Query(table_.Row(i), qopt);
-      // nn[0 .. order.size()-1) coincides with the order's surviving
-      // neighbors; anything beyond is the entrant.
-      for (size_t j = order.size() - 1; j < nn.size(); ++j) {
-        order.push_back(nn[j]);
-        PostingsAdd(nn[j].index, i);
-        ++stats_.backfills;
-      }
-    }
-    dirty_[i] = 1;
-  }
-}
-
 void OnlineIim::MaybeCompact() {
-  if (!index_.NeedsCompaction()) return;
-  std::vector<size_t> remap = index_.Compact();
-
-  std::vector<std::vector<neighbors::Neighbor>> orders(live_);
-  std::vector<std::vector<size_t>> postings(live_);
-  std::vector<regress::IncrementalRidge> accums;
-  accums.reserve(live_);
-  std::vector<size_t> consumed(live_);
-  std::vector<regress::LinearModel> models(live_);
-  std::vector<uint8_t> dirty(live_);
-  std::vector<uint64_t> seq_of_slot(live_);
+  std::vector<size_t> remap;
+  if (!core_.MaybeCompact(&remap)) return;
+  // The core dropped its tombstoned slots; drop the same rows from the
+  // full-arity table (remap is ascending over survivors).
   std::vector<size_t> live_rows;
-  live_rows.reserve(live_);
-
-  for (size_t old = 0; old < n_; ++old) {
-    size_t slot = remap[old];
-    if (slot == DynamicIndex::kGone) continue;
-    orders[slot] = std::move(orders_[old]);
-    for (neighbors::Neighbor& nb : orders[slot]) {
-      nb.index = remap[nb.index];  // orders reference live slots only
-    }
-    // Postings hold live slots only (dead holders were removed when they
-    // were evicted), so the remap applies to every entry.
-    postings[slot] = std::move(postings_[old]);
-    for (size_t& h : postings[slot]) h = remap[h];
-    // push_back lands accums[slot]: remap is ascending over live slots.
-    accums.push_back(std::move(accums_[old]));
-    consumed[slot] = consumed_[old];
-    models[slot] = std::move(models_[old]);
-    dirty[slot] = dirty_[old];
-    seq_of_slot[slot] = seq_of_slot_[old];
-    slot_of_seq_[seq_of_slot_[old]] = slot;
-    live_rows.push_back(old);
+  live_rows.reserve(core_.n());
+  for (size_t old = 0; old < remap.size(); ++old) {
+    if (remap[old] != DynamicIndex::kGone) live_rows.push_back(old);
   }
-
   table_ = table_.TakeRows(live_rows);
-  fb_.Compact(remap, DynamicIndex::kGone);
-  orders_ = std::move(orders);
-  postings_ = std::move(postings);
-  accums_ = std::move(accums);
-  consumed_ = std::move(consumed);
-  models_ = std::move(models);
-  dirty_ = std::move(dirty);
-  alive_.assign(live_, 1);
-  seq_of_slot_ = std::move(seq_of_slot);
-  n_ = live_;
-  oldest_cursor_ = 0;
   live_cache_valid_ = false;
-  ++stats_.compactions;
-}
-
-bool OnlineIim::VerifyPostings() const {
-  std::vector<std::vector<size_t>> want(n_);
-  for (size_t i = 0; i < n_; ++i) {
-    if (alive_[i] == 0) continue;
-    for (const neighbors::Neighbor& nb : orders_[i]) {
-      if (nb.index != i) want[nb.index].push_back(i);  // ascending in i
-    }
-  }
-  size_t edges = 0;
-  for (size_t s = 0; s < n_; ++s) {
-    if (alive_[s] == 0 && !postings_[s].empty()) return false;
-    std::vector<size_t> got = postings_[s];
-    std::sort(got.begin(), got.end());
-    if (got != want[s]) return false;
-    edges += got.size();
-  }
-  return edges == stats_.postings_edges;
 }
 
 const data::Table& OnlineIim::table() const {
-  if (live_ == n_) return table_;
+  if (core_.live() == core_.n()) return table_;
   if (!live_cache_valid_) {
+    const std::vector<uint8_t>& alive = core_.alive_slots();
     std::vector<size_t> live_rows;
-    live_rows.reserve(live_);
-    for (size_t i = 0; i < n_; ++i) {
-      if (alive_[i] != 0) live_rows.push_back(i);
+    live_rows.reserve(core_.live());
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (alive[i] != 0) live_rows.push_back(i);
     }
     live_cache_ = table_.TakeRows(live_rows);
     live_cache_valid_ = true;
@@ -427,77 +180,64 @@ const data::Table& OnlineIim::table() const {
 }
 
 bool OnlineIim::IsLive(uint64_t arrival) const {
-  return slot_of_seq_.find(arrival) != slot_of_seq_.end();
+  return core_.IsLive(arrival);
 }
 
 data::RowView OnlineIim::RowByArrival(uint64_t arrival) const {
-  return table_.Row(slot_of_seq_.at(arrival));
+  return table_.Row(core_.SlotOf(arrival));
 }
 
 const double* OnlineIim::FeaturesByArrival(uint64_t arrival) const {
-  auto it = slot_of_seq_.find(arrival);
-  return it == slot_of_seq_.end() ? nullptr : fb_.Features(it->second);
+  size_t slot = core_.SlotOf(arrival);
+  return slot == OrderCore::kNoSlot ? nullptr : core_.Features(slot);
 }
 
 double OnlineIim::TargetByArrival(uint64_t arrival) const {
-  auto it = slot_of_seq_.find(arrival);
-  return it == slot_of_seq_.end()
+  size_t slot = core_.SlotOf(arrival);
+  return slot == OrderCore::kNoSlot
              ? std::numeric_limits<double>::quiet_NaN()
-             : fb_.Target(it->second);
+             : core_.Target(slot);
 }
 
 std::vector<neighbors::Neighbor> OnlineIim::QueryByArrival(
     const data::RowView& tuple, size_t k, uint64_t exclude_arrival) const {
+  // The core's index covers the gathered projection, so probes are
+  // gathered once here — the same q doubles (same bytes) the engine's
+  // former full-row index gathered internally.
+  std::vector<double> probe(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    probe[j] = tuple[static_cast<size_t>(features_[j])];
+  }
   neighbors::QueryOptions qopt;
   qopt.k = k;
   if (exclude_arrival != kNoArrival) {
-    auto it = slot_of_seq_.find(exclude_arrival);
-    if (it != slot_of_seq_.end()) qopt.exclude = it->second;
+    size_t slot = core_.SlotOf(exclude_arrival);
+    if (slot != OrderCore::kNoSlot) qopt.exclude = slot;
   }
-  std::vector<neighbors::Neighbor> nbrs = index_.Query(tuple, qopt);
+  std::vector<neighbors::Neighbor> nbrs =
+      core_.index().Query(data::RowView(probe.data(), q_), qopt);
   // Live slots ascend in arrival order (compaction preserves it), so this
   // remap keeps the list sorted by (distance, arrival).
-  for (neighbors::Neighbor& nb : nbrs) nb.index = seq_of_slot_[nb.index];
+  for (neighbors::Neighbor& nb : nbrs) nb.index = core_.SeqOf(nb.index);
   return nbrs;
 }
 
 std::vector<neighbors::Neighbor> OnlineIim::LearningOrderByArrival(
     uint64_t arrival) const {
-  auto it = slot_of_seq_.find(arrival);
-  if (it == slot_of_seq_.end()) return {};
-  std::vector<neighbors::Neighbor> order = orders_[it->second];
-  for (neighbors::Neighbor& nb : order) nb.index = seq_of_slot_[nb.index];
+  size_t slot = core_.SlotOf(arrival);
+  if (slot == OrderCore::kNoSlot) return {};
+  std::vector<neighbors::Neighbor> order = core_.Order(slot);
+  for (neighbors::Neighbor& nb : order) nb.index = core_.SeqOf(nb.index);
   return order;
 }
 
-Status OnlineIim::EnsureModel(size_t i) {
-  if (!dirty_[i]) return Status::OK();
-  const std::vector<neighbors::Neighbor>& order = orders_[i];
-  if (order.size() == 1) {
-    // Single-neighbor rule (Section III-A2): constant model of the
-    // tuple's own value — matches FitOverPrefix at ell == 1.
-    models_[i] = regress::LinearModel::Constant(fb_.Target(i), q_);
-    dirty_[i] = 0;
-    ++stats_.models_solved;
-    return Status::OK();
-  }
-  // Catch the accumulator up with the prefix rows it has not folded yet
-  // (all of them after an invalidation). Rows enter in order[0..s)
-  // sequence, the exact summation order of a batch FitRidge over the same
-  // prefix — that is what makes the solved model bit-identical.
-  while (consumed_[i] < order.size()) {
-    size_t r = order[consumed_[i]].index;
-    accums_[i].AddRow(fb_.Features(r), fb_.Target(r));
-    ++consumed_[i];
-  }
-  ASSIGN_OR_RETURN(models_[i], accums_[i].Solve(options_.alpha));
-  dirty_[i] = 0;
-  ++stats_.models_solved;
-  return Status::OK();
+size_t OnlineIim::ChosenEllByArrival(uint64_t arrival) const {
+  size_t slot = core_.SlotOf(arrival);
+  return slot == OrderCore::kNoSlot ? 0 : core_.chosen_ell(slot);
 }
 
 Status OnlineIim::CheckQuery(const data::RowView& tuple) const {
-  if (live_ == 0) {
+  if (core_.live() == 0) {
     return Status::FailedPrecondition("OnlineIim: no live tuples");
   }
   if (tuple.size() != table_.NumCols()) {
@@ -523,21 +263,26 @@ Result<double> OnlineIim::AggregateClean(
   candidates.reserve(nbrs.size());
   for (const neighbors::Neighbor& nb : nbrs) {
     // Formula 9: t_x^j[Am] = (1, t_x[F]) phi_j.
-    candidates.push_back(models_[nb.index].Predict(x.data(), q_));
+    candidates.push_back(core_.model(nb.index).Predict(x.data(), q_));
   }
   return core::CombineCandidates(candidates, options_.uniform_weights);
 }
 
 Result<double> OnlineIim::ImputeOne(const data::RowView& tuple) {
   RETURN_IF_ERROR(CheckQuery(tuple));
+  std::vector<double> probe(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    probe[j] = tuple[static_cast<size_t>(features_[j])];
+  }
   neighbors::QueryOptions qopt;
   qopt.k = options_.k;
-  std::vector<neighbors::Neighbor> nbrs = index_.Query(tuple, qopt);
+  std::vector<neighbors::Neighbor> nbrs =
+      core_.index().Query(data::RowView(probe.data(), q_), qopt);
   if (nbrs.empty()) {
     return Status::Internal("OnlineIim: no imputation neighbors");
   }
   for (const neighbors::Neighbor& nb : nbrs) {
-    RETURN_IF_ERROR(EnsureModel(nb.index));
+    RETURN_IF_ERROR(core_.EnsureModel(nb.index));
   }
   ++stats_.imputed;
   return AggregateClean(tuple, nbrs);
@@ -547,44 +292,53 @@ std::vector<Result<double>> OnlineIim::ImputeBatch(
     const std::vector<data::RowView>& rows) {
   std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
 
-  // Phase 1 (serial): validate, collect the queryable rows.
-  std::vector<neighbors::BatchQuery> batch;
+  // Phase 1 (serial): validate, gather the queryable rows' probes into
+  // one contiguous block (the core's index takes gathered points).
   std::vector<size_t> row_of_query;
-  batch.reserve(rows.size());
   row_of_query.reserve(rows.size());
+  std::vector<double> probes;
+  probes.reserve(rows.size() * q_);
   for (size_t i = 0; i < rows.size(); ++i) {
     Status st = CheckQuery(rows[i]);
     if (st.ok()) {
-      batch.push_back(neighbors::BatchQuery{rows[i]});
+      for (size_t j = 0; j < q_; ++j) {
+        probes.push_back(rows[i][static_cast<size_t>(features_[j])]);
+      }
       row_of_query.push_back(i);
     } else {
       out[i] = st;
     }
+  }
+  std::vector<neighbors::BatchQuery> batch;
+  batch.reserve(row_of_query.size());
+  for (size_t b = 0; b < row_of_query.size(); ++b) {
+    batch.push_back(
+        neighbors::BatchQuery{data::RowView(probes.data() + b * q_, q_)});
   }
 
   // Phase 2 (parallel, read-only): neighbor queries fan out; the fixed
   // block partition keeps result order thread-count independent.
   ThreadPool pool(options_.threads);
   std::vector<std::vector<neighbors::Neighbor>> nbrs =
-      index_.QueryMany(batch, options_.k, &pool);
+      core_.index().QueryMany(batch, options_.k, &pool);
 
-  // Phase 3 (serial): solve every pending model exactly once. Serial keeps
-  // the engine mutation trivially deterministic and race-free; the set is
-  // small (<= k models per distinct neighborhood, most already clean). A
-  // solve failure is recorded per model, not broadcast: rows whose own
-  // neighborhoods solved fine still get answers, exactly as a per-row
-  // ImputeOne sequence would.
+  // Phase 3 (serial): ensure every distinct neighbor model exactly once.
+  // Serial keeps the core mutation trivially deterministic and race-free;
+  // the set is small (<= k models per distinct neighborhood, most already
+  // clean — those count as reuses). A solve failure is recorded per
+  // model, not broadcast: rows whose own neighborhoods solved fine still
+  // get answers, exactly as a per-row ImputeOne sequence would.
   std::vector<size_t> needed;
   for (const std::vector<neighbors::Neighbor>& list : nbrs) {
     for (const neighbors::Neighbor& nb : list) {
-      if (dirty_[nb.index]) needed.push_back(nb.index);
+      needed.push_back(nb.index);
     }
   }
   std::sort(needed.begin(), needed.end());
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
   std::vector<std::pair<size_t, Status>> failures;  // sorted by model id
   for (size_t id : needed) {
-    Status st = EnsureModel(id);
+    Status st = core_.EnsureModel(id);
     if (!st.ok()) failures.emplace_back(id, st);
   }
 
@@ -621,104 +375,73 @@ std::vector<Result<double>> OnlineIim::ImputeBatch(
   return out;
 }
 
-std::string OnlineIim::SerializeSnapshot() {
-  // The index's slot state is byte-for-byte derivable from the table
-  // rows, so only the rows go into the image. SnapshotState is still
-  // taken — it is the one timed reader-lock hold of the checkpoint path
-  // (the stat the index surfaces), and debug builds cross-check it
-  // against the feature block to catch index/table divergence.
-  {
-    std::vector<double> pts;
-    std::vector<uint8_t> alive;
-    index_.SnapshotState(&pts, &alive);
-#ifndef NDEBUG
-    assert(alive.size() == n_ && pts.size() == n_ * q_);
-    for (size_t i = 0; i < n_; ++i) {
-      assert(alive[i] == alive_[i]);
-      assert(std::memcmp(pts.data() + i * q_, fb_.Features(i),
-                         q_ * sizeof(double)) == 0);
-    }
-#endif
-  }
+OnlineIim::Stats OnlineIim::stats() const {
+  Stats s = stats_;
+  const OrderCore::Counters& c = core_.counters();
+  s.evicted = c.evicted;
+  s.fast_path_appends = c.fast_path_appends;
+  s.models_invalidated = c.models_invalidated;
+  s.models_solved = c.models_solved;
+  s.downdates = c.downdates;
+  s.downdate_fallbacks = c.downdate_fallbacks;
+  s.backfills = c.backfills;
+  s.compactions = c.compactions;
+  s.postings_edges = c.postings_edges;
+  s.holders_invalidated = c.holders_invalidated;
+  s.global_fits_reused = c.models_reused;
+  s.adaptive_l_changes = c.adaptive_l_changes;
+  return s;
+}
 
+std::string OnlineIim::SerializeSnapshot() {
   size_t m = table_.NumCols();
+  size_t n = core_.n();
   persist::SnapshotBuilder b(store_ == nullptr ? 0 : store_->ops_logged());
 
   // Config fingerprint: everything that shapes results. Restoring under
   // different values would silently change answers, so Restore hard-fails
   // on any mismatch.
+  const OrderCore::Config& cc = core_.config();
   b.BeginSection(persist::kSecMeta);
-  b.PutU32(1);  // engine layout version within the container
+  b.PutU32(2);  // engine layout version within the container
   b.PutU64(m);
   b.PutU32(static_cast<uint32_t>(target_));
   b.PutU64(q_);
   for (int f : features_) b.PutU32(static_cast<uint32_t>(f));
   b.PutU64(options_.k);
-  b.PutU64(ell_);
+  b.PutU64(cc.ell);
   b.PutF64(options_.alpha);
   b.PutU8(options_.uniform_weights ? 1 : 0);
   b.PutU64(options_.window_size);
   b.PutU8(options_.downdate ? 1 : 0);
+  b.PutU8(cc.adaptive ? 1 : 0);
+  b.PutU64(cc.max_ell);
+  b.PutU64(cc.step_h);
+  b.PutU64(cc.vk);
 
+  // Engine-owned cursors only; the maintenance state and counters are the
+  // core's sections.
   b.BeginSection(persist::kSecEngine);
-  b.PutU64(n_);
-  b.PutU64(live_);
-  b.PutU64(oldest_cursor_);
   b.PutU64(stats_.ingested);
   b.PutU64(stats_.imputed);
-  b.PutU64(stats_.evicted);
-  b.PutU64(stats_.fast_path_appends);
-  b.PutU64(stats_.models_invalidated);
-  b.PutU64(stats_.models_solved);
-  b.PutU64(stats_.downdates);
-  b.PutU64(stats_.downdate_fallbacks);
-  b.PutU64(stats_.backfills);
-  b.PutU64(stats_.compactions);
-  b.PutU64(stats_.postings_edges);
 
-  // Columnar rows over ALL slots (tombstones keep their payload until
-  // compaction, and the restored index needs the same slot geometry).
+  // Columnar full-arity rows over ALL slots (tombstones keep their
+  // payload until compaction). The core serializes its gathered
+  // projection of the same slots; the duplication buys a table() that
+  // restores without re-reading the schema mapping.
   b.BeginSection(persist::kSecRows);
-  b.PutU64(n_);
+  b.PutU64(n);
   b.PutU64(m);
   for (size_t j = 0; j < m; ++j) {
-    for (size_t i = 0; i < n_; ++i) b.PutF64(table_.At(i, j));
+    for (size_t i = 0; i < n; ++i) b.PutF64(table_.At(i, j));
   }
 
-  b.BeginSection(persist::kSecSlots);
-  for (size_t i = 0; i < n_; ++i) b.PutU64(seq_of_slot_[i]);
-  for (size_t i = 0; i < n_; ++i) b.PutU8(alive_[i]);
-
-  b.BeginSection(persist::kSecOrders);
-  for (size_t i = 0; i < n_; ++i) {
-    const std::vector<neighbors::Neighbor>& order = orders_[i];
-    b.PutU32(static_cast<uint32_t>(order.size()));
-    for (const neighbors::Neighbor& nb : order) {
-      b.PutU64(nb.index);
-      b.PutF64(nb.distance);
-    }
-  }
-
-  // Ridge accumulators as exact U/V bytes: restoring them reproduces the
-  // engine's floating-point state — including a fold a refused down-date
-  // left behind — without re-running any summation.
-  b.BeginSection(persist::kSecModels);
-  size_t p1 = q_ + 1;
-  for (size_t i = 0; i < n_; ++i) {
-    b.PutU64(consumed_[i]);
-    b.PutU8(dirty_[i]);
-    b.PutU64(accums_[i].num_rows());
-    for (size_t r = 0; r < p1; ++r) b.PutDoubles(accums_[i].U().RowPtr(r), p1);
-    b.PutDoubles(accums_[i].V().data(), p1);
-    b.PutU32(static_cast<uint32_t>(models_[i].phi.size()));
-    b.PutDoubles(models_[i].phi.data(), models_[i].phi.size());
-  }
-
+  core_.SerializeInto(&b);
   return b.Finish();
 }
 
 Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
-  if (n_ != 0 || stats_.ingested != 0) {
+  if (core_.n() != 0 || stats_.ingested != 0) {
     return Status::FailedPrecondition(
         "OnlineIim: snapshots restore into an empty engine only");
   }
@@ -733,7 +456,8 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   ASSIGN_OR_RETURN(persist::SectionReader meta,
                    view.Section(persist::kSecMeta));
   size_t m = table_.NumCols();
-  if (meta.U32() != 1) return mismatch("engine layout version");
+  const OrderCore::Config& cc = core_.config();
+  if (meta.U32() != 2) return mismatch("engine layout version");
   if (meta.U64() != m) return mismatch("schema arity");
   if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
   if (meta.U64() != q_) return mismatch("feature set");
@@ -741,7 +465,7 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
     if (meta.U32() != static_cast<uint32_t>(f)) return mismatch("feature set");
   }
   if (meta.U64() != options_.k) return mismatch("k");
-  if (meta.U64() != ell_) return mismatch("ell");
+  if (meta.U64() != cc.ell) return mismatch("ell");
   double alpha = meta.F64();
   if (std::memcmp(&alpha, &options_.alpha, sizeof(double)) != 0) {
     return mismatch("alpha");
@@ -751,33 +475,22 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   }
   if (meta.U64() != options_.window_size) return mismatch("window size");
   if ((meta.U8() != 0) != options_.downdate) return mismatch("downdate mode");
+  if ((meta.U8() != 0) != cc.adaptive) return mismatch("adaptive mode");
+  if (meta.U64() != cc.max_ell) return mismatch("max_ell");
+  if (meta.U64() != cc.step_h) return mismatch("step_h");
+  if (meta.U64() != cc.vk) return mismatch("validation fan-out");
   RETURN_IF_ERROR(meta.status());
 
   ASSIGN_OR_RETURN(persist::SectionReader eng,
                    view.Section(persist::kSecEngine));
-  size_t n = eng.U64();
-  size_t live = eng.U64();
-  size_t oldest = eng.U64();
-  Stats st;
-  st.ingested = eng.U64();
-  st.imputed = eng.U64();
-  st.evicted = eng.U64();
-  st.fast_path_appends = eng.U64();
-  st.models_invalidated = eng.U64();
-  st.models_solved = eng.U64();
-  st.downdates = eng.U64();
-  st.downdate_fallbacks = eng.U64();
-  st.backfills = eng.U64();
-  st.compactions = eng.U64();
-  st.postings_edges = eng.U64();
+  uint64_t ingested = eng.U64();
+  uint64_t imputed = eng.U64();
   RETURN_IF_ERROR(eng.status());
-  if (live > n || oldest > n || st.ingested < live) {
-    return Status::IoError("OnlineIim: snapshot counters are inconsistent");
-  }
 
   ASSIGN_OR_RETURN(persist::SectionReader rows,
                    view.Section(persist::kSecRows));
-  if (rows.U64() != n || rows.U64() != m) {
+  size_t n = rows.U64();
+  if (rows.U64() != m) {
     return Status::IoError("OnlineIim: snapshot row block shape mismatch");
   }
   std::vector<double> cells(n * m);
@@ -786,123 +499,32 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   }
   RETURN_IF_ERROR(rows.status());
 
-  ASSIGN_OR_RETURN(persist::SectionReader slots,
-                   view.Section(persist::kSecSlots));
-  std::vector<uint64_t> seqs(n);
-  std::vector<uint8_t> alive(n);
-  for (size_t i = 0; i < n; ++i) seqs[i] = slots.U64();
-  for (size_t i = 0; i < n; ++i) alive[i] = slots.U8();
-  RETURN_IF_ERROR(slots.status());
-
-  ASSIGN_OR_RETURN(persist::SectionReader ords,
-                   view.Section(persist::kSecOrders));
-  std::vector<std::vector<neighbors::Neighbor>> orders(n);
+  // The core decodes, validates and installs its own sections; the
+  // engine's table must describe the same slots.
+  RETURN_IF_ERROR(core_.RestoreFrom(view));
+  if (core_.n() != n || ingested < core_.live()) {
+    return Status::IoError("OnlineIim: snapshot counters are inconsistent");
+  }
+#ifndef NDEBUG
+  // The core's gathered rows and the engine's full rows were serialized
+  // from the same slots — cross-check the projection agrees bitwise.
   for (size_t i = 0; i < n; ++i) {
-    uint32_t len = ords.U32();
-    if (!ords.ok() || len > n) {
-      return Status::IoError("OnlineIim: snapshot learning order overruns");
-    }
-    orders[i].resize(len);
-    for (uint32_t e = 0; e < len; ++e) {
-      orders[i][e].index = ords.U64();
-      orders[i][e].distance = ords.F64();
-      if (orders[i][e].index >= n) {
-        return Status::IoError("OnlineIim: snapshot learning order overruns");
-      }
+    for (size_t j = 0; j < q_; ++j) {
+      double cell = cells[i * m + static_cast<size_t>(features_[j])];
+      assert(std::memcmp(&cell, core_.Features(i) + j, sizeof(double)) == 0);
     }
   }
-  RETURN_IF_ERROR(ords.status());
+#endif
 
-  ASSIGN_OR_RETURN(persist::SectionReader mods,
-                   view.Section(persist::kSecModels));
-  size_t p1 = q_ + 1;
-  std::vector<regress::IncrementalRidge> accums;
-  accums.reserve(n);
-  std::vector<size_t> consumed(n);
-  std::vector<regress::LinearModel> models(n);
-  std::vector<uint8_t> dirty(n);
-  for (size_t i = 0; i < n; ++i) {
-    consumed[i] = mods.U64();
-    dirty[i] = mods.U8();
-    size_t acc_rows = mods.U64();
-    linalg::Matrix u(p1, p1);
-    for (size_t r = 0; r < p1; ++r) mods.Doubles(u.RowPtr(r), p1);
-    linalg::Vector v(p1);
-    mods.Doubles(v.data(), p1);
-    accums.emplace_back(q_);
-    RETURN_IF_ERROR(accums.back().RestoreState(u, v, acc_rows));
-    uint32_t philen = mods.U32();
-    if (!mods.ok() || philen > p1) {
-      return Status::IoError("OnlineIim: snapshot model block overruns");
-    }
-    models[i].phi.resize(philen);
-    mods.Doubles(models[i].phi.data(), philen);
-    if (consumed[i] > orders[i].size()) {
-      return Status::IoError("OnlineIim: snapshot counters are inconsistent");
-    }
-  }
-  RETURN_IF_ERROR(mods.status());
-
-  // Everything decoded and validated: install. The table, feature block
-  // and index are re-gathered from the row bytes — byte-identical to the
-  // structures the writer held, since they were gathered from the same
-  // rows there.
   for (size_t i = 0; i < n; ++i) {
     RETURN_IF_ERROR(table_.AppendRow(std::vector<double>(
         cells.begin() + static_cast<long>(i * m),
         cells.begin() + static_cast<long>((i + 1) * m))));
   }
-  std::vector<double> pts(n * q_);
-  fb_ = data::FeatureBlock(q_);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < q_; ++j) {
-      pts[i * q_ + j] = cells[i * m + static_cast<size_t>(features_[j])];
-    }
-    fb_.Append(pts.data() + i * q_,
-               cells[i * m + static_cast<size_t>(target_)]);
-  }
-  RETURN_IF_ERROR(index_.RestoreState(std::move(pts), alive));
-
-  // Reverse postings are derivable: holder i lists every non-self entry
-  // of its order. Ascending i reproduces the ascending-holder layout a
-  // fresh engine maintains.
-  postings_.assign(n, {});
-  size_t edges = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (alive[i] == 0) continue;
-    for (const neighbors::Neighbor& nb : orders[i]) {
-      if (nb.index != i) {
-        postings_[nb.index].push_back(i);
-        ++edges;
-      }
-    }
-  }
-  if (edges != st.postings_edges) {
-    return Status::IoError("OnlineIim: snapshot counters are inconsistent");
-  }
-
-  orders_ = std::move(orders);
-  accums_ = std::move(accums);
-  consumed_ = std::move(consumed);
-  models_ = std::move(models);
-  dirty_ = std::move(dirty);
-  alive_ = std::move(alive);
-  seq_of_slot_ = std::move(seqs);
-  slot_of_seq_.clear();
-  for (size_t i = 0; i < n; ++i) {
-    if (alive_[i] != 0) slot_of_seq_.emplace(seq_of_slot_[i], i);
-  }
-  n_ = n;
-  live_ = live;
-  oldest_cursor_ = oldest;
-  live_cache_valid_ = false;
-  size_t io_written = stats_.snapshots_written;
-  size_t io_failed = stats_.snapshot_write_failures;
-  stats_ = st;
-  stats_.snapshots_written = io_written;
-  stats_.snapshot_write_failures = io_failed;
+  stats_.ingested = ingested;
+  stats_.imputed = imputed;
   stats_.snapshots_loaded = 1;
-  assert(VerifyPostings());
+  live_cache_valid_ = false;
   return Status::OK();
 }
 

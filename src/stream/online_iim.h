@@ -13,44 +13,34 @@
 //                 relation — explicitly, or automatically once a
 //                 sliding window (options.window_size) overflows.
 //
-// Instead of refitting all n models per arrival, the engine maintains per
-// tuple its learning order NN(t_i, F, l) and an IncrementalRidge U/V
-// accumulator (Proposition 3). An arrival strictly farther than t_i's
-// current l-th neighbor leaves t_i untouched; an arrival extending a
-// not-yet-full prefix is folded in with one O(q^2) AddRow; only an
-// arrival that lands *inside* the prefix (displacing a neighbor, which a
-// rank-1 update cannot express) invalidates the accumulator. Eviction
-// mirrors that in reverse: a departed neighbor is cut from each affected
-// learning order, its folded contribution removed by a rank-1 *down-date*
-// (RemoveRow) when the conditioning guard allows — with a restream-from-
-// scratch fallback when it does not — and the next nearest live tuple is
-// pulled in at the end of the order (a fast-path append, like an
-// arrival). Model (re)solves are lazy: they run when an imputation
-// actually asks for that tuple's model.
+// The per-arrival maintenance machinery — learning orders, reverse
+// postings, lazy IncrementalRidge catch-up, dirty-holder invalidation,
+// and the adaptive candidate sweeps — lives in OrderCore
+// (src/stream/order_core.h); this engine owns one core over its own
+// arrivals and layers the schema-facing concerns on top: full-row
+// storage, tuple validation, Algorithm 2 aggregation, batching, and
+// durability (write-ahead log + snapshots). ShardedOnlineIim instantiates
+// the same core one level up, over the union of its shards.
 //
-// Eviction cost is O(l), not O(n·l): the engine maintains a
-// reverse-neighbor index — postings_[s] lists the live tuples whose
-// learning order contains slot s — updated on every arrival insertion,
-// displacement and backfill. EvictSlot walks exactly the ~l affected
-// tuples from the departed slot's postings instead of scanning every live
-// learning order. Debug builds re-derive the affected set with the old
-// full scan after each eviction and assert the postings agree.
+// Adaptive per-tuple l (Algorithm 3, options.adaptive): supported online.
+// The core maintains each live tuple's validation order incrementally —
+// an arrival judges <= validation_k models and is judged by its own
+// neighbors — and a model solve sweeps the candidate l values exactly as
+// batch LearnAdaptive does, so imputations stay bit-identical to a batch
+// adaptive imputer fitted on table(). Requires max_ell > 0 (the candidate
+// budget must be bounded on a stream), the incremental fold, and full
+// validation (validation_sample == 0); Create rejects other combinations.
 //
-// Slots and tombstones: evicted tuples keep their slot (the id space the
-// index reports) until tombstones pile up, then the engine compacts —
-// DynamicIndex::Compact's slot remap is replayed over every slot-indexed
-// structure. Compaction preserves arrival order, so (distance, slot) tie
-// order — and therefore results — never changes.
-//
-// Contract (asserted by tests/stream_test.cc and
-// tests/stream_window_test.cc): after any sequence of ingests and
+// Contract (asserted by tests/stream_test.cc, tests/stream_window_test.cc
+// and tests/stream_adaptive_test.cc): after any sequence of ingests and
 // evictions, imputations match a from-scratch IimImputer fitted on
 // table() — the live window — with the same options, for every `threads`
 // setting: bit-identical when every touched accumulator was restreamed
 // (options.downdate == false, or no eviction ever hit a folded prefix),
 // within tight tolerance when rank-1 down-dates repaired accumulators in
 // place (the subtraction is algebraically exact but reorders the
-// floating-point summation).
+// floating-point summation). Adaptive sweeps always restream their
+// accumulator, so the adaptive path is bit-identical in both modes.
 //
 // Thread-safety: externally synchronized. Calls must not overlap;
 // ImputeBatch parallelizes internally (deterministically). Use
@@ -61,14 +51,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/iim_imputer.h"
-#include "data/feature_block.h"
 #include "data/table.h"
-#include "regress/incremental_ridge.h"
-#include "stream/dynamic_index.h"
+#include "stream/order_core.h"
 #include "stream/persist/state_store.h"
 
 namespace iim::stream {
@@ -100,6 +87,16 @@ class OnlineIim {
     // edge, self-edges excluded) — the gauge EvictSlot's O(l) bound rides
     // on.
     size_t postings_edges = 0;
+    // Clean models flipped stale by an arrival, eviction repair or
+    // validation-list change (0 -> 1 transitions only). With
+    // global_fits_reused, the refit-vs-reuse ratio of the engine.
+    size_t holders_invalidated = 0;
+    // Model requests answered by a still-clean cached model (no fold, no
+    // solve).
+    size_t global_fits_reused = 0;
+    // Adaptive re-evaluations whose chosen l differs from the tuple's
+    // previous one (0 unless options.adaptive).
+    size_t adaptive_l_changes = 0;
     // --- Durability (persist_dir engines; never serialized into
     // snapshots — each incarnation counts its own I/O) ---
     // Snapshot files durably published (background writes harvested +
@@ -117,8 +114,8 @@ class OnlineIim {
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
   // features non-empty and distinct from target, options.k > 0. Adaptive
-  // per-tuple l (Algorithm 3) is not supported online yet — its validation
-  // lists change with every arrival; see ROADMAP.
+  // per-tuple l additionally requires max_ell > 0, options.incremental,
+  // and validation_sample == 0 (see the header comment).
   static Result<std::unique_ptr<OnlineIim>> Create(
       const data::Schema& schema, int target, std::vector<int> features,
       const core::IimOptions& options);
@@ -179,6 +176,11 @@ class OnlineIim {
   // sharded-vs-single differential harness.
   std::vector<neighbors::Neighbor> LearningOrderByArrival(
       uint64_t arrival) const;
+  // Adaptive: the l the tuple's model used at its last (re)solve — 0 if
+  // the arrival is not live, or if the model was never solved since its
+  // last invalidation. Fixed-l engines report the configured l. Test and
+  // example hook for watching per-tuple l drift as the window slides.
+  size_t ChosenEllByArrival(uint64_t arrival) const;
 
   // Batched Algorithm 2: entry i answers rows[i]. Neighbor queries and
   // candidate aggregation fan out over options.threads workers; pending
@@ -195,16 +197,18 @@ class OnlineIim {
   // copy the Table to hold a snapshot across mutations.
   const data::Table& table() const;
   // Live tuples.
-  size_t size() const { return live_; }
+  size_t size() const { return core_.live(); }
   const core::IimOptions& options() const { return options_; }
-  const DynamicIndex& index() const { return index_; }
+  const DynamicIndex& index() const { return core_.index(); }
   // Flushes the index's background rebuild (tests, benches, quiesce
   // points before a read-heavy phase); queries never require it. Only
   // this narrow operation is exposed — the index's writer API stays
-  // private so its slots cannot be moved out from under the engine's
+  // private so its slots cannot be moved out from under the core's
   // slot-aligned state.
-  void WaitForIndexRebuild() { index_.WaitForRebuild(); }
-  const Stats& stats() const { return stats_; }
+  void WaitForIndexRebuild() { core_.WaitForIndexRebuild(); }
+  // Engine-owned cursors merged with the order-maintenance core's
+  // counters (one coherent copy).
+  Stats stats() const;
 
   // --- Durability (options().persist_dir engines) ----------------------
   // Serializes the full engine state (window rows, arrival numbers,
@@ -229,40 +233,25 @@ class OnlineIim {
     return store_ == nullptr ? 0 : store_->ops_logged();
   }
 
-  // Verifies the reverse-neighbor postings against a full recomputation
-  // from the learning orders (the invariant the O(l) eviction path rides
-  // on): postings_[s] must hold exactly the live tuples i != s with s in
-  // orders_[i], and nothing for dead slots. O(n·l); debug builds assert
-  // it after every eviction, tests call it directly.
-  bool VerifyPostings() const;
+  // Verifies the core's reverse-neighbor postings (and, when adaptive,
+  // the validation orders' reverse lists) against a full recomputation
+  // from the orders — the invariant the O(l) eviction path rides on.
+  // O(n·l); debug builds assert it after every eviction, tests call it
+  // directly.
+  bool VerifyPostings() const { return core_.VerifyPostings(); }
 
  private:
   OnlineIim(const data::Schema& schema, int target,
             std::vector<int> features, const core::IimOptions& options);
 
   Status CheckQuery(const data::RowView& tuple) const;
-  // Re-solves tuple i's model if a past arrival or eviction dirtied it:
-  // folds any pending prefix growth into the accumulator (restreaming from
-  // scratch after an invalidation) and solves. Touches only slot i.
-  Status EnsureModel(size_t i);
   // Candidate collection + Formula 10-12 aggregation; models of `nbrs`
   // must already be ensured.
   Result<double> AggregateClean(
       const data::RowView& tuple,
       const std::vector<neighbors::Neighbor>& nbrs) const;
-  // Tombstones slot `gone` and repairs the surviving learning orders that
-  // contained it — looked up in O(l) from postings_[gone], not by
-  // scanning every live order (down-date or restream + backfill).
-  // Callers follow up with MaybeCompact().
-  void EvictSlot(size_t gone);
-  // Registers/unregisters holder in postings_[s] (s != holder).
-  void PostingsAdd(size_t s, size_t holder);
-  void PostingsRemove(size_t s, size_t holder);
-  // First live slot (the oldest live tuple); n_ when the relation is
-  // empty. Amortized O(1) via a forward-only cursor.
-  size_t OldestLiveSlot();
-  // Replays the index's compaction remap over every slot-indexed
-  // structure once the tombstone pile crosses the index's threshold.
+  // Runs the core's compaction check and, when one fired, drops the same
+  // tombstoned rows from the full-row table.
   void MaybeCompact();
   // Opens the state store, restores the newest valid snapshot, replays
   // the log tail through Ingest/Evict, and starts logging.
@@ -275,40 +264,15 @@ class OnlineIim {
   int target_;
   std::vector<int> features_;
   core::IimOptions options_;
-  size_t q_;      // |F|
-  size_t ell_;    // learning-neighbor budget, >= 1 (orders cap at
-                  // min(ell_, live) — the batch learner's clamp)
+  size_t q_;  // |F|
 
-  // Slot-indexed state. Between compactions slots include tombstones
-  // (alive_[i] == 0); arrival order of live slots is always ascending.
+  // Full-arity rows, one per core slot (the core holds the gathered
+  // (F, Am) projection; the engine keeps the schema-complete row for
+  // table() and RowByArrival).
   data::Table table_;
-  DynamicIndex index_;
-  // Gathered (F, Am) projection, one row per slot: fb_.Features(i) /
-  // fb_.Target(i) feed the blocked distance, fold and predict kernels.
-  data::FeatureBlock fb_;
-
-  // Per-tuple model state. orders_[i] is t_i's learning order: itself
-  // first (distance 0), then live neighbors ascending by (distance, slot)
-  // — exactly IndividualModels' LearningOrder. accums_[i] holds the U/V
-  // fold of orders_[i][0 .. consumed_[i]); that prefix is immutable
-  // between invalidations (eviction down-dates shrink it in place), which
-  // is what makes lazy catch-up AddRows sum in the same sequence as a
-  // batch FitRidge.
-  std::vector<std::vector<neighbors::Neighbor>> orders_;
-  // Reverse-neighbor index: postings_[s] = live slots i != s whose
-  // orders_[i] contains s (unordered; each holder at most once). The
-  // membership i in orders_[i] is implicit and never stored.
-  std::vector<std::vector<size_t>> postings_;
-  std::vector<regress::IncrementalRidge> accums_;
-  std::vector<size_t> consumed_;
-  std::vector<regress::LinearModel> models_;
-  std::vector<uint8_t> dirty_;
-  std::vector<uint8_t> alive_;
-  std::vector<uint64_t> seq_of_slot_;            // arrival number per slot
-  std::unordered_map<uint64_t, size_t> slot_of_seq_;  // live tuples only
-  size_t n_ = 0;       // slots, including tombstones
-  size_t live_ = 0;    // live tuples
-  size_t oldest_cursor_ = 0;
+  // The per-arrival maintenance machinery: orders, postings, index,
+  // accumulators, models, adaptive sweeps. Slot-aligned with table_.
+  OrderCore core_;
 
   // table() materialization cache while tombstones are present.
   mutable data::Table live_cache_;
@@ -320,6 +284,8 @@ class OnlineIim {
   std::unique_ptr<persist::StateStore> store_;
   bool replaying_ = false;
 
+  // Engine-owned cursors and durability counters; the maintenance
+  // counters live in core_.counters() and are merged in stats().
   Stats stats_;
 };
 

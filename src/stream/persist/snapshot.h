@@ -42,6 +42,13 @@ constexpr uint32_t kSecOrders = 5;       // per-tuple learning orders
 constexpr uint32_t kSecModels = 6;       // ridge U/V + solved models
 constexpr uint32_t kSecShardMeta = 16;   // wrapper routing + counters
 constexpr uint32_t kSecShardEngine = 17; // nested shard snapshot (xS)
+// Order-maintenance core (src/stream/order_core.h). An OnlineIim writes
+// these beside kSecMeta/kSecEngine/kSecRows; a ShardedOnlineIim writes
+// them beside kSecShardMeta for its cross-shard global core.
+constexpr uint32_t kSecCoreMeta = 32;    // cursors + counters (+ adaptive)
+constexpr uint32_t kSecCoreRows = 33;    // gathered (F, Am) rows + slots
+constexpr uint32_t kSecCoreOrders = 34;  // learning (+ validation) orders
+constexpr uint32_t kSecCoreModels = 35;  // ridge U/V, models, costs
 
 constexpr uint32_t kSnapshotVersion = 1;
 

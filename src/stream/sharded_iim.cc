@@ -46,10 +46,11 @@ Result<std::unique_ptr<ShardedOnlineIim>> ShardedOnlineIim::Create(
     return Status::InvalidArgument(
         "ShardedOnlineIim: shards must be >= 1");
   }
-  // Shard engines re-run the full OnlineIim::Create validation; probing
-  // one up front surfaces any argument error before the wrapper exists.
-  // Persistence is stripped: the wrapper alone owns the store, and a
-  // probe opening it would misread the wrapper-format snapshot.
+  // A probe engine re-runs the full OnlineIim::Create validation —
+  // including the adaptive-mode requirements — surfacing any argument
+  // error before the wrapper exists. Persistence is stripped: the
+  // wrapper alone owns the store, and a probe opening it would misread
+  // the wrapper-format snapshot.
   core::IimOptions probe_opt = options;
   probe_opt.persist_dir.clear();
   probe_opt.snapshot_every = 0;
@@ -75,15 +76,19 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
       options_(options),
       partitioner_(std::move(partitioner)),
       q_(features_.size()),
-      ell_(std::max<size_t>(options.ell, 1)) {
-  // Shards run unwindowed (the wrapper owns the GLOBAL window) and
-  // single-threaded (the wrapper owns the fan-out); their own per-shard
-  // learning orders keep each shard independently servable and make the
-  // per-arrival maintenance loop O(resident count).
+      ell_(std::max<size_t>(options.ell, 1)),
+      core_(MakeOrderCoreConfig(options, features_.size())) {
+  // Shards run unwindowed (the wrapper owns the GLOBAL window),
+  // single-threaded (the wrapper owns the fan-out) and fixed-l: the
+  // wrapper's own global core maintains every model actually served, so
+  // the shard-local orders exist only to keep each shard independently
+  // servable — adaptive candidate sweeps over shard-local (wrong)
+  // neighborhoods would be wasted work.
   core::IimOptions sub = options_;
   sub.window_size = 0;
   sub.shards = 1;
   sub.threads = 1;
+  sub.adaptive = false;
   // The wrapper is the single durability authority: shard state is
   // embedded in the wrapper snapshot and global ops in the wrapper log,
   // so shards never open stores of their own.
@@ -150,12 +155,28 @@ uint64_t ShardedOnlineIim::Bookkeep(size_t s) {
   return g;
 }
 
+void ShardedOnlineIim::ArriveInCore(const data::RowView& row, uint64_t g) {
+  // Gather the (F, Am) projection straight out of the arriving row — the
+  // same doubles the owning shard gathers, so the global core folds
+  // bit-identical values.
+  std::vector<double> f(q_);
+  for (size_t j = 0; j < q_; ++j) {
+    f[j] = row[static_cast<size_t>(features_[j])];
+  }
+  core_.Arrive(f.data(), row[static_cast<size_t>(target_)], g);
+}
+
 void ShardedOnlineIim::PlanWindowEvictions(
     std::vector<std::vector<ShardOp>>* plan) {
   if (options_.window_size == 0) return;
   while (live_.size() > options_.window_size) {
     auto oldest = live_.begin();
+    const uint64_t victim = oldest->first;
     const Route r = oldest->second;
+    // The global core repairs immediately — its state IS the semantics
+    // (surviving learning orders cut the victim, backfill, down-date) —
+    // while the shard-side removal may ride the parallel apply phase.
+    core_.EvictSlot(core_.SlotOf(victim));
     live_.erase(oldest);
     global_of_local_[r.shard].erase(r.local_seq);
     ++stats_.evicted;
@@ -181,10 +202,11 @@ Status ShardedOnlineIim::Ingest(const data::RowView& row) {
   }
   size_t s = RouteOf(row, next_seq_);
   RETURN_IF_ERROR(shards_[s]->Ingest(row));
-  Bookkeep(s);
+  uint64_t g = Bookkeep(s);
+  ArriveInCore(row, g);
   ++stats_.ingested;
-  model_cache_.clear();
   PlanWindowEvictions(nullptr);
+  core_.MaybeCompact(nullptr);
   MaybeSnapshot();
   return Status::OK();
 }
@@ -194,14 +216,14 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
   std::vector<Status> out(rows.size(), Status::OK());
   const size_t S = shards_.size();
 
-  // Plan (serial): routing, global numbering and window-eviction choices
-  // are the semantics — they must evolve exactly as a sequential drive
-  // would. Each accepted row appends an ingest op to its shard; every
-  // window overflow appends an evict op to the victim's shard. A victim
-  // ingested earlier in this very batch already precedes its eviction in
-  // that shard's list, because ops are appended in global order.
+  // Plan (serial): routing, global numbering, window-eviction choices and
+  // global-core maintenance are the semantics — they must evolve exactly
+  // as a sequential drive would. Each accepted row appends an ingest op
+  // to its shard; every window overflow appends an evict op to the
+  // victim's shard. A victim ingested earlier in this very batch already
+  // precedes its eviction in that shard's list, because ops are appended
+  // in global order.
   std::vector<std::vector<ShardOp>> plan(S);
-  bool any = false;
   for (size_t i = 0; i < rows.size(); ++i) {
     Status st = CheckIngest(rows[i]);
     if (!st.ok()) {
@@ -223,13 +245,13 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
     op.is_ingest = true;
     op.row = i;
     plan[s].push_back(op);
-    Bookkeep(s);
+    uint64_t g = Bookkeep(s);
+    ArriveInCore(rows[i], g);
     ++stats_.ingested;
-    any = true;
     PlanWindowEvictions(&plan);
+    core_.MaybeCompact(nullptr);
   }
   ++stats_.ingest_batches;
-  if (any) model_cache_.clear();
 
   // Apply (parallel): shards share no mutable state, and each shard's op
   // list replays in order, so any interleaving across shards produces the
@@ -269,10 +291,11 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
     RETURN_IF_ERROR(store_->LogEvict(arrival));
   }
   RETURN_IF_ERROR(shards_[it->second.shard]->Evict(it->second.local_seq));
+  core_.EvictSlot(core_.SlotOf(arrival));
   global_of_local_[it->second.shard].erase(it->second.local_seq);
   live_.erase(it);
   ++stats_.evicted;
-  model_cache_.clear();
+  core_.MaybeCompact(nullptr);
   MaybeSnapshot();
   return Status::OK();
 }
@@ -314,48 +337,13 @@ std::vector<neighbors::Neighbor> ShardedOnlineIim::MergedTopK(
   return heap;
 }
 
-Result<regress::LinearModel> ShardedOnlineIim::FitModel(uint64_t g) const {
-  const Route& r = live_.at(g);
-  const OnlineIim& sh = *shards_[r.shard];
-  size_t want = std::min(ell_, live_.size());  // self included
-  if (want <= 1) {
-    // Single-neighbor rule (Section III-A2): constant model of the
-    // tuple's own value — matches OnlineIim::EnsureModel at order size 1.
-    return regress::LinearModel::Constant(sh.TargetByArrival(r.local_seq),
-                                          q_);
+Status ShardedOnlineIim::EnsureModel(uint64_t g) {
+  size_t slot = core_.SlotOf(g);
+  if (slot == OrderCore::kNoSlot) {
+    return Status::Internal(
+        "ShardedOnlineIim: model requested for a tuple that is not live");
   }
-  std::vector<neighbors::Neighbor> nbrs =
-      MergedTopK(sh.RowByArrival(r.local_seq), want - 1, g);
-  // Fold the global learning order — self first, then neighbors ascending
-  // by (distance, arrival) — in the exact sequence the unsharded engine's
-  // lazy catch-up streams it, over the same gathered feature rows: the
-  // resulting U/V (and therefore the solved phi) are bit-identical to an
-  // unsharded restream.
-  regress::IncrementalRidge acc(q_);
-  acc.AddRow(sh.FeaturesByArrival(r.local_seq),
-             sh.TargetByArrival(r.local_seq));
-  for (const neighbors::Neighbor& nb : nbrs) {
-    const Route& rn = live_.at(nb.index);
-    const OnlineIim& shn = *shards_[rn.shard];
-    acc.AddRow(shn.FeaturesByArrival(rn.local_seq),
-               shn.TargetByArrival(rn.local_seq));
-  }
-  return acc.Solve(options_.alpha);
-}
-
-Result<const regress::LinearModel*> ShardedOnlineIim::EnsureModel(
-    uint64_t g) {
-  auto it = model_cache_.find(g);
-  if (it != model_cache_.end()) {
-    ++stats_.model_cache_hits;
-    return static_cast<const regress::LinearModel*>(&it->second);
-  }
-  Result<regress::LinearModel> model = FitModel(g);
-  if (!model.ok()) return model.status();
-  ++stats_.models_fitted;
-  stats_.shard_queries += shards_.size();
-  auto inserted = model_cache_.emplace(g, std::move(model).value());
-  return static_cast<const regress::LinearModel*>(&inserted.first->second);
+  return core_.EnsureModel(slot);
 }
 
 Result<double> ShardedOnlineIim::AggregateClean(
@@ -370,9 +358,10 @@ Result<double> ShardedOnlineIim::AggregateClean(
   for (const neighbors::Neighbor& nb : nbrs) {
     // Formula 9 per neighbor, in merged order — the same candidate
     // sequence (and therefore the same Formula 11-12 aggregation) as the
-    // unsharded AggregateClean.
+    // unsharded AggregateClean. The model is the core's maintained global
+    // model, already ensured by the caller.
     candidates.push_back(
-        model_cache_.at(nb.index).Predict(scratch->data(), q_));
+        core_.model(core_.SlotOf(nb.index)).Predict(scratch->data(), q_));
   }
   return core::CombineCandidates(candidates, options_.uniform_weights);
 }
@@ -387,9 +376,7 @@ Result<double> ShardedOnlineIim::ImputeOne(const data::RowView& tuple) {
     return Status::Internal("ShardedOnlineIim: no imputation neighbors");
   }
   for (const neighbors::Neighbor& nb : nbrs) {
-    Result<const regress::LinearModel*> model =
-        EnsureModel(static_cast<uint64_t>(nb.index));
-    if (!model.ok()) return model.status();
+    RETURN_IF_ERROR(EnsureModel(static_cast<uint64_t>(nb.index)));
   }
   ++stats_.imputed;
   std::vector<double> scratch;
@@ -426,30 +413,28 @@ std::vector<Result<double>> ShardedOnlineIim::ImputeBatch(
   stats_.shard_queries += row_of_query.size() * shards_.size();
   stats_.merges += row_of_query.size();
 
-  // Phase 3 (serial): fit every needed model exactly once, in ascending
-  // global-arrival order. A fit failure is recorded per model, not
-  // broadcast — rows whose own neighborhoods fitted fine still get
-  // answers, exactly as a per-row ImputeOne sequence would.
+  // Phase 3 (serial): ensure every needed global model exactly once, in
+  // ascending global-arrival order — usually a reuse of a still-clean
+  // maintained model, a lazy solve otherwise. A failure is recorded per
+  // model, not broadcast — rows whose own neighborhoods solved fine
+  // still get answers, exactly as a per-row ImputeOne sequence would.
   std::vector<size_t> needed;
   for (const std::vector<neighbors::Neighbor>& list : nbrs) {
     for (const neighbors::Neighbor& nb : list) {
-      if (model_cache_.find(nb.index) == model_cache_.end()) {
-        needed.push_back(nb.index);
-      }
+      needed.push_back(nb.index);
     }
   }
   std::sort(needed.begin(), needed.end());
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
   std::vector<std::pair<size_t, Status>> failures;  // sorted by model id
   for (size_t id : needed) {
-    Result<const regress::LinearModel*> model =
-        EnsureModel(static_cast<uint64_t>(id));
-    if (!model.ok()) failures.emplace_back(id, model.status());
+    Status st = EnsureModel(static_cast<uint64_t>(id));
+    if (!st.ok()) failures.emplace_back(id, st);
   }
 
   // Phase 4 (parallel, read-only): aggregate candidates per row out of
-  // the now-quiescent model cache. A row inherits the error of its first
-  // failed neighbor model (ImputeOne's neighbor-order semantics).
+  // the now-quiescent core. A row inherits the error of its first failed
+  // neighbor model (ImputeOne's neighbor-order semantics).
   pool.ParallelFor(
       row_of_query.size(), kBatchGrain, [&](size_t begin, size_t end) {
         std::vector<double> scratch;
@@ -486,24 +471,22 @@ std::vector<Result<double>> ShardedOnlineIim::ImputeBatch(
 
 std::vector<neighbors::Neighbor> ShardedOnlineIim::LearningOrderByArrival(
     uint64_t arrival) const {
-  auto it = live_.find(arrival);
-  if (it == live_.end()) return {};
-  const Route& r = it->second;
-  std::vector<neighbors::Neighbor> order;
-  size_t want = std::min(ell_, live_.size());
-  order.reserve(want);
-  neighbors::Neighbor self;
-  self.index = static_cast<size_t>(arrival);
-  self.distance = 0.0;
-  order.push_back(self);
-  if (want > 1) {
-    for (const neighbors::Neighbor& nb : MergedTopK(
-             shards_[r.shard]->RowByArrival(r.local_seq), want - 1,
-             arrival)) {
-      order.push_back(nb);
-    }
+  size_t slot = core_.SlotOf(arrival);
+  if (slot == OrderCore::kNoSlot) return {};
+  // The maintained global order, remapped from core slots to global
+  // arrival numbers (live slots ascend in arrival order, so the
+  // (distance, slot) tie order IS the (distance, arrival) tie order).
+  std::vector<neighbors::Neighbor> order = core_.Order(slot);
+  for (neighbors::Neighbor& nb : order) {
+    nb.index = static_cast<size_t>(core_.SeqOf(nb.index));
   }
   return order;
+}
+
+size_t ShardedOnlineIim::ChosenEllByArrival(uint64_t arrival) const {
+  size_t slot = core_.SlotOf(arrival);
+  if (slot == OrderCore::kNoSlot) return 0;
+  return core_.chosen_ell(slot);
 }
 
 data::Table ShardedOnlineIim::Window() const {
@@ -522,10 +505,17 @@ void ShardedOnlineIim::WaitForIndexRebuilds() {
   for (const std::unique_ptr<OnlineIim>& sh : shards_) {
     sh->WaitForIndexRebuild();
   }
+  core_.WaitForIndexRebuild();
 }
 
 ShardedOnlineIim::Stats ShardedOnlineIim::stats() const {
   Stats s = stats_;
+  const OrderCore::Counters& c = core_.counters();
+  s.models_fitted = c.models_solved;
+  s.model_cache_hits = c.models_reused;
+  s.holders_invalidated = c.holders_invalidated;
+  s.global_fits_reused = c.models_reused;
+  s.adaptive_l_changes = c.adaptive_l_changes;
   s.per_shard.clear();
   s.per_shard.reserve(shards_.size());
   for (const std::unique_ptr<OnlineIim>& sh : shards_) {
@@ -539,7 +529,7 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   persist::SnapshotBuilder b(store_ == nullptr ? 0 : store_->ops_logged());
 
   b.BeginSection(persist::kSecMeta);
-  b.PutU32(1);  // wrapper layout version within the container
+  b.PutU32(2);  // wrapper layout version within the container
   b.PutU64(schema_.size());
   b.PutU32(static_cast<uint32_t>(target_));
   b.PutU64(q_);
@@ -550,6 +540,10 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   b.PutU8(options_.uniform_weights ? 1 : 0);
   b.PutU64(options_.window_size);
   b.PutU8(options_.downdate ? 1 : 0);
+  b.PutU8(core_.config().adaptive ? 1 : 0);
+  b.PutU64(core_.config().max_ell);
+  b.PutU64(core_.config().step_h);
+  b.PutU64(core_.config().vk);
   b.PutU64(S);
 
   b.BeginSection(persist::kSecShardMeta);
@@ -560,8 +554,8 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   b.PutU64(stats_.ingest_batches);
   b.PutU64(stats_.shard_queries);
   b.PutU64(stats_.merges);
-  b.PutU64(stats_.models_fitted);
-  b.PutU64(stats_.model_cache_hits);
+  // (models_fitted / model_cache_hits are core counters now — they ride
+  // in kSecCoreMeta with the rest of the core state.)
   for (size_t s = 0; s < S; ++s) b.PutU64(next_local_[s]);
   b.PutU64(live_.size());
   for (const auto& entry : live_) {
@@ -569,6 +563,10 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
     b.PutU64(entry.second.shard);
     b.PutU64(entry.second.local_seq);
   }
+
+  // The global order-maintenance core: gathered rows, orders, ridge
+  // accumulators, models and adaptive caches, bitwise restorable.
+  core_.SerializeInto(&b);
 
   // One complete nested engine image per shard, in shard order. Each is
   // a full snapshot container of its own — shards restore through the
@@ -597,7 +595,7 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   size_t S = shards_.size();
   ASSIGN_OR_RETURN(persist::SectionReader meta,
                    view.Section(persist::kSecMeta));
-  if (meta.U32() != 1) return mismatch("wrapper layout version");
+  if (meta.U32() != 2) return mismatch("wrapper layout version");
   if (meta.U64() != schema_.size()) return mismatch("schema arity");
   if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
   if (meta.U64() != q_) return mismatch("feature set");
@@ -615,6 +613,14 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   }
   if (meta.U64() != options_.window_size) return mismatch("window size");
   if ((meta.U8() != 0) != options_.downdate) return mismatch("downdate mode");
+  if ((meta.U8() != 0) != core_.config().adaptive) {
+    return mismatch("adaptive mode");
+  }
+  if (meta.U64() != core_.config().max_ell ||
+      meta.U64() != core_.config().step_h ||
+      meta.U64() != core_.config().vk) {
+    return mismatch("adaptive configuration");
+  }
   if (meta.U64() != S) return mismatch("shard count");
   RETURN_IF_ERROR(meta.status());
 
@@ -628,8 +634,6 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   st.ingest_batches = sm.U64();
   st.shard_queries = sm.U64();
   st.merges = sm.U64();
-  st.models_fitted = sm.U64();
-  st.model_cache_hits = sm.U64();
   std::vector<uint64_t> next_local(S);
   for (size_t s = 0; s < S; ++s) next_local[s] = sm.U64();
   uint64_t nlive = sm.U64();
@@ -663,11 +667,25 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
     RETURN_IF_ERROR(shards_[s]->RestoreFromSnapshot(image));
   }
 
+  // The global core restores its own sections; it validates structural
+  // consistency internally, and the routing table must agree with it on
+  // exactly which arrivals are live.
+  RETURN_IF_ERROR(core_.RestoreFrom(view));
+  if (core_.live() != live.size()) {
+    return Status::IoError(
+        "ShardedOnlineIim: snapshot core/routing live-count mismatch");
+  }
+  for (const auto& entry : live) {
+    if (!core_.IsLive(entry.first)) {
+      return Status::IoError(
+          "ShardedOnlineIim: snapshot core/routing live-set mismatch");
+    }
+  }
+
   next_seq_ = next_seq;
   next_local_ = std::move(next_local);
   live_ = std::move(live);
   global_of_local_ = std::move(g_of_l);
-  model_cache_.clear();
   size_t io_written = stats_.snapshots_written;
   size_t io_failed = stats_.snapshot_write_failures;
   stats_ = st;
@@ -692,8 +710,8 @@ Status ShardedOnlineIim::InitPersistence() {
   }
 
   // Replay re-routes every logged arrival through the (deterministic)
-  // partitioner, reproducing placement, window evictions and per-shard
-  // state exactly.
+  // partitioner, reproducing placement, window evictions, core state and
+  // per-shard state exactly.
   replaying_ = true;
   uint64_t applied = 0;
   for (const persist::WalRecord& rec : store_->ReplayTail()) {

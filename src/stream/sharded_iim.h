@@ -1,5 +1,7 @@
 // ShardedOnlineIim: S independent OnlineIim shards behind one engine
-// facade, with a bit-identical cross-shard top-k merge.
+// facade, with a bit-identical cross-shard top-k merge and ONE global
+// order-maintenance core (OrderCore) that keeps every live tuple's
+// GLOBAL individual model incrementally valid.
 //
 // The paper's individual models are embarrassingly partitionable — each
 // model is a ridge fit over one tuple's l nearest neighbors — but the
@@ -10,9 +12,13 @@
 // DATA, never the SEMANTICS:
 //
 //   Ingest(t)      a pluggable partitioner routes t to one shard, which
-//                  maintains its own DynamicIndex, learning orders and
-//                  windowed storage over just its residents — the O(n)
-//                  arrival maintenance loop shrinks to O(n/S) per shard;
+//                  maintains its own DynamicIndex and windowed storage
+//                  over just its residents; the wrapper ALSO folds the
+//                  arrival into its global OrderCore, which runs the
+//                  same insertion scan the unsharded engine runs —
+//                  learning orders displace, reverse postings update,
+//                  and only the holders whose global order the arrival
+//                  actually enters are flipped dirty;
 //   ImputeOne(t)   SCATTER: every shard answers NN(t, F, k) over its
 //                  residents by arrival number;
 //                  GATHER: the per-shard candidate lists merge through
@@ -20,13 +26,14 @@
 //                  under the same (distance, arrival) tie order, into a
 //                  global top-k — provably the unsharded neighbor set,
 //                  bit for bit;
-//                  then the individual model of each global neighbor is
-//                  fitted over the neighbor's own GLOBAL learning order
-//                  (scatter/gather again, self excluded) by streaming the
-//                  gathered rows through IncrementalRidge in the same
-//                  sequence the unsharded engine folds them;
+//                  then each global neighbor's individual model comes
+//                  from the core: usually a still-clean cached model
+//                  (global_fits_reused), a lazy catch-up solve otherwise
+//                  — never the refit-everything-per-quiescent-span scan
+//                  that made sharded queries ~40x a single engine's;
 //   Evict(a)       retirement by global arrival number, routed to the
-//                  owning shard.
+//                  owning shard and cut out of the global core in O(l)
+//                  via its reverse postings.
 //
 // FIFO windowing is global: options.window_size counts LIVE TUPLES ACROSS
 // ALL SHARDS, and the wrapper — which alone knows the global arrival
@@ -35,23 +42,27 @@
 // still happen locally (slot moves never escape a shard: the wrapper
 // addresses residents by arrival number, which compaction preserves).
 //
-// Contract (asserted by tests/stream_shard_test.cc): for every arrival /
-// evict / impute schedule, every shard count and every thread count,
-// learning orders, neighbor sets and imputed values are bit-identical to
-// a single OnlineIim driven with the same schedule — across shard
-// compactions and background KD-tree rebuilds — whenever the single
-// engine is on its restream path (options.downdate == false), and within
-// tight relative tolerance when it down-dates accumulators in place (the
-// wrapper always fits from a fresh fold; a down-dated accumulator is
-// algebraically equal but reorders the floating-point summation).
+// Contract (asserted by tests/stream_shard_test.cc and
+// tests/stream_adaptive_test.cc): for every arrival / evict / impute
+// schedule, every shard count and every thread count, learning orders,
+// neighbor sets and imputed values are bit-identical to a single
+// OnlineIim driven with the same schedule — across shard compactions and
+// background KD-tree rebuilds. Both layers now run the SAME OrderCore
+// state machine over the same global arrival sequence, so the guarantee
+// covers the down-dating repair path too (the wrapper's core performs the
+// exact rank-1 down-dates the unsharded core performs). Adaptive
+// per-tuple l (options.adaptive) is supported with the same fidelity:
+// the global core maintains validation orders and candidate sweeps
+// exactly as the unsharded engine does.
 //
 // IngestBatch applies a planned run of arrivals with per-shard
-// parallelism: routing, arrival numbering and window-eviction planning
-// run serially (they are cheap bookkeeping and define the semantics),
-// then each shard applies its private op list on a ThreadPool worker —
-// shards share no mutable state, so the interleaving cannot change
-// results. Thread-safety otherwise matches OnlineIim: externally
-// synchronized; ImputeBatch parallelizes internally (deterministically).
+// parallelism: routing, arrival numbering, window-eviction planning AND
+// global-core maintenance run serially (they are cheap bookkeeping and
+// define the semantics), then each shard applies its private op list on
+// a ThreadPool worker — shards share no mutable state, so the
+// interleaving cannot change results. Thread-safety otherwise matches
+// OnlineIim: externally synchronized; ImputeBatch parallelizes
+// internally (deterministically).
 
 #ifndef IIM_STREAM_SHARDED_IIM_H_
 #define IIM_STREAM_SHARDED_IIM_H_
@@ -64,6 +75,7 @@
 #include <vector>
 
 #include "stream/online_iim.h"
+#include "stream/order_core.h"
 
 namespace iim::stream {
 
@@ -88,8 +100,20 @@ class ShardedOnlineIim {
     size_t ingest_batches = 0;  // IngestBatch calls
     size_t shard_queries = 0;   // per-shard candidate queries scattered
     size_t merges = 0;          // cross-shard top-k gathers
-    size_t models_fitted = 0;   // wrapper-side global-order ridge fits
-    size_t model_cache_hits = 0;
+    // Global-core model maintenance (derived from the core's counters).
+    size_t models_fitted = 0;     // global-order solves actually performed
+    size_t model_cache_hits = 0;  // requests served by a still-clean model
+    // Clean global models flipped stale by an arrival, eviction repair or
+    // validation-list change (0 -> 1 transitions only). With
+    // global_fits_reused, the refit-vs-reuse ratio of the query path.
+    size_t holders_invalidated = 0;
+    // Alias of model_cache_hits under the cross-engine counter name
+    // (OnlineIim::Stats::global_fits_reused) — kept symmetric so service
+    // and bench plumbing read one field for both engine kinds.
+    size_t global_fits_reused = 0;
+    // Adaptive re-evaluations whose chosen l changed (0 unless
+    // options.adaptive).
+    size_t adaptive_l_changes = 0;
     // --- Durability (persist_dir deployments; see OnlineIim::Stats) ---
     // The wrapper owns ONE store: shard state rides inside the wrapper
     // snapshot, so these counters live here, not per shard.
@@ -102,9 +126,10 @@ class ShardedOnlineIim {
     std::vector<OnlineIim::Stats> per_shard;
   };
 
-  // Validates like OnlineIim::Create; additionally options.shards >= 1.
-  // A null partitioner means RoundRobinPartitioner(). options.window_size
-  // bounds the GLOBAL live count; shards are created unwindowed.
+  // Validates like OnlineIim::Create (including the adaptive-mode
+  // requirements); additionally options.shards >= 1. A null partitioner
+  // means RoundRobinPartitioner(). options.window_size bounds the GLOBAL
+  // live count; shards are created unwindowed.
   static Result<std::unique_ptr<ShardedOnlineIim>> Create(
       const data::Schema& schema, int target, std::vector<int> features,
       const core::IimOptions& options, Partitioner partitioner = nullptr);
@@ -112,9 +137,10 @@ class ShardedOnlineIim {
   ShardedOnlineIim(const ShardedOnlineIim&) = delete;
   ShardedOnlineIim& operator=(const ShardedOnlineIim&) = delete;
 
-  // Complete tuple arrival: validated, routed, then the global FIFO
-  // window retires the oldest live tuple(s) — from whichever shard owns
-  // them — exactly as an unsharded engine would.
+  // Complete tuple arrival: validated, routed, folded into the global
+  // core, then the global FIFO window retires the oldest live tuple(s) —
+  // from whichever shard owns them — exactly as an unsharded engine
+  // would.
   Status Ingest(const data::RowView& row);
 
   // A run of arrivals applied with per-shard parallelism (semantics
@@ -132,18 +158,24 @@ class ShardedOnlineIim {
   Result<double> ImputeOne(const data::RowView& tuple);
 
   // Batched Algorithm 2: entry i answers rows[i]. Per-row scatter/gather
-  // merges fan out over options.threads workers; model fits run once,
+  // merges fan out over options.threads workers; model solves run once,
   // serially — results are bit-identical to per-row ImputeOne calls for
   // every thread count.
   std::vector<Result<double>> ImputeBatch(
       const std::vector<data::RowView>& rows);
 
   // The live tuple's global learning order (self first, then neighbors
-  // ascending by (distance, arrival)) — the order its individual model is
-  // fitted over. Empty if the arrival is not live. Bit-identical to the
-  // unsharded OnlineIim::LearningOrderByArrival under the same schedule.
+  // ascending by (distance, arrival)) — the maintained core order its
+  // individual model is fitted over. Empty if the arrival is not live.
+  // Bit-identical to the unsharded OnlineIim::LearningOrderByArrival
+  // under the same schedule.
   std::vector<neighbors::Neighbor> LearningOrderByArrival(
       uint64_t arrival) const;
+
+  // Adaptive: the l the tuple's global model used at its last (re)solve —
+  // 0 if the arrival is not live, or if the model was never solved since
+  // its last invalidation. Fixed-l engines report the configured l.
+  size_t ChosenEllByArrival(uint64_t arrival) const;
 
   // The global live window as one table, in arrival order — bit-identical
   // to an unsharded engine's table() under the same schedule (a batch
@@ -157,20 +189,26 @@ class ShardedOnlineIim {
   size_t shards() const { return shards_.size(); }
   const OnlineIim& shard(size_t s) const { return *shards_[s]; }
   const core::IimOptions& options() const { return options_; }
-  // Flushes every shard's background index rebuild (tests/benches;
-  // queries never require it).
+  // Flushes every shard's background index rebuild plus the global
+  // core's (tests/benches; queries never require it).
   void WaitForIndexRebuilds();
   // Aggregate counters plus one OnlineIim::Stats per shard.
   Stats stats() const;
 
+  // Verifies the global core's reverse-neighbor postings (and, when
+  // adaptive, the validation orders' reverse lists) against a full
+  // recomputation from the orders. O(n·l); tests call it directly.
+  bool VerifyPostings() const { return core_.VerifyPostings(); }
+
   // --- Durability (options().persist_dir deployments) ------------------
   // The wrapper owns ONE state store: its snapshot embeds the routing
-  // tables plus one complete nested engine image per shard, and its
-  // write-ahead log records GLOBAL ops (full arrival rows + global evict
-  // numbers). Replay re-routes each arrival through the partitioner —
-  // which must therefore be deterministic (the Partitioner contract; both
-  // built-ins qualify) — reproducing the exact placement, window
-  // evictions and per-shard state of the crashed process.
+  // tables, the global order-maintenance core, plus one complete nested
+  // engine image per shard, and its write-ahead log records GLOBAL ops
+  // (full arrival rows + global evict numbers). Replay re-routes each
+  // arrival through the partitioner — which must therefore be
+  // deterministic (the Partitioner contract; both built-ins qualify) —
+  // reproducing the exact placement, window evictions, core state and
+  // per-shard state of the crashed process.
   std::string SerializeSnapshot();
   Status RestoreFromSnapshot(const std::string& bytes);
   Status SaveSnapshot();
@@ -203,8 +241,13 @@ class ShardedOnlineIim {
   // Bookkeeps one accepted arrival into shard s, returning its global
   // sequence number.
   uint64_t Bookkeep(size_t s);
+  // Folds one accepted arrival's gathered (F, Am) projection into the
+  // global core under its global sequence number.
+  void ArriveInCore(const data::RowView& row, uint64_t g);
   // Pops the globally-oldest live tuples past the window into per-shard
-  // evict plans (or applies them directly when plan == nullptr).
+  // evict plans (or applies them directly when plan == nullptr). The
+  // global core is repaired immediately either way — core maintenance is
+  // part of the serial semantics, not the per-shard apply.
   void PlanWindowEvictions(std::vector<std::vector<ShardOp>>* plan);
   // SCATTER per-shard NN(tuple, F, k) by arrival, GATHER through
   // PushNeighborHeap into the global top-k, ascending by (distance,
@@ -212,12 +255,9 @@ class ShardedOnlineIim {
   std::vector<neighbors::Neighbor> MergedTopK(const data::RowView& tuple,
                                               size_t k,
                                               uint64_t exclude_global) const;
-  // Fits the individual model of live tuple `g` over its global learning
-  // order — the same summation sequence the unsharded engine's
-  // accumulator folds.
-  Result<regress::LinearModel> FitModel(uint64_t g) const;
-  // Cache-through FitModel; the cache is cleared by every mutation.
-  Result<const regress::LinearModel*> EnsureModel(uint64_t g);
+  // Re-solves live tuple g's global model in the core if a past mutation
+  // dirtied it; a no-op (counted as a reuse) otherwise.
+  Status EnsureModel(uint64_t g);
   Result<double> AggregateClean(const data::RowView& tuple,
                                 const std::vector<neighbors::Neighbor>& nbrs,
                                 std::vector<double>* scratch) const;
@@ -232,6 +272,13 @@ class ShardedOnlineIim {
   size_t q_;    // |F|
   size_t ell_;  // learning-neighbor budget, >= 1
 
+  // The global order-maintenance core: learning orders, reverse postings,
+  // lazy ridge accumulators, models and (adaptive) validation orders of
+  // EVERY live tuple, addressed by global arrival number. Identical state
+  // machine to the unsharded engine's core — that identity is the
+  // bit-equality contract.
+  OrderCore core_;
+
   std::vector<std::unique_ptr<OnlineIim>> shards_;
   // Global arrival -> residence, live tuples only; ordered so begin() is
   // the globally-oldest live tuple (the FIFO window victim).
@@ -243,12 +290,6 @@ class ShardedOnlineIim {
   // Per shard: local arrival numbers handed out so far.
   std::vector<uint64_t> next_local_;
   uint64_t next_seq_ = 0;  // global arrivals so far
-
-  // Individual models fitted since the last mutation, keyed by global
-  // arrival. Any Ingest/Evict can displace a learning order, so every
-  // mutation clears it; within one quiescent span (e.g. one ImputeBatch)
-  // each model is fitted at most once.
-  std::unordered_map<uint64_t, regress::LinearModel> model_cache_;
 
   // Durability: null unless options.persist_dir is set (shards get their
   // persist_dir cleared — the wrapper's store is the single authority).

@@ -1,0 +1,637 @@
+// Online adaptive per-tuple l (Algorithm 3 on the stream): the
+// adaptive-vs-batch differential harness.
+//
+// The claim under test: an OnlineIim with options.adaptive maintains each
+// live tuple's validation order incrementally and re-runs the batch
+// LearnAdaptive candidate sweep lazily, so after ANY sequence of ingests
+// and evictions its imputations — and the per-tuple l its models chose —
+// are those of a from-scratch batch Algorithm 3 on the live window.
+// Adaptive sweeps always restream a fresh accumulator, so the equality is
+// bitwise on the restream path and within tight relative tolerance when
+// the engine down-dates fixed-mode accumulators (the sweeps themselves
+// never down-date; the tolerance cell simply pins the documented
+// contract).
+//
+// The suite also pins the cross-shard story: a ShardedOnlineIim and a
+// single OnlineIim run the SAME OrderCore state machine over the same
+// global arrival sequence, so sharded adaptive imputations, learning
+// orders, chosen l values and even the maintenance counters must equal
+// the single engine's exactly — and sharded FIXED-l queries must equal a
+// fresh batch refit on the live window while reusing (not refitting)
+// still-clean global models across quiescent spans.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/iim_imputer.h"
+#include "stream/imputation_service.h"
+#include "stream/online_iim.h"
+#include "stream/sharded_iim.h"
+#include "stream_test_util.h"
+
+namespace iim::stream {
+namespace {
+
+core::IimOptions AdaptiveOptions(bool downdate, size_t threads = 1) {
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.adaptive = true;
+  opt.max_ell = 6;
+  opt.step_h = 2;
+  opt.validation_k = 3;
+  opt.threads = threads;
+  opt.downdate = downdate;
+  opt.window_size = 70;
+  // Lowered so these small-n schedules still cross KD-tree background
+  // rebuilds and tombstone compactions (results are identical at any
+  // setting — that is exactly what is under test).
+  opt.index_kdtree_threshold = 16;
+  opt.index_min_rebuild_tail = 8;
+  opt.index_min_compact_tombstones = 12;
+  return opt;
+}
+
+// --- Online adaptive vs batch LearnAdaptive ---------------------------
+
+// One cell: drive a randomized arrival/evict/impute schedule through an
+// adaptive OnlineIim and, at checkpoints, compare its imputations against
+// a from-scratch batch Algorithm 3 fitted on the live window.
+void RunAdaptiveBatchDifferential(uint64_t seed, bool downdate) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(260, 3, seed);
+  core::IimOptions opt = AdaptiveOptions(downdate);
+
+  Result<std::unique_ptr<OnlineIim>> engine_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(engine_r.ok()) << engine_r.status().ToString();
+  OnlineIim& engine = *engine_r.value();
+
+  data::Table probes(data::Schema::Default(3));
+  for (size_t i = 240; i < 256; ++i) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, i, target)).ok());
+  }
+  std::vector<data::RowView> probe_rows;
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    probe_rows.push_back(probes.Row(p));
+  }
+
+  std::vector<ScheduleOp> ops = MakeSchedule(
+      seed * 31 + 7, 240, /*min_live=*/12, /*evict_p=*/0.25,
+      /*impute_every=*/19);
+  size_t checked = 0;
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const ScheduleOp& op = ops[step];
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(engine.Ingest(full.Row(op.src_row)).ok());
+    } else if (op.kind == ScheduleOp::kEvict) {
+      Status st = engine.Evict(op.arrival);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kNotFound);
+    } else if (engine.size() > 0) {
+      // Query-time lazy solves between checkpoints: this is what keeps
+      // the dirty set small and the reuse counter honest.
+      ASSERT_TRUE(engine.ImputeOne(probes.Row(0)).ok()) << "step " << step;
+    }
+
+    if (step % 60 != 0 && step + 1 != ops.size()) continue;
+    if (engine.size() == 0) continue;
+    ++checked;
+
+    // A batch Algorithm 3 on a copy of the live window, with the same
+    // options. (The copy must outlive the fitted imputer, which retains
+    // a reference to it.)
+    data::Table snapshot = engine.table();
+    core::IimImputer batch(opt);
+    ASSERT_TRUE(batch.Fit(snapshot, target, features).ok());
+    std::vector<Result<double>> want = batch.ImputeBatch(probe_rows);
+    std::vector<Result<double>> got = engine.ImputeBatch(probe_rows);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t p = 0; p < got.size(); ++p) {
+      ASSERT_TRUE(want[p].ok()) << "probe " << p;
+      ASSERT_TRUE(got[p].ok()) << "probe " << p;
+      if (!downdate) {
+        EXPECT_EQ(got[p].value(), want[p].value())
+            << "seed " << seed << " step " << step << " probe " << p;
+      } else {
+        double scale = std::max(1.0, std::fabs(want[p].value()));
+        EXPECT_NEAR(got[p].value(), want[p].value(), 1e-7 * scale)
+            << "seed " << seed << " step " << step << " probe " << p;
+      }
+    }
+  }
+  ASSERT_GE(checked, 3u) << "schedule too short to mean anything";
+
+  // The schedule really exercised the adaptive machinery: validation
+  // lists churned clean models dirty, lazy sweeps re-solved them, clean
+  // models were served without a refit, and the chosen l actually moved
+  // as the window slid.
+  EXPECT_TRUE(engine.VerifyPostings());
+  OnlineIim::Stats stats = engine.stats();
+  EXPECT_GT(stats.models_solved, 0u);
+  EXPECT_GT(stats.holders_invalidated, 0u);
+  EXPECT_GT(stats.global_fits_reused, 0u);
+  EXPECT_GT(stats.adaptive_l_changes, 0u);
+  EXPECT_GT(stats.evicted, 0u);
+}
+
+class AdaptiveBatchDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdaptiveBatchDifferentialTest, BitIdenticalOnRestreamPath) {
+  RunAdaptiveBatchDifferential(GetParam(), /*downdate=*/false);
+}
+
+TEST_P(AdaptiveBatchDifferentialTest, TightToleranceOnDowndatePath) {
+  RunAdaptiveBatchDifferential(GetParam(), /*downdate=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveBatchDifferentialTest,
+                         ::testing::Values(uint64_t{13}, uint64_t{29},
+                                           uint64_t{61}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+// Per-tuple chosen l, compared head-on. k = n makes one imputation ensure
+// EVERY live model, so every slot's last evaluation is current and
+// ChosenEllByArrival must reproduce the batch learner's chosen_ell
+// vector entry for entry (orphan fallbacks included).
+TEST(AdaptiveOnlineTest, ChosenEllsMatchBatchOnPureIngestStream) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  const size_t n = 60;
+  data::Table full = HeterogeneousTable(n + 4, 3, 5);
+  core::IimOptions opt = AdaptiveOptions(/*downdate=*/true);
+  opt.window_size = 0;
+  opt.k = n;
+
+  Result<std::unique_ptr<OnlineIim>> engine_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(engine_r.ok());
+  OnlineIim& engine = *engine_r.value();
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(engine.Ingest(full.Row(i)).ok());
+  }
+
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow(Probe(full, n + 1, target)).ok());
+  Result<double> got = engine.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(got.ok());
+
+  data::Table snapshot = engine.table();
+  core::IimImputer batch(opt);
+  ASSERT_TRUE(batch.Fit(snapshot, target, features).ok());
+  Result<double> want = batch.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got.value(), want.value());
+
+  const core::AdaptiveStats& astats = batch.adaptive_stats();
+  ASSERT_EQ(astats.chosen_ell.size(), n);
+  for (uint64_t a = 0; a < n; ++a) {
+    EXPECT_EQ(engine.ChosenEllByArrival(a), astats.chosen_ell[a])
+        << "arrival " << a;
+  }
+  // The candidate sequence for n = 60, h = 2, cap 6: {1, 3, 5, 6}.
+  ASSERT_EQ(astats.candidate_ells.size(), 4u);
+  EXPECT_EQ(astats.candidate_ells.back(), 6u);
+}
+
+// --- Sharded adaptive vs single adaptive ------------------------------
+
+// Both layers instantiate the same OrderCore over the same global arrival
+// sequence, so EVERYTHING must agree bitwise — values, learning orders,
+// chosen l, and even the maintenance counters (same solves, same reuses,
+// same invalidations, in the same order). Down-dating stays enabled:
+// adaptive sweeps never down-date, so this cell is exact regardless.
+void RunShardedAdaptiveDifferential(uint64_t seed, size_t shards,
+                                    size_t threads) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(240, 3, seed);
+  core::IimOptions opt = AdaptiveOptions(/*downdate=*/true, threads);
+  opt.shards = shards;
+
+  Result<std::unique_ptr<OnlineIim>> single_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(single_r.ok());
+  OnlineIim& single = *single_r.value();
+  Result<std::unique_ptr<ShardedOnlineIim>> sharded_r =
+      ShardedOnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(sharded_r.ok());
+  ShardedOnlineIim& sharded = *sharded_r.value();
+
+  data::Table probes(data::Schema::Default(3));
+  for (size_t i = 220; i < 232; ++i) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, i, target)).ok());
+  }
+  std::vector<data::RowView> probe_rows;
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    probe_rows.push_back(probes.Row(p));
+  }
+
+  std::deque<uint64_t> expected_live;
+  std::vector<ScheduleOp> ops = MakeSchedule(
+      seed * 101 + shards, 220, /*min_live=*/12, /*evict_p=*/0.3,
+      /*impute_every=*/17);
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const ScheduleOp& op = ops[step];
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(single.Ingest(full.Row(op.src_row)).ok());
+      ASSERT_TRUE(sharded.Ingest(full.Row(op.src_row)).ok());
+      expected_live.push_back(op.arrival);
+      while (expected_live.size() > opt.window_size) {
+        expected_live.pop_front();
+      }
+    } else if (op.kind == ScheduleOp::kEvict) {
+      Status got_single = single.Evict(op.arrival);
+      Status got_sharded = sharded.Evict(op.arrival);
+      ASSERT_EQ(got_single.code(), got_sharded.code()) << "step " << step;
+      if (got_single.ok()) {
+        for (auto it = expected_live.begin(); it != expected_live.end();
+             ++it) {
+          if (*it == op.arrival) {
+            expected_live.erase(it);
+            break;
+          }
+        }
+      }
+    } else if (!expected_live.empty()) {
+      Result<double> want = single.ImputeOne(probes.Row(0));
+      Result<double> got = sharded.ImputeOne(probes.Row(0));
+      ASSERT_EQ(want.ok(), got.ok()) << "step " << step;
+      if (want.ok()) {
+        EXPECT_EQ(got.value(), want.value()) << "step " << step;
+      }
+    }
+
+    if (step % 70 != 0 && step + 1 != ops.size()) continue;
+    if (expected_live.empty()) continue;
+
+    // Maintained learning orders and chosen l values agree arrival by
+    // arrival — including STALE chosen values on dirty tuples, because
+    // the two cores are the same state machine in the same state.
+    for (uint64_t arrival : expected_live) {
+      std::vector<neighbors::Neighbor> wo =
+          single.LearningOrderByArrival(arrival);
+      std::vector<neighbors::Neighbor> go =
+          sharded.LearningOrderByArrival(arrival);
+      ASSERT_EQ(go.size(), wo.size()) << "arrival " << arrival;
+      for (size_t j = 0; j < go.size(); ++j) {
+        EXPECT_EQ(go[j].index, wo[j].index) << "arrival " << arrival;
+        EXPECT_EQ(go[j].distance, wo[j].distance) << "arrival " << arrival;
+      }
+      EXPECT_EQ(sharded.ChosenEllByArrival(arrival),
+                single.ChosenEllByArrival(arrival))
+          << "arrival " << arrival;
+    }
+
+    std::vector<Result<double>> want = single.ImputeBatch(probe_rows);
+    std::vector<Result<double>> got = sharded.ImputeBatch(probe_rows);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t p = 0; p < got.size(); ++p) {
+      ASSERT_TRUE(want[p].ok());
+      ASSERT_TRUE(got[p].ok());
+      EXPECT_EQ(got[p].value(), want[p].value())
+          << "seed " << seed << " shards " << shards << " step " << step
+          << " probe " << p;
+    }
+  }
+
+  // Same state machine, same drive => same counters, not just same
+  // answers.
+  EXPECT_TRUE(sharded.VerifyPostings());
+  OnlineIim::Stats ss = single.stats();
+  ShardedOnlineIim::Stats hs = sharded.stats();
+  EXPECT_EQ(hs.models_fitted, ss.models_solved);
+  EXPECT_EQ(hs.global_fits_reused, ss.global_fits_reused);
+  EXPECT_EQ(hs.holders_invalidated, ss.holders_invalidated);
+  EXPECT_EQ(hs.adaptive_l_changes, ss.adaptive_l_changes);
+  EXPECT_GT(hs.models_fitted, 0u);
+  EXPECT_GT(hs.global_fits_reused, 0u);
+}
+
+class ShardedAdaptiveDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, size_t>> {
+};
+
+TEST_P(ShardedAdaptiveDifferentialTest, S4BitIdenticalToSingleEngine) {
+  auto [seed, shards, threads] = GetParam();
+  RunShardedAdaptiveDifferential(seed, shards, threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsShardsThreads, ShardedAdaptiveDifferentialTest,
+    ::testing::Combine(::testing::Values(uint64_t{17}, uint64_t{43}),
+                       ::testing::Values(size_t{2}, size_t{4}),
+                       ::testing::Values(size_t{1}, size_t{4})),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, size_t, size_t>>&
+           info) {
+      return "S" + std::to_string(std::get<1>(info.param)) + "T" +
+             std::to_string(std::get<2>(info.param)) + "Seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+// --- Sharded incremental global models vs fresh refits ----------------
+
+// The query-path regression this PR removes: the wrapper used to refit
+// every global model from scratch each quiescent span. Now the global
+// core keeps models incrementally valid, so across window evictions,
+// shard compactions and KD-tree rebuilds, sharded imputations must equal
+// a fresh batch refit on the live window (bitwise, restream path) while
+// the stats prove models were REUSED across quiescent spans, not refit.
+TEST(ShardedIncrementalModelTest, GlobalModelsEqualFreshBatchRefits) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  const uint64_t seed = 83;
+  data::Table full = HeterogeneousTable(320, 3, seed);
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 8;
+  opt.downdate = false;
+  opt.shards = 4;
+  opt.window_size = 90;
+  opt.index_kdtree_threshold = 16;
+  opt.index_min_rebuild_tail = 8;
+  opt.index_min_compact_tombstones = 12;
+
+  Result<std::unique_ptr<ShardedOnlineIim>> sharded_r =
+      ShardedOnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(sharded_r.ok());
+  ShardedOnlineIim& sharded = *sharded_r.value();
+
+  data::Table probes(data::Schema::Default(3));
+  for (size_t i = 300; i < 316; ++i) {
+    ASSERT_TRUE(probes.AppendRow(Probe(full, i, target)).ok());
+  }
+  std::vector<data::RowView> probe_rows;
+  for (size_t p = 0; p < probes.NumRows(); ++p) {
+    probe_rows.push_back(probes.Row(p));
+  }
+
+  std::vector<ScheduleOp> ops = MakeSchedule(
+      seed, 300, /*min_live=*/12, /*evict_p=*/0.3, /*impute_every=*/13);
+  size_t checked = 0;
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const ScheduleOp& op = ops[step];
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(sharded.Ingest(full.Row(op.src_row)).ok());
+    } else if (op.kind == ScheduleOp::kEvict) {
+      Status st = sharded.Evict(op.arrival);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kNotFound);
+    } else if (sharded.size() > 0) {
+      ASSERT_TRUE(sharded.ImputeOne(probes.Row(0)).ok());
+    }
+
+    if (step % 80 != 0 && step + 1 != ops.size()) continue;
+    if (sharded.size() == 0) continue;
+    ++checked;
+
+    data::Table snapshot = sharded.Window();
+    core::IimImputer batch(opt);
+    ASSERT_TRUE(batch.Fit(snapshot, target, features).ok());
+    std::vector<Result<double>> want = batch.ImputeBatch(probe_rows);
+    std::vector<Result<double>> got = sharded.ImputeBatch(probe_rows);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t p = 0; p < got.size(); ++p) {
+      ASSERT_TRUE(want[p].ok());
+      ASSERT_TRUE(got[p].ok());
+      EXPECT_EQ(got[p].value(), want[p].value())
+          << "step " << step << " probe " << p;
+    }
+  }
+  ASSERT_GE(checked, 3u);
+
+  sharded.WaitForIndexRebuilds();
+  EXPECT_TRUE(sharded.VerifyPostings());
+  ShardedOnlineIim::Stats stats = sharded.stats();
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_GT(stats.models_fitted, 0u);
+  // The point of the maintained global core: clean models answered
+  // queries without a refit, and arrivals dirtied only the orders they
+  // actually entered.
+  EXPECT_GT(stats.global_fits_reused, 0u);
+  EXPECT_GT(stats.holders_invalidated, 0u);
+  size_t shard_compactions = 0;
+  size_t shard_rebuilds = 0;
+  for (size_t s = 0; s < stats.per_shard.size(); ++s) {
+    shard_compactions += stats.per_shard[s].compactions;
+    shard_rebuilds += sharded.shard(s).index().stats().rebuilds;
+  }
+  EXPECT_GT(shard_compactions, 0u) << "no shard ever compacted";
+  EXPECT_GT(shard_rebuilds, 0u) << "no shard ever built a KD-tree";
+}
+
+// --- Create validation ------------------------------------------------
+
+TEST(AdaptiveValidationTest, RejectsUnboundedCandidateBudget) {
+  data::Table full = HeterogeneousTable(10, 3, 1);
+  core::IimOptions opt;
+  opt.adaptive = true;
+  opt.max_ell = 0;
+  Result<std::unique_ptr<OnlineIim>> r =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("max_ell"), std::string::npos);
+  // The sharded wrapper pre-validates through the same probe.
+  opt.shards = 2;
+  Result<std::unique_ptr<ShardedOnlineIim>> s =
+      ShardedOnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdaptiveValidationTest, RejectsFromScratchFold) {
+  data::Table full = HeterogeneousTable(10, 3, 1);
+  core::IimOptions opt;
+  opt.adaptive = true;
+  opt.max_ell = 6;
+  opt.incremental = false;
+  Result<std::unique_ptr<OnlineIim>> r =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("incremental"), std::string::npos);
+}
+
+TEST(AdaptiveValidationTest, RejectsFrozenValidationSample) {
+  data::Table full = HeterogeneousTable(10, 3, 1);
+  core::IimOptions opt;
+  opt.adaptive = true;
+  opt.max_ell = 6;
+  opt.validation_sample = 5;
+  Result<std::unique_ptr<OnlineIim>> r =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("validation_sample"),
+            std::string::npos);
+  // An adaptive engine that satisfies all three requirements is accepted.
+  opt.validation_sample = 0;
+  EXPECT_TRUE(OnlineIim::Create(full.schema(), 2, {0, 1}, opt).ok());
+}
+
+// --- Service counter surfacing ----------------------------------------
+
+TEST(AdaptiveServiceTest, SurfacesMaintenanceCounters) {
+  data::Table full = HeterogeneousTable(120, 3, 9);
+  core::IimOptions opt = AdaptiveOptions(/*downdate=*/true);
+  opt.window_size = 60;
+  Result<std::unique_ptr<OnlineIim>> engine_r =
+      OnlineIim::Create(full.schema(), 2, {0, 1}, opt);
+  ASSERT_TRUE(engine_r.ok());
+
+  ImputationService service(engine_r.value().get());
+  // Imputations interleave with the arrivals: each impute SOLVES its
+  // neighbors' models, and the next arrivals then invalidate only the
+  // solved holders whose orders they actually enter — a pure ingest run
+  // would leave every holder dirty-from-birth and the invalidation
+  // counter untouched.
+  for (size_t i = 0; i < 100; ++i) {
+    service.SubmitIngest(full.Row(i).ToVector());
+    if (i >= 20 && i % 10 == 0) {
+      service.SubmitImpute(Probe(full, 100 + i / 10, 2));
+    }
+  }
+  // A second wave of the same probes against a quiescent engine: these
+  // hit still-clean maintained models (no mutation in between).
+  service.Drain();
+  for (size_t i = 102; i < 110; ++i) {
+    service.SubmitImpute(Probe(full, i, 2));
+  }
+  service.Drain();
+  service.Pause();
+  ImputationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.ingests, 100u);
+  EXPECT_EQ(stats.imputations, 16u);
+  EXPECT_GT(stats.holders_invalidated, 0u);
+  EXPECT_GT(stats.global_fits_reused, 0u);
+  service.Resume();
+  service.Shutdown();
+}
+
+// --- Snapshot round trip ----------------------------------------------
+
+// Serialize an adaptive engine mid-stream, restore into a fresh one, and
+// require indistinguishable behavior: same imputations, same chosen l
+// per tuple, and — after MORE arrivals pushed through both — still the
+// same bits (the restored validation orders, costs and caches really are
+// the originals, not approximations).
+TEST(AdaptiveSnapshotTest, EngineRoundTripBitIdentical) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(140, 3, 21);
+  core::IimOptions opt = AdaptiveOptions(/*downdate=*/true);
+  opt.window_size = 40;
+
+  Result<std::unique_ptr<OnlineIim>> a_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(a_r.ok());
+  OnlineIim& a = *a_r.value();
+  for (size_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE(a.Ingest(full.Row(i)).ok());
+  }
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow(Probe(full, 130, target)).ok());
+  ASSERT_TRUE(a.ImputeOne(probe.Row(0)).ok());  // some models solved
+
+  std::string bytes = a.SerializeSnapshot();
+  Result<std::unique_ptr<OnlineIim>> b_r =
+      OnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(b_r.ok());
+  OnlineIim& b = *b_r.value();
+  ASSERT_TRUE(b.RestoreFromSnapshot(bytes).ok());
+
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_TRUE(b.VerifyPostings());
+  for (uint64_t arrival = 40; arrival < 80; ++arrival) {
+    EXPECT_EQ(b.ChosenEllByArrival(arrival), a.ChosenEllByArrival(arrival))
+        << "arrival " << arrival;
+  }
+  Result<double> va = a.ImputeOne(probe.Row(0));
+  Result<double> vb = b.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(vb.value(), va.value());
+
+  // The restored state machine continues identically, not just reads
+  // identically.
+  for (size_t i = 80; i < 110; ++i) {
+    ASSERT_TRUE(a.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(b.Ingest(full.Row(i)).ok());
+  }
+  va = a.ImputeOne(probe.Row(0));
+  vb = b.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(vb.value(), va.value());
+
+  // A fixed-l engine refuses the adaptive image: restoring state that
+  // would answer differently is a config mismatch, not a merge.
+  core::IimOptions fixed = opt;
+  fixed.adaptive = false;
+  Result<std::unique_ptr<OnlineIim>> c_r =
+      OnlineIim::Create(full.schema(), target, features, fixed);
+  ASSERT_TRUE(c_r.ok());
+  EXPECT_EQ(c_r.value()->RestoreFromSnapshot(bytes).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdaptiveSnapshotTest, ShardedRoundTripBitIdentical) {
+  const int target = 2;
+  const std::vector<int> features = {0, 1};
+  data::Table full = HeterogeneousTable(140, 3, 33);
+  core::IimOptions opt = AdaptiveOptions(/*downdate=*/true);
+  opt.window_size = 40;
+  opt.shards = 3;
+
+  Result<std::unique_ptr<ShardedOnlineIim>> a_r =
+      ShardedOnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(a_r.ok());
+  ShardedOnlineIim& a = *a_r.value();
+  for (size_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE(a.Ingest(full.Row(i)).ok());
+  }
+  data::Table probe(data::Schema::Default(3));
+  ASSERT_TRUE(probe.AppendRow(Probe(full, 130, target)).ok());
+  ASSERT_TRUE(a.ImputeOne(probe.Row(0)).ok());
+
+  std::string bytes = a.SerializeSnapshot();
+  Result<std::unique_ptr<ShardedOnlineIim>> b_r =
+      ShardedOnlineIim::Create(full.schema(), target, features, opt);
+  ASSERT_TRUE(b_r.ok());
+  ShardedOnlineIim& b = *b_r.value();
+  ASSERT_TRUE(b.RestoreFromSnapshot(bytes).ok());
+
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_TRUE(b.VerifyPostings());
+  for (uint64_t arrival = 40; arrival < 80; ++arrival) {
+    EXPECT_EQ(b.ChosenEllByArrival(arrival), a.ChosenEllByArrival(arrival));
+    std::vector<neighbors::Neighbor> oa = a.LearningOrderByArrival(arrival);
+    std::vector<neighbors::Neighbor> ob = b.LearningOrderByArrival(arrival);
+    ASSERT_EQ(ob.size(), oa.size());
+    for (size_t j = 0; j < ob.size(); ++j) {
+      EXPECT_EQ(ob[j].index, oa[j].index);
+      EXPECT_EQ(ob[j].distance, oa[j].distance);
+    }
+  }
+  for (size_t i = 80; i < 110; ++i) {
+    ASSERT_TRUE(a.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(b.Ingest(full.Row(i)).ok());
+  }
+  Result<double> va = a.ImputeOne(probe.Row(0));
+  Result<double> vb = b.ImputeOne(probe.Row(0));
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(vb.value(), va.value());
+}
+
+}  // namespace
+}  // namespace iim::stream
