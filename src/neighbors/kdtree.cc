@@ -114,6 +114,40 @@ void FlatKdTree::Search(const double* points, const double* q,
   SearchNode(root_, points, q, options, heap, alive);
 }
 
+void FlatKdTree::RangeNode(int node_id, const double* points,
+                           const double* q, double r,
+                           std::vector<Neighbor>* out,
+                           const uint8_t* alive) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.IsLeaf()) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      size_t row = order_[i];
+      if (alive != nullptr && alive[row] == 0) continue;
+      double dist = NormalizedEuclidean(q, points + row * d_, d_);
+      if (dist <= r) out->push_back(Neighbor{row, dist});
+    }
+    return;
+  }
+  double delta = q[static_cast<size_t>(node.axis)] - node.split;
+  int near = delta <= 0.0 ? node.left : node.right;
+  int far = delta <= 0.0 ? node.right : node.left;
+  RangeNode(near, points, q, r, out, alive);
+  // A far-side point within radius r needs |delta| / sqrt(|F|) <= r; the
+  // same relative slack as SearchNode keeps a rounded-down r^2 * |F| from
+  // pruning a point sitting exactly on the radius.
+  double bound = r * r * static_cast<double>(d_);
+  if (delta * delta <= bound + bound * 1e-12) {
+    RangeNode(far, points, q, r, out, alive);
+  }
+}
+
+void FlatKdTree::RangeSearch(const double* points, const double* q,
+                             double r, std::vector<Neighbor>* out,
+                             const uint8_t* alive) const {
+  if (root_ < 0 || r < 0.0) return;
+  RangeNode(root_, points, q, r, out, alive);
+}
+
 KdTreeIndex::KdTreeIndex(const data::Table* table, std::vector<int> cols)
     : cols_(std::move(cols)) {
   // Points are stored unscaled and leaf distances are computed with the

@@ -47,6 +47,16 @@ class FlatKdTree {
               const QueryOptions& options, std::vector<Neighbor>* heap,
               const uint8_t* alive = nullptr) const;
 
+  // Appends every covered point whose Formula 1 distance to `q` is <= r
+  // (ties INCLUDED — the admission-bound filter needs equidistant points,
+  // whose (distance, slot) tie-break can still displace) to `out`, in
+  // tree-traversal order. Same plane-pruning bound as Search, with the
+  // same conservative epsilon, so a point exactly on the radius is never
+  // pruned. `alive` filters like Search.
+  void RangeSearch(const double* points, const double* q, double r,
+                   std::vector<Neighbor>* out,
+                   const uint8_t* alive = nullptr) const;
+
  private:
   struct Node {
     int axis = -1;          // split dimension
@@ -64,6 +74,9 @@ class FlatKdTree {
   void SearchNode(int node_id, const double* points, const double* q,
                   const QueryOptions& options, std::vector<Neighbor>* heap,
                   const uint8_t* alive) const;
+  void RangeNode(int node_id, const double* points, const double* q,
+                 double r, std::vector<Neighbor>* out,
+                 const uint8_t* alive) const;
 
   size_t n_ = 0;
   size_t d_ = 0;

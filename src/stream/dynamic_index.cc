@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -138,24 +139,50 @@ bool DynamicIndex::NeedsCompaction() const {
 }
 
 std::vector<size_t> DynamicIndex::Compact() {
+  size_t d = cols_.size();
+  // Stage the survivor slide OFF the writer lock. The owning core
+  // serializes every mutation, so this thread is the index's only writer
+  // for the whole call: n_/alive_/points_ cannot change between the
+  // staging pass and the install below. The shared lock makes the read
+  // legal against the only concurrent actors — queries and the
+  // background builder, both readers.
+  std::vector<size_t> remap;
+  std::vector<double> packed;
+  std::vector<uint8_t> alive;
+  size_t live = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (dead_ == 0) {
+      // Nothing to drop. Hand back the identity map and leave the tree,
+      // the prefix epoch and any in-flight build untouched — a spurious
+      // Compact must never discard a build or force a rebuild.
+      remap.resize(n_);
+      for (size_t i = 0; i < n_; ++i) remap[i] = i;
+      return remap;
+    }
+    live = n_ - dead_;
+    remap.assign(n_, kGone);
+    packed.reserve(live * d);
+    size_t next = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] == 0) continue;
+      remap[i] = next++;
+      packed.insert(packed.end(),
+                    points_.begin() + static_cast<long>(i * d),
+                    points_.begin() + static_cast<long>((i + 1) * d));
+    }
+    alive.assign(live, 1);
+  }
+
+  // Install: the writer lock holds only for the O(1) buffer swap and the
+  // rebuild launch — the same install discipline as a background-build
+  // swap, so concurrent queries are never blocked behind the O(n·d)
+  // slide above.
   std::unique_lock<std::shared_mutex> lock(mu_);
   Stopwatch hold;
-  size_t d = cols_.size();
-  std::vector<size_t> remap(n_, kGone);
-  size_t next = 0;
-  for (size_t i = 0; i < n_; ++i) {
-    if (alive_[i] == 0) continue;
-    remap[i] = next;
-    if (next != i) {
-      std::copy(points_.begin() + static_cast<long>(i * d),
-                points_.begin() + static_cast<long>((i + 1) * d),
-                points_.begin() + static_cast<long>(next * d));
-    }
-    ++next;
-  }
-  points_.resize(next * d);
-  alive_.assign(next, 1);
-  n_ = next;
+  points_.swap(packed);
+  alive_.swap(alive);
+  n_ = live;
   dead_ = 0;
   ++compactions_;
   // The prefix moved: any in-flight build is now stale. Bumping the epoch
@@ -193,9 +220,16 @@ void DynamicIndex::WaitForRebuild() {
       InstallLocked();
       if (pending_ == nullptr) return;
       f = build_future_;  // copy: concurrent waiters share the handle
+      if (!f.valid()) {
+        // A pending build with no task behind it can never complete;
+        // looping on it would re-acquire the lock forever. Treat the
+        // stale pending_ as "no build" and clear it.
+        pending_.reset();
+        return;
+      }
     }
     // Wait with no lock held (the builder needs the reader side).
-    if (f.valid()) f.wait();
+    f.wait();
   }
 }
 
@@ -257,24 +291,20 @@ void DynamicIndex::Collect(const std::vector<double>& q,
   size_t d = cols_.size();
   // Unindexed tail first (it is usually the smaller side), then the tree;
   // PushNeighborHeap's (distance, index) order makes the merge exact
-  // regardless of which side a neighbor came from.
+  // regardless of which side a neighbor came from. The bounded push keeps
+  // at most k entries alive instead of materialising the whole tail:
+  // once the first k fill, a tail point costs one comparison against the
+  // heap front unless it actually belongs in the top k. The kept set is
+  // the k smallest in the (distance, slot) total order either way, so
+  // every downstream result is unchanged bit for bit.
   for (size_t i = tree_.size(); i < n_; ++i) {
     if (i == options.exclude || alive_[i] == 0) continue;
-    heap->push_back(neighbors::Neighbor{
-        i, neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d,
-                                          d)});
+    neighbors::PushNeighborHeap(
+        heap, options.k,
+        neighbors::Neighbor{
+            i, neighbors::NormalizedEuclidean(q.data(),
+                                              points_.data() + i * d, d)});
   }
-  if (heap->size() > options.k) {
-    // Top-k selection in O(tail + k log k) instead of heap-popping the
-    // whole tail at O(tail log tail). (distance, slot) is a total order,
-    // so the kept set — and therefore every downstream result — is
-    // unchanged bit for bit.
-    std::nth_element(heap->begin(),
-                     heap->begin() + static_cast<long>(options.k),
-                     heap->end(), neighbors::NeighborLess);
-    heap->resize(options.k);
-  }
-  std::make_heap(heap->begin(), heap->end(), neighbors::NeighborLess);
   tree_.Search(points_.data(), q.data(), options, heap,
                dead_ > 0 ? alive_.data() : nullptr);
 }
@@ -290,6 +320,86 @@ std::vector<neighbors::Neighbor> DynamicIndex::Query(
   Collect(q, options, &heap);
   std::sort(heap.begin(), heap.end(), neighbors::NeighborLess);
   return heap;
+}
+
+std::vector<neighbors::Neighbor> DynamicIndex::RangeQuery(
+    const data::RowView& query, double radius) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<neighbors::Neighbor> out;
+  size_t d = cols_.size();
+  if (radius < 0.0 || n_ - dead_ == 0) return out;
+  std::vector<double> q = query.Gather(cols_);
+  if (!std::isfinite(radius)) {
+    // Unbounded: every live slot qualifies, so skip the tree and scan —
+    // already ascending by slot.
+    out.reserve(n_ - dead_);
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] == 0) continue;
+      out.push_back(neighbors::Neighbor{
+          i, neighbors::NormalizedEuclidean(q.data(),
+                                            points_.data() + i * d, d)});
+    }
+    return out;
+  }
+  for (size_t i = tree_.size(); i < n_; ++i) {
+    if (alive_[i] == 0) continue;
+    double dist =
+        neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d, d);
+    if (dist <= radius) out.push_back(neighbors::Neighbor{i, dist});
+  }
+  tree_.RangeSearch(points_.data(), q.data(), radius, &out,
+                    dead_ > 0 ? alive_.data() : nullptr);
+  // Tree hits come out in traversal order and tail hits precede them;
+  // ascending slot order is what callers replaying a scan need.
+  std::sort(out.begin(), out.end(),
+            [](const neighbors::Neighbor& a, const neighbors::Neighbor& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+void DynamicIndex::QueryWithRange(
+    const data::RowView& query, const neighbors::QueryOptions& options,
+    double radius, std::vector<neighbors::Neighbor>* nearest,
+    std::vector<neighbors::Neighbor>* in_range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  nearest->clear();
+  in_range->clear();
+  size_t d = cols_.size();
+  if (n_ - dead_ == 0) return;
+  std::vector<double> q = query.Gather(cols_);
+  bool want_knn = options.k > 0;
+  bool want_range = radius >= 0.0 && std::isfinite(radius);
+  if (want_knn) nearest->reserve(options.k + 1);
+  // One pass over the brute tail feeds both consumers from a single
+  // distance evaluation; the kernel and both merge/ordering rules are
+  // exactly Query's and RangeQuery's, so each output is bitwise the
+  // respective standalone call.
+  for (size_t i = tree_.size(); i < n_; ++i) {
+    if (alive_[i] == 0) continue;
+    double dist =
+        neighbors::NormalizedEuclidean(q.data(), points_.data() + i * d, d);
+    if (want_range && dist <= radius) {
+      in_range->push_back(neighbors::Neighbor{i, dist});
+    }
+    if (want_knn && i != options.exclude) {
+      neighbors::PushNeighborHeap(nearest, options.k,
+                                  neighbors::Neighbor{i, dist});
+    }
+  }
+  if (want_knn) {
+    tree_.Search(points_.data(), q.data(), options, nearest,
+                 dead_ > 0 ? alive_.data() : nullptr);
+    std::sort(nearest->begin(), nearest->end(), neighbors::NeighborLess);
+  }
+  if (want_range) {
+    tree_.RangeSearch(points_.data(), q.data(), radius, in_range,
+                      dead_ > 0 ? alive_.data() : nullptr);
+    std::sort(in_range->begin(), in_range->end(),
+              [](const neighbors::Neighbor& a, const neighbors::Neighbor& b) {
+                return a.index < b.index;
+              });
+  }
 }
 
 std::vector<neighbors::Neighbor> DynamicIndex::QueryAll(

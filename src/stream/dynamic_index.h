@@ -149,7 +149,38 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   // are brute-force and still exact until the new tree lands), and
   // returns the old-slot -> new-slot map (kGone for evicted slots) for
   // the owner's own remapping.
+  //
+  // The O(n·d) survivor slide is STAGED: it packs into a side buffer
+  // under a reader lock (the caller is the engine's single writer, so
+  // slot state is stable for the whole call and only queries / the
+  // background builder share the index), and the writer lock is taken
+  // only for the O(1) buffer swap + rebuild launch — the same
+  // double-buffer install discipline the background rebuild uses, so a
+  // compaction never blocks concurrent queries for the slide. With no
+  // tombstones it early-outs with the identity map, leaving the tree,
+  // the prefix epoch and any in-flight build untouched.
   std::vector<size_t> Compact();
+
+  // Every live slot whose Formula 1 distance to `query` is <= radius
+  // (ties INCLUDED), ascending by slot with exact distances attached —
+  // the same (value, order) a full scan over slots would produce, so a
+  // caller iterating candidates visits them in scan order. Exact over
+  // tree prefix + brute tail like Query; an infinite radius degenerates
+  // to the full live scan, a negative one returns nothing.
+  std::vector<neighbors::Neighbor> RangeQuery(const data::RowView& query,
+                                              double radius) const;
+
+  // The arrival hot path's two lookups under ONE shared lock and one
+  // brute-tail pass: `nearest` gets exactly Query(query, options) and
+  // `in_range` exactly RangeQuery(query, radius), each tail distance
+  // computed once and fed to both. Bitwise identical to the standalone
+  // calls. A negative or non-finite radius leaves `in_range` empty (the
+  // infinite-radius degenerate case stays on RangeQuery's full scan);
+  // options.k == 0 leaves `nearest` empty.
+  void QueryWithRange(const data::RowView& query,
+                      const neighbors::QueryOptions& options, double radius,
+                      std::vector<neighbors::Neighbor>* nearest,
+                      std::vector<neighbors::Neighbor>* in_range) const;
 
   // Blocks until no background build is in flight, installing (or
   // discarding) the result. Queries never need this — results are exact
@@ -250,6 +281,10 @@ class DynamicIndex final : public neighbors::NeighborIndex {
   // destructor (which drains any in-flight build task) runs before the
   // members the task reads are torn down.
   std::unique_ptr<ThreadPool> builder_;
+
+  // Fault-injection hook: lets the regression test for the
+  // pending-without-future hang manufacture that broken state.
+  friend struct DynamicIndexTestPeer;
 };
 
 }  // namespace iim::stream

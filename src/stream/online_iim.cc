@@ -390,6 +390,9 @@ OnlineIim::Stats OnlineIim::stats() const {
   s.holders_invalidated = c.holders_invalidated;
   s.global_fits_reused = c.models_reused;
   s.adaptive_l_changes = c.adaptive_l_changes;
+  s.orders_scanned = c.orders_scanned;
+  s.orders_admitted = c.orders_admitted;
+  s.admission_skips = c.admission_skips;
   return s;
 }
 

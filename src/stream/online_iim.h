@@ -97,6 +97,16 @@ class OnlineIim {
     // Adaptive re-evaluations whose chosen l differs from the tuple's
     // previous one (0 unless options.adaptive).
     size_t adaptive_l_changes = 0;
+    // Live orders an arrival's insertion test actually visited (with
+    // options.admission_bound: radius-query candidates that passed their
+    // per-order bound; without: every live order, i.e. live per arrival).
+    size_t orders_scanned = 0;
+    // Visited orders that adopted the arrival — the affected-order count
+    // the sublinear-ingest cost model is gated on.
+    size_t orders_admitted = 0;
+    // Live orders skipped because the admission bound proved the arrival
+    // could not enter them (always 0 with the bound disabled).
+    size_t admission_skips = 0;
     // --- Durability (persist_dir engines; never serialized into
     // snapshots — each incarnation counts its own I/O) ---
     // Snapshot files durably published (background writes harvested +

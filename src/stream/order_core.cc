@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <limits>
+#include <unordered_set>
 
 #include "core/individual_models.h"
 #include "data/table.h"
@@ -42,6 +44,7 @@ OrderCore::Config MakeOrderCoreConfig(const core::IimOptions& options,
   // back to the imputation k, clamped to the shared cap).
   size_t vk = options.validation_k > 0 ? options.validation_k : options.k;
   c.vk = std::clamp<size_t>(vk, 1, core::kMaxValidationK);
+  c.admission_bound = options.admission_bound;
   c.index.background_rebuild = options.background_rebuild;
   if (options.index_kdtree_threshold > 0) {
     c.index.kdtree_threshold = options.index_kdtree_threshold;
@@ -62,6 +65,61 @@ OrderCore::OrderCore(const Config& config)
                            : std::max<size_t>(config.ell, 1)),
       index_(IdentityCols(config.q), config.index),
       fb_(config.q) {}
+
+double OrderCore::ComputeBound(size_t i) const {
+  // Below capacity every arrival enters at the end (the fast-path
+  // append), so the radius is unbounded; at capacity only an arrival
+  // closer than the worst kept neighbor can displace. An arrival exactly
+  // AT the bound is a no-op (the newcomer has the largest slot and loses
+  // the tie), but it is still admitted as a candidate — visiting it
+  // changes nothing, and including ties keeps the filter conservative.
+  double b = orders_[i].size() < cap_
+                 ? std::numeric_limits<double>::infinity()
+                 : orders_[i].back().distance;
+  if (config_.adaptive) {
+    double vb = vorders_[i].size() < config_.vk
+                    ? std::numeric_limits<double>::infinity()
+                    : vorders_[i].back().distance;
+    if (vb > b) b = vb;
+  }
+  return b;
+}
+
+void OrderCore::RefreshBound(size_t i) {
+  double fresh = ComputeBound(i);
+  if (fresh == bounds_[i]) return;
+  bounds_[i] = fresh;
+  PushBound(i);
+}
+
+void OrderCore::PushBound(size_t i) {
+  bound_heap_.emplace_back(bounds_[i], i);
+  std::push_heap(bound_heap_.begin(), bound_heap_.end());
+}
+
+double OrderCore::MaxBound() {
+  // Stale entries accumulate one per bound change; once they outnumber
+  // the live slots the O(live) rebuild amortises to O(1) per change.
+  if (bound_heap_.size() > 2 * live_ + 64) RebuildBoundHeap();
+  while (!bound_heap_.empty()) {
+    const std::pair<double, size_t>& top = bound_heap_.front();
+    if (alive_[top.second] != 0 && bounds_[top.second] == top.first) {
+      return top.first;
+    }
+    std::pop_heap(bound_heap_.begin(), bound_heap_.end());
+    bound_heap_.pop_back();
+  }
+  return kDeadBound;
+}
+
+void OrderCore::RebuildBoundHeap() {
+  bound_heap_.clear();
+  bound_heap_.reserve(live_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (alive_[i] != 0) bound_heap_.emplace_back(bounds_[i], i);
+  }
+  std::make_heap(bound_heap_.begin(), bound_heap_.end());
+}
 
 void OrderCore::DirtyMark(size_t i) {
   if (dirty_[i] == 0) {
@@ -118,9 +176,10 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
   // w) has a stale judge set, so w's candidate sweep is dirtied.
   std::vector<size_t> holders_of_new;
   std::vector<size_t> judges_of_new;
-  for (size_t i = 0; i < n_; ++i) {
-    if (alive_[i] == 0) continue;
-    double d = neighbors::NormalizedEuclidean(fb_.Features(i), f, q_);
+  size_t scanned = 0;
+  auto visit = [&](size_t i, double d) {
+    ++scanned;
+    bool changed = false;
     std::vector<neighbors::Neighbor>& order = orders_[i];
     auto pos =
         std::upper_bound(order.begin(), order.end(), d, DistanceBefore);
@@ -132,6 +191,7 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
         holders_of_new.push_back(i);
         DirtyMark(i);
         ++counters_.fast_path_appends;
+        changed = true;
       }
       // else: strictly farther than the current worst — unaffected.
     } else {
@@ -149,6 +209,7 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
       consumed_[i] = 0;
       DirtyMark(i);
       ++counters_.models_invalidated;
+      changed = true;
     }
     if (config_.adaptive) {
       std::vector<neighbors::Neighbor>& vorder = vorders_[i];
@@ -158,6 +219,7 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
         if (vorder.size() < config_.vk) {
           vorder.push_back(neighbors::Neighbor{id, d});
           judges_of_new.push_back(i);
+          changed = true;
         }
       } else {
         vorder.insert(vpos, neighbors::Neighbor{id, d});
@@ -168,32 +230,69 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
           VPostRemove(w, i);
           DirtyMark(w);
         }
+        changed = true;
       }
     }
-  }
+    if (changed) RefreshBound(i);
+  };
 
-  // The new tuple's own order: itself first, then up to cap_ - 1 nearest
-  // live tuples (the index does not contain `id` yet, so no exclusion is
-  // needed — same set LearningOrder retrieves with exclude = id).
+  // One kNN lookup serves both the newcomer's learning order (cap_ - 1
+  // nearest) and, in adaptive mode, its validation order (vk nearest):
+  // the longer prefix is queried once and sliced below — a sorted
+  // top-k's prefix IS the smaller query's result, bit for bit. The
+  // index does not contain `id` yet, so no exclusion is needed (same
+  // set LearningOrder retrieves with exclude = id), and the insertion
+  // visits touch only order/postings state, so querying before them
+  // sees the identical index.
+  size_t order_k = cap_ > 1 ? std::min(cap_ - 1, live_) : 0;
+  size_t vorder_k = config_.adaptive ? std::min(config_.vk, live_) : 0;
+  neighbors::QueryOptions nopt;
+  nopt.k = std::max(order_k, vorder_k);
   data::RowView point(f, q_);
-  std::vector<neighbors::Neighbor> order_new;
-  order_new.reserve(std::min(cap_, live_ + 1));
-  order_new.push_back(neighbors::Neighbor{id, 0.0});
-  if (cap_ > 1 && live_ > 0) {
-    neighbors::QueryOptions qopt;
-    qopt.k = std::min(cap_ - 1, live_);
-    for (const neighbors::Neighbor& nb : index_.Query(point, qopt)) {
-      order_new.push_back(nb);
+  std::vector<neighbors::Neighbor> nearest;
+
+  double max_bound = MaxBound();
+  if (config_.admission_bound && live_ > 0 && std::isfinite(max_bound)) {
+    // One radius query at the exact global max bound yields a superset of
+    // every order the arrival could enter (ties included), ascending by
+    // slot — the full scan's visit order. Each candidate is then filtered
+    // by its OWN bound; survivors run the identical insertion body, and a
+    // candidate at its bound is a no-op there, so the pruned scan leaves
+    // state and every maintenance counter bit-identical to the full one.
+    // The distances come back from the same kernel the scan would run
+    // ((a-b)^2 == (b-a)^2 bitwise), so they are reused as-is. The radius
+    // query shares one brute-tail pass with the kNN lookup.
+    std::vector<neighbors::Neighbor> candidates;
+    index_.QueryWithRange(point, nopt, max_bound, &nearest, &candidates);
+    for (const neighbors::Neighbor& nb : candidates) {
+      if (nb.distance <= bounds_[nb.index]) visit(nb.index, nb.distance);
+    }
+  } else if (live_ > 0) {
+    if (nopt.k > 0) nearest = index_.Query(point, nopt);
+    // Full scan: the bound is disabled, or some order is below capacity
+    // (an infinite bound admits everything anyway).
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] == 0) continue;
+      visit(i, neighbors::NormalizedEuclidean(fb_.Features(i), f, q_));
     }
   }
+  counters_.orders_scanned += scanned;
+  counters_.orders_admitted += holders_of_new.size();
+  counters_.admission_skips += live_ - scanned;
+
+  // The new tuple's own order: itself first, then up to cap_ - 1 nearest
+  // live tuples.
+  std::vector<neighbors::Neighbor> order_new;
+  order_new.reserve(order_k + 1);
+  order_new.push_back(neighbors::Neighbor{id, 0.0});
+  for (size_t t = 0; t < order_k; ++t) order_new.push_back(nearest[t]);
 
   // The newcomer's own validation order: the vk models IT judges. Each
   // member gains a judge, so its candidate sweep is stale.
   std::vector<neighbors::Neighbor> vorder_new;
-  if (config_.adaptive && live_ > 0) {
-    neighbors::QueryOptions qopt;
-    qopt.k = std::min(config_.vk, live_);
-    vorder_new = index_.Query(point, qopt);
+  if (vorder_k > 0) {
+    vorder_new.assign(nearest.begin(),
+                      nearest.begin() + static_cast<long>(vorder_k));
     for (const neighbors::Neighbor& nb : vorder_new) {
       VPostAdd(nb.index, id);
       DirtyMark(nb.index);
@@ -228,8 +327,10 @@ size_t OrderCore::Arrive(const double* f, double y, uint64_t seq) {
     // which holders were touched.
     global_cost_valid_ = false;
   }
+  bounds_.push_back(ComputeBound(id));
   ++n_;
   ++live_;
+  PushBound(id);
   return id;
 }
 
@@ -258,6 +359,10 @@ void OrderCore::EvictSlot(size_t gone) {
   consumed_[gone] = 0;
   models_[gone] = regress::LinearModel();
   dirty_[gone] = 1;
+  // The departed order stops bounding the arrival radius: its heap
+  // entries go stale by value mismatch (live bounds are never negative)
+  // and by the alive check, so no removal is needed.
+  bounds_[gone] = kDeadBound;
 
   // The survivors whose learning order contained the departed tuple are
   // exactly its reverse-neighbor postings — the ~l affected tuples, read
@@ -329,6 +434,9 @@ void OrderCore::EvictSlot(size_t gone) {
       }
     }
     DirtyMark(i);
+    // The cut (and any backfill) moved i's worst kept distance — or left
+    // the order below capacity, unbounding it.
+    RefreshBound(i);
   }
 
   if (config_.adaptive) {
@@ -370,6 +478,7 @@ void OrderCore::EvictSlot(size_t gone) {
           DirtyMark(nn[e].index);
         }
       }
+      RefreshBound(j);
     }
     // The departed tuple's cost row leaves the global sum and the blocked
     // merge regroups.
@@ -389,6 +498,7 @@ bool OrderCore::MaybeCompact(std::vector<size_t>* remap_out) {
   std::vector<regress::LinearModel> models(live_);
   std::vector<uint8_t> dirty(live_);
   std::vector<uint64_t> seq_of_slot(live_);
+  std::vector<double> bounds(live_);
   size_t adaptive_n = config_.adaptive ? live_ : 0;
   std::vector<std::vector<neighbors::Neighbor>> vorders(adaptive_n);
   std::vector<std::vector<size_t>> vpost(adaptive_n);
@@ -414,6 +524,7 @@ bool OrderCore::MaybeCompact(std::vector<size_t>* remap_out) {
     dirty[slot] = dirty_[old];
     seq_of_slot[slot] = seq_of_slot_[old];
     slot_of_seq_[seq_of_slot_[old]] = slot;
+    bounds[slot] = bounds_[old];
     if (config_.adaptive) {
       vorders[slot] = std::move(vorders_[old]);
       for (neighbors::Neighbor& nb : vorders[slot]) {
@@ -436,6 +547,7 @@ bool OrderCore::MaybeCompact(std::vector<size_t>* remap_out) {
   dirty_ = std::move(dirty);
   alive_.assign(live_, 1);
   seq_of_slot_ = std::move(seq_of_slot);
+  bounds_ = std::move(bounds);
   if (config_.adaptive) {
     vorders_ = std::move(vorders);
     vpost_ = std::move(vpost);
@@ -447,6 +559,8 @@ bool OrderCore::MaybeCompact(std::vector<size_t>* remap_out) {
   }
   n_ = live_;
   oldest_cursor_ = 0;
+  // Heap entries reference pre-compaction slot numbers; refill.
+  RebuildBoundHeap();
   ++counters_.compactions;
   if (remap_out != nullptr) *remap_out = std::move(remap);
   return true;
@@ -652,6 +766,30 @@ bool OrderCore::VerifyPostings() const {
   }
   if (edges != counters_.postings_edges) return false;
 
+  // Admission bounds must equal a recomputation from the orders, slot by
+  // slot, and every live slot's current bound must be reachable through
+  // a valid (non-stale) heap entry — the invariant MaxBound (and so the
+  // pruned arrival scan) rides on.
+  if (bounds_.size() != n_) return false;
+  {
+    if (!std::is_heap(bound_heap_.begin(), bound_heap_.end())) return false;
+    std::unordered_set<size_t> covered;
+    for (const std::pair<double, size_t>& e : bound_heap_) {
+      if (e.second < n_ && alive_[e.second] != 0 &&
+          bounds_[e.second] == e.first) {
+        covered.insert(e.second);
+      }
+    }
+    for (size_t i = 0; i < n_; ++i) {
+      if (alive_[i] == 0) {
+        if (bounds_[i] != kDeadBound) return false;
+        continue;
+      }
+      if (bounds_[i] != ComputeBound(i)) return false;
+      if (covered.find(i) == covered.end()) return false;
+    }
+  }
+
   if (config_.adaptive) {
     // vpost_ must be exactly the reverse of the validation orders.
     std::vector<std::vector<size_t>> vwant(n_);
@@ -694,7 +832,7 @@ void OrderCore::SerializeInto(persist::SnapshotBuilder* b) const {
   }
 
   b->BeginSection(persist::kSecCoreMeta);
-  b->PutU32(1);  // core layout version within the container
+  b->PutU32(2);  // core layout version within the container
   b->PutU64(q_);
   b->PutU64(n_);
   b->PutU64(live_);
@@ -711,6 +849,9 @@ void OrderCore::SerializeInto(persist::SnapshotBuilder* b) const {
   b->PutU64(counters_.postings_edges);
   b->PutU64(counters_.holders_invalidated);
   b->PutU64(counters_.adaptive_l_changes);
+  b->PutU64(counters_.orders_scanned);
+  b->PutU64(counters_.orders_admitted);
+  b->PutU64(counters_.admission_skips);
   b->PutU8(config_.adaptive ? 1 : 0);
   if (config_.adaptive) {
     b->PutU64(ells_live_);
@@ -727,6 +868,11 @@ void OrderCore::SerializeInto(persist::SnapshotBuilder* b) const {
   b->BeginSection(persist::kSecCoreRows);
   for (size_t i = 0; i < n_; ++i) b->PutU8(alive_[i]);
   for (size_t i = 0; i < n_; ++i) b->PutU64(seq_of_slot_[i]);
+  // Admission bounds ride along even though they are derivable from the
+  // orders: RestoreFrom recomputes them and hard-fails on any
+  // disagreement — a cheap end-to-end consistency check on the whole
+  // (orders, bounds) image.
+  b->PutDoubles(bounds_.data(), n_);
   for (size_t i = 0; i < n_; ++i) {
     b->PutDoubles(fb_.Features(i), q_);
     b->PutF64(fb_.Target(i));
@@ -780,7 +926,7 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   }
   ASSIGN_OR_RETURN(persist::SectionReader meta,
                    view.Section(persist::kSecCoreMeta));
-  if (meta.U32() != 1) {
+  if (meta.U32() != 2) {
     return Status::InvalidArgument(
         "OrderCore: snapshot was written under a different core layout "
         "version");
@@ -805,6 +951,9 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   ct.postings_edges = meta.U64();
   ct.holders_invalidated = meta.U64();
   ct.adaptive_l_changes = meta.U64();
+  ct.orders_scanned = meta.U64();
+  ct.orders_admitted = meta.U64();
+  ct.admission_skips = meta.U64();
   bool adaptive = meta.U8() != 0;
   if (adaptive != config_.adaptive) {
     return Status::InvalidArgument(
@@ -843,6 +992,8 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   std::vector<uint64_t> seqs(n);
   for (size_t i = 0; i < n; ++i) alive[i] = rows.U8();
   for (size_t i = 0; i < n; ++i) seqs[i] = rows.U64();
+  std::vector<double> bounds(n);
+  rows.Doubles(bounds.data(), n);
   std::vector<double> pts(n * q_);
   std::vector<double> targets(n);
   for (size_t i = 0; i < n; ++i) {
@@ -877,6 +1028,32 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   std::vector<std::vector<neighbors::Neighbor>> vorders;
   if (adaptive) RETURN_IF_ERROR(read_orders(&vorders));
   RETURN_IF_ERROR(ords.status());
+
+  // The admission bounds are derivable from the orders just decoded;
+  // rebuilding them here and insisting on bitwise agreement with the
+  // persisted array turns the redundancy into an end-to-end check over
+  // the whole (orders, bounds) image.
+  for (size_t i = 0; i < n; ++i) {
+    double want;
+    if (alive[i] == 0) {
+      want = kDeadBound;
+    } else {
+      want = orders[i].size() < cap_
+                 ? std::numeric_limits<double>::infinity()
+                 : orders[i].back().distance;
+      if (adaptive) {
+        double vb = vorders[i].size() < config_.vk
+                        ? std::numeric_limits<double>::infinity()
+                        : vorders[i].back().distance;
+        if (vb > want) want = vb;
+      }
+    }
+    if (bounds[i] != want) {
+      return Status::IoError(
+          "OrderCore: snapshot admission bounds disagree with a rebuild "
+          "from the restored orders");
+    }
+  }
 
   ASSIGN_OR_RETURN(persist::SectionReader mods,
                    view.Section(persist::kSecCoreModels));
@@ -963,6 +1140,7 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   consumed_ = std::move(consumed);
   models_ = std::move(models);
   dirty_ = std::move(dirty);
+  bounds_ = std::move(bounds);
   alive_ = std::move(alive);
   seq_of_slot_ = std::move(seqs);
   slot_of_seq_.clear();
@@ -984,6 +1162,7 @@ Status OrderCore::RestoreFrom(const persist::SnapshotView& view) {
   live_ = live;
   oldest_cursor_ = oldest;
   counters_ = ct;
+  RebuildBoundHeap();
   assert(VerifyPostings());
   return Status::OK();
 }

@@ -32,6 +32,17 @@
 // cut + down-date (or restream) + backfill, compaction replays the index
 // remap — exactly the state machine OnlineIim documented through PR 4.
 //
+// Arrival cost scales with the AFFECTED orders, not n
+// (config.admission_bound, on by default): each order carries an
+// admission bound — the worst kept distance, infinite below capacity —
+// and an arrival finds its candidate holders with one radius query
+// against the index at the exact global max bound (a multiset keeps it
+// exact under decreases), then filters each candidate by its own bound.
+// Ties are included: a candidate AT its bound is visited so the
+// (distance, slot) tie-break resolves exactly as the full scan would —
+// visiting a no-op order changes no state, which is why the pruned scan
+// is bit-identical to the full one.
+//
 // Adaptive per-tuple l (Algorithm 3, config.adaptive): the core also
 // maintains each live tuple's VALIDATION order — its vk nearest live
 // tuples, the models it judges — plus the reverse lists vpost_[i] = the
@@ -52,6 +63,7 @@
 #define IIM_STREAM_ORDER_CORE_H_
 
 #include <cstdint>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +89,13 @@ class OrderCore {
     size_t step_h = 1;     // adaptive: candidate-l stride
     size_t vk = 1;         // adaptive: resolved validation fan-out, in
                            // [1, core::kMaxValidationK]
+    // Prune the per-arrival insertion scan with each order's admission
+    // bound (see the member comment on bounds_): an arrival visits only
+    // the orders it could actually enter, found by a radius query against
+    // the index instead of the O(n) scan. Results are bit-identical
+    // either way — false keeps the full scan as the differential
+    // baseline.
+    bool admission_bound = true;
     DynamicIndex::Options index;
   };
 
@@ -100,6 +119,16 @@ class OrderCore {
     // Adaptive re-evaluations whose chosen l differs from the tuple's
     // previously chosen l.
     size_t adaptive_l_changes = 0;
+    // Live orders actually run through an arrival's insertion test (with
+    // the admission bound: radius-query candidates that passed their
+    // per-order bound; without: every live order).
+    size_t orders_scanned = 0;
+    // Scanned orders the arrival actually entered (learning order adopted
+    // it) — the "affected orders" the tentpole cost model counts.
+    size_t orders_admitted = 0;
+    // Live orders an arrival never visited because the admission bound
+    // proved it could not enter them (live - scanned, accumulated).
+    size_t admission_skips = 0;
   };
 
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
@@ -199,6 +228,27 @@ class OrderCore {
   Status RestoreFrom(const persist::SnapshotView& view);
 
  private:
+  // Slot i's admission radius from its current orders: the distance an
+  // arrival must beat-or-tie to change any order of i's. Infinite while
+  // an order is below capacity (every arrival enters), else the worst
+  // kept distance; adaptive mode takes the max over the learning and
+  // validation orders.
+  double ComputeBound(size_t i) const;
+  // Recomputes slot i's bound after its orders changed, keeping bounds_
+  // and the bound_heap_ lazy max-heap (the exact global max) in sync.
+  void RefreshBound(size_t i);
+  // Pushes slot i's current bound onto bound_heap_ (stale entries for i
+  // are invalidated by value mismatch, not removed).
+  void PushBound(size_t i);
+  // The exact max over live bounds, popping stale heap entries as they
+  // surface; kDeadBound when nothing is live. Rebuilds the heap from
+  // bounds_ first when stale entries outnumber live ones.
+  double MaxBound();
+  // Refills bound_heap_ from scratch over the live slots (after a
+  // compaction renumbers slots, a snapshot restore, or stale-entry
+  // overflow).
+  void RebuildBoundHeap();
+
   // Flips a live holder dirty, counting only clean -> dirty transitions,
   // and invalidates the adaptive global-cost cache.
   void DirtyMark(size_t i);
@@ -246,6 +296,21 @@ class OrderCore {
   size_t n_ = 0;
   size_t live_ = 0;
   size_t oldest_cursor_ = 0;
+
+  // Per-slot admission bounds (dense; kDeadBound sentinel for tombstoned
+  // slots) and a lazy-deletion max-heap of (bound, slot) backing the
+  // EXACT global max — the radius of the arrival-time candidate query.
+  // A bound change pushes one heap entry and leaves the old one behind;
+  // an entry is live only while its value still matches bounds_[slot],
+  // so MaxBound pops stale tops on read and periodically rebuilds. One
+  // vector push per change instead of two balanced-tree updates — this
+  // sits on the per-arrival hot path. Maintained on every insert/
+  // displace/backfill/evict regardless of config.admission_bound, so
+  // toggling the bound is purely a read-path decision and snapshots
+  // stay uniform.
+  static constexpr double kDeadBound = -1.0;
+  std::vector<double> bounds_;
+  std::vector<std::pair<double, size_t>> bound_heap_;
 
   // --- Adaptive state (empty vectors in fixed-l mode) ------------------
   // vorders_[j]: the tuples judge j validates — its vk nearest live

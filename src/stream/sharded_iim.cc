@@ -39,6 +39,26 @@ Partitioner KeyHashPartitioner(int column) {
   };
 }
 
+namespace {
+
+// The wrapper's global core ALWAYS prunes its arrival scan with the
+// admission bound, regardless of options.admission_bound: pruning is
+// observable-free (bit-identical results, identical real-work
+// counters), and the global core's maintenance runs serially on the
+// wrapper thread for every arrival — it is the ingest-scaling
+// bottleneck the bound exists to remove. options.admission_bound keeps
+// governing the shard engines (and plain OnlineIim), where `false`
+// remains the O(n) full-scan differential baseline. Only the visit
+// accounting (orders_scanned / admission_skips) can differ from a
+// full-scan single engine's when the option is off.
+core::IimOptions GlobalCoreOptions(const core::IimOptions& options) {
+  core::IimOptions g = options;
+  g.admission_bound = true;
+  return g;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ShardedOnlineIim>> ShardedOnlineIim::Create(
     const data::Schema& schema, int target, std::vector<int> features,
     const core::IimOptions& options, Partitioner partitioner) {
@@ -77,7 +97,8 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
       partitioner_(std::move(partitioner)),
       q_(features_.size()),
       ell_(std::max<size_t>(options.ell, 1)),
-      core_(MakeOrderCoreConfig(options, features_.size())) {
+      core_(MakeOrderCoreConfig(GlobalCoreOptions(options),
+                                features_.size())) {
   // Shards run unwindowed (the wrapper owns the GLOBAL window),
   // single-threaded (the wrapper owns the fan-out) and fixed-l: the
   // wrapper's own global core maintains every model actually served, so
@@ -94,6 +115,21 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
   // so shards never open stores of their own.
   sub.persist_dir.clear();
   sub.snapshot_every = 0;
+  // A shard holds ~1/S of the residents, so index policies tuned for a
+  // standalone engine misjudge shard-local sizes: with the default
+  // 4096-point KD-tree threshold, shards of a 10k-row relation at S=4
+  // never build trees and their admission-bound radius queries fall
+  // back to brute scans over every resident. Scale the unset thresholds
+  // by the shard count (results are identical at every setting — the
+  // knobs move only when trees exist and tombstones compact).
+  if (sub.index_kdtree_threshold == 0 && options_.shards > 1) {
+    sub.index_kdtree_threshold = std::max<size_t>(
+        64, DynamicIndex::Options().kdtree_threshold / options_.shards);
+  }
+  if (sub.index_min_rebuild_tail == 0 && options_.shards > 1) {
+    sub.index_min_rebuild_tail = std::max<size_t>(
+        32, DynamicIndex::Options().min_rebuild_tail / options_.shards);
+  }
   shards_.reserve(options_.shards);
   global_of_local_.resize(options_.shards);
   next_local_.resize(options_.shards, 0);
@@ -516,6 +552,9 @@ ShardedOnlineIim::Stats ShardedOnlineIim::stats() const {
   s.holders_invalidated = c.holders_invalidated;
   s.global_fits_reused = c.models_reused;
   s.adaptive_l_changes = c.adaptive_l_changes;
+  s.orders_scanned = c.orders_scanned;
+  s.orders_admitted = c.orders_admitted;
+  s.admission_skips = c.admission_skips;
   s.per_shard.clear();
   s.per_shard.reserve(shards_.size());
   for (const std::unique_ptr<OnlineIim>& sh : shards_) {

@@ -114,6 +114,12 @@ class ShardedOnlineIim {
     // Adaptive re-evaluations whose chosen l changed (0 unless
     // options.adaptive).
     size_t adaptive_l_changes = 0;
+    // Global-core admission-bound gauges (see OnlineIim::Stats): orders
+    // the global arrival scan visited, orders that adopted the arrival,
+    // and orders the bound let it skip.
+    size_t orders_scanned = 0;
+    size_t orders_admitted = 0;
+    size_t admission_skips = 0;
     // --- Durability (persist_dir deployments; see OnlineIim::Stats) ---
     // The wrapper owns ONE store: shard state rides inside the wrapper
     // snapshot, so these counters live here, not per shard.
