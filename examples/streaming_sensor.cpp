@@ -38,6 +38,15 @@
 // log tail, and answers every probe bit-for-bit as the engine that never
 // crashed.
 //
+// Act six breaks the disk under act four's deployment: the wal.append
+// fail point (src/common/failpoint.h) injects IoError on every append,
+// bounded retries are exhausted, and the engine degrades — further
+// ingests are refused with Unavailable while imputations keep serving
+// off the last durable state. When the disk comes back,
+// RecoverDurability() writes a covering snapshot and returns the engine
+// to healthy, and the refused readings are re-ingested as if nothing
+// happened. Every transition and refusal is counted.
+//
 // Act five lets every reading choose its own neighborhood size l
 // (IimOptions::adaptive — the paper's Algorithm 3), online: each arrival
 // re-validates only the tuples whose validation lists it actually
@@ -58,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "core/iim_imputer.h"
@@ -549,5 +559,119 @@ int main() {
               amismatches == 0
                   ? "bit-identical (per-tuple l costs no accuracy online)"
                   : "MISMATCH");
-  return amismatches == 0 ? 0 : 1;
+  if (amismatches != 0) return 1;
+
+  // Act six: survive a failing disk. Act four showed the log replay;
+  // this act shows the failure policy around the log. The disk "fills"
+  // mid-stream — the wal.append fail point injects IoError on every
+  // append — bounded retries find the fault persistent, and the engine
+  // degrades: arrivals are refused with Unavailable (never half-applied)
+  // while imputations keep serving off the last durable state. When the
+  // disk comes back, RecoverDurability() re-syncs the store, writes a
+  // covering snapshot and returns the engine to healthy.
+  char ftmpl[] = "/tmp/iim_sensor_faults_XXXXXX";
+  if (mkdtemp(ftmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  std::string fault_dir = std::string(ftmpl) + "/wal";
+  iim::core::IimOptions fopt = opt;
+  fopt.window_size = 0;
+  fopt.persist_dir = fault_dir;
+  fopt.snapshot_every = 400;
+  fopt.wal_retry_attempts = 2;  // two bounded retries before degrading
+  fopt.wal_retry_base = 0.0005;
+  auto fragile_r = iim::stream::OnlineIim::Create(readings.schema(), target,
+                                                  features, fopt);
+  if (!fragile_r.ok()) {
+    std::fprintf(stderr, "fragile create: %s\n",
+                 fragile_r.status().ToString().c_str());
+    return 1;
+  }
+  iim::stream::OnlineIim& fragile = *fragile_r.value();
+  const size_t kOutageAt = 300;
+  const size_t kOutageSpan = 20;
+  for (size_t i = 0; i < kOutageAt; ++i) {
+    iim::Status st = fragile.Ingest(readings.Row(i));
+    if (!st.ok()) {
+      std::fprintf(stderr, "fragile ingest %zu: %s\n", i,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nFailing disk (WAL retries %zu, then degrade): %llu readings "
+              "durable, health %s\n",
+              fopt.wal_retry_attempts,
+              static_cast<unsigned long long>(fragile.durable_ops()),
+              iim::stream::HealthStateName(fragile.Health()));
+
+  // The disk fills: every append from here on fails.
+  iim::fail::Spec disk_full;
+  disk_full.code = iim::StatusCode::kIoError;
+  disk_full.message = "simulated disk full";
+  iim::fail::Enable("wal.append", disk_full);
+  size_t refused = 0;
+  for (size_t i = kOutageAt; i < kOutageAt + kOutageSpan; ++i) {
+    if (!fragile.Ingest(readings.Row(i)).ok()) ++refused;
+  }
+  std::printf("Outage: %zu/%zu arrivals refused un-applied, health %s\n",
+              refused, kOutageSpan,
+              iim::stream::HealthStateName(fragile.Health()));
+  // Reads ride through the outage: a lost reading is still imputed from
+  // the durable prefix.
+  std::vector<double> lost = readings.Row(kOutageAt - 1).ToVector();
+  lost[static_cast<size_t>(target)] = std::numeric_limits<double>::quiet_NaN();
+  iim::data::RowView lost_view(lost.data(), lost.size());
+  iim::Result<double> served_degraded = fragile.ImputeOne(lost_view);
+  if (!served_degraded.ok()) {
+    std::fprintf(stderr, "degraded impute: %s\n",
+                 served_degraded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Imputation during the outage: served %.3f (reads never "
+              "degrade)\n",
+              served_degraded.value());
+
+  // The disk comes back; recovery is explicit, never a lucky retry.
+  iim::fail::DisableAll();
+  iim::Status healed = fragile.RecoverDurability();
+  if (!healed.ok()) {
+    std::fprintf(stderr, "recover durability: %s\n",
+                 healed.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = kOutageAt; i < kOutageAt + kOutageSpan; ++i) {
+    iim::Status st = fragile.Ingest(readings.Row(i));
+    if (!st.ok()) {
+      std::fprintf(stderr, "post-recovery ingest %zu: %s\n", i,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto& fstats = fragile.stats();
+  std::printf("Recovered: health %s, refused readings re-ingested; %llu "
+              "durable ops, %zu WAL retries, %zu refusals, %zu health "
+              "transitions\n",
+              iim::stream::HealthStateName(fragile.Health()),
+              static_cast<unsigned long long>(fragile.durable_ops()),
+              fstats.wal_retries, fstats.degraded_rejected,
+              fstats.health_transitions);
+  bool fault_act_ok = fragile.Health() == iim::stream::HealthState::kHealthy &&
+                      refused == kOutageSpan &&
+                      fragile.durable_ops() >=
+                          static_cast<uint64_t>(kOutageAt + kOutageSpan) &&
+                      fstats.health_transitions == 2;
+  auto fault_leftover = iim::stream::persist::ListDir(fault_dir);
+  if (fault_leftover.ok()) {
+    for (const std::string& name : fault_leftover.value()) {
+      (void)iim::stream::persist::RemoveFile(fault_dir + "/" + name);
+    }
+  }
+  ::rmdir(fault_dir.c_str());
+  ::rmdir(ftmpl);
+  if (!fault_act_ok) {
+    std::fprintf(stderr, "fault act left unexpected state\n");
+    return 1;
+  }
+  return 0;
 }

@@ -1,0 +1,139 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace iim::fail {
+
+namespace {
+
+struct PointState {
+  Spec spec;
+  bool armed = false;
+  bool spent = false;  // a `once` trigger already fired
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  std::mt19937_64 rng;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, PointState>& Registry() {
+  static auto* points = new std::unordered_map<std::string, PointState>();
+  return *points;
+}
+
+}  // namespace
+
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+void Enable(const std::string& name, Spec spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  PointState& st = Registry()[name];
+  if (!st.armed) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  st.armed = true;
+  st.spent = false;
+  st.hits = 0;
+  st.fires = 0;
+  st.rng.seed(spec.seed);
+  st.spec = std::move(spec);
+}
+
+void Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisableAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, st] : Registry()) {
+    if (st.armed) {
+      st.armed = false;
+      ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool IsEnabled(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it != Registry().end() && it->second.armed;
+}
+
+PointStats GetStats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  PointStats out;
+  if (it != Registry().end()) {
+    out.hits = it->second.hits;
+    out.fires = it->second.fires;
+  }
+  return out;
+}
+
+std::vector<std::string> ActivePoints() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  for (const auto& [name, st] : Registry()) {
+    if (st.armed) names.push_back(name);
+  }
+  return names;
+}
+
+Status Evaluate(const char* name) {
+  Spec::Action action;
+  StatusCode code;
+  std::string message;
+  double latency;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(name);
+    if (it == Registry().end() || !it->second.armed) return Status::OK();
+    PointState& st = it->second;
+    ++st.hits;
+    if (st.spec.once && st.spent) return Status::OK();
+    if (st.spec.every_nth > 0 && st.hits % st.spec.every_nth != 0) {
+      return Status::OK();
+    }
+    if (st.spec.probability < 1.0) {
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      if (uni(st.rng) >= st.spec.probability) return Status::OK();
+    }
+    ++st.fires;
+    st.spent = true;
+    action = st.spec.action;
+    code = st.spec.code;
+    message = st.spec.message;
+    latency = st.spec.latency_seconds;
+  }
+  // The action runs outside the lock: a sleeping or crashing point must
+  // not block other points, and Enable/Disable stay responsive.
+  switch (action) {
+    case Spec::Action::kError:
+      return Status(code, "fail point '" + std::string(name) + "': " + message);
+    case Spec::Action::kLatency:
+      if (latency > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(latency));
+      }
+      return Status::OK();
+    case Spec::Action::kCrash:
+      std::_Exit(42);
+  }
+  return Status::OK();
+}
+
+}  // namespace iim::fail

@@ -1,0 +1,97 @@
+// Fail points: process-wide, named fault-injection sites.
+//
+// A use site declares a point with IIM_FAIL_POINT("wal.append") (or calls
+// fail::Inject directly when it needs to handle the injected status
+// itself). Nothing happens until a controller arms the point with
+// Enable(name, spec); an armed point can inject an error Status, add
+// latency, or crash the process, fired on every hit, with a probability,
+// once, or on every Nth hit. Disarmed cost is one relaxed atomic load and
+// a predictable branch — cheap enough to leave compiled into release
+// builds (bench_streaming gates this).
+//
+// Arm/disarm/stats are thread-safe against concurrent hits; the injected
+// action itself runs outside the registry lock.
+
+#ifndef IIM_COMMON_FAILPOINT_H_
+#define IIM_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iim::fail {
+
+// What an armed point does when its trigger fires.
+struct Spec {
+  enum class Action { kError, kLatency, kCrash };
+  Action action = Action::kError;
+
+  // kError: the Status injected at the point.
+  StatusCode code = StatusCode::kIoError;
+  std::string message = "injected fault";
+
+  // kLatency: how long the hit blocks before proceeding normally.
+  double latency_seconds = 0.0;
+
+  // Trigger. `probability` gates every hit (1.0 = always); `every_nth`,
+  // when > 0, restricts firing to hits where hit_count % every_nth == 0
+  // (so 1 = every hit, 3 = every third); `once` disarms the trigger after
+  // its first fire. The three compose: a hit fires only if all agree.
+  double probability = 1.0;
+  uint64_t every_nth = 0;
+  bool once = false;
+  uint64_t seed = 0;  // seeds the probability draws, per Enable
+};
+
+struct PointStats {
+  uint64_t hits = 0;   // evaluations while armed
+  uint64_t fires = 0;  // hits whose action triggered
+};
+
+// Arms `name`, replacing any previous spec and zeroing its stats.
+void Enable(const std::string& name, Spec spec);
+
+// Disarms `name` (no-op if not armed). Stats survive until re-Enable.
+void Disable(const std::string& name);
+void DisableAll();
+
+bool IsEnabled(const std::string& name);
+PointStats GetStats(const std::string& name);
+std::vector<std::string> ActivePoints();
+
+// Count of armed points; the only state the disarmed hot path reads.
+std::atomic<int>& ArmedCount();
+
+// Slow path: consult the registry for `name` and run the action if it
+// fires. kError returns the injected status; kLatency sleeps then returns
+// OK; kCrash terminates the process with _Exit(42) (no destructors — a
+// genuine crash as far as durability is concerned).
+Status Evaluate(const char* name);
+
+// The hit every use site performs: free when nothing is armed anywhere.
+inline Status Inject(const char* name) {
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return Status::OK();
+  return Evaluate(name);
+}
+
+}  // namespace iim::fail
+
+// Declares a fail point in a function returning Status or Result<T>: an
+// injected error propagates to the caller, exactly like RETURN_IF_ERROR.
+#define IIM_FAIL_POINT(name)                         \
+  do {                                               \
+    ::iim::Status _fp_st = ::iim::fail::Inject(name); \
+    if (!_fp_st.ok()) return _fp_st;                 \
+  } while (0)
+
+// Declares a fail point in a void context: latency and crash actions take
+// effect, error fires are counted but not propagated.
+#define IIM_FAIL_POINT_VOID(name) \
+  do {                            \
+    (void)::iim::fail::Inject(name); \
+  } while (0)
+
+#endif  // IIM_COMMON_FAILPOINT_H_

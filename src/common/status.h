@@ -23,7 +23,28 @@ enum class StatusCode {
   kIoError = 7,
   kResourceExhausted = 8,
   kShutdown = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
+
+// Stable, human-readable name for a code ("OK", "IoError", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kShutdown: return "Shutdown";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
+  }
+  return "Unknown";
+}
 
 // Value-semantic status object. Ok statuses carry no message and are cheap
 // to copy; error statuses carry a code and a human-readable message.
@@ -66,6 +87,12 @@ class Status {
   static Status Shutdown(std::string msg) {
     return Status(StatusCode::kShutdown, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,7 +101,7 @@ class Status {
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const {
     if (ok()) return "OK";
-    return std::string(CodeName(code_)) + ": " + message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
   bool operator==(const Status& other) const {
@@ -82,22 +109,6 @@ class Status {
   }
 
  private:
-  static const char* CodeName(StatusCode code) {
-    switch (code) {
-      case StatusCode::kOk: return "OK";
-      case StatusCode::kInvalidArgument: return "InvalidArgument";
-      case StatusCode::kNotFound: return "NotFound";
-      case StatusCode::kOutOfRange: return "OutOfRange";
-      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
-      case StatusCode::kInternal: return "Internal";
-      case StatusCode::kNotSupported: return "NotSupported";
-      case StatusCode::kIoError: return "IoError";
-      case StatusCode::kResourceExhausted: return "ResourceExhausted";
-      case StatusCode::kShutdown: return "Shutdown";
-    }
-    return "Unknown";
-  }
-
   StatusCode code_;
   std::string message_;
 };

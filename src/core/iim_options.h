@@ -109,6 +109,31 @@ struct IimOptions {
   // segments are garbage-collected; min 1).
   size_t keep_snapshots = 2;
 
+  // --- Robustness (stream engines with a persist_dir) ---
+  // A failed write-ahead append is retried up to this many extra times
+  // before the engine gives up on durability for the op (0 = fail fast).
+  // Backoff between attempts doubles from wal_retry_base up to
+  // wal_retry_max seconds.
+  size_t wal_retry_attempts = 0;
+  double wal_retry_base = 0.001;
+  double wal_retry_max = 0.1;
+  // What a degraded engine (durable-write retries exhausted; see
+  // stream/health.h) does with further mutations. Imputations keep
+  // serving under every policy.
+  enum class DegradedIngest {
+    // Reject ingests/evictions with kUnavailable until durability is
+    // explicitly recovered. Nothing acknowledged is ever lost.
+    kReject,
+    // Apply them WITHOUT logging and acknowledge with an OK status whose
+    // message flags the hole ("accepted non-durably"); a crash before
+    // RecoverDurability() loses exactly those ops.
+    kAcceptNonDurable,
+  };
+  DegradedIngest degraded_ingest = DegradedIngest::kReject;
+  // kAcceptNonDurable only: unlogged ops tolerated before the engine
+  // escalates kDegraded -> kReadOnly (0 = never escalate).
+  size_t max_nondurable_ops = 0;
+
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware
   // threads). Results are bit-identical for every setting: the parallel

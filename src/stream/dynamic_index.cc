@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "neighbors/distance.h"
 
@@ -35,7 +36,11 @@ void DynamicIndex::InstallLocked() {
       !pending_->done.load(std::memory_order_acquire)) {
     return;
   }
-  if (pending_->epoch == prefix_epoch_) {
+  if (pending_->abandoned.load(std::memory_order_acquire)) {
+    // The task bailed out (injected rebuild failure) before producing a
+    // tree; the live tree stays, and the tail policy relaunches later.
+    ++discarded_;
+  } else if (pending_->epoch == prefix_epoch_) {
     // The prefix the build covered is bit-unchanged (appends only extend
     // it), so the tree's point ids and split planes are valid against the
     // live buffer. The swap is the only tree mutation queries can ever
@@ -77,6 +82,15 @@ void DynamicIndex::LaunchRebuildLocked() {
       }
       p->snapshot.assign(points_.begin(),
                          points_.begin() + static_cast<long>(p->n * d));
+    }
+    // Fault-injection site for the background task itself: an injected
+    // error abandons this build (the live tree keeps serving and the
+    // tail policy relaunches on a later append); latency stretches the
+    // no-lock build window; crash kills the process mid-rebuild.
+    if (!iim::fail::Inject("index.rebuild").ok()) {
+      p->abandoned.store(true, std::memory_order_release);
+      p->done.store(true, std::memory_order_release);
+      return;
     }
     // The O(n log n) build runs with no lock held.
     p->tree.Build(p->snapshot.data(), p->n, d);

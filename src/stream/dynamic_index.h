@@ -232,6 +232,9 @@ class DynamicIndex final : public neighbors::NeighborIndex {
     uint64_t epoch = 0;     // prefix_epoch_ at launch
     std::vector<double> snapshot;
     neighbors::FlatKdTree tree;
+    // Set by the task when the build died short of a usable tree (the
+    // "index.rebuild" fail point): installed as a discard, never a swap.
+    std::atomic<bool> abandoned{false};
     std::atomic<bool> done{false};
   };
 

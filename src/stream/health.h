@@ -1,0 +1,44 @@
+// Engine health: the sticky degradation ladder the streaming engines and
+// ImputationService expose.
+//
+//   kHealthy   durable writes succeed (or no persistence is configured).
+//   kDegraded  a durable write exhausted its retry budget. Mutations are
+//              rejected (kUnavailable) or accepted non-durably with a
+//              flagged status, per IimOptions::degraded_ingest;
+//              imputations keep serving either way. Checkpointing is
+//              suspended (a snapshot could not honestly state which ops
+//              it covers).
+//   kReadOnly  the non-durable debt exceeded
+//              IimOptions::max_nondurable_ops: every further mutation is
+//              refused until an operator recovers durability.
+//
+// Transitions only go DOWN the ladder on failure — a later write
+// succeeding by luck must not hide that acknowledged history has a hole.
+// The way back up is explicit: RecoverDurability() folds the unlogged ops
+// into the op count and publishes a blocking snapshot covering the
+// engine's current state, after which the engine is kHealthy again (a
+// crash before that snapshot lands loses exactly the non-durable ops).
+
+#ifndef IIM_STREAM_HEALTH_H_
+#define IIM_STREAM_HEALTH_H_
+
+namespace iim::stream {
+
+enum class HealthState {
+  kHealthy = 0,
+  kDegraded = 1,
+  kReadOnly = 2,
+};
+
+inline const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kReadOnly: return "read-only";
+  }
+  return "unknown";
+}
+
+}  // namespace iim::stream
+
+#endif  // IIM_STREAM_HEALTH_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "baselines/mean_imputer.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace iim::stream {
@@ -82,7 +84,7 @@ bool ImputationService::TryEnqueue(Request req) {
       queue_.push_back(std::move(req));
       return true;
     } else {
-      ++stats_.rejected;
+      ++stats_.queue_shed;
     }
   }
   // Reject outside the lock: the engine never sees the request; its
@@ -103,10 +105,26 @@ bool ImputationService::TryEnqueue(Request req) {
   return false;
 }
 
+std::chrono::steady_clock::time_point ImputationService::DeadlineFrom(
+    double deadline_seconds) {
+  if (deadline_seconds <= 0.0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(deadline_seconds));
+}
+
 std::future<Status> ImputationService::SubmitIngest(std::vector<double> row) {
+  return SubmitIngest(std::move(row), options_.default_deadline);
+}
+
+std::future<Status> ImputationService::SubmitIngest(std::vector<double> row,
+                                                    double deadline_seconds) {
   Request req;
   req.kind = Kind::kIngest;
   req.values = std::move(row);
+  req.deadline = DeadlineFrom(deadline_seconds);
   std::future<Status> result = req.status_promise.get_future();
   if (TryEnqueue(std::move(req))) work_cv_.notify_one();
   return result;
@@ -114,18 +132,30 @@ std::future<Status> ImputationService::SubmitIngest(std::vector<double> row) {
 
 std::future<Result<double>> ImputationService::SubmitImpute(
     std::vector<double> tuple) {
+  return SubmitImpute(std::move(tuple), options_.default_deadline);
+}
+
+std::future<Result<double>> ImputationService::SubmitImpute(
+    std::vector<double> tuple, double deadline_seconds) {
   Request req;
   req.kind = Kind::kImpute;
   req.values = std::move(tuple);
+  req.deadline = DeadlineFrom(deadline_seconds);
   std::future<Result<double>> result = req.impute_promise.get_future();
   if (TryEnqueue(std::move(req))) work_cv_.notify_one();
   return result;
 }
 
 std::future<Status> ImputationService::SubmitEvict(uint64_t arrival) {
+  return SubmitEvict(arrival, options_.default_deadline);
+}
+
+std::future<Status> ImputationService::SubmitEvict(uint64_t arrival,
+                                                   double deadline_seconds) {
   Request req;
   req.kind = Kind::kEvict;
   req.arrival = arrival;
+  req.deadline = DeadlineFrom(deadline_seconds);
   std::future<Status> result = req.status_promise.get_future();
   if (TryEnqueue(std::move(req))) work_cv_.notify_one();
   return result;
@@ -178,6 +208,11 @@ ImputationService::Stats ImputationService::stats() const {
   return s;
 }
 
+HealthState ImputationService::Health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.health;
+}
+
 void ImputationService::RefreshEngineStats() {
   if (sharded_ != nullptr) {
     ShardedOnlineIim::Stats es = sharded_->stats();
@@ -187,6 +222,10 @@ void ImputationService::RefreshEngineStats() {
     stats_.holders_invalidated = es.holders_invalidated;
     stats_.global_fits_reused = es.global_fits_reused;
     stats_.adaptive_l_changes = es.adaptive_l_changes;
+    stats_.engine_wal_retries = es.wal_retries;
+    stats_.engine_nondurable_ops = es.nondurable_ops;
+    stats_.engine_health_transitions = es.health_transitions;
+    stats_.health = sharded_->Health();
     stats_.shard_stats = std::move(es.per_shard);
   } else {
     const OnlineIim::Stats es = engine_->stats();
@@ -196,6 +235,10 @@ void ImputationService::RefreshEngineStats() {
     stats_.holders_invalidated = es.holders_invalidated;
     stats_.global_fits_reused = es.global_fits_reused;
     stats_.adaptive_l_changes = es.adaptive_l_changes;
+    stats_.engine_wal_retries = es.wal_retries;
+    stats_.engine_nondurable_ops = es.nondurable_ops;
+    stats_.engine_health_transitions = es.health_transitions;
+    stats_.health = engine_->Health();
   }
 }
 
@@ -209,40 +252,125 @@ void ImputationService::RecordLatency(std::vector<double>* ring,
   *next = (*next + 1) % kLatencySamples;
 }
 
+void ImputationService::ServeImputeFallback(std::vector<Request>* taken) {
+  // A fresh column-mean fit over the live window: O(n) once per batch and
+  // independent of how backed up the individual-model engine is. The
+  // sharded window is materialized by value and must outlive the imputer;
+  // the unsharded table() reference stays valid because this thread is
+  // the engine's only caller and performs no mutation here.
+  baselines::MeanImputer fallback;
+  data::Table window;
+  Status fit;
+  if (sharded_ != nullptr) {
+    window = sharded_->Window();
+    fit = fallback.Fit(window, sharded_->target(), sharded_->features());
+  } else {
+    fit = fallback.Fit(engine_->table(), engine_->target(),
+                       engine_->features());
+  }
+  for (Request& req : *taken) {
+    if (!fit.ok()) {
+      // E.g. an empty window — the same condition the engine itself
+      // would refuse; surface the fit error per request.
+      req.impute_promise.set_value(Result<double>(fit));
+      continue;
+    }
+    data::RowView row(req.values.data(), req.values.size());
+    req.impute_promise.set_value(fallback.ImputeOne(row));
+  }
+}
+
 void ImputationService::ServeLoop() {
   for (;;) {
     std::vector<Request> taken;
+    std::vector<Request> expired;
+    bool use_fallback = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] {
         return shutdown_ || (!queue_.empty() && !paused_);
       });
       if (queue_.empty()) break;  // shutdown with nothing left to serve
-      Kind head = queue_.front().kind;
-      if (head == Kind::kEvict ||
-          (head == Kind::kIngest && sharded_ == nullptr)) {
-        // Applied one at a time: later requests must see the relation
-        // exactly as their submission order implies, and the unsharded
-        // engine has no batched mutation entry point.
-        taken.push_back(std::move(queue_.front()));
+      // Expired requests resolve without engine work, so they pop
+      // regardless of kind and never join a micro-batch. Deadlines are
+      // only checked here — at pop time — so an expired request deeper
+      // in the queue waits its turn (it still never reaches the engine).
+      const auto now = std::chrono::steady_clock::now();
+      while (!queue_.empty() && queue_.front().deadline <= now) {
+        expired.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        ++stats_.deadline_expired;
+      }
+      if (queue_.empty()) {
+        RefreshEngineStats();
+        idle_cv_.notify_all();
       } else {
-        // Coalesce the run of same-kind requests at the head into one
-        // micro-batch: imputations for either engine, ingests for the
-        // sharded engine (which applies the run with per-shard
-        // parallelism while preserving sequential semantics).
-        while (!queue_.empty() && queue_.front().kind == head &&
-               taken.size() < options_.max_batch) {
+        Kind head = queue_.front().kind;
+        if (head == Kind::kEvict ||
+            (head == Kind::kIngest && sharded_ == nullptr)) {
+          // Applied one at a time: later requests must see the relation
+          // exactly as their submission order implies, and the unsharded
+          // engine has no batched mutation entry point.
           taken.push_back(std::move(queue_.front()));
           queue_.pop_front();
+        } else {
+          // Coalesce the run of same-kind requests at the head into one
+          // micro-batch: imputations for either engine, ingests for the
+          // sharded engine (which applies the run with per-shard
+          // parallelism while preserving sequential semantics).
+          while (!queue_.empty() && queue_.front().kind == head &&
+                 taken.size() < options_.max_batch &&
+                 queue_.front().deadline > now) {
+            taken.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
         }
+        in_flight_ = taken.size();
+        // The overload check happens AFTER popping: the batch in hand is
+        // rerouted when the backlog behind it is still at the watermark.
+        use_fallback = head == Kind::kImpute &&
+                       options_.fallback_watermark > 0 &&
+                       queue_.size() >= options_.fallback_watermark;
       }
-      in_flight_ = taken.size();
     }
 
+    // Resolve deadline misses outside the lock, like every other answer.
+    if (!expired.empty()) {
+      Status late = Status::DeadlineExceeded(
+          "ImputationService: deadline passed while queued; the engine "
+          "never saw this request");
+      for (Request& req : expired) {
+        if (req.kind == Kind::kImpute) {
+          req.impute_promise.set_value(late);
+        } else {
+          req.status_promise.set_value(late);
+        }
+      }
+    }
+    if (taken.empty()) continue;  // everything popped had expired
+
+    // Latency injection point: stalls the drain without failing anything
+    // (chaos schedules use it to pile up the queue and force deadline
+    // misses, shedding and the overload fallback).
+    IIM_FAIL_POINT_VOID("service.drain");
+
     Kind kind = taken.front().kind;
+    size_t degraded = 0;  // engine kUnavailable refusals in this batch
+    bool injected = false;
     Stopwatch serve_timer;
-    if (kind == Kind::kIngest) {
+    // Batch-execution fault: the whole popped batch resolves to the
+    // injected status and the engine is never touched.
+    Status batch_fault = iim::fail::Inject("service.batch");
+    if (!batch_fault.ok()) {
+      injected = true;
+      for (Request& req : taken) {
+        if (req.kind == Kind::kImpute) {
+          req.impute_promise.set_value(batch_fault);
+        } else {
+          req.status_promise.set_value(batch_fault);
+        }
+      }
+    } else if (kind == Kind::kIngest) {
       if (sharded_ != nullptr) {
         std::vector<data::RowView> rows;
         rows.reserve(taken.size());
@@ -251,18 +379,24 @@ void ImputationService::ServeLoop() {
         }
         std::vector<Status> statuses = sharded_->IngestBatch(rows);
         for (size_t i = 0; i < taken.size(); ++i) {
+          if (statuses[i].code() == StatusCode::kUnavailable) ++degraded;
           taken[i].status_promise.set_value(std::move(statuses[i]));
         }
       } else {
         data::RowView row(taken.front().values.data(),
                           taken.front().values.size());
-        taken.front().status_promise.set_value(engine_->Ingest(row));
+        Status st = engine_->Ingest(row);
+        if (st.code() == StatusCode::kUnavailable) ++degraded;
+        taken.front().status_promise.set_value(std::move(st));
       }
     } else if (kind == Kind::kEvict) {
       Status st = sharded_ != nullptr
                       ? sharded_->Evict(taken.front().arrival)
                       : engine_->Evict(taken.front().arrival);
+      if (st.code() == StatusCode::kUnavailable) ++degraded;
       taken.front().status_promise.set_value(std::move(st));
+    } else if (use_fallback) {
+      ServeImputeFallback(&taken);
     } else {
       std::vector<data::RowView> rows;
       rows.reserve(taken.size());
@@ -280,8 +414,12 @@ void ImputationService::ServeLoop() {
     double serve_seconds = serve_timer.ElapsedSeconds();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (kind == Kind::kIngest) {
+      if (injected) {
+        // The engine never saw the batch: no serve counters, no latency
+        // sample — only the quiesce/in-flight bookkeeping below.
+      } else if (kind == Kind::kIngest) {
         stats_.ingests += taken.size();
+        stats_.degraded_rejected += degraded;
         if (sharded_ != nullptr) {
           ++stats_.ingest_batches;
           stats_.largest_ingest_batch =
@@ -290,10 +428,15 @@ void ImputationService::ServeLoop() {
         RecordLatency(&ingest_seconds_, &ingest_next_, serve_seconds);
       } else if (kind == Kind::kEvict) {
         ++stats_.evictions;
+        stats_.degraded_rejected += degraded;
       } else {
         stats_.imputations += taken.size();
-        ++stats_.batches;
-        stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
+        if (use_fallback) {
+          stats_.fallback_imputes += taken.size();
+        } else {
+          ++stats_.batches;
+          stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
+        }
         RecordLatency(&impute_seconds_, &impute_next_, serve_seconds);
       }
       // Engine stats are only refreshed at quiesce points — the queue

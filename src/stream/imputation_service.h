@@ -36,6 +36,7 @@
 #ifndef IIM_STREAM_IMPUTATION_SERVICE_H_
 #define IIM_STREAM_IMPUTATION_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "common/percentile.h"
+#include "stream/health.h"
 #include "stream/online_iim.h"
 #include "stream/sharded_iim.h"
 
@@ -61,6 +63,18 @@ class ImputationService {
     // behavior; use only when producers are known to be slower than the
     // engine).
     size_t max_queue = 4096;
+    // Deadline in seconds applied to every submission that does not carry
+    // its own (0 = none). A request still queued when its deadline passes
+    // resolves to kDeadlineExceeded at drain time, without ever touching
+    // the engine — distinct from the kResourceExhausted queue shed.
+    double default_deadline = 0.0;
+    // Overload fallback: when the backlog still at/above this length
+    // after an impute micro-batch is popped, the batch is answered by a
+    // cheap column-mean imputer fitted on the live window instead of the
+    // engine (counted in Stats::fallback_imputes — the degraded-answer
+    // mark). Bounds impute latency under pressure at the cost of answer
+    // quality; mutations are never rerouted. 0 = off.
+    size_t fallback_watermark = 0;
   };
 
   struct Stats {
@@ -71,8 +85,24 @@ class ImputationService {
     size_t largest_batch = 0;
     size_t ingest_batches = 0;       // engine IngestBatch calls (sharded)
     size_t largest_ingest_batch = 0;
-    size_t rejected = 0;      // submissions shed at the queue bound
+    // The rejection split: every request that resolved without reaching
+    // the engine is exactly one of these.
+    size_t queue_shed = 0;         // shed at the queue bound
+    size_t deadline_expired = 0;   // deadline passed while queued
     size_t shutdown_rejected = 0;  // submissions after Shutdown()
+    // Mutations the engine itself refused with kUnavailable because its
+    // health was degraded/read-only (see stream/health.h).
+    size_t degraded_rejected = 0;
+    // Imputations answered by the overload fallback imputer
+    // (Options::fallback_watermark) — degraded answers, counted so a
+    // caller can tell how many results came from the cheap path.
+    size_t fallback_imputes = 0;
+    // Engine health at the last quiesce point, plus its ladder counters
+    // (see OnlineIim::Stats).
+    HealthState health = HealthState::kHealthy;
+    size_t engine_wal_retries = 0;
+    size_t engine_nondurable_ops = 0;
+    size_t engine_health_transitions = 0;
     // Engine durability counters (see OnlineIim::Stats), refreshed at the
     // same quiesce points as shard_stats — for BOTH engine kinds.
     size_t snapshots_written = 0;
@@ -118,13 +148,20 @@ class ImputationService {
   ImputationService& operator=(const ImputationService&) = delete;
 
   // Enqueues a complete tuple (full schema arity, by value — the caller's
-  // buffer is free immediately).
+  // buffer is free immediately). The plain overloads apply
+  // Options::default_deadline; the deadline_seconds overloads replace it
+  // for this request (measured from submission; 0 = no deadline).
   std::future<Status> SubmitIngest(std::vector<double> row);
+  std::future<Status> SubmitIngest(std::vector<double> row,
+                                   double deadline_seconds);
   // Enqueues an incomplete tuple for imputation.
   std::future<Result<double>> SubmitImpute(std::vector<double> tuple);
+  std::future<Result<double>> SubmitImpute(std::vector<double> tuple,
+                                           double deadline_seconds);
   // Enqueues an eviction of the `arrival`-th ingested tuple (see
   // OnlineIim::Evict / ShardedOnlineIim::Evict).
   std::future<Status> SubmitEvict(uint64_t arrival);
+  std::future<Status> SubmitEvict(uint64_t arrival, double deadline_seconds);
 
   // Orderly stop, idempotent. Serves every request already submitted
   // (resuming if paused), joins the server thread, resolves any
@@ -149,6 +186,10 @@ class ImputationService {
   // per-shard engine stats are all copied under one lock acquisition.
   Stats stats() const;
 
+  // The engine's health ladder as of the last quiesce point (the engine
+  // member itself is only safe to read from the server thread).
+  HealthState Health() const;
+
  private:
   enum class Kind { kIngest, kImpute, kEvict };
 
@@ -156,6 +197,10 @@ class ImputationService {
     Kind kind = Kind::kImpute;
     std::vector<double> values;
     uint64_t arrival = 0;
+    // Absolute expiry; max() = none. Checked at drain/pop time only — an
+    // expired request resolves kDeadlineExceeded without engine work.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     std::promise<Status> status_promise;   // ingest + evict
     std::promise<Result<double>> impute_promise;
   };
@@ -171,6 +216,13 @@ class ImputationService {
   // service is shut down; returns whether the request was accepted.
   bool TryEnqueue(Request req);
   void ServeLoop();
+  // Serves one popped impute micro-batch through the cheap column-mean
+  // fallback instead of the engine (Options::fallback_watermark).
+  void ServeImputeFallback(std::vector<Request>* taken);
+  // Converts a per-submit deadline (seconds from now; 0 = none) into the
+  // request's absolute expiry.
+  static std::chrono::steady_clock::time_point DeadlineFrom(
+      double deadline_seconds);
   // Copies the engine's durability counters (and, sharded, per-shard
   // stats) into stats_ — caller holds mu_ at a quiesce point.
   void RefreshEngineStats();

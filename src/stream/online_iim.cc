@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "stream/persist/snapshot.h"
@@ -102,8 +104,11 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   // A log failure (full disk, broken segment) rejects the op unapplied,
   // so the recovered timeline always equals the acknowledged one. Replay
   // skips this — the records being re-applied are already on disk.
+  bool nondurable = false;
   if (store_ != nullptr && !replaying_) {
-    RETURN_IF_ERROR(store_->LogIngest(row.data(), row.size()));
+    RETURN_IF_ERROR(LogDurably(
+        [&] { return store_->LogIngest(row.data(), row.size()); },
+        &nondurable));
   }
 
   std::vector<double> f_new(q_);
@@ -128,6 +133,10 @@ Status OnlineIim::Ingest(const data::RowView& row) {
     MaybeCompact();
   }
   MaybeSnapshot();
+  if (nondurable) {
+    return Status(StatusCode::kOk,
+                  "accepted non-durably: engine degraded, op not logged");
+  }
   return Status::OK();
 }
 
@@ -140,13 +149,19 @@ Status OnlineIim::Evict(uint64_t arrival) {
   }
   // Liveness is checked BEFORE logging: a NotFound evict returns above
   // without a log record, so replay never sees an evict it cannot apply.
+  bool nondurable = false;
   if (store_ != nullptr && !replaying_) {
-    RETURN_IF_ERROR(store_->LogEvict(arrival));
+    RETURN_IF_ERROR(LogDurably([&] { return store_->LogEvict(arrival); },
+                               &nondurable));
   }
   core_.EvictSlot(slot);
   live_cache_valid_ = false;
   MaybeCompact();
   MaybeSnapshot();
+  if (nondurable) {
+    return Status(StatusCode::kOk,
+                  "accepted non-durably: engine degraded, op not logged");
+  }
   return Status::OK();
 }
 
@@ -565,8 +580,93 @@ Status OnlineIim::InitPersistence() {
   return store_->StartLogging(base + applied);
 }
 
+void OnlineIim::SetHealth(HealthState next) {
+  if (health_ == next) return;
+  health_ = next;
+  ++stats_.health_transitions;
+}
+
+Status OnlineIim::LogDurably(const std::function<Status()>& append,
+                             bool* nondurable) {
+  *nondurable = false;
+  if (health_ == HealthState::kReadOnly) {
+    ++stats_.degraded_rejected;
+    return Status::Unavailable(
+        "OnlineIim: read-only — non-durable debt exceeded "
+        "max_nondurable_ops; call RecoverDurability()");
+  }
+  if (health_ == HealthState::kHealthy) {
+    Status st = append();
+    double backoff = options_.wal_retry_base;
+    for (size_t attempt = 0;
+         !st.ok() && attempt < options_.wal_retry_attempts; ++attempt) {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * 2.0, options_.wal_retry_max);
+      ++stats_.wal_retries;
+      st = append();
+    }
+    if (st.ok()) return Status::OK();
+    // Retries exhausted: step down the ladder, and handle THIS op under
+    // the degraded policy below. The transition is sticky — a later
+    // append succeeding by luck must not hide the hole in the log.
+    SetHealth(HealthState::kDegraded);
+  }
+  if (options_.degraded_ingest == core::IimOptions::DegradedIngest::kReject) {
+    ++stats_.degraded_rejected;
+    return Status::Unavailable(
+        "OnlineIim: degraded — durable log unavailable; mutation rejected "
+        "(imputations keep serving)");
+  }
+  ++stats_.nondurable_ops;
+  ++nondurable_debt_;
+  if (options_.max_nondurable_ops > 0 &&
+      nondurable_debt_ >= options_.max_nondurable_ops) {
+    SetHealth(HealthState::kReadOnly);  // this op is the last accepted
+  }
+  *nondurable = true;
+  return Status::OK();
+}
+
+Status OnlineIim::RecoverDurability() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "OnlineIim: no persist_dir was configured");
+  }
+  if (health_ == HealthState::kHealthy) return Status::OK();
+  // Quiesce the store: wait out any in-flight background write and clear
+  // its pending slot so the blocking write below is legal.
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  // Fold the unlogged ops into the op count BEFORE serializing, so the
+  // snapshot's coverage stamp matches the state it actually contains.
+  // Folding is one-way: on a failed write below the debt stays folded
+  // (the engine remains degraded) and a retry writes at the already-
+  // advanced count — never double-counted.
+  store_->AdvanceOps(nondurable_debt_);
+  nondurable_debt_ = 0;
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  Status st = store_->WriteSnapshotBlocking(std::move(bytes));
+  if (!st.ok()) {
+    ++stats_.snapshot_write_failures;
+    return st;
+  }
+  ++stats_.snapshots_written;
+  SetHealth(HealthState::kHealthy);
+  return Status::OK();
+}
+
 void OnlineIim::MaybeSnapshot() {
   if (store_ == nullptr || replaying_) return;
+  // Degraded: the engine holds ops the log does not; a checkpoint here
+  // would stamp a coverage count it does not honor. RecoverDurability()
+  // is the only checkpoint allowed until then.
+  if (health_ != HealthState::kHealthy) return;
   store_->Harvest(&stats_.snapshots_written,
                   &stats_.snapshot_write_failures);
   if (!store_->snapshot_due()) return;

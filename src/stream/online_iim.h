@@ -50,11 +50,13 @@
 #define IIM_STREAM_ONLINE_IIM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/iim_imputer.h"
 #include "data/table.h"
+#include "stream/health.h"
 #include "stream/order_core.h"
 #include "stream/persist/state_store.h"
 
@@ -120,6 +122,16 @@ class OnlineIim {
     // Longest in-memory serialize — the only part of checkpointing that
     // runs on the engine thread and thus the checkpoint "pause".
     double max_snapshot_serialize_seconds = 0.0;
+    // --- Health (see stream/health.h; never serialized) ---
+    // Extra write-ahead append attempts after a failure (the retry loop's
+    // sleeps, not first tries).
+    size_t wal_retries = 0;
+    // Ops applied without a log record (degraded kAcceptNonDurable).
+    size_t nondurable_ops = 0;
+    // Mutations refused because the engine was degraded or read-only.
+    size_t degraded_rejected = 0;
+    // Health-state changes (each step down the ladder, and each recovery).
+    size_t health_transitions = 0;
   };
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
@@ -209,6 +221,8 @@ class OnlineIim {
   // Live tuples.
   size_t size() const { return core_.live(); }
   const core::IimOptions& options() const { return options_; }
+  int target() const { return target_; }
+  const std::vector<int>& features() const { return features_; }
   const DynamicIndex& index() const { return core_.index(); }
   // Flushes the index's background rebuild (tests, benches, quiesce
   // points before a read-heavy phase); queries never require it. Only
@@ -243,6 +257,18 @@ class OnlineIim {
     return store_ == nullptr ? 0 : store_->ops_logged();
   }
 
+  // --- Health (see stream/health.h) ------------------------------------
+  // Current state of the sticky degradation ladder. Always kHealthy
+  // without a persist_dir.
+  HealthState Health() const { return health_; }
+  // The explicit way back to kHealthy after degradation: folds any
+  // non-durable ops into the op count and publishes a BLOCKING snapshot
+  // covering the engine's current state, so the acknowledged and
+  // recoverable timelines agree again. An error leaves the engine
+  // degraded (the debt already folded stays folded — retrying is safe).
+  // No-op when already healthy; FailedPrecondition without a persist_dir.
+  Status RecoverDurability();
+
   // Verifies the core's reverse-neighbor postings (and, when adaptive,
   // the validation orders' reverse lists) against a full recomputation
   // from the orders — the invariant the O(l) eviction path rides on.
@@ -269,7 +295,16 @@ class OnlineIim {
   // Harvests finished background snapshot writes and, when the op count
   // says one is due, serializes (on this thread, timed) and hands the
   // bytes to the background writer. Called at the end of Ingest/Evict.
+  // Suspended while degraded: a snapshot taken then could not honestly
+  // state which ops it covers.
   void MaybeSnapshot();
+  // The durable-write gate every explicit mutation passes through:
+  // `append` logs the op. Runs the bounded-backoff retry loop and drives
+  // the health ladder. OK with *nondurable=false -> apply and ack
+  // durable; OK with *nondurable=true -> apply unlogged, ack with a
+  // flagged status; error -> reject unapplied.
+  Status LogDurably(const std::function<Status()>& append, bool* nondurable);
+  void SetHealth(HealthState next);
 
   int target_;
   std::vector<int> features_;
@@ -293,6 +328,11 @@ class OnlineIim {
   // (the records being applied are already durable).
   std::unique_ptr<persist::StateStore> store_;
   bool replaying_ = false;
+
+  // Health ladder (stream/health.h) and the count of applied-but-unlogged
+  // ops not yet folded into the store by RecoverDurability().
+  HealthState health_ = HealthState::kHealthy;
+  uint64_t nondurable_debt_ = 0;
 
   // Engine-owned cursors and durability counters; the maintenance
   // counters live in core_.counters() and are merged in stats().

@@ -2,7 +2,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 #include <utility>
+
+#include "common/failpoint.h"
 
 #include <dirent.h>
 #include <fcntl.h>
@@ -76,8 +79,16 @@ class PosixWriter final : public Writer {
   uint64_t size_ = 0;
 };
 
+// The installed override (null = default POSIX) and the mutex that makes
+// installation safe against concurrent OpenWriter calls from background
+// snapshot tasks.
+std::mutex& FactoryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 WriterFactory& FactoryOverride() {
-  static WriterFactory factory;  // null = default POSIX
+  static WriterFactory factory;  // guarded by FactoryMutex()
   return factory;
 }
 
@@ -90,12 +101,17 @@ Result<std::unique_ptr<Writer>> OpenPosixWriter(const std::string& path) {
 }
 
 Result<std::unique_ptr<Writer>> OpenWriter(const std::string& path) {
-  WriterFactory& factory = FactoryOverride();
+  WriterFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(FactoryMutex());
+    factory = FactoryOverride();
+  }
   if (factory) return factory(path);
   return OpenPosixWriter(path);
 }
 
-void SetWriterFactoryForTest(WriterFactory factory) {
+void SetWriterFactory(WriterFactory factory) {
+  std::lock_guard<std::mutex> lock(FactoryMutex());
   FactoryOverride() = std::move(factory);
 }
 
@@ -168,6 +184,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
     st = w.value()->Append(bytes.data(), bytes.size());
     if (st.ok()) st = w.value()->Close();  // Close syncs
   }
+  if (st.ok()) st = iim::fail::Inject("snapshot.publish");
   if (!st.ok()) {
     (void)RemoveFile(tmp);  // never leave a torn .tmp behind
     return st;

@@ -53,11 +53,12 @@ using WriterFactory =
 Result<std::unique_ptr<Writer>> OpenWriter(const std::string& path);
 
 // Installs `factory` for every subsequent OpenWriter; nullptr restores
-// the default POSIX factory. Test-only: the harness wraps the real
-// writer with budgeted fault injection. Not thread-safe against
-// concurrent OpenWriter calls from background snapshot tasks — install
-// only while the engines under test are quiescent.
-void SetWriterFactoryForTest(WriterFactory factory);
+// the default POSIX factory. Thread-safe against concurrent OpenWriter
+// calls (including background snapshot tasks): the installed factory is
+// copied under a lock before it runs, so a writer mid-creation keeps the
+// factory it started with. Supported API — the chaos harness and any
+// fault-injecting wrapper may install one in a live process.
+void SetWriterFactory(WriterFactory factory);
 
 // The default factory's writer, exposed so fault-injecting wrappers can
 // delegate to the real file underneath.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "common/failpoint.h"
 #include "stream/persist/snapshot.h"
 
 namespace iim::stream::persist {
@@ -157,6 +158,7 @@ Status StateStore::LogIngest(const double* row, size_t ncols) {
   if (wal_ == nullptr) {
     return Status::IoError("StateStore: no active write-ahead segment");
   }
+  IIM_FAIL_POINT("wal.append");
   RETURN_IF_ERROR(wal_->AppendIngest(row, ncols));
   ++ops_;
   return Status::OK();
@@ -166,6 +168,7 @@ Status StateStore::LogEvict(uint64_t arrival) {
   if (wal_ == nullptr) {
     return Status::IoError("StateStore: no active write-ahead segment");
   }
+  IIM_FAIL_POINT("wal.append");
   RETURN_IF_ERROR(wal_->AppendEvict(arrival));
   ++ops_;
   return Status::OK();

@@ -95,6 +95,12 @@ class StateStore {
   // Ops durably logged across the store's whole history (snapshot base +
   // replayed + logged since).
   uint64_t ops_logged() const { return ops_; }
+  // Folds `delta` ops that were applied WITHOUT logging (degraded-mode
+  // non-durable accepts) into the op count. Only meaningful immediately
+  // before a blocking snapshot that covers the engine's current state —
+  // the snapshot's op count then matches what it actually contains, and
+  // the rotated segment continues from there.
+  void AdvanceOps(uint64_t delta) { ops_ += delta; }
 
   // --- Checkpointing ----------------------------------------------------
   // True once snapshot_every ops accumulated since the last checkpoint

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 
 namespace iim::stream::persist {
 
@@ -55,7 +56,8 @@ Status WalWriter::AppendRecord(const std::string& payload) {
   if (st.ok()) {
     ++records_;
     if (fsync_every_ > 0 && records_ % fsync_every_ == 0) {
-      st = out_->Sync();
+      st = iim::fail::Inject("wal.fsync");
+      if (st.ok()) st = out_->Sync();
       if (!st.ok()) {
         // The record reached the file but may not be durable: roll it
         // back so the acknowledged and recovered timelines stay equal.

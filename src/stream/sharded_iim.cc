@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "core/iim_imputer.h"
@@ -233,8 +235,11 @@ Status ShardedOnlineIim::Ingest(const data::RowView& row) {
   RETURN_IF_ERROR(CheckIngest(row));
   // Log-then-apply after validation (see OnlineIim::Ingest): a log
   // failure rejects the arrival before any routing or shard state moves.
+  bool nondurable = false;
   if (store_ != nullptr && !replaying_) {
-    RETURN_IF_ERROR(store_->LogIngest(row.data(), row.size()));
+    RETURN_IF_ERROR(LogDurably(
+        [&] { return store_->LogIngest(row.data(), row.size()); },
+        &nondurable));
   }
   size_t s = RouteOf(row, next_seq_);
   RETURN_IF_ERROR(shards_[s]->Ingest(row));
@@ -244,6 +249,10 @@ Status ShardedOnlineIim::Ingest(const data::RowView& row) {
   PlanWindowEvictions(nullptr);
   core_.MaybeCompact(nullptr);
   MaybeSnapshot();
+  if (nondurable) {
+    return Status(StatusCode::kOk,
+                  "accepted non-durably: engine degraded, op not logged");
+  }
   return Status::OK();
 }
 
@@ -268,12 +277,22 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
     }
     // Logged in plan order = global arrival order, before the row enters
     // the plan: a row the log rejects is skipped whole (not planned, not
-    // numbered), like any other per-row rejection.
+    // numbered), like any other per-row rejection. A non-durable accept
+    // stamps the row's answer now; the apply phase only overwrites it on
+    // a shard-side failure.
     if (store_ != nullptr && !replaying_) {
-      st = store_->LogIngest(rows[i].data(), rows[i].size());
+      bool nondurable = false;
+      st = LogDurably(
+          [&] { return store_->LogIngest(rows[i].data(), rows[i].size()); },
+          &nondurable);
       if (!st.ok()) {
         out[i] = st;
         continue;
+      }
+      if (nondurable) {
+        out[i] = Status(StatusCode::kOk,
+                        "accepted non-durably: engine degraded, op not "
+                        "logged");
       }
     }
     size_t s = RouteOf(rows[i], next_seq_);
@@ -323,8 +342,10 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
   }
   // Liveness checked before logging: replay never sees an unappliable
   // evict record.
+  bool nondurable = false;
   if (store_ != nullptr && !replaying_) {
-    RETURN_IF_ERROR(store_->LogEvict(arrival));
+    RETURN_IF_ERROR(LogDurably([&] { return store_->LogEvict(arrival); },
+                               &nondurable));
   }
   RETURN_IF_ERROR(shards_[it->second.shard]->Evict(it->second.local_seq));
   core_.EvictSlot(core_.SlotOf(arrival));
@@ -333,6 +354,10 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
   ++stats_.evicted;
   core_.MaybeCompact(nullptr);
   MaybeSnapshot();
+  if (nondurable) {
+    return Status(StatusCode::kOk,
+                  "accepted non-durably: engine degraded, op not logged");
+  }
   return Status::OK();
 }
 
@@ -765,8 +790,81 @@ Status ShardedOnlineIim::InitPersistence() {
   return store_->StartLogging(base + applied);
 }
 
+void ShardedOnlineIim::SetHealth(HealthState next) {
+  if (health_ == next) return;
+  health_ = next;
+  ++stats_.health_transitions;
+}
+
+Status ShardedOnlineIim::LogDurably(const std::function<Status()>& append,
+                                    bool* nondurable) {
+  *nondurable = false;
+  if (health_ == HealthState::kReadOnly) {
+    ++stats_.degraded_rejected;
+    return Status::Unavailable(
+        "ShardedOnlineIim: read-only — non-durable debt exceeded "
+        "max_nondurable_ops; call RecoverDurability()");
+  }
+  if (health_ == HealthState::kHealthy) {
+    Status st = append();
+    double backoff = options_.wal_retry_base;
+    for (size_t attempt = 0;
+         !st.ok() && attempt < options_.wal_retry_attempts; ++attempt) {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * 2.0, options_.wal_retry_max);
+      ++stats_.wal_retries;
+      st = append();
+    }
+    if (st.ok()) return Status::OK();
+    SetHealth(HealthState::kDegraded);  // sticky; see OnlineIim::LogDurably
+  }
+  if (options_.degraded_ingest == core::IimOptions::DegradedIngest::kReject) {
+    ++stats_.degraded_rejected;
+    return Status::Unavailable(
+        "ShardedOnlineIim: degraded — durable log unavailable; mutation "
+        "rejected (imputations keep serving)");
+  }
+  ++stats_.nondurable_ops;
+  ++nondurable_debt_;
+  if (options_.max_nondurable_ops > 0 &&
+      nondurable_debt_ >= options_.max_nondurable_ops) {
+    SetHealth(HealthState::kReadOnly);
+  }
+  *nondurable = true;
+  return Status::OK();
+}
+
+Status ShardedOnlineIim::RecoverDurability() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardedOnlineIim: no persist_dir was configured");
+  }
+  if (health_ == HealthState::kHealthy) return Status::OK();
+  RETURN_IF_ERROR(store_->Flush());
+  store_->Harvest(&stats_.snapshots_written,
+                  &stats_.snapshot_write_failures);
+  // Fold-then-serialize, one-way on failure; see OnlineIim.
+  store_->AdvanceOps(nondurable_debt_);
+  nondurable_debt_ = 0;
+  Stopwatch timer;
+  std::string bytes = SerializeSnapshot();
+  stats_.max_snapshot_serialize_seconds = std::max(
+      stats_.max_snapshot_serialize_seconds, timer.ElapsedSeconds());
+  Status st = store_->WriteSnapshotBlocking(std::move(bytes));
+  if (!st.ok()) {
+    ++stats_.snapshot_write_failures;
+    return st;
+  }
+  ++stats_.snapshots_written;
+  SetHealth(HealthState::kHealthy);
+  return Status::OK();
+}
+
 void ShardedOnlineIim::MaybeSnapshot() {
   if (store_ == nullptr || replaying_) return;
+  if (health_ != HealthState::kHealthy) return;  // see OnlineIim
   store_->Harvest(&stats_.snapshots_written,
                   &stats_.snapshot_write_failures);
   if (!store_->snapshot_due()) return;

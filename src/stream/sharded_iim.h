@@ -128,6 +128,11 @@ class ShardedOnlineIim {
     size_t snapshots_loaded = 0;
     size_t log_records_replayed = 0;
     double max_snapshot_serialize_seconds = 0.0;
+    // --- Health (see stream/health.h and OnlineIim::Stats) ---
+    size_t wal_retries = 0;
+    size_t nondurable_ops = 0;
+    size_t degraded_rejected = 0;
+    size_t health_transitions = 0;
     // Each shard's own engine counters (entry s = shard s).
     std::vector<OnlineIim::Stats> per_shard;
   };
@@ -223,6 +228,15 @@ class ShardedOnlineIim {
     return store_ == nullptr ? 0 : store_->ops_logged();
   }
 
+  // --- Health (see stream/health.h; semantics match OnlineIim) ---------
+  // The wrapper owns the store, so the ladder lives here: shard engines
+  // are persistence-free and always report kHealthy.
+  HealthState Health() const { return health_; }
+  Status RecoverDurability();
+
+  int target() const { return target_; }
+  const std::vector<int>& features() const { return features_; }
+
  private:
   // Where a live tuple resides: its shard and its arrival number WITHIN
   // that shard (stable across shard compaction).
@@ -269,6 +283,10 @@ class ShardedOnlineIim {
                                 std::vector<double>* scratch) const;
   Status InitPersistence();
   void MaybeSnapshot();
+  // Durable-write gate + health ladder; semantics match
+  // OnlineIim::LogDurably.
+  Status LogDurably(const std::function<Status()>& append, bool* nondurable);
+  void SetHealth(HealthState next);
 
   data::Schema schema_;
   int target_;
@@ -301,6 +319,11 @@ class ShardedOnlineIim {
   // persist_dir cleared — the wrapper's store is the single authority).
   std::unique_ptr<persist::StateStore> store_;
   bool replaying_ = false;
+
+  // Health ladder (stream/health.h) and unfolded non-durable op count;
+  // see OnlineIim.
+  HealthState health_ = HealthState::kHealthy;
+  uint64_t nondurable_debt_ = 0;
 
   Stats stats_;
 };

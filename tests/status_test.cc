@@ -34,6 +34,33 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::ResourceExhausted("q full").ToString(),
             "ResourceExhausted: q full");
+  EXPECT_EQ(Status::Shutdown("x").code(), StatusCode::kShutdown);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("too late").ToString(),
+            "DeadlineExceeded: too late");
+  EXPECT_EQ(Status::Unavailable("degraded").ToString(),
+            "Unavailable: degraded");
+}
+
+TEST(StatusTest, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kShutdown), "Shutdown");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

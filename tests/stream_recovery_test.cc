@@ -541,7 +541,7 @@ class FaultWriter : public persist::Writer {
 class ScopedFaultFactory {
  public:
   explicit ScopedFaultFactory(std::shared_ptr<FaultBudget> budget) {
-    persist::SetWriterFactoryForTest(
+    persist::SetWriterFactory(
         [budget](const std::string& path)
             -> Result<std::unique_ptr<persist::Writer>> {
           Result<std::unique_ptr<persist::Writer>> base =
@@ -551,7 +551,7 @@ class ScopedFaultFactory {
               new FaultWriter(std::move(base).value(), budget));
         });
   }
-  ~ScopedFaultFactory() { persist::SetWriterFactoryForTest(nullptr); }
+  ~ScopedFaultFactory() { persist::SetWriterFactory(nullptr); }
 };
 
 TEST(FaultInjectionTest, FailedWalAppendRejectsTheOpUnapplied) {
@@ -578,11 +578,18 @@ TEST(FaultInjectionTest, FailedWalAppendRejectsTheOpUnapplied) {
     EXPECT_EQ(a->size(), live);
     EXPECT_EQ(a->durable_ops(), acked);
     EXPECT_EQ(a->stats().ingested, 20u);
+    // The failed durable write stepped the sticky health ladder: further
+    // mutations are refused — even though the disk would now accept them
+    // — until durability is explicitly recovered (stream/health.h).
+    EXPECT_EQ(a->Health(), HealthState::kDegraded);
     st = a->Evict(0);
-    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
     EXPECT_EQ(a->size(), live);
 
     budget->remaining = 1L << 40;  // space reclaimed
+    EXPECT_EQ(a->Ingest(src.Row(20)).code(), StatusCode::kUnavailable);
+    ASSERT_TRUE(a->RecoverDurability().ok());
+    EXPECT_EQ(a->Health(), HealthState::kHealthy);
     EXPECT_TRUE(a->Ingest(src.Row(20)).ok());
     EXPECT_TRUE(a->Evict(0).ok());
     EXPECT_EQ(a->durable_ops(), acked + 2);

@@ -396,7 +396,7 @@ TEST(ImputationServiceTest, BoundedQueueShedsLoadWithExplicitStatus) {
   EXPECT_EQ(shed_impute.get().status().code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(shed_evict.get().code(), StatusCode::kResourceExhausted);
-  EXPECT_EQ(service.stats().rejected, 3u);
+  EXPECT_EQ(service.stats().queue_shed, 3u);
 
   // Resume: every accepted request is served normally.
   service.Resume();
@@ -505,7 +505,7 @@ TEST(ImputationServiceTest, StatsSnapshotStableAndCoherentWhilePaused) {
       EXPECT_EQ(s1.imputations, s2.imputations);
       EXPECT_EQ(s1.evictions, s2.evictions);
       EXPECT_EQ(s1.batches, s2.batches);
-      EXPECT_EQ(s1.rejected, s2.rejected);
+      EXPECT_EQ(s1.queue_shed, s2.queue_shed);
 
       size_t ready = 0;
       for (auto& f : status_futures) {
@@ -521,7 +521,7 @@ TEST(ImputationServiceTest, StatsSnapshotStableAndCoherentWhilePaused) {
         }
       }
       EXPECT_EQ(ready, s1.ingests + s1.imputations + s1.evictions +
-                           s1.rejected);
+                           s1.queue_shed);
       service.Resume();
     }
   }
@@ -645,7 +645,7 @@ TEST(ImputationServiceTest, ShutdownDrainsBacklogAndRejectsLateSubmits) {
   ImputationService::Stats stats = service.stats();
   EXPECT_EQ(stats.ingests, 40u);
   EXPECT_EQ(stats.evictions, 1u);
-  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.queue_shed, 0u);
   EXPECT_EQ(stats.shutdown_rejected, 3u);
   EXPECT_EQ(engine.value()->size(), 39u);  // late submits never applied
 
