@@ -62,6 +62,15 @@
 // doubles as coverage proof: a gate over a path the points are not on
 // would be vacuous.
 //
+// Phase 6 meters the masking-one-out monitoring tax: the same n-row
+// ingest with moo_sample_rate at the documented 1% deployment trickle,
+// against a fresh monitoring-off profile run back-to-back so machine
+// drift across the earlier phases cannot tilt the ratio. At 1% the
+// median arrival does no holdout work at all, so the ingest p50 must
+// stay within 1.05x of the disabled engine (with a small absolute
+// floor for machines where both p50s are microseconds of scheduling
+// noise); the probe counter doubles as coverage proof.
+//
 // Phase 0 also carries the admission-bound story: a third ingest profile
 // with options.admission_bound off (every arrival scans every live
 // order — the pre-overhaul O(n) insertion test) sits next to the pruned
@@ -88,7 +97,9 @@
 // steady-state query p50 at S=4 within 3x of the single engine, ingest
 // p99 with checkpointing within 2x of checkpointing off, and inactive
 // fail points free (disarmed Inject <= 100 ns/call, armed-never-firing
-// durable ingest p50 within 1.5x of disarmed).
+// durable ingest p50 within 1.5x of disarmed), and the 1%
+// masking-one-out trickle keeping ingest p50 within 1.05x of
+// monitoring off.
 // Results are written as JSON for BENCH_streaming.json.
 //
 //   ./bench_streaming [n] [arrivals] [out.json]
@@ -911,6 +922,32 @@ int main(int argc, char** argv) {
                                    ingest_persist.p50 +
                                        kFailpointFloorSeconds);
 
+  // Phase 6: the masking-one-out monitoring tax (see the header
+  // comment). A fresh back-to-back pair — monitoring off, then the 1%
+  // holdout trickle — on the identical stream and options.
+  IngestProfile moo_off = BuildEngine(data, target, features, opt, n);
+  iim::core::IimOptions moo_opt = opt;
+  moo_opt.moo_sample_rate = 0.01;
+  IngestProfile moo_on = BuildEngine(data, target, features, moo_opt, n);
+  iim::stream::OnlineIim::Stats moo_stats = moo_on.engine->stats();
+  moo_off.engine.reset();
+  moo_on.engine.reset();
+  iim::LatencySummary ingest_moo_off = iim::Summarize(moo_off.seconds);
+  iim::LatencySummary ingest_moo_on = iim::Summarize(moo_on.seconds);
+  double moo_overhead_p50 =
+      ingest_moo_off.p50 > 0.0 ? ingest_moo_on.p50 / ingest_moo_off.p50 : 0.0;
+  // The p50 gate carries the same small absolute floor as the
+  // fail-point gate: on machines where both p50s sit at a few
+  // microseconds, a 1.05x ratio is scheduling weather, not a tax. The
+  // probe counter proves the trickle actually ran — a gate over an
+  // engine that never sampled would be vacuous.
+  const double kMooFloorSeconds = 0.00001;  // 10 us
+  bool moo_covered = moo_stats.moo_probes > 0;
+  bool moo_ok =
+      moo_covered &&
+      ingest_moo_on.p50 <= std::max(1.05 * ingest_moo_off.p50,
+                                    ingest_moo_off.p50 + kMooFloorSeconds);
+
   const auto& stats = online.stats();
   const auto& wstats = windowed.stats();
   iim::stream::DynamicIndex::Stats wistats = windowed.index().stats();
@@ -928,7 +965,9 @@ int main(int argc, char** argv) {
                     evict_seconds.size() >= kMinTailSamples &&
                     half_evict_seconds.size() >= kMinTailSamples &&
                     persisted.seconds.size() >= kMinTailSamples &&
-                    armed.seconds.size() >= kMinTailSamples;
+                    armed.seconds.size() >= kMinTailSamples &&
+                    moo_off.seconds.size() >= kMinTailSamples &&
+                    moo_on.seconds.size() >= kMinTailSamples;
 
   std::printf("n=%zu arrivals=%zu (initial build %.3f s in-lock, %.3f s "
               "background)\n",
@@ -1076,6 +1115,18 @@ int main(int argc, char** argv) {
               "<= 100 ns, armed-never-firing ingest p50 within 1.5x of "
               "disarmed, hot path covered) ... %s\n",
               failpoint_ok ? "OK" : "DEVIATES");
+  std::printf("\nmasking-one-out quality monitoring (moo_sample_rate = "
+              "0.01):\n");
+  PrintLatency("  ingest, monitoring off", moo_off.seconds);
+  PrintLatency("  ingest, 1% holdout trickle", moo_on.seconds);
+  std::printf("%-34s %12.3fx over %llu probes (%llu skipped)\n",
+              "moo ingest p50 tax", moo_overhead_p50,
+              static_cast<unsigned long long>(moo_stats.moo_probes),
+              static_cast<unsigned long long>(moo_stats.moo_skipped));
+  std::printf("SHAPE CHECK: 1%% masking-one-out trickle keeps ingest p50 "
+              "within 1.05x of monitoring off (or %.0f us absolute), "
+              "probes ran ... %s\n",
+              kMooFloorSeconds * 1e6, moo_ok ? "OK" : "DEVIATES");
   std::printf("SHAPE CHECK: mean affected orders per arrival within 5%% of "
               "the live count ... %s\n",
               affected_ok ? "OK" : "DEVIATES");
@@ -1280,19 +1331,34 @@ int main(int argc, char** argv) {
                "  \"sharded_query_p50_seconds_s4\": %.9f,\n"
                "  \"sharded_query_p99_seconds_s4\": %.9f,\n"
                "  \"sharding_query_gap_s4_vs_single\": %.2f,\n"
-               "  \"sharding_query_gap_within_3x\": %s\n"
-               "}\n",
+               "  \"sharding_query_gap_within_3x\": %s,\n",
                shard_scaling, shard_scaling_pruned,
                shard_identical ? "true" : "false",
                qopt.index_kdtree_threshold, single_query.p50,
                single_query.p99, shard_query_p50_s4, shard_query_p99_s4,
                shard_query_gap, shard_query_ok ? "true" : "false");
+  std::fprintf(out,
+               "  \"moo_sample_rate\": 0.01,\n"
+               "  \"ingest_p50_seconds_moo_off\": %.9f,\n"
+               "  \"ingest_p99_seconds_moo_off\": %.9f,\n"
+               "  \"ingest_p50_seconds_moo\": %.9f,\n"
+               "  \"ingest_p99_seconds_moo\": %.9f,\n"
+               "  \"moo_probes\": %llu,\n"
+               "  \"moo_skipped\": %llu,\n"
+               "  \"moo_overhead_ratio_p50\": %.3f,\n"
+               "  \"moo_overhead_within_gate\": %s\n"
+               "}\n",
+               ingest_moo_off.p50, ingest_moo_off.p99, ingest_moo_on.p50,
+               ingest_moo_on.p99,
+               static_cast<unsigned long long>(moo_stats.moo_probes),
+               static_cast<unsigned long long>(moo_stats.moo_skipped),
+               moo_overhead_p50, moo_ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return fast_enough && identical && evict_fast_enough && windowed_matches &&
                  tail_improved && shard_scaling_ok && shard_query_ok &&
                  checkpoint_ok && affected_ok && compact_hold_ok &&
-                 samples_ok && failpoint_ok
+                 samples_ok && failpoint_ok && moo_ok
              ? 0
              : 1;
 }

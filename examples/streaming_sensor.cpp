@@ -55,6 +55,20 @@
 // old regimes — yet the imputations stay bit-identical to a batch
 // Algorithm 3 refit on the live window.
 //
+// Act seven asks the question the agreement checks above cannot: is the
+// imputation any good *right now*? moo_sample_rate arms the
+// masking-one-out monitor — a deterministic hash picks 1% of arrivals,
+// holds one monitored cell out, and imputes it from the pre-arrival
+// window by IIM plus three cheap challengers (column mean, kNN, global
+// ridge); the absolute errors feed per-column decayed estimates and
+// percentile rings surfaced through the service stats. With
+// quality_routing = kAutoRoute each request is additionally served by
+// the target column's current champion method (hysteresis-guarded, with
+// a weighted ensemble while a fresh champion settles). The deployment
+// here runs four laps of the stream through a sliding window; on the
+// last two laps the power channel recalibrates — exactly the drift a
+// batch-agreement check is blind to and the monitor exists to expose.
+//
 //   ./examples/streaming_sensor
 
 #include <unistd.h>
@@ -671,6 +685,91 @@ int main() {
   ::rmdir(ftmpl);
   if (!fault_act_ok) {
     std::fprintf(stderr, "fault act left unexpected state\n");
+    return 1;
+  }
+
+  // Act seven: the masking-one-out quality monitor (see the header
+  // comment). Four laps of the stream through a 500-reading window, 1%
+  // holdout trickle, champion/challenger auto-routing; the power channel
+  // recalibrates (y -> y/2 + 3) halfway through the deployment.
+  iim::core::IimOptions mopt = opt;
+  mopt.window_size = 500;
+  mopt.moo_sample_rate = 0.01;
+  mopt.quality_routing = iim::core::IimOptions::QualityRouting::kAutoRoute;
+  auto monitored_r = iim::stream::OnlineIim::Create(readings.schema(), target,
+                                                    features, mopt);
+  if (!monitored_r.ok()) {
+    std::fprintf(stderr, "monitored create: %s\n",
+                 monitored_r.status().ToString().c_str());
+    return 1;
+  }
+  const size_t kLaps = 4;
+  std::vector<std::future<iim::Result<double>>> qpending;
+  iim::stream::ImputationService::Stats qstats;
+  {
+    iim::stream::ImputationService::Options sopt;
+    sopt.max_batch = 32;
+    iim::stream::ImputationService qservice(monitored_r.value().get(), sopt);
+    for (size_t lap = 0; lap < kLaps; ++lap) {
+      for (size_t i = 0; i < readings.NumRows(); ++i) {
+        std::vector<double> row = readings.Row(i).ToVector();
+        if (lap >= kLaps / 2) {
+          row[static_cast<size_t>(target)] =
+              0.5 * row[static_cast<size_t>(target)] + 3.0;
+        }
+        if (i > 60 && (i / 4) % 10 == 0) {
+          row[static_cast<size_t>(target)] =
+              std::numeric_limits<double>::quiet_NaN();
+          qpending.push_back(qservice.SubmitImpute(std::move(row)));
+        } else {
+          qservice.SubmitIngest(std::move(row));
+        }
+      }
+      // Quiesce between laps: a lap submits more than the service's
+      // bounded queue admits at once, and the backpressure shed is
+      // load-shedding by design, not a flow-control channel.
+      qservice.Drain();
+    }
+    qstats = qservice.stats();
+  }
+  for (size_t i = 0; i < qpending.size(); ++i) {
+    iim::Result<double> v = qpending[i].get();
+    if (!v.ok()) {
+      std::fprintf(stderr, "monitored impute %zu: %s\n", i,
+                   v.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nQuality monitor (1%% masking-one-out holdouts, "
+              "auto-route): %zu probes, %zu skipped; %zu routed + %zu "
+              "ensemble serves, %zu champion switches\n",
+              qstats.moo_probes, qstats.moo_skipped, qstats.routed_serves,
+              qstats.ensemble_serves, qstats.champion_switches);
+  std::printf("Held-out absolute error per channel (decayed rms, then the "
+              "recent-error percentiles):\n");
+  for (size_t c = 0; c < qstats.quality.size(); ++c) {
+    const iim::stream::QualityColumnStats& col = qstats.quality[c];
+    const std::string& name =
+        c < features.size()
+            ? readings.schema().name(static_cast<size_t>(features[c]))
+            : readings.schema().name(static_cast<size_t>(target));
+    std::printf("  %s: %llu holdouts, champion %s\n", name.c_str(),
+                static_cast<unsigned long long>(col.holdouts),
+                iim::stream::QualityMethodName(col.champion));
+    for (int m = 0; m < iim::stream::kQualityMethods; ++m) {
+      size_t mi = static_cast<size_t>(m);
+      if (col.samples[mi] == 0) continue;
+      std::printf("    %-4s n=%-3llu rms %7.3f   abs err p50 %7.3f / p99 "
+                  "%7.3f / max %7.3f\n",
+                  iim::stream::QualityMethodName(m),
+                  static_cast<unsigned long long>(col.samples[mi]),
+                  col.ewma_rms[mi], col.abs_error[mi].p50,
+                  col.abs_error[mi].p99, col.abs_error[mi].max);
+    }
+  }
+  if (qstats.moo_probes == 0 ||
+      qstats.quality.size() != features.size() + 1) {
+    std::fprintf(stderr, "quality act left unexpected state\n");
     return 1;
   }
   return 0;

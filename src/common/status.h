@@ -93,9 +93,21 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  // An OK acknowledgement whose op was applied WITHOUT being durably
+  // logged (a degraded engine under DegradedIngest::kAcceptNonDurable).
+  // ok() is true — the op happened — but nondurable() lets callers detect
+  // the durability hole without string-matching the message.
+  static Status NonDurableOK(std::string msg) {
+    Status st(StatusCode::kOk, std::move(msg));
+    st.nondurable_ = true;
+    return st;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  // True only for NonDurableOK acknowledgements: the op was applied but
+  // not logged; a crash before RecoverDurability() loses it.
+  bool nondurable() const { return nondurable_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "<CodeName>: <message>".
@@ -105,11 +117,13 @@ class Status {
   }
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && nondurable_ == other.nondurable_ &&
+           message_ == other.message_;
   }
 
  private:
   StatusCode code_;
+  bool nondurable_ = false;
   std::string message_;
 };
 

@@ -134,6 +134,47 @@ struct IimOptions {
   // escalates kDegraded -> kReadOnly (0 = never escalate).
   size_t max_nondurable_ops = 0;
 
+  // --- Quality monitoring (stream engines; see stream/quality.h) ---
+  // Masking-one-out holdout rate: the fraction of arriving tuples whose
+  // observed cells are (deterministically, by arrival-number hash)
+  // sampled for a prequential quality probe — one monitored cell is held
+  // out and imputed by IIM plus the mean/kNN/GLR challengers against the
+  // pre-arrival window, and the per-column error estimates decay toward
+  // the newest errors. 0 disables monitoring entirely (no monitor state,
+  // no per-ingest challenger maintenance).
+  double moo_sample_rate = 0.0;
+  // Exponential-decay weight of the newest holdout error in the
+  // per-column estimates: est <- (1 - moo_decay) * est + moo_decay * err.
+  double moo_decay = 0.05;
+  // Challenger fan-ins: kNN neighbors and IIM learning neighbors used by
+  // the probe imputers (0 = inherit k / ell).
+  size_t moo_knn = 0;
+  size_t moo_ell = 0;
+  // Routing guards: a column needs this many holdouts per method before
+  // its champion may switch, and a challenger must beat the incumbent's
+  // decayed squared error by this fraction (hysteresis) to take over.
+  size_t moo_min_samples = 32;
+  double moo_margin = 0.1;
+  // What the engines do with the estimates.
+  enum class QualityRouting {
+    // Maintain estimates only; every impute request is served by IIM.
+    // Imputed values are bit-identical to a quality-disabled engine.
+    kObserveOnly,
+    // Route each impute request to the target column's current champion
+    // method; blend all methods MIB-style (inverse decayed-squared-error
+    // weights) while a freshly switched champion is still settling.
+    kAutoRoute,
+  };
+  QualityRouting quality_routing = QualityRouting::kObserveOnly;
+
+  // --- Time-based eviction (stream engines) ---
+  // Column holding each tuple's event timestamp (any unit, must be
+  // monotone-comparable). Enables EvictOlderThan(cutoff) sweeps — "keep
+  // the last 24h" windows — on top of the count-based window_size.
+  // -1 = no timestamp column (EvictOlderThan is FailedPrecondition;
+  // EvictWhere works regardless).
+  int timestamp_column = -1;
+
   // --- Execution ---
   // Worker threads for learning and batched imputation (0 = all hardware
   // threads). Results are bit-identical for every setting: the parallel

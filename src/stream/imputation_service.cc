@@ -225,6 +225,12 @@ void ImputationService::RefreshEngineStats() {
     stats_.engine_wal_retries = es.wal_retries;
     stats_.engine_nondurable_ops = es.nondurable_ops;
     stats_.engine_health_transitions = es.health_transitions;
+    stats_.moo_probes = es.moo_probes;
+    stats_.moo_skipped = es.moo_skipped;
+    stats_.routed_serves = es.routed_serves;
+    stats_.ensemble_serves = es.ensemble_serves;
+    stats_.champion_switches = es.champion_switches;
+    stats_.quality = std::move(es.quality);
     stats_.health = sharded_->Health();
     stats_.shard_stats = std::move(es.per_shard);
   } else {
@@ -238,6 +244,12 @@ void ImputationService::RefreshEngineStats() {
     stats_.engine_wal_retries = es.wal_retries;
     stats_.engine_nondurable_ops = es.nondurable_ops;
     stats_.engine_health_transitions = es.health_transitions;
+    stats_.moo_probes = es.moo_probes;
+    stats_.moo_skipped = es.moo_skipped;
+    stats_.routed_serves = es.routed_serves;
+    stats_.ensemble_serves = es.ensemble_serves;
+    stats_.champion_switches = es.champion_switches;
+    stats_.quality = es.quality;
     stats_.health = engine_->Health();
   }
 }
@@ -253,30 +265,36 @@ void ImputationService::RecordLatency(std::vector<double>* ring,
 }
 
 void ImputationService::ServeImputeFallback(std::vector<Request>* taken) {
-  // A fresh column-mean fit over the live window: O(n) once per batch and
-  // independent of how backed up the individual-model engine is. The
-  // sharded window is materialized by value and must outlive the imputer;
-  // the unsharded table() reference stays valid because this thread is
-  // the engine's only caller and performs no mutation here.
-  baselines::MeanImputer fallback;
-  data::Table window;
-  Status fit;
-  if (sharded_ != nullptr) {
-    window = sharded_->Window();
-    fit = fallback.Fit(window, sharded_->target(), sharded_->features());
-  } else {
-    fit = fallback.Fit(engine_->table(), engine_->target(),
-                       engine_->features());
+  // One column-mean fit per quiescent span: this thread is the engine's
+  // only caller, so between served mutations the live window cannot
+  // change and the previous batch's fit answers identically. The cache
+  // keeps the fallback's serve cost proportional to the batch — without
+  // it, every backed-up batch re-scanned the whole window, so overload
+  // latency grew with window size exactly when latency mattered most.
+  if (!fallback_fit_valid_) {
+    if (sharded_ != nullptr) {
+      // Materialized by value into a member that outlives the fit — the
+      // imputer keeps a pointer into the relation it was fitted on.
+      fallback_window_ = sharded_->Window();
+      fallback_fit_ = fallback_imputer_.Fit(
+          fallback_window_, sharded_->target(), sharded_->features());
+    } else {
+      fallback_fit_ = fallback_imputer_.Fit(
+          engine_->table(), engine_->target(), engine_->features());
+    }
+    fallback_fit_valid_ = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fallback_fits;
   }
   for (Request& req : *taken) {
-    if (!fit.ok()) {
+    if (!fallback_fit_.ok()) {
       // E.g. an empty window — the same condition the engine itself
       // would refuse; surface the fit error per request.
-      req.impute_promise.set_value(Result<double>(fit));
+      req.impute_promise.set_value(Result<double>(fallback_fit_));
       continue;
     }
     data::RowView row(req.values.data(), req.values.size());
-    req.impute_promise.set_value(fallback.ImputeOne(row));
+    req.impute_promise.set_value(fallback_imputer_.ImputeOne(row));
   }
 }
 
@@ -410,6 +428,11 @@ void ImputationService::ServeLoop() {
         taken[i].impute_promise.set_value(std::move(answers[i]));
       }
     }
+
+    // Any served mutation can change the live window, so the cached
+    // fallback fit is stale. Injected faults and deadline misses never
+    // reach the engine and keep it.
+    if (!injected && kind != Kind::kImpute) fallback_fit_valid_ = false;
 
     double serve_seconds = serve_timer.ElapsedSeconds();
     {

@@ -45,7 +45,9 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/mean_imputer.h"
 #include "common/percentile.h"
+#include "data/table.h"
 #include "stream/health.h"
 #include "stream/online_iim.h"
 #include "stream/sharded_iim.h"
@@ -97,6 +99,10 @@ class ImputationService {
     // (Options::fallback_watermark) — degraded answers, counted so a
     // caller can tell how many results came from the cheap path.
     size_t fallback_imputes = 0;
+    // Fallback fits actually computed. The fit is cached across
+    // consecutive fallback batches and only invalidated by a served
+    // mutation, so this advances per changed window, not per batch.
+    size_t fallback_fits = 0;
     // Engine health at the last quiesce point, plus its ladder counters
     // (see OnlineIim::Stats).
     HealthState health = HealthState::kHealthy;
@@ -115,6 +121,15 @@ class ImputationService {
     size_t holders_invalidated = 0;
     size_t global_fits_reused = 0;
     size_t adaptive_l_changes = 0;
+    // Masking-one-out quality monitoring (see stream/quality.h),
+    // refreshed at the same quiesce points — all zero/empty when the
+    // engine runs with moo_sample_rate == 0.
+    size_t moo_probes = 0;
+    size_t moo_skipped = 0;
+    size_t routed_serves = 0;
+    size_t ensemble_serves = 0;
+    size_t champion_switches = 0;
+    std::vector<QualityColumnStats> quality;
     // Engine-serve latency (seconds) over the most recent requests of
     // each kind (bounded reservoir of kLatencySamples): ingest is
     // per-arrival — the tail the background index rebuild bounds — or
@@ -233,6 +248,15 @@ class ImputationService {
   OnlineIim* engine_ = nullptr;          // exactly one of these is set
   ShardedOnlineIim* sharded_ = nullptr;
   Options options_;
+
+  // Overload-fallback fit cache, server thread only: one column-mean fit
+  // per quiescent span, dropped by every served mutation. The sharded
+  // window is materialized by value and owned here so the imputer's
+  // table pointer stays valid for as long as the cached fit does.
+  baselines::MeanImputer fallback_imputer_;
+  data::Table fallback_window_;
+  Status fallback_fit_;
+  bool fallback_fit_valid_ = false;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // server waits for requests

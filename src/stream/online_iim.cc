@@ -45,6 +45,31 @@ Result<std::unique_ptr<OnlineIim>> OnlineIim::Create(
   if (options.k == 0) {
     return Status::InvalidArgument("OnlineIim: k must be positive");
   }
+  if (options.timestamp_column >= static_cast<int>(schema.size())) {
+    return Status::InvalidArgument(
+        "OnlineIim: timestamp_column out of range");
+  }
+  if (options.moo_sample_rate < 0.0 || options.moo_sample_rate > 1.0) {
+    return Status::InvalidArgument(
+        "OnlineIim: moo_sample_rate must be in [0, 1]");
+  }
+  if (options.moo_sample_rate > 0.0) {
+    if (options.moo_decay <= 0.0 || options.moo_decay > 1.0) {
+      return Status::InvalidArgument(
+          "OnlineIim: moo_decay must be in (0, 1]");
+    }
+    if (options.moo_margin < 0.0 || options.moo_margin >= 1.0) {
+      return Status::InvalidArgument(
+          "OnlineIim: moo_margin must be in [0, 1)");
+    }
+  }
+  if (options.quality_routing ==
+          core::IimOptions::QualityRouting::kAutoRoute &&
+      options.moo_sample_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "OnlineIim: kAutoRoute needs moo_sample_rate > 0 — routing "
+        "decisions require the masking-one-out estimates");
+  }
   if (options.adaptive) {
     // Adaptive per-tuple l is supported online, but only combinations
     // whose batch semantics survive a stream: the candidate budget must
@@ -84,7 +109,12 @@ OnlineIim::OnlineIim(const data::Schema& schema, int target,
       options_(options),
       q_(features_.size()),
       table_(schema),
-      core_(MakeOrderCoreConfig(options, features_.size())) {}
+      core_(MakeOrderCoreConfig(options, features_.size())) {
+  if (options_.moo_sample_rate > 0.0) {
+    monitor_ = std::make_unique<QualityMonitor>(
+        MakeQualityConfig(options_, q_));
+  }
+}
 
 Status OnlineIim::Ingest(const data::RowView& row) {
   if (row.size() != table_.NumCols()) {
@@ -120,6 +150,15 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   // The fallible append runs before the core's (infallible) arrival scan
   // so a failure leaves the engine unchanged.
   RETURN_IF_ERROR(table_.AppendRow(row.ToVector()));
+  if (monitor_ != nullptr) {
+    // Prequential order: the probe runs against the PRE-arrival mirror
+    // (the holdout never matches itself), then the row joins it.
+    std::vector<double> mv(q_ + 1);
+    std::copy(f_new.begin(), f_new.end(), mv.begin());
+    mv[q_] = y_new;
+    monitor_->Observe(stats_.ingested, mv.data());
+    monitor_->Add(stats_.ingested, mv.data());
+  }
   core_.Arrive(f_new.data(), y_new, stats_.ingested);
   ++stats_.ingested;
   live_cache_valid_ = false;
@@ -128,14 +167,16 @@ Status OnlineIim::Ingest(const data::RowView& row) {
   // out. The arrival itself is the newest, so it never self-evicts.
   if (options_.window_size > 0) {
     while (core_.live() > options_.window_size) {
-      core_.EvictSlot(core_.OldestLiveSlot());
+      size_t oldest = core_.OldestLiveSlot();
+      if (monitor_ != nullptr) monitor_->Remove(core_.SeqOf(oldest));
+      core_.EvictSlot(oldest);
     }
     MaybeCompact();
   }
   MaybeSnapshot();
   if (nondurable) {
-    return Status(StatusCode::kOk,
-                  "accepted non-durably: engine degraded, op not logged");
+    return Status::NonDurableOK(
+        "accepted non-durably: engine degraded, op not logged");
   }
   return Status::OK();
 }
@@ -154,15 +195,50 @@ Status OnlineIim::Evict(uint64_t arrival) {
     RETURN_IF_ERROR(LogDurably([&] { return store_->LogEvict(arrival); },
                                &nondurable));
   }
+  if (monitor_ != nullptr) monitor_->Remove(arrival);
   core_.EvictSlot(slot);
   live_cache_valid_ = false;
   MaybeCompact();
   MaybeSnapshot();
   if (nondurable) {
-    return Status(StatusCode::kOk,
-                  "accepted non-durably: engine degraded, op not logged");
+    return Status::NonDurableOK(
+        "accepted non-durably: engine degraded, op not logged");
   }
   return Status::OK();
+}
+
+Result<size_t> OnlineIim::EvictWhere(
+    const std::function<bool(uint64_t arrival, const data::RowView& row)>&
+        pred) {
+  // Victims are collected by arrival number against the stable pre-sweep
+  // window: evictions can compact the table and move slots, so the sweep
+  // must not interleave predicate evaluation with mutation.
+  std::vector<uint64_t> victims;
+  const std::vector<uint8_t>& alive = core_.alive_slots();
+  for (size_t slot = 0; slot < alive.size(); ++slot) {
+    if (alive[slot] == 0) continue;
+    if (pred(core_.SeqOf(slot), table_.Row(slot))) {
+      victims.push_back(core_.SeqOf(slot));
+    }
+  }
+  size_t evicted = 0;
+  for (uint64_t arrival : victims) {
+    Status st = Evict(arrival);
+    if (!st.ok()) return st;
+    ++evicted;
+  }
+  return evicted;
+}
+
+Result<size_t> OnlineIim::EvictOlderThan(double cutoff) {
+  if (options_.timestamp_column < 0) {
+    return Status::FailedPrecondition(
+        "OnlineIim: EvictOlderThan needs options.timestamp_column");
+  }
+  const size_t ts = static_cast<size_t>(options_.timestamp_column);
+  return EvictWhere([ts, cutoff](uint64_t, const data::RowView& row) {
+    return row[ts] < cutoff;
+  });
 }
 
 void OnlineIim::MaybeCompact() {
@@ -283,8 +359,33 @@ Result<double> OnlineIim::AggregateClean(
   return core::CombineCandidates(candidates, options_.uniform_weights);
 }
 
+QualityRoute OnlineIim::CurrentRoute() const {
+  if (monitor_ == nullptr) return QualityRoute::kIim;
+  QualityRoute route = monitor_->RouteTarget();
+  // A cold mirror (restored estimates, window not yet re-populated, or
+  // every monitored tuple evicted) cannot serve challengers — IIM does.
+  if (route != QualityRoute::kIim && monitor_->live() == 0) {
+    return QualityRoute::kIim;
+  }
+  return route;
+}
+
 Result<double> OnlineIim::ImputeOne(const data::RowView& tuple) {
   RETURN_IF_ERROR(CheckQuery(tuple));
+  const QualityRoute route = CurrentRoute();
+  if (route != QualityRoute::kIim && route != QualityRoute::kEnsemble) {
+    std::vector<double> feat(q_);
+    for (size_t j = 0; j < q_; ++j) {
+      feat[j] = tuple[static_cast<size_t>(features_[j])];
+    }
+    auto served = monitor_->ServeTarget(feat.data(), route);
+    if (served.ok()) {
+      ++stats_.imputed;
+      ++stats_.routed_serves;
+      return served;
+    }
+    // Monitor could not answer — fall through to the IIM path.
+  }
   std::vector<double> probe(q_);
   for (size_t j = 0; j < q_; ++j) {
     probe[j] = tuple[static_cast<size_t>(features_[j])];
@@ -300,12 +401,40 @@ Result<double> OnlineIim::ImputeOne(const data::RowView& tuple) {
     RETURN_IF_ERROR(core_.EnsureModel(nb.index));
   }
   ++stats_.imputed;
-  return AggregateClean(tuple, nbrs);
+  Result<double> value = AggregateClean(tuple, nbrs);
+  if (route == QualityRoute::kEnsemble && value.ok()) {
+    ++stats_.ensemble_serves;
+    return monitor_->EnsembleTarget(probe.data(), value.value());
+  }
+  return value;
 }
 
 std::vector<Result<double>> OnlineIim::ImputeBatch(
     const std::vector<data::RowView>& rows) {
   std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
+
+  // Routing is decided once per batch: imputations never mutate the
+  // monitor, so every row of the batch sees the same champion.
+  const QualityRoute route = CurrentRoute();
+  if (route != QualityRoute::kIim && route != QualityRoute::kEnsemble) {
+    std::vector<double> feat(q_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Status st = CheckQuery(rows[i]);
+      if (!st.ok()) {
+        out[i] = st;
+        continue;
+      }
+      for (size_t j = 0; j < q_; ++j) {
+        feat[j] = rows[i][static_cast<size_t>(features_[j])];
+      }
+      out[i] = monitor_->ServeTarget(feat.data(), route);
+      if (out[i].ok()) {
+        ++stats_.imputed;
+        ++stats_.routed_serves;
+      }
+    }
+    return out;
+  }
 
   // Phase 1 (serial): validate, gather the queryable rows' probes into
   // one contiguous block (the core's index takes gathered points).
@@ -387,6 +516,17 @@ std::vector<Result<double>> OnlineIim::ImputeBatch(
   for (size_t b = 0; b < batch.size(); ++b) {
     if (out[row_of_query[b]].ok()) ++stats_.imputed;
   }
+  if (route == QualityRoute::kEnsemble) {
+    // Post-process each answered row exactly as ImputeOne would: blend
+    // the engine's IIM value with the challengers' serves.
+    for (size_t b = 0; b < batch.size(); ++b) {
+      size_t i = row_of_query[b];
+      if (!out[i].ok()) continue;
+      ++stats_.ensemble_serves;
+      out[i] = monitor_->EnsembleTarget(probes.data() + b * q_,
+                                        out[i].value());
+    }
+  }
   return out;
 }
 
@@ -408,6 +548,12 @@ OnlineIim::Stats OnlineIim::stats() const {
   s.orders_scanned = c.orders_scanned;
   s.orders_admitted = c.orders_admitted;
   s.admission_skips = c.admission_skips;
+  if (monitor_ != nullptr) {
+    s.moo_probes = monitor_->probes();
+    s.moo_skipped = monitor_->skipped();
+    s.champion_switches = monitor_->champion_switches();
+    s.quality = monitor_->ColumnStats();
+  }
   return s;
 }
 
@@ -421,7 +567,7 @@ std::string OnlineIim::SerializeSnapshot() {
   // on any mismatch.
   const OrderCore::Config& cc = core_.config();
   b.BeginSection(persist::kSecMeta);
-  b.PutU32(2);  // engine layout version within the container
+  b.PutU32(3);  // engine layout version within the container
   b.PutU64(m);
   b.PutU32(static_cast<uint32_t>(target_));
   b.PutU64(q_);
@@ -436,6 +582,20 @@ std::string OnlineIim::SerializeSnapshot() {
   b.PutU64(cc.max_ell);
   b.PutU64(cc.step_h);
   b.PutU64(cc.vk);
+  // Quality-monitoring knobs shape routing decisions and the restored
+  // estimates' meaning, so they are part of the fingerprint (v3).
+  b.PutF64(options_.moo_sample_rate);
+  b.PutF64(options_.moo_decay);
+  b.PutU64(options_.moo_knn);
+  b.PutU64(options_.moo_ell);
+  b.PutU64(options_.moo_min_samples);
+  b.PutF64(options_.moo_margin);
+  b.PutU8(options_.quality_routing ==
+                  core::IimOptions::QualityRouting::kAutoRoute
+              ? 1
+              : 0);
+  b.PutU64(options_.seed);
+  b.PutU32(static_cast<uint32_t>(options_.timestamp_column));
 
   // Engine-owned cursors only; the maintenance state and counters are the
   // core's sections.
@@ -455,6 +615,7 @@ std::string OnlineIim::SerializeSnapshot() {
   }
 
   core_.SerializeInto(&b);
+  if (monitor_ != nullptr) monitor_->SerializeInto(&b);
   return b.Finish();
 }
 
@@ -475,7 +636,7 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
                    view.Section(persist::kSecMeta));
   size_t m = table_.NumCols();
   const OrderCore::Config& cc = core_.config();
-  if (meta.U32() != 2) return mismatch("engine layout version");
+  if (meta.U32() != 3) return mismatch("engine layout version");
   if (meta.U64() != m) return mismatch("schema arity");
   if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
   if (meta.U64() != q_) return mismatch("feature set");
@@ -497,6 +658,32 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   if (meta.U64() != cc.max_ell) return mismatch("max_ell");
   if (meta.U64() != cc.step_h) return mismatch("step_h");
   if (meta.U64() != cc.vk) return mismatch("validation fan-out");
+  double rate = meta.F64();
+  if (std::memcmp(&rate, &options_.moo_sample_rate, sizeof(double)) != 0) {
+    return mismatch("moo_sample_rate");
+  }
+  double decay = meta.F64();
+  if (std::memcmp(&decay, &options_.moo_decay, sizeof(double)) != 0) {
+    return mismatch("moo_decay");
+  }
+  if (meta.U64() != options_.moo_knn) return mismatch("moo_knn");
+  if (meta.U64() != options_.moo_ell) return mismatch("moo_ell");
+  if (meta.U64() != options_.moo_min_samples) {
+    return mismatch("moo_min_samples");
+  }
+  double margin = meta.F64();
+  if (std::memcmp(&margin, &options_.moo_margin, sizeof(double)) != 0) {
+    return mismatch("moo_margin");
+  }
+  if ((meta.U8() != 0) !=
+      (options_.quality_routing ==
+       core::IimOptions::QualityRouting::kAutoRoute)) {
+    return mismatch("quality routing mode");
+  }
+  if (meta.U64() != options_.seed) return mismatch("seed");
+  if (meta.U32() != static_cast<uint32_t>(options_.timestamp_column)) {
+    return mismatch("timestamp_column");
+  }
   RETURN_IF_ERROR(meta.status());
 
   ASSIGN_OR_RETURN(persist::SectionReader eng,
@@ -538,6 +725,25 @@ Status OnlineIim::RestoreFromSnapshot(const std::string& bytes) {
     RETURN_IF_ERROR(table_.AppendRow(std::vector<double>(
         cells.begin() + static_cast<long>(i * m),
         cells.begin() + static_cast<long>((i + 1) * m))));
+  }
+  if (monitor_ != nullptr) {
+    // Estimates, rings and champions restore bitwise from their section;
+    // the mirror and challenger fits are rebuilt by re-adding the live
+    // window in arrival order (the fits restream, so their numerics match
+    // a fresh engine fed the same window, not necessarily the exact
+    // accumulator bits of the writer — documented in stream/quality.h).
+    ASSIGN_OR_RETURN(persist::SectionReader qr,
+                     view.Section(persist::kSecQuality));
+    RETURN_IF_ERROR(monitor_->RestoreFrom(&qr));
+    const std::vector<uint8_t>& alive = core_.alive_slots();
+    std::vector<double> mv(q_ + 1);
+    for (size_t slot = 0; slot < alive.size(); ++slot) {
+      if (alive[slot] == 0) continue;
+      std::copy(core_.Features(slot), core_.Features(slot) + q_,
+                mv.begin());
+      mv[q_] = core_.Target(slot);
+      monitor_->Add(core_.SeqOf(slot), mv.data());
+    }
   }
   stats_.ingested = ingested;
   stats_.imputed = imputed;

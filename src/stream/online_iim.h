@@ -59,6 +59,7 @@
 #include "stream/health.h"
 #include "stream/order_core.h"
 #include "stream/persist/state_store.h"
+#include "stream/quality.h"
 
 namespace iim::stream {
 
@@ -132,6 +133,19 @@ class OnlineIim {
     size_t degraded_rejected = 0;
     // Health-state changes (each step down the ladder, and each recovery).
     size_t health_transitions = 0;
+    // --- Quality monitoring (moo_sample_rate > 0; stream/quality.h) ---
+    // Masking-one-out probes run, and sampled arrivals skipped because
+    // the window held fewer than two tuples.
+    size_t moo_probes = 0;
+    size_t moo_skipped = 0;
+    // kAutoRoute serves answered by a non-IIM champion, by the
+    // churn-window ensemble, and champion changes across all columns.
+    size_t routed_serves = 0;
+    size_t ensemble_serves = 0;
+    size_t champion_switches = 0;
+    // Per-monitored-column estimator state (q feature columns then the
+    // target; empty when monitoring is off).
+    std::vector<QualityColumnStats> quality;
   };
 
   // Validates like Imputer::Fit: target/features in range for `schema`,
@@ -159,7 +173,24 @@ class OnlineIim {
   // ingest.
   Status Evict(uint64_t arrival);
 
+  // Predicate sweep: retires every live tuple whose (arrival, full row)
+  // satisfies `pred`. Victims are collected against the stable pre-sweep
+  // window — the predicate never observes a partially swept relation —
+  // then evicted through the normal (logged) Evict path. Returns the
+  // number evicted; an error mid-sweep leaves the already-evicted prefix
+  // applied (each eviction was individually acknowledged).
+  Result<size_t> EvictWhere(
+      const std::function<bool(uint64_t arrival, const data::RowView& row)>&
+          pred);
+  // Time-based retention: evicts every live tuple whose
+  // options.timestamp_column value is strictly below `cutoff` ("keep the
+  // last 24h" on top of — or instead of — the count-based window).
+  // FailedPrecondition when no timestamp column is configured.
+  Result<size_t> EvictOlderThan(double cutoff);
+
   // Incomplete tuple arrival (Algorithm 2 against the current relation).
+  // With quality routing enabled (kAutoRoute), the request is served by
+  // the target column's champion method — see stream/quality.h.
   Result<double> ImputeOne(const data::RowView& tuple);
 
   // --- Arrival-keyed accessors (cross-shard composition) ---------------
@@ -233,6 +264,9 @@ class OnlineIim {
   // Engine-owned cursors merged with the order-maintenance core's
   // counters (one coherent copy).
   Stats stats() const;
+  // The quality monitor, or nullptr when moo_sample_rate == 0 (test and
+  // example hook; stats() already surfaces everything it measures).
+  const QualityMonitor* quality_monitor() const { return monitor_.get(); }
 
   // --- Durability (options().persist_dir engines) ----------------------
   // Serializes the full engine state (window rows, arrival numbers,
@@ -281,6 +315,9 @@ class OnlineIim {
             std::vector<int> features, const core::IimOptions& options);
 
   Status CheckQuery(const data::RowView& tuple) const;
+  // The quality route every impute request in the current quiescent span
+  // is served by (kIim without a monitor, or while the mirror is cold).
+  QualityRoute CurrentRoute() const;
   // Candidate collection + Formula 10-12 aggregation; models of `nbrs`
   // must already be ensured.
   Result<double> AggregateClean(
@@ -318,6 +355,10 @@ class OnlineIim {
   // The per-arrival maintenance machinery: orders, postings, index,
   // accumulators, models, adaptive sweeps. Slot-aligned with table_.
   OrderCore core_;
+
+  // Masking-one-out quality monitor; null when moo_sample_rate == 0 (the
+  // default — a quality-disabled engine carries no monitor state at all).
+  std::unique_ptr<QualityMonitor> monitor_;
 
   // table() materialization cache while tombstones are present.
   mutable data::Table live_cache_;

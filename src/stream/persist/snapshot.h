@@ -49,6 +49,11 @@ constexpr uint32_t kSecCoreMeta = 32;    // cursors + counters (+ adaptive)
 constexpr uint32_t kSecCoreRows = 33;    // gathered (F, Am) rows + slots
 constexpr uint32_t kSecCoreOrders = 34;  // learning (+ validation) orders
 constexpr uint32_t kSecCoreModels = 35;  // ridge U/V, models, costs
+// Quality monitor (src/stream/quality.h): decayed per-column error
+// estimates, error rings, champions and switch counters. Written only by
+// engines with moo_sample_rate > 0; the challenger fits themselves are
+// restreamed from the restored window instead of being serialized.
+constexpr uint32_t kSecQuality = 48;
 
 constexpr uint32_t kSnapshotVersion = 1;
 

@@ -117,6 +117,11 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
   // so shards never open stores of their own.
   sub.persist_dir.clear();
   sub.snapshot_every = 0;
+  // One GLOBAL quality monitor lives on the wrapper: probes must run
+  // against the union window or the estimates would judge shard-local
+  // (wrong) neighborhoods. Shards run quality-disabled.
+  sub.moo_sample_rate = 0.0;
+  sub.quality_routing = core::IimOptions::QualityRouting::kObserveOnly;
   // A shard holds ~1/S of the residents, so index policies tuned for a
   // standalone engine misjudge shard-local sizes: with the default
   // 4096-point KD-tree threshold, shards of a 10k-row relation at S=4
@@ -131,6 +136,10 @@ ShardedOnlineIim::ShardedOnlineIim(const data::Schema& schema, int target,
   if (sub.index_min_rebuild_tail == 0 && options_.shards > 1) {
     sub.index_min_rebuild_tail = std::max<size_t>(
         32, DynamicIndex::Options().min_rebuild_tail / options_.shards);
+  }
+  if (options_.moo_sample_rate > 0.0) {
+    monitor_ = std::make_unique<QualityMonitor>(
+        MakeQualityConfig(options_, q_));
   }
   shards_.reserve(options_.shards);
   global_of_local_.resize(options_.shards);
@@ -193,6 +202,18 @@ uint64_t ShardedOnlineIim::Bookkeep(size_t s) {
   return g;
 }
 
+void ShardedOnlineIim::MonitorArrival(const data::RowView& row, uint64_t g) {
+  if (monitor_ == nullptr) return;
+  std::vector<double> mv(q_ + 1);
+  for (size_t j = 0; j < q_; ++j) {
+    mv[j] = row[static_cast<size_t>(features_[j])];
+  }
+  mv[q_] = row[static_cast<size_t>(target_)];
+  // Prequential order: probe against the PRE-arrival mirror, then join.
+  monitor_->Observe(g, mv.data());
+  monitor_->Add(g, mv.data());
+}
+
 void ShardedOnlineIim::ArriveInCore(const data::RowView& row, uint64_t g) {
   // Gather the (F, Am) projection straight out of the arriving row — the
   // same doubles the owning shard gathers, so the global core folds
@@ -214,6 +235,7 @@ void ShardedOnlineIim::PlanWindowEvictions(
     // The global core repairs immediately — its state IS the semantics
     // (surviving learning orders cut the victim, backfill, down-date) —
     // while the shard-side removal may ride the parallel apply phase.
+    if (monitor_ != nullptr) monitor_->Remove(victim);
     core_.EvictSlot(core_.SlotOf(victim));
     live_.erase(oldest);
     global_of_local_[r.shard].erase(r.local_seq);
@@ -244,14 +266,15 @@ Status ShardedOnlineIim::Ingest(const data::RowView& row) {
   size_t s = RouteOf(row, next_seq_);
   RETURN_IF_ERROR(shards_[s]->Ingest(row));
   uint64_t g = Bookkeep(s);
+  MonitorArrival(row, g);
   ArriveInCore(row, g);
   ++stats_.ingested;
   PlanWindowEvictions(nullptr);
   core_.MaybeCompact(nullptr);
   MaybeSnapshot();
   if (nondurable) {
-    return Status(StatusCode::kOk,
-                  "accepted non-durably: engine degraded, op not logged");
+    return Status::NonDurableOK(
+        "accepted non-durably: engine degraded, op not logged");
   }
   return Status::OK();
 }
@@ -290,9 +313,8 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
         continue;
       }
       if (nondurable) {
-        out[i] = Status(StatusCode::kOk,
-                        "accepted non-durably: engine degraded, op not "
-                        "logged");
+        out[i] = Status::NonDurableOK(
+            "accepted non-durably: engine degraded, op not logged");
       }
     }
     size_t s = RouteOf(rows[i], next_seq_);
@@ -301,6 +323,7 @@ std::vector<Status> ShardedOnlineIim::IngestBatch(
     op.row = i;
     plan[s].push_back(op);
     uint64_t g = Bookkeep(s);
+    MonitorArrival(rows[i], g);
     ArriveInCore(rows[i], g);
     ++stats_.ingested;
     PlanWindowEvictions(&plan);
@@ -348,6 +371,7 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
                                &nondurable));
   }
   RETURN_IF_ERROR(shards_[it->second.shard]->Evict(it->second.local_seq));
+  if (monitor_ != nullptr) monitor_->Remove(arrival);
   core_.EvictSlot(core_.SlotOf(arrival));
   global_of_local_[it->second.shard].erase(it->second.local_seq);
   live_.erase(it);
@@ -355,10 +379,43 @@ Status ShardedOnlineIim::Evict(uint64_t arrival) {
   core_.MaybeCompact(nullptr);
   MaybeSnapshot();
   if (nondurable) {
-    return Status(StatusCode::kOk,
-                  "accepted non-durably: engine degraded, op not logged");
+    return Status::NonDurableOK(
+        "accepted non-durably: engine degraded, op not logged");
   }
   return Status::OK();
+}
+
+Result<size_t> ShardedOnlineIim::EvictWhere(
+    const std::function<bool(uint64_t arrival, const data::RowView& row)>&
+        pred) {
+  // Collect victims by GLOBAL arrival against the stable pre-sweep
+  // window. live_ is keyed by arrival, so the sweep tolerates holes
+  // anywhere in the window — no oldest-prefix (FIFO) assumption.
+  std::vector<uint64_t> victims;
+  for (const auto& entry : live_) {
+    const Route& r = entry.second;
+    if (pred(entry.first, shards_[r.shard]->RowByArrival(r.local_seq))) {
+      victims.push_back(entry.first);
+    }
+  }
+  size_t evicted = 0;
+  for (uint64_t arrival : victims) {
+    Status st = Evict(arrival);
+    if (!st.ok()) return st;
+    ++evicted;
+  }
+  return evicted;
+}
+
+Result<size_t> ShardedOnlineIim::EvictOlderThan(double cutoff) {
+  if (options_.timestamp_column < 0) {
+    return Status::FailedPrecondition(
+        "ShardedOnlineIim: EvictOlderThan needs options.timestamp_column");
+  }
+  const size_t ts = static_cast<size_t>(options_.timestamp_column);
+  return EvictWhere([ts, cutoff](uint64_t, const data::RowView& row) {
+    return row[ts] < cutoff;
+  });
 }
 
 std::vector<neighbors::Neighbor> ShardedOnlineIim::MergedTopK(
@@ -427,8 +484,33 @@ Result<double> ShardedOnlineIim::AggregateClean(
   return core::CombineCandidates(candidates, options_.uniform_weights);
 }
 
+QualityRoute ShardedOnlineIim::CurrentRoute() const {
+  if (monitor_ == nullptr) return QualityRoute::kIim;
+  QualityRoute route = monitor_->RouteTarget();
+  // A cold mirror (restored estimates, window not yet re-populated, or
+  // every monitored tuple evicted) cannot serve challengers — IIM does.
+  if (route != QualityRoute::kIim && monitor_->live() == 0) {
+    return QualityRoute::kIim;
+  }
+  return route;
+}
+
 Result<double> ShardedOnlineIim::ImputeOne(const data::RowView& tuple) {
   RETURN_IF_ERROR(CheckQuery(tuple));
+  const QualityRoute route = CurrentRoute();
+  if (route != QualityRoute::kIim && route != QualityRoute::kEnsemble) {
+    std::vector<double> feat(q_);
+    for (size_t j = 0; j < q_; ++j) {
+      feat[j] = tuple[static_cast<size_t>(features_[j])];
+    }
+    auto served = monitor_->ServeTarget(feat.data(), route);
+    if (served.ok()) {
+      ++stats_.imputed;
+      ++stats_.routed_serves;
+      return served;
+    }
+    // Monitor could not answer — fall through to the IIM path.
+  }
   std::vector<neighbors::Neighbor> nbrs =
       MergedTopK(tuple, options_.k, OnlineIim::kNoArrival);
   stats_.shard_queries += shards_.size();
@@ -441,12 +523,44 @@ Result<double> ShardedOnlineIim::ImputeOne(const data::RowView& tuple) {
   }
   ++stats_.imputed;
   std::vector<double> scratch;
-  return AggregateClean(tuple, nbrs, &scratch);
+  Result<double> value = AggregateClean(tuple, nbrs, &scratch);
+  if (route == QualityRoute::kEnsemble && value.ok()) {
+    std::vector<double> feat(q_);
+    for (size_t j = 0; j < q_; ++j) {
+      feat[j] = tuple[static_cast<size_t>(features_[j])];
+    }
+    ++stats_.ensemble_serves;
+    return monitor_->EnsembleTarget(feat.data(), value.value());
+  }
+  return value;
 }
 
 std::vector<Result<double>> ShardedOnlineIim::ImputeBatch(
     const std::vector<data::RowView>& rows) {
   std::vector<Result<double>> out(rows.size(), Result<double>(0.0));
+
+  // Routing is decided once per batch: imputations never mutate the
+  // monitor, so every row of the batch sees the same champion.
+  const QualityRoute route = CurrentRoute();
+  if (route != QualityRoute::kIim && route != QualityRoute::kEnsemble) {
+    std::vector<double> feat(q_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Status st = CheckQuery(rows[i]);
+      if (!st.ok()) {
+        out[i] = st;
+        continue;
+      }
+      for (size_t j = 0; j < q_; ++j) {
+        feat[j] = rows[i][static_cast<size_t>(features_[j])];
+      }
+      out[i] = monitor_->ServeTarget(feat.data(), route);
+      if (out[i].ok()) {
+        ++stats_.imputed;
+        ++stats_.routed_serves;
+      }
+    }
+    return out;
+  }
 
   // Phase 1 (serial): validate, collect the queryable rows.
   std::vector<size_t> row_of_query;
@@ -527,6 +641,20 @@ std::vector<Result<double>> ShardedOnlineIim::ImputeBatch(
   for (size_t b = 0; b < row_of_query.size(); ++b) {
     if (out[row_of_query[b]].ok()) ++stats_.imputed;
   }
+  if (route == QualityRoute::kEnsemble) {
+    // Post-process each answered row exactly as ImputeOne would: blend
+    // the engine's IIM value with the challengers' serves.
+    std::vector<double> feat(q_);
+    for (size_t b = 0; b < row_of_query.size(); ++b) {
+      size_t i = row_of_query[b];
+      if (!out[i].ok()) continue;
+      for (size_t j = 0; j < q_; ++j) {
+        feat[j] = rows[i][static_cast<size_t>(features_[j])];
+      }
+      ++stats_.ensemble_serves;
+      out[i] = monitor_->EnsembleTarget(feat.data(), out[i].value());
+    }
+  }
   return out;
 }
 
@@ -580,6 +708,12 @@ ShardedOnlineIim::Stats ShardedOnlineIim::stats() const {
   s.orders_scanned = c.orders_scanned;
   s.orders_admitted = c.orders_admitted;
   s.admission_skips = c.admission_skips;
+  if (monitor_ != nullptr) {
+    s.moo_probes = monitor_->probes();
+    s.moo_skipped = monitor_->skipped();
+    s.champion_switches = monitor_->champion_switches();
+    s.quality = monitor_->ColumnStats();
+  }
   s.per_shard.clear();
   s.per_shard.reserve(shards_.size());
   for (const std::unique_ptr<OnlineIim>& sh : shards_) {
@@ -593,7 +727,7 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   persist::SnapshotBuilder b(store_ == nullptr ? 0 : store_->ops_logged());
 
   b.BeginSection(persist::kSecMeta);
-  b.PutU32(2);  // wrapper layout version within the container
+  b.PutU32(3);  // wrapper layout version within the container
   b.PutU64(schema_.size());
   b.PutU32(static_cast<uint32_t>(target_));
   b.PutU64(q_);
@@ -608,6 +742,20 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   b.PutU64(core_.config().max_ell);
   b.PutU64(core_.config().step_h);
   b.PutU64(core_.config().vk);
+  // Quality-monitoring knobs shape routing decisions and the restored
+  // estimates' meaning, so they are part of the fingerprint (v3).
+  b.PutF64(options_.moo_sample_rate);
+  b.PutF64(options_.moo_decay);
+  b.PutU64(options_.moo_knn);
+  b.PutU64(options_.moo_ell);
+  b.PutU64(options_.moo_min_samples);
+  b.PutF64(options_.moo_margin);
+  b.PutU8(options_.quality_routing ==
+                  core::IimOptions::QualityRouting::kAutoRoute
+              ? 1
+              : 0);
+  b.PutU64(options_.seed);
+  b.PutU32(static_cast<uint32_t>(options_.timestamp_column));
   b.PutU64(S);
 
   b.BeginSection(persist::kSecShardMeta);
@@ -631,6 +779,10 @@ std::string ShardedOnlineIim::SerializeSnapshot() {
   // The global order-maintenance core: gathered rows, orders, ridge
   // accumulators, models and adaptive caches, bitwise restorable.
   core_.SerializeInto(&b);
+
+  // The wrapper owns the one global quality monitor (shards run with
+  // monitoring disabled), so its estimates ride here, not per shard.
+  if (monitor_ != nullptr) monitor_->SerializeInto(&b);
 
   // One complete nested engine image per shard, in shard order. Each is
   // a full snapshot container of its own — shards restore through the
@@ -659,7 +811,7 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
   size_t S = shards_.size();
   ASSIGN_OR_RETURN(persist::SectionReader meta,
                    view.Section(persist::kSecMeta));
-  if (meta.U32() != 2) return mismatch("wrapper layout version");
+  if (meta.U32() != 3) return mismatch("wrapper layout version");
   if (meta.U64() != schema_.size()) return mismatch("schema arity");
   if (meta.U32() != static_cast<uint32_t>(target_)) return mismatch("target");
   if (meta.U64() != q_) return mismatch("feature set");
@@ -684,6 +836,32 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
       meta.U64() != core_.config().step_h ||
       meta.U64() != core_.config().vk) {
     return mismatch("adaptive configuration");
+  }
+  double rate = meta.F64();
+  if (std::memcmp(&rate, &options_.moo_sample_rate, sizeof(double)) != 0) {
+    return mismatch("moo_sample_rate");
+  }
+  double decay = meta.F64();
+  if (std::memcmp(&decay, &options_.moo_decay, sizeof(double)) != 0) {
+    return mismatch("moo_decay");
+  }
+  if (meta.U64() != options_.moo_knn) return mismatch("moo_knn");
+  if (meta.U64() != options_.moo_ell) return mismatch("moo_ell");
+  if (meta.U64() != options_.moo_min_samples) {
+    return mismatch("moo_min_samples");
+  }
+  double margin = meta.F64();
+  if (std::memcmp(&margin, &options_.moo_margin, sizeof(double)) != 0) {
+    return mismatch("moo_margin");
+  }
+  if ((meta.U8() != 0) !=
+      (options_.quality_routing ==
+       core::IimOptions::QualityRouting::kAutoRoute)) {
+    return mismatch("quality routing mode");
+  }
+  if (meta.U64() != options_.seed) return mismatch("seed");
+  if (meta.U32() != static_cast<uint32_t>(options_.timestamp_column)) {
+    return mismatch("timestamp_column");
   }
   if (meta.U64() != S) return mismatch("shard count");
   RETURN_IF_ERROR(meta.status());
@@ -743,6 +921,26 @@ Status ShardedOnlineIim::RestoreFromSnapshot(const std::string& bytes) {
     if (!core_.IsLive(entry.first)) {
       return Status::IoError(
           "ShardedOnlineIim: snapshot core/routing live-set mismatch");
+    }
+  }
+
+  if (monitor_ != nullptr) {
+    // Estimates, rings and champions restore bitwise from their section;
+    // the mirror and challenger fits are rebuilt by re-adding the live
+    // window in global-arrival order (the fits restream, so their
+    // numerics match a fresh engine fed the same window, not necessarily
+    // the exact accumulator bits of the writer — documented in
+    // stream/quality.h).
+    ASSIGN_OR_RETURN(persist::SectionReader qr,
+                     view.Section(persist::kSecQuality));
+    RETURN_IF_ERROR(monitor_->RestoreFrom(&qr));
+    std::vector<double> mv(q_ + 1);
+    for (const auto& entry : live) {
+      size_t slot = core_.SlotOf(entry.first);
+      std::copy(core_.Features(slot), core_.Features(slot) + q_,
+                mv.begin());
+      mv[q_] = core_.Target(slot);
+      monitor_->Add(entry.first, mv.data());
     }
   }
 

@@ -133,6 +133,16 @@ class ShardedOnlineIim {
     size_t nondurable_ops = 0;
     size_t degraded_rejected = 0;
     size_t health_transitions = 0;
+    // --- Quality monitoring (moo_sample_rate > 0; stream/quality.h).
+    // The wrapper owns ONE global monitor over the union of the shards —
+    // shard engines run quality-disabled — so these live here, and the
+    // estimates match an unsharded engine's under the same schedule.
+    size_t moo_probes = 0;
+    size_t moo_skipped = 0;
+    size_t routed_serves = 0;
+    size_t ensemble_serves = 0;
+    size_t champion_switches = 0;
+    std::vector<QualityColumnStats> quality;
     // Each shard's own engine counters (entry s = shard s).
     std::vector<OnlineIim::Stats> per_shard;
   };
@@ -163,6 +173,18 @@ class ShardedOnlineIim {
   // Retires the tuple of the `arrival`-th successful global ingest.
   // NotFound if it was never ingested or is already gone.
   Status Evict(uint64_t arrival);
+
+  // Predicate sweep over the GLOBAL window (semantics match
+  // OnlineIim::EvictWhere): victims are collected by global arrival
+  // number against the stable pre-sweep window — never as a FIFO prefix,
+  // so mid-window holes left by earlier predicate evictions are handled —
+  // then evicted through the normal routed path.
+  Result<size_t> EvictWhere(
+      const std::function<bool(uint64_t arrival, const data::RowView& row)>&
+          pred);
+  // Time-based retention on options.timestamp_column; see
+  // OnlineIim::EvictOlderThan.
+  Result<size_t> EvictOlderThan(double cutoff);
 
   // Algorithm 2 against the union of all shards (scatter/gather; see the
   // header comment).
@@ -205,6 +227,8 @@ class ShardedOnlineIim {
   void WaitForIndexRebuilds();
   // Aggregate counters plus one OnlineIim::Stats per shard.
   Stats stats() const;
+  // The global quality monitor, or nullptr when moo_sample_rate == 0.
+  const QualityMonitor* quality_monitor() const { return monitor_.get(); }
 
   // Verifies the global core's reverse-neighbor postings (and, when
   // adaptive, the validation orders' reverse lists) against a full
@@ -257,6 +281,11 @@ class ShardedOnlineIim {
 
   Status CheckIngest(const data::RowView& row) const;
   Status CheckQuery(const data::RowView& tuple) const;
+  // The quality route for the current quiescent span; see
+  // OnlineIim::CurrentRoute.
+  QualityRoute CurrentRoute() const;
+  // Runs the monitor's prequential Observe + Add for an accepted arrival.
+  void MonitorArrival(const data::RowView& row, uint64_t g);
   size_t RouteOf(const data::RowView& row, uint64_t arrival) const;
   // Bookkeeps one accepted arrival into shard s, returning its global
   // sequence number.
@@ -302,6 +331,12 @@ class ShardedOnlineIim {
   // machine to the unsharded engine's core — that identity is the
   // bit-equality contract.
   OrderCore core_;
+
+  // The GLOBAL quality monitor (null when moo_sample_rate == 0): probes
+  // run against the union window, so estimates — and sampled arrivals —
+  // match an unsharded engine's bit for bit. Shard engines are created
+  // quality-disabled.
+  std::unique_ptr<QualityMonitor> monitor_;
 
   std::vector<std::unique_ptr<OnlineIim>> shards_;
   // Global arrival -> residence, live tuples only; ordered so begin() is

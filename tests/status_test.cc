@@ -70,6 +70,24 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
 }
 
+TEST(StatusTest, NonDurableOKIsOkButFlagged) {
+  Status st = Status::NonDurableOK("accepted, not logged");
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(st.nondurable());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "accepted, not logged");
+  // Plain OK statuses — message or not — never carry the flag; callers
+  // must not have to parse strings to detect durability debt.
+  EXPECT_FALSE(Status::OK().nondurable());
+  EXPECT_FALSE(Status(StatusCode::kOk, "some note").nondurable());
+}
+
+TEST(StatusTest, NonDurableBitParticipatesInEquality) {
+  EXPECT_EQ(Status::NonDurableOK("m"), Status::NonDurableOK("m"));
+  EXPECT_FALSE(Status::NonDurableOK("m") == Status(StatusCode::kOk, "m"));
+  EXPECT_FALSE(Status(StatusCode::kOk, "m") == Status::NonDurableOK("m"));
+}
+
 Status FailsIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::OK();

@@ -422,8 +422,8 @@ TEST_F(HealthLadderTest, AcceptNonDurableEscalatesToReadOnly) {
   fail::Enable("wal.append", spec);
   for (size_t i = 10; i < 13; ++i) {
     Status st = e->Ingest(src.Row(i));
-    EXPECT_TRUE(st.ok());                      // accepted...
-    EXPECT_FALSE(st.message().empty()) << i;   // ...flagged non-durable
+    EXPECT_TRUE(st.ok());                 // accepted...
+    EXPECT_TRUE(st.nondurable()) << i;    // ...flagged non-durable
   }
   EXPECT_EQ(e->size(), 13u);  // applied, unlike the kReject policy
   EXPECT_EQ(e->Health(), HealthState::kReadOnly);  // debt hit the cap
@@ -574,7 +574,7 @@ TEST_F(ChaosRecoveryTest, AckedOpsSurviveRandomFaultSchedules) {
                       ? crashy->Ingest(src.Row(op.src_row))
                       : crashy->Evict(op.arrival);
       if (st.ok()) {
-        EXPECT_TRUE(st.message().empty());  // kReject never acks non-durably
+        EXPECT_FALSE(st.nondurable());  // kReject never acks non-durably
         Status rs = op.kind == ScheduleOp::kIngest
                         ? reference->Ingest(src.Row(op.src_row))
                         : reference->Evict(op.arrival);

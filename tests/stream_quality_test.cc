@@ -1,0 +1,609 @@
+// Online imputation-quality monitoring: the masking-one-out differential
+// harness (ROADMAP item 2).
+//
+// What is pinned here, suite by suite:
+//
+//   - The estimator itself: the decayed per-column error a stationary
+//     stream accumulates converges to the batch masking error computed
+//     directly over the final window (src/eval's RMS metric) — the online
+//     trickle and the offline protocol measure the same quantity.
+//   - The zero-impact contract: a kObserveOnly engine answers every
+//     impute bit-identically to a quality-disabled engine, and its core
+//     maintenance counters match exactly — monitoring must never perturb
+//     what it monitors.
+//   - The sharded wrapper: one global monitor fed by global arrival
+//     numbers reproduces the single engine's quality stats bitwise.
+//   - Routing: on a deliberately drifted stream the kAutoRoute engine
+//     switches at least one column's champion off IIM and serves the
+//     drifted tail with LOWER held-out error than the kObserveOnly twin.
+//   - Time-based eviction: EvictWhere / EvictOlderThan agree between the
+//     engines and tolerate holes anywhere in the window (no FIFO-prefix
+//     assumption), with imputations still bitwise equal afterwards.
+//   - The service's overload fallback: the column-mean fit is cached per
+//     quiescent span — fits advance with window *changes*, not with the
+//     number of fallback batches served.
+//   - Persistence: quality estimates snapshot and restore bitwise, and a
+//     restored engine's subsequent probes match the original's exactly.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/table.h"
+#include "eval/metrics.h"
+#include "stream/imputation_service.h"
+#include "stream/online_iim.h"
+#include "stream/sharded_iim.h"
+#include "stream_test_util.h"
+
+namespace iim::stream {
+namespace {
+
+constexpr int kTarget = 2;
+const std::vector<int> kFeatures = {0, 1};
+
+core::IimOptions QualityOptions() {
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 8;
+  opt.window_size = 128;
+  // Restream path: the sharded-vs-single cells assert bitwise equality,
+  // which is the downdate = false contract (see stream_shard_test.cc).
+  opt.downdate = false;
+  opt.moo_sample_rate = 1.0;
+  return opt;
+}
+
+// A stationary linear relation with noise: y = 2 x0 + x1 + eps.
+data::Table StationaryTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  data::Table t(data::Schema::Default(3));
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.Uniform();
+    double x1 = rng.Uniform();
+    double y = 2.0 * x0 + x1 + rng.Gaussian(0.0, 0.3);
+    EXPECT_TRUE(t.AppendRow({x0, x1, y}).ok());
+  }
+  return t;
+}
+
+// An abruptly drifting relation: the head is exactly linear (IIM's home
+// turf), the tail's target is feature-independent noise around 5 (the
+// column mean's home turf).
+data::Table DriftTable(size_t head, size_t tail, uint64_t seed) {
+  Rng rng(seed);
+  data::Table t(data::Schema::Default(3));
+  for (size_t i = 0; i < head; ++i) {
+    double x0 = rng.Uniform();
+    double x1 = rng.Uniform();
+    EXPECT_TRUE(t.AppendRow({x0, x1, 3.0 * x0 + 2.0 * x1}).ok());
+  }
+  for (size_t i = 0; i < tail; ++i) {
+    double x0 = rng.Uniform();
+    double x1 = rng.Uniform();
+    EXPECT_TRUE(t.AppendRow({x0, x1, 5.0 + rng.Gaussian(0.0, 1.0)}).ok());
+  }
+  return t;
+}
+
+void ExpectSameQuality(const OnlineIim::Stats& single,
+                       const ShardedOnlineIim::Stats& sharded,
+                       const char* where) {
+  EXPECT_EQ(single.moo_probes, sharded.moo_probes) << where;
+  EXPECT_EQ(single.moo_skipped, sharded.moo_skipped) << where;
+  EXPECT_EQ(single.champion_switches, sharded.champion_switches) << where;
+  ASSERT_EQ(single.quality.size(), sharded.quality.size()) << where;
+  for (size_t c = 0; c < single.quality.size(); ++c) {
+    const QualityColumnStats& a = single.quality[c];
+    const QualityColumnStats& b = sharded.quality[c];
+    EXPECT_EQ(a.holdouts, b.holdouts) << where << " col " << c;
+    EXPECT_EQ(a.champion, b.champion) << where << " col " << c;
+    EXPECT_EQ(a.switches, b.switches) << where << " col " << c;
+    for (int m = 0; m < kQualityMethods; ++m) {
+      EXPECT_EQ(a.samples[m], b.samples[m]) << where << " col " << c;
+      // Bitwise: the sharded wrapper's global monitor sees the exact
+      // arrival sequence the single engine sees.
+      EXPECT_EQ(a.ewma_abs[m], b.ewma_abs[m]) << where << " col " << c;
+      EXPECT_EQ(a.ewma_rms[m], b.ewma_rms[m]) << where << " col " << c;
+      EXPECT_EQ(a.abs_error[m].p50, b.abs_error[m].p50)
+          << where << " col " << c;
+      EXPECT_EQ(a.abs_error[m].p99, b.abs_error[m].p99)
+          << where << " col " << c;
+    }
+  }
+}
+
+// --- Sharded-vs-single differential -----------------------------------
+
+class QualityDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, size_t>> {
+};
+
+TEST_P(QualityDifferentialTest, ShardedQualityStatsMatchSingleBitwise) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const size_t shards = std::get<1>(GetParam());
+  const size_t threads = std::get<2>(GetParam());
+  data::Table full = HeterogeneousTable(300, 3, seed);
+  core::IimOptions opt = QualityOptions();
+  opt.window_size = 90;
+  opt.shards = shards;
+  opt.threads = threads;
+
+  auto single_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(single_r.ok());
+  auto sharded_r =
+      ShardedOnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(sharded_r.ok());
+  OnlineIim& single = *single_r.value();
+  ShardedOnlineIim& sharded = *sharded_r.value();
+
+  std::vector<ScheduleOp> ops = MakeSchedule(seed * 131 + shards, 280,
+                                             /*min_live=*/12, /*evict_p=*/0.25,
+                                             /*impute_every=*/31);
+  for (const ScheduleOp& op : ops) {
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(single.Ingest(full.Row(op.src_row)).ok());
+      ASSERT_TRUE(sharded.Ingest(full.Row(op.src_row)).ok());
+    } else if (op.kind == ScheduleOp::kEvict) {
+      Status a = single.Evict(op.arrival);
+      Status b = sharded.Evict(op.arrival);
+      ASSERT_EQ(a.code(), b.code());
+    } else {
+      std::vector<double> probe = Probe(full, 290, kTarget);
+      Result<double> a = single.ImputeOne(
+          data::RowView(probe.data(), probe.size()));
+      Result<double> b = sharded.ImputeOne(
+          data::RowView(probe.data(), probe.size()));
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) EXPECT_EQ(a.value(), b.value());
+    }
+  }
+  OnlineIim::Stats ss = single.stats();
+  ShardedOnlineIim::Stats hs = sharded.stats();
+  EXPECT_GT(ss.moo_probes, 0u);
+  ExpectSameQuality(ss, hs, "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, QualityDifferentialTest,
+    ::testing::Combine(::testing::Values<uint64_t>(3, 11),
+                       ::testing::Values<size_t>(2, 3),
+                       ::testing::Values<size_t>(1, 4)));
+
+// --- Zero-impact contract ---------------------------------------------
+
+TEST(QualityObserveOnlyTest, BitIdenticalToQualityDisabledEngine) {
+  data::Table full = HeterogeneousTable(260, 3, 17);
+  core::IimOptions monitored = QualityOptions();
+  monitored.window_size = 80;
+  core::IimOptions plain = monitored;
+  plain.moo_sample_rate = 0.0;
+
+  auto a_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, monitored);
+  auto b_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, plain);
+  ASSERT_TRUE(a_r.ok());
+  ASSERT_TRUE(b_r.ok());
+  OnlineIim& a = *a_r.value();
+  OnlineIim& b = *b_r.value();
+
+  std::vector<ScheduleOp> ops = MakeSchedule(99, 240, /*min_live=*/10,
+                                             /*evict_p=*/0.2,
+                                             /*impute_every=*/17);
+  for (const ScheduleOp& op : ops) {
+    if (op.kind == ScheduleOp::kIngest) {
+      ASSERT_TRUE(a.Ingest(full.Row(op.src_row)).ok());
+      ASSERT_TRUE(b.Ingest(full.Row(op.src_row)).ok());
+    } else if (op.kind == ScheduleOp::kEvict) {
+      ASSERT_EQ(a.Evict(op.arrival).code(), b.Evict(op.arrival).code());
+    } else {
+      std::vector<double> probe = Probe(full, 250, kTarget);
+      Result<double> va =
+          a.ImputeOne(data::RowView(probe.data(), probe.size()));
+      Result<double> vb =
+          b.ImputeOne(data::RowView(probe.data(), probe.size()));
+      ASSERT_EQ(va.ok(), vb.ok());
+      if (va.ok()) EXPECT_EQ(va.value(), vb.value());
+    }
+  }
+  // Monitoring left no trace in the engine: every maintenance counter the
+  // core exposes is identical, and nothing was ever routed.
+  OnlineIim::Stats sa = a.stats();
+  OnlineIim::Stats sb = b.stats();
+  EXPECT_GT(sa.moo_probes, 0u);
+  EXPECT_EQ(sb.moo_probes, 0u);
+  EXPECT_EQ(sa.routed_serves, 0u);
+  EXPECT_EQ(sa.ensemble_serves, 0u);
+  EXPECT_EQ(sa.imputed, sb.imputed);
+  EXPECT_EQ(sa.models_solved, sb.models_solved);
+  EXPECT_EQ(sa.global_fits_reused, sb.global_fits_reused);
+  EXPECT_EQ(sa.holders_invalidated, sb.holders_invalidated);
+  EXPECT_EQ(sa.fast_path_appends, sb.fast_path_appends);
+  EXPECT_EQ(sa.backfills, sb.backfills);
+}
+
+// --- Estimator convergence vs. the batch masking protocol -------------
+
+class QualityConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(QualityConvergenceTest, DecayedErrorTracksBatchMaskingError) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const bool use_sharded = std::get<1>(GetParam());
+  const size_t n = 400;
+  data::Table full = StationaryTable(n, seed);
+  core::IimOptions opt = QualityOptions();
+  opt.moo_decay = 0.05;
+  if (use_sharded) opt.shards = 3;
+
+  std::unique_ptr<OnlineIim> single;
+  std::unique_ptr<ShardedOnlineIim> sharded;
+  if (use_sharded) {
+    auto r = ShardedOnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+    ASSERT_TRUE(r.ok());
+    sharded = std::move(r.value());
+  } else {
+    auto r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+    ASSERT_TRUE(r.ok());
+    single = std::move(r.value());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Status st = use_sharded ? sharded->Ingest(full.Row(i))
+                            : single->Ingest(full.Row(i));
+    ASSERT_TRUE(st.ok());
+  }
+
+  // Batch masking-one-out over the FINAL window, mean method: hold each
+  // live target out, impute with the mean of the others, score via the
+  // paper's RMS metric.
+  const size_t live = opt.window_size;
+  double sum = 0.0;
+  for (size_t i = n - live; i < n; ++i) sum += full.Row(i)[kTarget];
+  std::vector<eval::ScoredCell> cells;
+  for (size_t i = n - live; i < n; ++i) {
+    double truth = full.Row(i)[kTarget];
+    eval::ScoredCell cell;
+    cell.truth = truth;
+    cell.imputed = (sum - truth) / static_cast<double>(live - 1);
+    cells.push_back(cell);
+  }
+  Result<double> batch_rms = eval::RmsError(cells);
+  ASSERT_TRUE(batch_rms.ok());
+
+  std::vector<QualityColumnStats> quality =
+      use_sharded ? sharded->stats().quality : single->stats().quality;
+  ASSERT_EQ(quality.size(), kFeatures.size() + 1);
+  const QualityColumnStats& target_col = quality.back();
+  ASSERT_GT(target_col.samples[kQualityMean], 30u);
+  // The decayed online estimate and the batch protocol measure the same
+  // stationary quantity; the tolerance covers EWMA variance and the
+  // window drift between probes.
+  double online = target_col.ewma_rms[kQualityMean];
+  EXPECT_GT(online, 0.55 * batch_rms.value());
+  EXPECT_LT(online, 1.8 * batch_rms.value());
+  // The regression methods learn the linear relation the mean ignores,
+  // so both must come out clearly ahead of it — and the champion is one
+  // of them (on an exactly-global relation GLR legitimately edges out
+  // the local-model IIM; what matters is that mean never wins).
+  EXPECT_LT(target_col.ewma_rms[kQualityIim],
+            target_col.ewma_rms[kQualityMean]);
+  EXPECT_LT(target_col.ewma_rms[kQualityGlr],
+            target_col.ewma_rms[kQualityMean]);
+  EXPECT_TRUE(target_col.champion == kQualityIim ||
+              target_col.champion == kQualityGlr)
+      << target_col.champion;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, QualityConvergenceTest,
+                         ::testing::Combine(::testing::Values<uint64_t>(5, 23),
+                                            ::testing::Bool()));
+
+// --- Champion/challenger routing under drift --------------------------
+
+TEST(QualityRoutingTest, AutoRouteSwitchesOffIimAndLowersDriftError) {
+  const size_t head = 240;
+  const size_t tail = 260;
+  data::Table full = DriftTable(head, tail, 41);
+  core::IimOptions observe = QualityOptions();
+  observe.window_size = 96;
+  observe.moo_decay = 0.2;
+  observe.moo_min_samples = 12;
+  observe.moo_margin = 0.05;
+  core::IimOptions route = observe;
+  route.quality_routing = core::IimOptions::QualityRouting::kAutoRoute;
+
+  auto a_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, observe);
+  auto b_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, route);
+  ASSERT_TRUE(a_r.ok());
+  ASSERT_TRUE(b_r.ok());
+  OnlineIim& observer = *a_r.value();
+  OnlineIim& router = *b_r.value();
+
+  Rng probe_rng(97);
+  double sq_observer = 0.0;
+  double sq_router = 0.0;
+  size_t served = 0;
+  for (size_t i = 0; i < head + tail; ++i) {
+    ASSERT_TRUE(observer.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(router.Ingest(full.Row(i)).ok());
+    // Once the window lies fully in the drifted regime, serve held-out
+    // probes drawn from that regime through both engines.
+    if (i >= head + observe.window_size + 40 && i % 5 == 0) {
+      double x0 = probe_rng.Uniform();
+      double x1 = probe_rng.Uniform();
+      double truth = 5.0 + probe_rng.Gaussian(0.0, 1.0);
+      std::vector<double> probe = {
+          x0, x1, std::numeric_limits<double>::quiet_NaN()};
+      data::RowView row(probe.data(), probe.size());
+      Result<double> va = observer.ImputeOne(row);
+      Result<double> vb = router.ImputeOne(row);
+      ASSERT_TRUE(va.ok());
+      ASSERT_TRUE(vb.ok());
+      sq_observer += (va.value() - truth) * (va.value() - truth);
+      sq_router += (vb.value() - truth) * (vb.value() - truth);
+      ++served;
+    }
+  }
+  ASSERT_GT(served, 20u);
+
+  OnlineIim::Stats so = observer.stats();
+  OnlineIim::Stats sr = router.stats();
+  // The router noticed the drift: at least one column's champion left
+  // IIM, and tail requests were actually served off the IIM path.
+  EXPECT_GE(sr.champion_switches, 1u);
+  bool any_off_iim = false;
+  for (const QualityColumnStats& col : sr.quality) {
+    if (col.champion != kQualityIim) any_off_iim = true;
+  }
+  EXPECT_TRUE(any_off_iim);
+  EXPECT_GT(sr.routed_serves + sr.ensemble_serves, 0u);
+  // The observe-only engine never routes (same estimates, no action).
+  EXPECT_EQ(so.routed_serves, 0u);
+  EXPECT_EQ(so.ensemble_serves, 0u);
+  // And routing paid off: lower held-out error on the drifted tail.
+  double rms_observer = std::sqrt(sq_observer / static_cast<double>(served));
+  double rms_router = std::sqrt(sq_router / static_cast<double>(served));
+  EXPECT_LT(rms_router, rms_observer);
+}
+
+// --- Time-based eviction ----------------------------------------------
+
+TEST(QualityEvictionTest, EvictWhereAgreesAcrossEnginesWithHoles) {
+  // Column 3 is a timestamp (not a feature, not the target).
+  Rng rng(7);
+  data::Table full(data::Schema::Default(4));
+  for (size_t i = 0; i < 150; ++i) {
+    double x0 = rng.Uniform();
+    double x1 = rng.Uniform();
+    ASSERT_TRUE(full.AppendRow({x0, x1, 2.0 * x0 + x1 + rng.Gaussian(0, 0.1),
+                                static_cast<double>(i)})
+                    .ok());
+  }
+  core::IimOptions opt;
+  opt.k = 4;
+  opt.ell = 8;
+  opt.downdate = false;  // bitwise sharded-vs-single cells
+  opt.timestamp_column = 3;
+  opt.shards = 3;
+
+  auto single_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  auto sharded_r =
+      ShardedOnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(single_r.ok());
+  ASSERT_TRUE(sharded_r.ok());
+  OnlineIim& single = *single_r.value();
+  ShardedOnlineIim& sharded = *sharded_r.value();
+
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(single.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(sharded.Ingest(full.Row(i)).ok());
+  }
+  // Punch holes in the MIDDLE first — the sweep must not assume the
+  // predicate matches an oldest-first prefix of the window.
+  auto holes = [](uint64_t arrival, const data::RowView&) {
+    return arrival % 7 == 3;
+  };
+  Result<size_t> ha = single.EvictWhere(holes);
+  Result<size_t> hb = sharded.EvictWhere(holes);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(ha.value(), hb.value());
+  EXPECT_GT(ha.value(), 0u);
+
+  // Then retire everything older than t = 40 by timestamp.
+  Result<size_t> ta = single.EvictOlderThan(40.0);
+  Result<size_t> tb = sharded.EvictOlderThan(40.0);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(ta.value(), tb.value());
+  EXPECT_GT(ta.value(), 0u);
+  EXPECT_EQ(single.size(), sharded.size());
+
+  // The engines still answer identically after the sweeps, and keep
+  // agreeing as the stream continues.
+  for (size_t i = 120; i < 150; ++i) {
+    ASSERT_TRUE(single.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(sharded.Ingest(full.Row(i)).ok());
+    if (i % 6 == 0) {
+      std::vector<double> probe = full.Row(i).ToVector();
+      probe[kTarget] = std::numeric_limits<double>::quiet_NaN();
+      data::RowView row(probe.data(), probe.size());
+      Result<double> va = single.ImputeOne(row);
+      Result<double> vb = sharded.ImputeOne(row);
+      ASSERT_TRUE(va.ok());
+      ASSERT_TRUE(vb.ok());
+      EXPECT_EQ(va.value(), vb.value());
+    }
+  }
+}
+
+TEST(QualityEvictionTest, EvictOlderThanNeedsTimestampColumn) {
+  data::Table full = StationaryTable(30, 3);
+  core::IimOptions opt;
+  opt.k = 3;
+  opt.ell = 6;
+  auto e_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(e_r.ok());
+  for (size_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(e_r.value()->Ingest(full.Row(i)).ok());
+  }
+  Result<size_t> r = e_r.value()->EvictOlderThan(10.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Service overload-fallback fit cache ------------------------------
+
+TEST(QualityServiceTest, FallbackFitIsCachedPerQuiescentSpan) {
+  data::Table full = StationaryTable(40, 13);
+  core::IimOptions opt;
+  opt.k = 3;
+  opt.ell = 6;
+  auto e_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(e_r.ok());
+
+  ImputationService::Options sopt;
+  sopt.max_batch = 1;  // every popped impute is its own batch
+  sopt.fallback_watermark = 1;
+  ImputationService service(e_r.value().get(), sopt);
+
+  for (size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.SubmitIngest(full.Row(i).ToVector()).get().ok());
+  }
+  service.Drain();
+
+  // Six imputes queued behind a paused server: the first five pop with a
+  // non-empty backlog (fallback), the sixth drains normally. Without the
+  // cache this span would fit five times; with it, exactly once.
+  auto submit_probes = [&](size_t n) {
+    std::vector<std::future<Result<double>>> futs;
+    for (size_t i = 0; i < n; ++i) {
+      futs.push_back(service.SubmitImpute(Probe(full, 30, kTarget)));
+    }
+    return futs;
+  };
+  service.Pause();
+  auto first = submit_probes(6);
+  service.Resume();
+  for (auto& f : first) ASSERT_TRUE(f.get().ok());
+  service.Drain();
+  ImputationService::Stats s1 = service.stats();
+  EXPECT_EQ(s1.fallback_imputes, 5u);
+  EXPECT_EQ(s1.fallback_fits, 1u);
+
+  // A served mutation invalidates the cache; the next overloaded span
+  // fits exactly once more.
+  service.Pause();
+  std::future<Status> ingest = service.SubmitIngest(full.Row(20).ToVector());
+  auto second = submit_probes(6);
+  service.Resume();
+  ASSERT_TRUE(ingest.get().ok());
+  for (auto& f : second) ASSERT_TRUE(f.get().ok());
+  service.Drain();
+  ImputationService::Stats s2 = service.stats();
+  EXPECT_EQ(s2.fallback_imputes, 10u);
+  EXPECT_EQ(s2.fallback_fits, 2u);
+}
+
+TEST(QualityServiceTest, QualityStatsSurfaceThroughService) {
+  data::Table full = StationaryTable(120, 29);
+  core::IimOptions opt = QualityOptions();
+  auto e_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(e_r.ok());
+  ImputationService service(e_r.value().get());
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(service.SubmitIngest(full.Row(i).ToVector()).get().ok());
+  }
+  service.Drain();
+  service.Pause();
+  ImputationService::Stats s = service.stats();
+  service.Resume();
+  EXPECT_GT(s.moo_probes, 0u);
+  ASSERT_EQ(s.quality.size(), kFeatures.size() + 1);
+  EXPECT_GT(s.quality.back().samples[kQualityIim], 0u);
+  EXPECT_GT(s.quality.back().samples[kQualityMean], 0u);
+  EXPECT_GT(s.quality.back().samples[kQualityKnn], 0u);
+  EXPECT_GT(s.quality.back().samples[kQualityGlr], 0u);
+}
+
+// --- Persistence ------------------------------------------------------
+
+TEST(QualitySnapshotTest, EstimatesRoundTripAndProbesStayDeterministic) {
+  data::Table full = StationaryTable(90, 31);
+  core::IimOptions opt = QualityOptions();
+  opt.window_size = 0;  // unbounded: restore rebuilds the exact mirror
+
+  auto a_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(a_r.ok());
+  OnlineIim& original = *a_r.value();
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(original.Ingest(full.Row(i)).ok());
+  }
+  std::string bytes = original.SerializeSnapshot();
+
+  auto b_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(b_r.ok());
+  OnlineIim& restored = *b_r.value();
+  ASSERT_TRUE(restored.RestoreFromSnapshot(bytes).ok());
+  {
+    OnlineIim::Stats sa = original.stats();
+    OnlineIim::Stats sb = restored.stats();
+    ExpectSameQuality(sa,
+                      [&] {
+                        ShardedOnlineIim::Stats sh;
+                        sh.moo_probes = sb.moo_probes;
+                        sh.moo_skipped = sb.moo_skipped;
+                        sh.champion_switches = sb.champion_switches;
+                        sh.quality = sb.quality;
+                        return sh;
+                      }(),
+                      "post-restore");
+  }
+
+  // Feed both the same continuation: estimates restored bitwise and the
+  // mirror rebuilt in arrival order mean every further probe matches.
+  for (size_t i = 60; i < 90; ++i) {
+    ASSERT_TRUE(original.Ingest(full.Row(i)).ok());
+    ASSERT_TRUE(restored.Ingest(full.Row(i)).ok());
+  }
+  OnlineIim::Stats sa = original.stats();
+  OnlineIim::Stats sb = restored.stats();
+  EXPECT_EQ(sa.moo_probes, sb.moo_probes);
+  ASSERT_EQ(sa.quality.size(), sb.quality.size());
+  for (size_t c = 0; c < sa.quality.size(); ++c) {
+    for (int m = 0; m < kQualityMethods; ++m) {
+      EXPECT_EQ(sa.quality[c].ewma_abs[m], sb.quality[c].ewma_abs[m])
+          << "col " << c << " method " << m;
+      EXPECT_EQ(sa.quality[c].samples[m], sb.quality[c].samples[m])
+          << "col " << c << " method " << m;
+    }
+  }
+}
+
+TEST(QualitySnapshotTest, RestoreRefusesMismatchedQualityConfig) {
+  data::Table full = StationaryTable(40, 37);
+  core::IimOptions opt = QualityOptions();
+  opt.window_size = 0;
+  auto a_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, opt);
+  ASSERT_TRUE(a_r.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(a_r.value()->Ingest(full.Row(i)).ok());
+  }
+  std::string bytes = a_r.value()->SerializeSnapshot();
+
+  core::IimOptions other = opt;
+  other.moo_sample_rate = 0.5;
+  auto b_r = OnlineIim::Create(full.schema(), kTarget, kFeatures, other);
+  ASSERT_TRUE(b_r.ok());
+  Status st = b_r.value()->RestoreFromSnapshot(bytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("moo_sample_rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iim::stream
